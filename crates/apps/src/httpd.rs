@@ -1,0 +1,313 @@
+//! httpd: a tiny static web server (§6.6).
+//!
+//! "We develop a simple web server, httpd, capable of serving static HTTP
+//! context. The web server continuously polls for incoming requests from
+//! open connections in a round-robin manner, parses requests, and returns
+//! the static web page." Connections are modeled as in-memory byte
+//! streams; the parser and response builder are real.
+
+use std::collections::BTreeMap;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (only GET is served).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// `true` when the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// An HTTP response (status line + body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Serializes the response.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            400 => "Bad Request",
+            _ => "Error",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Parses one HTTP request from `buf`; returns the request and the bytes
+/// consumed, or `None` when the request is incomplete.
+pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
+    let text = std::str::from_utf8(buf).ok()?;
+    let end = text.find("\r\n\r\n")?;
+    let head = &text[..end];
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    // HTTP/1.1 defaults to keep-alive unless told otherwise.
+    let mut keep_alive = true;
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with("connection:") && lower.contains("close") {
+            keep_alive = false;
+        }
+    }
+    Some((
+        HttpRequest {
+            method,
+            path,
+            keep_alive,
+        },
+        end + 4,
+    ))
+}
+
+/// One client connection: request bytes in, response bytes out.
+#[derive(Debug, Default)]
+pub struct Connection {
+    /// Bytes received from the client, not yet parsed.
+    pub inbound: Vec<u8>,
+    /// Bytes to be sent to the client.
+    pub outbound: Vec<u8>,
+    /// Server-side close flag.
+    pub closed: bool,
+}
+
+/// The web server: static pages + open connections, polled round-robin.
+#[derive(Debug)]
+pub struct Httpd {
+    pages: BTreeMap<String, Vec<u8>>,
+    connections: Vec<Connection>,
+    next_poll: usize,
+    /// Requests served (diagnostics / benchmark counter).
+    pub served: u64,
+}
+
+impl Httpd {
+    /// A server with a default index page.
+    pub fn new() -> Self {
+        let mut pages = BTreeMap::new();
+        pages.insert(
+            "/".to_string(),
+            b"<html><body><h1>Atmosphere httpd</h1></body></html>".to_vec(),
+        );
+        Httpd {
+            pages,
+            connections: Vec::new(),
+            next_poll: 0,
+            served: 0,
+        }
+    }
+
+    /// Registers a static page.
+    pub fn add_page(&mut self, path: &str, body: &[u8]) {
+        self.pages.insert(path.to_string(), body.to_vec());
+    }
+
+    /// Opens a connection; returns its id.
+    pub fn open_connection(&mut self) -> usize {
+        self.connections.push(Connection::default());
+        self.connections.len() - 1
+    }
+
+    /// Client-side: delivers request bytes on connection `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown connection id.
+    pub fn client_send(&mut self, id: usize, bytes: &[u8]) {
+        self.connections[id].inbound.extend_from_slice(bytes);
+    }
+
+    /// Client-side: drains response bytes from connection `id`.
+    pub fn client_recv(&mut self, id: usize) -> Vec<u8> {
+        std::mem::take(&mut self.connections[id].outbound)
+    }
+
+    /// Number of open (non-closed) connections.
+    pub fn open_count(&self) -> usize {
+        self.connections.iter().filter(|c| !c.closed).count()
+    }
+
+    /// One round-robin poll step over all connections: parses at most one
+    /// request per connection and enqueues the response. Returns requests
+    /// served this step.
+    pub fn poll_step(&mut self) -> usize {
+        let n = self.connections.len();
+        let mut handled = 0;
+        for off in 0..n {
+            let id = (self.next_poll + off) % n.max(1);
+            if self.connections[id].closed {
+                continue;
+            }
+            let parsed = parse_request(&self.connections[id].inbound);
+            if let Some((req, consumed)) = parsed {
+                self.connections[id].inbound.drain(..consumed);
+                let resp = self.respond(&req);
+                self.connections[id]
+                    .outbound
+                    .extend_from_slice(&resp.to_bytes());
+                if !req.keep_alive {
+                    self.connections[id].closed = true;
+                }
+                self.served += 1;
+                handled += 1;
+            }
+        }
+        if n > 0 {
+            self.next_poll = (self.next_poll + 1) % n;
+        }
+        handled
+    }
+
+    fn respond(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" {
+            return HttpResponse {
+                status: 400,
+                body: b"bad request".to_vec(),
+            };
+        }
+        match self.pages.get(&req.path) {
+            Some(body) => HttpResponse {
+                status: 200,
+                body: body.clone(),
+            },
+            None => HttpResponse {
+                status: 404,
+                body: b"not found".to_vec(),
+            },
+        }
+    }
+}
+
+impl Default for Httpd {
+    fn default() -> Self {
+        Httpd::new()
+    }
+}
+
+/// Calibrated per-request cost of the httpd data path on the c220g5
+/// (connection poll + parse + response copy + TCP-ish segmentation over
+/// the NIC). Calibrated so the linked configuration serves ≈99.4 K
+/// requests/s (§6.6).
+pub const HTTPD_REQUEST_COST: u64 = 21_900;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GET: &[u8] = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+
+    #[test]
+    fn parse_simple_get() {
+        let (req, used) = parse_request(GET).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/");
+        assert!(req.keep_alive);
+        assert_eq!(used, GET.len());
+    }
+
+    #[test]
+    fn parse_incomplete_returns_none() {
+        assert!(parse_request(b"GET / HTTP/1.1\r\nHost").is_none());
+        assert!(parse_request(b"").is_none());
+    }
+
+    #[test]
+    fn parse_connection_close() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (req, _) = parse_request(raw).unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn serves_known_page() {
+        let mut srv = Httpd::new();
+        let c = srv.open_connection();
+        srv.client_send(c, GET);
+        assert_eq!(srv.poll_step(), 1);
+        let resp = srv.client_recv(c);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.contains("Atmosphere httpd"));
+        assert_eq!(srv.served, 1);
+    }
+
+    #[test]
+    fn unknown_page_is_404() {
+        let mut srv = Httpd::new();
+        let c = srv.open_connection();
+        srv.client_send(c, b"GET /missing HTTP/1.1\r\n\r\n");
+        srv.poll_step();
+        let resp = String::from_utf8(srv.client_recv(c)).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let mut srv = Httpd::new();
+        let c = srv.open_connection();
+        srv.client_send(c, b"POST / HTTP/1.1\r\n\r\n");
+        srv.poll_step();
+        let resp = String::from_utf8(srv.client_recv(c)).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn keep_alive_pipelines_requests() {
+        let mut srv = Httpd::new();
+        let c = srv.open_connection();
+        srv.client_send(c, GET);
+        srv.client_send(c, GET);
+        assert_eq!(srv.poll_step(), 1, "one request per poll per connection");
+        assert_eq!(srv.poll_step(), 1);
+        assert_eq!(srv.served, 2);
+        assert_eq!(srv.open_count(), 1);
+    }
+
+    #[test]
+    fn close_marks_connection() {
+        let mut srv = Httpd::new();
+        let c = srv.open_connection();
+        srv.client_send(c, b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        srv.poll_step();
+        assert_eq!(srv.open_count(), 0);
+        // Further polls serve nothing on the closed connection.
+        srv.client_send(c, GET);
+        assert_eq!(srv.poll_step(), 0);
+    }
+
+    #[test]
+    fn round_robin_covers_twenty_connections() {
+        // The wrk configuration of §6.6: 20 concurrent connections.
+        let mut srv = Httpd::new();
+        let conns: Vec<_> = (0..20).map(|_| srv.open_connection()).collect();
+        for &c in &conns {
+            srv.client_send(c, GET);
+        }
+        assert_eq!(srv.poll_step(), 20);
+        for &c in &conns {
+            assert!(!srv.client_recv(c).is_empty(), "conn {c} got a response");
+        }
+    }
+}

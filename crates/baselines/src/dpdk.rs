@@ -1,0 +1,74 @@
+//! DPDK comparator: kernel-bypass packet processing on Linux.
+//!
+//! DPDK polls the NIC from user space with preallocated mbuf pools — the
+//! same structure as Atmosphere's linked driver, plus the framework's
+//! per-packet mbuf/port abstraction overhead.
+
+use atmo_drivers::deploy::{run_rx_tx_scenario, Deployment};
+use atmo_drivers::DriverCosts;
+use atmo_hw::cycles::{CostModel, CpuProfile};
+
+/// DPDK per-operation costs: slightly leaner descriptor handling than the
+/// Atmosphere driver (hand-tuned vector RX paths), same doorbell costs.
+pub const DPDK_COSTS: DriverCosts = DriverCosts {
+    rx_desc: 50,
+    tx_desc: 45,
+    doorbell: 90,
+    nvme_io: 0,
+    nvme_write_extra: 0,
+};
+
+/// Per-packet mbuf + ethdev framework overhead on the application side.
+const DPDK_FRAMEWORK_OVERHEAD: u64 = 50;
+
+/// DPDK echo throughput at the given batch size (Figure 4's `dpdk` bars).
+pub fn dpdk_echo_mpps(batch: usize, profile: &CpuProfile) -> f64 {
+    // l2fwd-style echo: the only application work is the framework's own
+    // mbuf handling.
+    run_rx_tx_scenario(
+        Deployment::Linked { batch },
+        150_000,
+        DPDK_FRAMEWORK_OVERHEAD,
+        &DPDK_COSTS,
+        &CostModel::c220g5(),
+        profile,
+    )
+    .mpps
+}
+
+/// DPDK-powered Maglev throughput (Figure 6's `dpdk` bar: 9.72 Mpps with
+/// PCIe passthrough access to the NIC).
+pub fn dpdk_maglev_mpps(profile: &CpuProfile) -> f64 {
+    run_rx_tx_scenario(
+        Deployment::Linked { batch: 32 },
+        150_000,
+        atmo_apps::maglev::MAGLEV_APP_COST + DPDK_FRAMEWORK_OVERHEAD,
+        &DPDK_COSTS,
+        &CostModel::c220g5(),
+        profile,
+    )
+    .mpps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpdk_echo_batch32_reaches_line_rate() {
+        let m = dpdk_echo_mpps(32, &CpuProfile::c220g5());
+        assert!((13.9..14.3).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn dpdk_echo_batch1_is_below_line_rate() {
+        let m = dpdk_echo_mpps(1, &CpuProfile::c220g5());
+        assert!((5.0..9.0).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn dpdk_maglev_is_9_7_mpps() {
+        let m = dpdk_maglev_mpps(&CpuProfile::c220g5());
+        assert!((9.2..10.3).contains(&m), "{m}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Linux comparators: sockets, fio + libaio, nginx.
+
+use atmo_drivers::ixgbe::IXGBE_LINE_RATE_64B_PPS;
+use atmo_drivers::nvme::{run_closed_loop, IoKind, NvmeDevice, NvmeDriver, NvmeSpec};
+use atmo_drivers::DriverCosts;
+use atmo_hw::cycles::{CpuProfile, CycleMeter};
+
+/// Per-packet cost of the Linux socket RX+TX path (syscall crossings +
+/// sk_buff allocation + protocol layers + copies). Calibrated to the
+/// paper's 0.89 Mpps (§6.5.1): 2.2 GHz / 0.89 M ≈ 2,470 cycles.
+pub const LINUX_NET_CYCLES_PER_PKT: u64 = 2_470;
+
+/// Per-packet application cost of the Maglev lookup (same real data
+/// structure as Atmosphere's) plus the socket path — calibrated to the
+/// paper's 1.0 Mpps Figure 6 result.
+const LINUX_MAGLEV_CYCLES_PER_PKT: u64 = 2_200;
+
+/// Per-request cost of nginx serving a static page (epoll + TCP stack +
+/// sendfile), calibrated to 70.9 K requests/s (§6.6).
+const NGINX_CYCLES_PER_REQUEST: u64 = 31_030;
+
+/// Per-I/O CPU cost of fio with libaio and direct I/O: `io_submit` /
+/// `io_getevents` crossings, bio assembly, page pinning. Reads carry the
+/// read-side copy/pinning path (calibrated to 141 K IOPS at batch 32);
+/// writes take the cheaper fire-and-forget path (calibrated to 248 K,
+/// within 3% of the device's 256 K peak, §6.5.2).
+const FIO_READ_CPU: u64 = 15_600;
+const FIO_WRITE_CPU: u64 = 8_870;
+
+/// Throughput of a Linux socket echo application (64-byte UDP).
+pub fn linux_socket_echo_mpps(profile: &CpuProfile) -> f64 {
+    let cpu_pps = profile.freq_hz as f64 / LINUX_NET_CYCLES_PER_PKT as f64;
+    cpu_pps.min(IXGBE_LINE_RATE_64B_PPS) / 1e6
+}
+
+/// Throughput of Maglev over Linux sockets (Figure 6's `linux` bar).
+pub fn linux_maglev_mpps(profile: &CpuProfile) -> f64 {
+    let cpu_pps = profile.freq_hz as f64 / LINUX_MAGLEV_CYCLES_PER_PKT as f64;
+    cpu_pps.min(IXGBE_LINE_RATE_64B_PPS) / 1e6
+}
+
+/// Requests/s of nginx serving the static page (Figure 6's `nginx` bar).
+pub fn nginx_rps(profile: &CpuProfile) -> f64 {
+    profile.freq_hz as f64 / NGINX_CYCLES_PER_REQUEST as f64
+}
+
+/// fio + libaio sequential IOPS at queue depth `batch` (Figure 5's
+/// `linux` bars), run against the same NVMe device model.
+pub fn fio_iops(kind: IoKind, batch: usize, total: u64, profile: &CpuProfile) -> f64 {
+    let cpu = match kind {
+        IoKind::Read => FIO_READ_CPU,
+        IoKind::Write => FIO_WRITE_CPU,
+    };
+    let costs = DriverCosts {
+        nvme_io: cpu,
+        nvme_write_extra: 0,
+        ..DriverCosts::atmosphere()
+    };
+    let mut driver = NvmeDriver::new(NvmeDevice::new(NvmeSpec::p3700(profile.freq_hz)), costs);
+    let mut meter = CycleMeter::new();
+    run_closed_loop(&mut driver, &mut meter, kind, batch, total, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CpuProfile {
+        CpuProfile::c220g5()
+    }
+
+    #[test]
+    fn linux_echo_is_0_89_mpps() {
+        let m = linux_socket_echo_mpps(&profile());
+        assert!((0.85..0.93).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn linux_maglev_is_1_mpps() {
+        let m = linux_maglev_mpps(&profile());
+        assert!((0.95..1.05).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn nginx_is_70_9_krps() {
+        let r = nginx_rps(&profile());
+        assert!((69_000.0..73_000.0).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn fio_read_batch32_is_cpu_bound_at_141k() {
+        let iops = fio_iops(IoKind::Read, 32, 30_000, &profile());
+        assert!((133_000.0..146_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn fio_read_batch1_is_latency_bound_near_13k() {
+        let iops = fio_iops(IoKind::Read, 1, 2_000, &profile());
+        assert!((11_500.0..13_500.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn fio_write_batch32_is_within_3pct_of_device_peak() {
+        let iops = fio_iops(IoKind::Write, 32, 30_000, &profile());
+        assert!((240_000.0..256_500.0).contains(&iops), "{iops}");
+    }
+}

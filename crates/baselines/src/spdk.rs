@@ -1,0 +1,44 @@
+//! SPDK comparator: kernel-bypass storage on Linux.
+
+use atmo_drivers::nvme::{run_closed_loop, IoKind, NvmeDevice, NvmeDriver, NvmeSpec};
+use atmo_drivers::DriverCosts;
+use atmo_hw::cycles::{CpuProfile, CycleMeter};
+
+/// SPDK per-I/O CPU cost: a lean polled submission/completion pair.
+const SPDK_IO_CPU: u64 = 400;
+
+/// SPDK sequential IOPS at queue depth `batch` (Figure 5's `spdk` bars):
+/// reads and writes both reach the device's internal peak.
+pub fn spdk_iops(kind: IoKind, batch: usize, total: u64, profile: &CpuProfile) -> f64 {
+    let costs = DriverCosts {
+        nvme_io: SPDK_IO_CPU,
+        nvme_write_extra: 0,
+        ..DriverCosts::atmosphere()
+    };
+    let mut driver = NvmeDriver::new(NvmeDevice::new(NvmeSpec::p3700(profile.freq_hz)), costs);
+    let mut meter = CycleMeter::new();
+    run_closed_loop(&mut driver, &mut meter, kind, batch, total, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spdk_read_batch32_hits_device_peak() {
+        let iops = spdk_iops(IoKind::Read, 32, 40_000, &CpuProfile::c220g5());
+        assert!((400_000.0..460_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn spdk_write_batch32_hits_device_peak() {
+        let iops = spdk_iops(IoKind::Write, 32, 40_000, &CpuProfile::c220g5());
+        assert!((245_000.0..257_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn spdk_read_batch1_is_latency_bound() {
+        let iops = spdk_iops(IoKind::Read, 1, 2_000, &CpuProfile::c220g5());
+        assert!((12_000.0..14_000.0).contains(&iops), "{iops}");
+    }
+}

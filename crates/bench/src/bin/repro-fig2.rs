@@ -1,0 +1,63 @@
+//! Reproduces **Figure 2**: verification time for each function of the
+//! Atmosphere kernel (the per-function distribution whose long poles
+//! limit parallel scaling).
+
+use atmo_bench::render_table;
+use atmo_verif::tasks::{catalog_total_ms, system_catalog, SystemId};
+
+fn main() {
+    let tasks = system_catalog(SystemId::Atmosphere);
+
+    // Histogram over duration buckets.
+    let buckets = [
+        ("< 0.25 s", 0u64, 250u64),
+        ("0.25–1 s", 250, 1_000),
+        ("1–2 s", 1_000, 2_000),
+        ("2–5 s", 2_000, 5_000),
+        ("5–20 s", 5_000, 20_000),
+        ("> 20 s", 20_000, u64::MAX),
+    ];
+    let rows: Vec<Vec<String>> = buckets
+        .iter()
+        .map(|(label, lo, hi)| {
+            let n = tasks
+                .iter()
+                .filter(|t| t.cost_ms >= *lo && t.cost_ms < *hi)
+                .count();
+            let bar = "#".repeat((n / 4).max(usize::from(n > 0)));
+            vec![label.to_string(), n.to_string(), bar]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Figure 2: Verification time for each function (distribution)",
+            &["Duration", "Functions", ""],
+            &rows,
+        )
+    );
+
+    // The slowest functions — the poles visible in the figure.
+    let mut sorted = tasks.clone();
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.cost_ms));
+    let top: Vec<Vec<String>> = sorted
+        .iter()
+        .take(8)
+        .map(|t| {
+            vec![
+                t.name.clone(),
+                t.module.to_string(),
+                format!("{:.2} s", t.cost_ms as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table("Slowest functions", &["Function", "Module", "Time"], &top)
+    );
+    println!(
+        "\n{} functions, {:.1} s single-thread total (paper: full verification 3m29s on 1 thread).",
+        tasks.len(),
+        catalog_total_ms(&tasks) as f64 / 1000.0
+    );
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Figure 3**: the Atmosphere commit history — cumulative
+//! lines over the three development versions (vertical separators at the
+//! clean-slate rewrites).
+
+use atmo_verif::history::{development_history, VERSION_BOUNDARIES};
+
+fn main() {
+    println!("== Figure 3: Atmosphere commit history ==");
+    println!("week  ver  people  exec_loc  proof_loc  chart (exec #, proof *)");
+    let history = development_history();
+    for p in &history {
+        if VERSION_BOUNDARIES.contains(&p.week) {
+            println!("{}", "-".repeat(72));
+        }
+        let exec_bar = "#".repeat(p.exec_loc / 400);
+        let proof_bar = "*".repeat(p.proof_loc / 1200);
+        println!(
+            "{:>4}  v{}   {:>5}  {:>8}  {:>9}  {}{}",
+            p.week, p.version, p.people, p.exec_loc, p.proof_loc, exec_bar, proof_bar
+        );
+    }
+    let last = history.last().expect("nonempty history");
+    println!(
+        "\nfinal: {} exec / {} proof+spec lines over {} weeks (paper: 6K exec, 20.1K proof, ~14 months, 3 versions)",
+        last.exec_loc,
+        last.proof_loc,
+        last.week + 1
+    );
+}

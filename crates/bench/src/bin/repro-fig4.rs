@@ -1,0 +1,70 @@
+//! Reproduces **Figure 4**: ixgbe driver performance — 64-byte UDP
+//! packets, batch sizes 1 and 32, across Linux, DPDK and the Atmosphere
+//! configurations.
+
+use atmo_baselines::{dpdk_echo_mpps, linux_socket_echo_mpps};
+use atmo_bench::{fmt_mpps, render_table};
+use atmo_drivers::deploy::{run_rx_tx_scenario, Deployment};
+use atmo_drivers::DriverCosts;
+use atmo_hw::cycles::{CostModel, CpuProfile};
+
+const PACKETS: u64 = 200_000;
+/// Echo application work per packet (header touch + counter).
+const ECHO_APP_COST: u64 = 45;
+
+fn atmo(deploy: Deployment) -> f64 {
+    run_rx_tx_scenario(
+        deploy,
+        PACKETS,
+        ECHO_APP_COST,
+        &DriverCosts::atmosphere(),
+        &CostModel::c220g5(),
+        &CpuProfile::c220g5(),
+    )
+    .mpps
+}
+
+fn main() {
+    let profile = CpuProfile::c220g5();
+    let rows = vec![
+        ("linux", linux_socket_echo_mpps(&profile), "0.89"),
+        ("dpdk-b1", dpdk_echo_mpps(1, &profile), "~7"),
+        ("dpdk-b32", dpdk_echo_mpps(32, &profile), "14.2 (line rate)"),
+        (
+            "atmo-driver-b1",
+            atmo(Deployment::Linked { batch: 1 }),
+            "~7",
+        ),
+        (
+            "atmo-driver-b32",
+            atmo(Deployment::Linked { batch: 32 }),
+            "14.2 (line rate)",
+        ),
+        ("atmo-c2", atmo(Deployment::CrossCore { batch: 32 }), "~14"),
+        (
+            "atmo-c1-b1",
+            atmo(Deployment::SameCoreIpc { batch: 1 }),
+            "2.3",
+        ),
+        (
+            "atmo-c1-b32",
+            atmo(Deployment::SameCoreIpc { batch: 32 }),
+            "11.1",
+        ),
+    ]
+    .into_iter()
+    .map(|(name, mpps, paper)| {
+        let bar = "#".repeat((mpps * 3.0) as usize);
+        vec![name.to_string(), fmt_mpps(mpps), paper.to_string(), bar]
+    })
+    .collect::<Vec<_>>();
+
+    print!(
+        "{}",
+        render_table(
+            "Figure 4: Ixgbe driver performance (64B UDP, Mpps per core)",
+            &["Config", "Mpps", "Paper", ""],
+            &rows,
+        )
+    );
+}

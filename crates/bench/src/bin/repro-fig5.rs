@@ -1,0 +1,74 @@
+//! Reproduces **Figure 5**: NVMe driver performance — 4 KiB sequential
+//! reads and writes, batch sizes 1 and 32, across Linux fio, SPDK and the
+//! Atmosphere configurations.
+
+use atmo_baselines::{fio_iops, spdk_iops};
+use atmo_bench::{fmt_kiops, render_table};
+use atmo_drivers::deploy::{run_nvme_scenario, Deployment};
+use atmo_drivers::nvme::IoKind;
+use atmo_drivers::DriverCosts;
+use atmo_hw::cycles::{CostModel, CpuProfile};
+
+fn atmo(deploy: Deployment, kind: IoKind, total: u64) -> f64 {
+    run_nvme_scenario(
+        deploy,
+        kind,
+        total,
+        &DriverCosts::atmosphere(),
+        &CostModel::c220g5(),
+        &CpuProfile::c220g5(),
+    )
+}
+
+fn main() {
+    let profile = CpuProfile::c220g5();
+    for (kind, label) in [
+        (IoKind::Read, "sequential read"),
+        (IoKind::Write, "sequential write"),
+    ] {
+        let total = 30_000;
+        let rows = vec![
+            ("linux-fio-b1", fio_iops(kind, 1, 2_000, &profile)),
+            ("linux-fio-b32", fio_iops(kind, 32, total, &profile)),
+            ("spdk-b1", spdk_iops(kind, 1, 2_000, &profile)),
+            ("spdk-b32", spdk_iops(kind, 32, total, &profile)),
+            (
+                "atmo-driver-b1",
+                atmo(Deployment::Linked { batch: 1 }, kind, 2_000),
+            ),
+            (
+                "atmo-driver-b32",
+                atmo(Deployment::Linked { batch: 32 }, kind, total),
+            ),
+            (
+                "atmo-c2",
+                atmo(Deployment::CrossCore { batch: 32 }, kind, total),
+            ),
+            (
+                "atmo-c1-b1",
+                atmo(Deployment::SameCoreIpc { batch: 1 }, kind, 2_000),
+            ),
+            (
+                "atmo-c1-b32",
+                atmo(Deployment::SameCoreIpc { batch: 32 }, kind, total),
+            ),
+        ]
+        .into_iter()
+        .map(|(name, iops)| {
+            let bar = "#".repeat((iops / 12_000.0) as usize);
+            vec![name.to_string(), fmt_kiops(iops), bar]
+        })
+        .collect::<Vec<_>>();
+        print!(
+            "{}",
+            render_table(
+                &format!("Figure 5: NVMe driver performance — {label} (4 KiB, IOPS per core)"),
+                &["Config", "IOPS", ""],
+                &rows,
+            )
+        );
+        println!();
+    }
+    println!("paper anchors: fio read 13K (b1) / 141K (b32); atmo ≈ SPDK at device peak reads;");
+    println!("writes: device ~256K, Linux within 3%, Atmosphere ~232K (10% overhead).");
+}

@@ -1,0 +1,157 @@
+//! Benchmark harness for the Atmosphere reproduction.
+//!
+//! One `repro-*` binary per table/figure of the paper (see DESIGN.md's
+//! experiment index), plus Criterion microbenchmarks of the real hot
+//! paths in `benches/`. This library holds the shared measurement
+//! helpers: Table 3-style cycle measurements against the simulated
+//! kernel, and plain-text table rendering.
+
+use atmo_kernel::{Kernel, KernelConfig, SyscallArgs};
+
+/// Renders an aligned plain-text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Measures the Atmosphere call/reply round trip in cycles on the
+/// simulated kernel (Table 3, row 1): thread T2 waits in `recv`, T1
+/// `call`s, T2 `reply`s; the meter delta across call+reply is the cost.
+pub fn measure_call_reply_cycles() -> u64 {
+    let mut k = Kernel::boot(KernelConfig::default());
+    // Build T2 in the init process, both on CPU 0.
+    let t2 = k
+        .syscall(
+            0,
+            SyscallArgs::NewThread {
+                proc: k.init_proc,
+                cpu: 0,
+            },
+        )
+        .val0() as usize;
+    let e = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 }).val0() as usize;
+    k.pm.install_descriptor(t2, 0, e).unwrap();
+
+    // Switch to T2 and park it in recv.
+    k.pm.timer_tick(0);
+    assert_eq!(k.pm.sched.current(0), Some(t2));
+    let r = k.syscall(0, SyscallArgs::Recv { slot: 0 });
+    assert!(r.is_ok());
+
+    // T1 (the init thread, now current) performs the measured round trip.
+    let start = k.cycles(0);
+    let r = k.syscall(
+        0,
+        SyscallArgs::Call {
+            slot: 0,
+            scalars: [1, 2, 3, 4],
+        },
+    );
+    assert!(r.is_ok());
+    // T2 is current again (the call delivered into its recv); it replies.
+    let r = k.syscall(
+        0,
+        SyscallArgs::Reply {
+            scalars: [42, 0, 0, 0],
+        },
+    );
+    assert!(r.is_ok());
+    k.cycles(0) - start
+}
+
+/// Measures mapping one 4 KiB page in cycles on the simulated kernel
+/// (Table 3, row 2). The neighbouring page is mapped first so the
+/// intermediate table levels exist (steady-state cost, as measured in the
+/// paper's loop).
+pub fn measure_map_page_cycles() -> u64 {
+    let mut k = Kernel::boot(KernelConfig::default());
+    let r = k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x40_0000,
+            len: 1,
+            writable: true,
+        },
+    );
+    assert!(r.is_ok());
+    let start = k.cycles(0);
+    let r = k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x40_1000,
+            len: 1,
+            writable: true,
+        },
+    );
+    assert!(r.is_ok());
+    k.cycles(0) - start
+}
+
+/// Formats a Mpps value for figure rows.
+pub fn fmt_mpps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats an IOPS value in thousands.
+pub fn fmt_kiops(v: f64) -> String {
+    format!("{:.0}K", v / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_reply_matches_table3() {
+        assert_eq!(measure_call_reply_cycles(), 1058);
+    }
+
+    #[test]
+    fn map_page_matches_table3() {
+        assert_eq!(measure_map_page_cycles(), 1984);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["xxx".into(), "1".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long-header"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_mpps(14.2), "14.20");
+        assert_eq!(fmt_kiops(141_000.0), "141K");
+    }
+}

@@ -1,0 +1,296 @@
+//! Deployment scenarios: `atmo-driver`, `atmo-c2`, `atmo-c1-bN` (§6.5).
+//!
+//! The paper evaluates each driver in three configurations:
+//!
+//! * **`atmo-driver` (Linked)** — benchmark application statically linked
+//!   with the driver, like DPDK/SPDK;
+//! * **`atmo-c2` (CrossCore)** — application and driver are separate
+//!   processes on separate cores, connected by a shared-memory ring;
+//! * **`atmo-c1-bN` (SameCoreIpc)** — application and driver share one
+//!   core; the application batches `N` requests into the ring and then
+//!   invokes the driver through an IPC endpoint (one context switch per
+//!   batch in each direction).
+//!
+//! The runners below execute the real driver/ring code against the device
+//! models, charging the calibrated cycle costs, and report throughput.
+
+use atmo_hw::cycles::{CostModel, CpuProfile, CycleMeter};
+
+use crate::ixgbe::{IxgbeDevice, IxgbeDriver};
+use crate::nvme::{run_closed_loop, IoKind, NvmeDevice, NvmeDriver, NvmeSpec};
+use crate::pkt::Packet;
+use crate::ring::SpscRing;
+use crate::DriverCosts;
+
+/// The deployment configurations of §6.5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deployment {
+    /// Application statically linked with the driver (`atmo-driver`).
+    Linked {
+        /// Descriptor batch size.
+        batch: usize,
+    },
+    /// Driver on a dedicated core, shared ring (`atmo-c2`).
+    CrossCore {
+        /// Descriptor batch size.
+        batch: usize,
+    },
+    /// Driver process on the same core, invoked per batch (`atmo-c1-bN`).
+    SameCoreIpc {
+        /// Requests per IPC invocation.
+        batch: usize,
+    },
+}
+
+impl Deployment {
+    /// The configuration label used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Deployment::Linked { .. } => "atmo-driver".to_string(),
+            Deployment::CrossCore { .. } => "atmo-c2".to_string(),
+            Deployment::SameCoreIpc { batch } => format!("atmo-c1-b{batch}"),
+        }
+    }
+}
+
+/// Result of a network RX/TX scenario run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetScenarioReport {
+    /// Packets moved end to end.
+    pub packets: u64,
+    /// Bottleneck-core cycles consumed.
+    pub cycles: u64,
+    /// Millions of packets per second.
+    pub mpps: f64,
+}
+
+/// Runs an RX→process→TX echo workload over the ixgbe driver in the given
+/// deployment, applying `app_cost` cycles of application work per packet.
+pub fn run_rx_tx_scenario(
+    deploy: Deployment,
+    npackets: u64,
+    app_cost: u64,
+    costs: &DriverCosts,
+    model: &CostModel,
+    profile: &CpuProfile,
+) -> NetScenarioReport {
+    match deploy {
+        Deployment::Linked { batch } => {
+            let mut drv = IxgbeDriver::new(IxgbeDevice::new(profile.freq_hz), *costs);
+            let mut m = CycleMeter::new();
+            let mut done = 0u64;
+            while done < npackets {
+                let pkts = drv.rx_batch(&mut m, batch);
+                m.charge(app_cost * pkts.len() as u64);
+                done += pkts.len() as u64;
+                drv.tx_batch(&mut m, pkts);
+            }
+            report(done, m.now(), profile)
+        }
+        Deployment::SameCoreIpc { batch } => {
+            let mut drv = IxgbeDriver::new(IxgbeDevice::new(profile.freq_hz), *costs);
+            let mut m = CycleMeter::new();
+            let mut ring: SpscRing<Packet> = SpscRing::new(1024);
+            let mut done = 0u64;
+            while done < npackets {
+                // Driver half: receive a batch into the shared ring.
+                let pkts = drv.rx_batch(&mut m, batch);
+                for p in pkts {
+                    m.charge(model.ring_op);
+                    let _ = ring.enqueue(p);
+                }
+                // One context switch per batch: the driver and the
+                // application ping-pong through the endpoint, each
+                // activation carrying a full batch (§6.5.1: "one context
+                // switching per packet" at batch size 1).
+                m.charge(model.ipc_one_way());
+                // Application half: drain, process, hand back for TX.
+                let mut out = Vec::new();
+                while let Some(p) = ring.dequeue() {
+                    m.charge(app_cost);
+                    out.push(p);
+                }
+                done += out.len() as u64;
+                drv.tx_batch(&mut m, out);
+            }
+            report(done, m.now(), profile)
+        }
+        Deployment::CrossCore { batch } => {
+            // Two cores: the driver core moves frames between the NIC and
+            // the ring; the app core processes. The pipeline throughput is
+            // set by the slower core (meters advance independently; the
+            // consumer syncs to the producer when it runs dry).
+            let mut drv = IxgbeDriver::new(IxgbeDevice::new(profile.freq_hz), *costs);
+            let mut m_drv = CycleMeter::new();
+            let mut m_app = CycleMeter::new();
+            let mut ring: SpscRing<Packet> = SpscRing::new(4096);
+            let mut done = 0u64;
+            while done < npackets {
+                let pkts = drv.rx_batch(&mut m_drv, batch);
+                for p in pkts {
+                    m_drv.charge(model.ring_op);
+                    let _ = ring.enqueue(p);
+                }
+                // The app cannot read data the driver has not written yet.
+                m_app.sync_to(
+                    m_drv
+                        .now()
+                        .min(m_app.now() + 4 * model.ring_op * batch as u64),
+                );
+                let mut out = Vec::new();
+                while let Some(p) = ring.dequeue() {
+                    m_app.charge(model.ring_op + app_cost);
+                    out.push(p);
+                }
+                m_app.sync_to(m_drv.now());
+                done += out.len() as u64;
+                drv.tx_batch(&mut m_drv, out);
+            }
+            let bottleneck = m_drv.now().max(m_app.now());
+            report(done, bottleneck, profile)
+        }
+    }
+}
+
+fn report(packets: u64, cycles: u64, profile: &CpuProfile) -> NetScenarioReport {
+    NetScenarioReport {
+        packets,
+        cycles,
+        mpps: profile.throughput(packets, cycles) / 1e6,
+    }
+}
+
+/// Runs a sequential NVMe workload in the given deployment; returns IOPS.
+///
+/// `extra_cpu_per_io` models the client application's per-I/O work.
+pub fn run_nvme_scenario(
+    deploy: Deployment,
+    kind: IoKind,
+    total: u64,
+    costs: &DriverCosts,
+    model: &CostModel,
+    profile: &CpuProfile,
+) -> f64 {
+    let mut drv = NvmeDriver::new(NvmeDevice::new(NvmeSpec::p3700(profile.freq_hz)), *costs);
+    let mut m = CycleMeter::new();
+    match deploy {
+        Deployment::Linked { batch } => run_closed_loop(&mut drv, &mut m, kind, batch, total, 0),
+        Deployment::SameCoreIpc { batch } => {
+            // Each batch costs one endpoint invocation plus per-request
+            // ring traffic.
+            let per_io = 2 * model.ring_op + model.ipc_one_way() / batch as u64;
+            run_closed_loop(&mut drv, &mut m, kind, batch, total, per_io)
+        }
+        Deployment::CrossCore { batch } => {
+            // The driver core does the device work; the client core's ring
+            // traffic overlaps and is not the bottleneck for 4 KiB I/O.
+            let per_io = model.ring_op;
+            run_closed_loop(&mut drv, &mut m, kind, batch, total, per_io)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_net(deploy: Deployment) -> NetScenarioReport {
+        run_rx_tx_scenario(
+            deploy,
+            150_000,
+            45,
+            &DriverCosts::atmosphere(),
+            &CostModel::c220g5(),
+            &CpuProfile::c220g5(),
+        )
+    }
+
+    #[test]
+    fn figure4_linked_batch32_hits_line_rate() {
+        let r = run_net(Deployment::Linked { batch: 32 });
+        assert!((13.9..14.3).contains(&r.mpps), "{} Mpps", r.mpps);
+    }
+
+    #[test]
+    fn figure4_same_core_batch1_near_2_3_mpps() {
+        let r = run_net(Deployment::SameCoreIpc { batch: 1 });
+        assert!((2.0..2.7).contains(&r.mpps), "{} Mpps", r.mpps);
+    }
+
+    #[test]
+    fn figure4_same_core_batch32_near_11_mpps() {
+        let r = run_net(Deployment::SameCoreIpc { batch: 32 });
+        assert!((10.0..12.2).contains(&r.mpps), "{} Mpps", r.mpps);
+    }
+
+    #[test]
+    fn figure4_cross_core_reaches_line_rate() {
+        let r = run_net(Deployment::CrossCore { batch: 32 });
+        assert!((13.5..14.3).contains(&r.mpps), "{} Mpps", r.mpps);
+    }
+
+    #[test]
+    fn figure4_ordering_matches_paper() {
+        // linked ≥ c2 ≥ c1-b32 ≥ c1-b1: batching and core separation
+        // recover most of the isolation cost.
+        let linked = run_net(Deployment::Linked { batch: 32 }).mpps;
+        let c2 = run_net(Deployment::CrossCore { batch: 32 }).mpps;
+        let c1b32 = run_net(Deployment::SameCoreIpc { batch: 32 }).mpps;
+        let c1b1 = run_net(Deployment::SameCoreIpc { batch: 1 }).mpps;
+        let tol = 0.1; // both top configurations sit at line rate
+        assert!(
+            linked >= c2 - tol && c2 >= c1b32 - tol && c1b32 >= c1b1,
+            "{linked} {c2} {c1b32} {c1b1}"
+        );
+    }
+
+    #[test]
+    fn figure5_nvme_reads_shape() {
+        let model = CostModel::c220g5();
+        let profile = CpuProfile::c220g5();
+        let costs = DriverCosts::atmosphere();
+        let b1 = run_nvme_scenario(
+            Deployment::Linked { batch: 1 },
+            IoKind::Read,
+            2_000,
+            &costs,
+            &model,
+            &profile,
+        );
+        let b32 = run_nvme_scenario(
+            Deployment::Linked { batch: 32 },
+            IoKind::Read,
+            40_000,
+            &costs,
+            &model,
+            &profile,
+        );
+        assert!((12_000.0..14_000.0).contains(&b1), "{b1}");
+        assert!((400_000.0..460_000.0).contains(&b32), "{b32}");
+    }
+
+    #[test]
+    fn figure5_ipc_configs_still_reach_device_read_peak() {
+        // §6.5.2: "On a batch size of 1 and 32, the Atmosphere driver
+        // performs similar to SPDK" — the IPC cost amortizes away.
+        let model = CostModel::c220g5();
+        let profile = CpuProfile::c220g5();
+        let costs = DriverCosts::atmosphere();
+        let c1b32 = run_nvme_scenario(
+            Deployment::SameCoreIpc { batch: 32 },
+            IoKind::Read,
+            40_000,
+            &costs,
+            &model,
+            &profile,
+        );
+        assert!(c1b32 > 350_000.0, "{c1b32}");
+    }
+
+    #[test]
+    fn deployment_labels() {
+        assert_eq!(Deployment::Linked { batch: 32 }.label(), "atmo-driver");
+        assert_eq!(Deployment::CrossCore { batch: 32 }.label(), "atmo-c2");
+        assert_eq!(Deployment::SameCoreIpc { batch: 32 }.label(), "atmo-c1-b32");
+    }
+}

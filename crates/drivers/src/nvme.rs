@@ -1,0 +1,288 @@
+//! The NVMe SSD model (Intel P3700-class) and polling driver (§6.5.2).
+//!
+//! The device model captures the two regimes visible in Figure 5:
+//!
+//! * at queue depth 1, throughput is **latency-bound** — reads complete
+//!   after the flash read latency (~76 µs), so everyone (fio, SPDK,
+//!   Atmosphere) lands near 13 K IOPS;
+//! * at queue depth 32, throughput is bound by the device's internal
+//!   service rate (≈450 K IOPS 4 KiB reads, 256 K IOPS writes to the
+//!   write cache) — unless the host software costs more per I/O than the
+//!   device's service time, which is what limits fio/Linux to 141 K.
+//!
+//! Completion model per I/O: `complete = max(submit + latency,
+//! prev_complete_of_same_kind + service)`.
+
+use std::collections::VecDeque;
+
+use atmo_hw::cycles::CycleMeter;
+
+use crate::DriverCosts;
+
+/// Kind of block I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoKind {
+    /// 4 KiB sequential read.
+    Read,
+    /// 4 KiB sequential write.
+    Write,
+}
+
+/// Device timing parameters, in cycles of the host clock.
+#[derive(Clone, Copy, Debug)]
+pub struct NvmeSpec {
+    /// Read completion latency (flash array read).
+    pub read_latency: u64,
+    /// Write completion latency (write cache hit).
+    pub write_latency: u64,
+    /// Minimum spacing between read completions (1 / peak read IOPS).
+    pub read_service: u64,
+    /// Minimum spacing between write completions (1 / peak write IOPS).
+    pub write_service: u64,
+}
+
+impl NvmeSpec {
+    /// P3700 400 GB-class timings on a 2.2 GHz host:
+    /// 76 µs read latency, ~450 K IOPS peak 4 KiB reads,
+    /// ~3.9 µs cached write latency, 256 K IOPS peak writes.
+    pub const fn p3700(freq_hz: u64) -> Self {
+        let per_us = freq_hz / 1_000_000;
+        NvmeSpec {
+            read_latency: 76 * per_us,
+            write_latency: 4 * per_us,
+            read_service: freq_hz / 450_000,
+            write_service: freq_hz / 256_000,
+        }
+    }
+}
+
+/// The NVMe device model: submission queue + completion times.
+#[derive(Debug)]
+pub struct NvmeDevice {
+    spec: NvmeSpec,
+    inflight: VecDeque<u64>, // completion times, ascending
+    last_read_complete: u64,
+    last_write_complete: u64,
+    completed: u64,
+}
+
+impl NvmeDevice {
+    /// A device with the given timing spec.
+    pub fn new(spec: NvmeSpec) -> Self {
+        NvmeDevice {
+            spec,
+            inflight: VecDeque::new(),
+            last_read_complete: 0,
+            last_write_complete: 0,
+            completed: 0,
+        }
+    }
+
+    /// Submits one I/O at time `now`.
+    pub fn submit(&mut self, now: u64, kind: IoKind) {
+        self.submit_with_penalty(now, kind, 0);
+    }
+
+    /// Submits one I/O whose device service is inflated by `penalty`
+    /// cycles (models per-I/O doorbell/flush interaction — the source of
+    /// the Atmosphere write overhead of §6.5.2).
+    pub fn submit_with_penalty(&mut self, now: u64, kind: IoKind, penalty: u64) {
+        let (lat, service, last) = match kind {
+            IoKind::Read => (
+                self.spec.read_latency,
+                self.spec.read_service,
+                &mut self.last_read_complete,
+            ),
+            IoKind::Write => (
+                self.spec.write_latency,
+                self.spec.write_service,
+                &mut self.last_write_complete,
+            ),
+        };
+        let complete = (now + lat).max(*last + service + penalty);
+        *last = complete;
+        // Completions are in submission order per kind; merge keeps the
+        // queue sorted because both per-kind chains are monotone.
+        let pos = self
+            .inflight
+            .iter()
+            .position(|&c| c > complete)
+            .unwrap_or(self.inflight.len());
+        self.inflight.insert(pos, complete);
+    }
+
+    /// Reaps completions that have finished by `now`.
+    pub fn poll(&mut self, now: u64) -> u64 {
+        let mut n = 0;
+        while let Some(&c) = self.inflight.front() {
+            if c <= now {
+                self.inflight.pop_front();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        self.completed += n;
+        n
+    }
+
+    /// Cycles from `now` until the next completion (0 when one is ready,
+    /// `None` when nothing is in flight).
+    pub fn cycles_until_completion(&self, now: u64) -> Option<u64> {
+        self.inflight.front().map(|&c| c.saturating_sub(now))
+    }
+
+    /// I/Os completed in total.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// I/Os currently in flight.
+    pub fn queue_depth(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+/// The polling NVMe driver.
+#[derive(Debug)]
+pub struct NvmeDriver {
+    /// The device being driven.
+    pub device: NvmeDevice,
+    costs: DriverCosts,
+}
+
+impl NvmeDriver {
+    /// Binds a driver to a device.
+    pub fn new(device: NvmeDevice, costs: DriverCosts) -> Self {
+        NvmeDriver { device, costs }
+    }
+
+    /// Per-I/O CPU cost (submission + completion processing).
+    pub fn io_cpu_cost(&self, _kind: IoKind) -> u64 {
+        self.costs.nvme_io
+    }
+
+    /// Submits `n` I/Os of `kind`, charging per-I/O CPU cost. Writes pay
+    /// the per-write doorbell penalty at the device (§6.5.2's 10% write
+    /// overhead).
+    pub fn submit_batch(&mut self, meter: &mut CycleMeter, kind: IoKind, n: usize) {
+        for _ in 0..n {
+            meter.charge(self.io_cpu_cost(kind));
+            let penalty = match kind {
+                IoKind::Read => 0,
+                IoKind::Write => self.costs.nvme_write_extra,
+            };
+            self.device.submit_with_penalty(meter.now(), kind, penalty);
+        }
+    }
+
+    /// Polls until at least one completion arrives (waiting if needed);
+    /// returns the number reaped.
+    pub fn wait_completions(&mut self, meter: &mut CycleMeter) -> u64 {
+        if let Some(wait) = self.device.cycles_until_completion(meter.now()) {
+            meter.charge(wait);
+        }
+        self.device.poll(meter.now())
+    }
+}
+
+/// Runs a closed-loop sequential workload at queue depth `batch`,
+/// completing `total` I/Os; returns IOPS given the host frequency.
+pub fn run_closed_loop(
+    driver: &mut NvmeDriver,
+    meter: &mut CycleMeter,
+    kind: IoKind,
+    batch: usize,
+    total: u64,
+    extra_cpu_per_io: u64,
+) -> f64 {
+    let start = meter.now();
+    let mut completed = 0u64;
+    driver.submit_batch(meter, kind, batch);
+    while completed < total {
+        meter.charge(extra_cpu_per_io / 4); // polling loop body
+        let done = driver.wait_completions(meter);
+        completed += done;
+        if done > 0 {
+            meter.charge(extra_cpu_per_io * done);
+            driver.submit_batch(meter, kind, done as usize);
+        }
+    }
+    let cycles = meter.since(start);
+    completed as f64 * 2_200_000_000.0 / cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FREQ: u64 = 2_200_000_000;
+
+    fn driver() -> NvmeDriver {
+        NvmeDriver::new(
+            NvmeDevice::new(NvmeSpec::p3700(FREQ)),
+            DriverCosts::atmosphere(),
+        )
+    }
+
+    #[test]
+    fn qd1_reads_are_latency_bound() {
+        let mut d = driver();
+        let mut m = CycleMeter::new();
+        let iops = run_closed_loop(&mut d, &mut m, IoKind::Read, 1, 2_000, 0);
+        // ≈ 1 / 76 µs ≈ 13 K IOPS (§6.5.2: fio 13K, Atmosphere similar).
+        assert!((12_000.0..14_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn qd32_reads_reach_device_peak() {
+        let mut d = driver();
+        let mut m = CycleMeter::new();
+        let iops = run_closed_loop(&mut d, &mut m, IoKind::Read, 32, 50_000, 0);
+        // "Maximum device read performance" ≈ 450 K IOPS.
+        assert!((400_000.0..460_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn atmo_writes_show_ten_percent_overhead() {
+        let mut d = driver();
+        let mut m = CycleMeter::new();
+        let iops = run_closed_loop(&mut d, &mut m, IoKind::Write, 32, 50_000, 0);
+        // Device peak is 256 K; the per-write extra keeps Atmosphere near
+        // the paper's 232 K (10% below).
+        assert!((215_000.0..245_000.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn completions_obey_latency() {
+        let mut dev = NvmeDevice::new(NvmeSpec::p3700(FREQ));
+        dev.submit(0, IoKind::Read);
+        assert_eq!(dev.poll(1000), 0, "nothing completes before latency");
+        let lat = NvmeSpec::p3700(FREQ).read_latency;
+        assert_eq!(dev.poll(lat), 1);
+        assert_eq!(dev.completed(), 1);
+    }
+
+    #[test]
+    fn service_rate_spaces_completions() {
+        let mut dev = NvmeDevice::new(NvmeSpec::p3700(FREQ));
+        let spec = NvmeSpec::p3700(FREQ);
+        for _ in 0..3 {
+            dev.submit(0, IoKind::Read);
+        }
+        // First at latency; the rest spaced by the service time.
+        assert_eq!(dev.poll(spec.read_latency), 1);
+        assert_eq!(dev.poll(spec.read_latency + spec.read_service), 1);
+        assert_eq!(dev.poll(spec.read_latency + 2 * spec.read_service), 1);
+    }
+
+    #[test]
+    fn queue_depth_tracks_inflight() {
+        let mut dev = NvmeDevice::new(NvmeSpec::p3700(FREQ));
+        dev.submit(0, IoKind::Write);
+        dev.submit(0, IoKind::Write);
+        assert_eq!(dev.queue_depth(), 2);
+        let _ = dev.poll(u64::MAX >> 1);
+        assert_eq!(dev.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Packets and the pktgen-style traffic source.
+
+/// A network packet (Ethernet frame payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Frame bytes (the paper's microbenchmarks use 64-byte UDP frames).
+    pub data: Vec<u8>,
+}
+
+impl Packet {
+    /// A 64-byte UDP frame with a deterministic payload derived from
+    /// `seq` (Ethernet 14 + IPv4 20 + UDP 8 + payload 22).
+    pub fn udp64(seq: u64) -> Self {
+        let mut data = vec![0u8; 64];
+        // Destination/source MAC (fixed), EtherType IPv4.
+        data[..6].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 1]);
+        data[6..12].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 2]);
+        data[12] = 0x08;
+        data[13] = 0x00;
+        // IPv4 header: version/IHL, protocol UDP, addresses derived from seq.
+        data[14] = 0x45;
+        data[23] = 17; // UDP
+        data[26..30].copy_from_slice(&(0x0a00_0001u32).to_be_bytes());
+        data[30..34].copy_from_slice(&(0x0a00_0100u32 | (seq as u32 & 0xff)).to_be_bytes());
+        // UDP ports derived from seq (flow identifier for the load
+        // balancer experiments).
+        let sport = 1024 + (seq % 4096) as u16;
+        data[34..36].copy_from_slice(&sport.to_be_bytes());
+        data[36..38].copy_from_slice(&80u16.to_be_bytes());
+        // Payload: the sequence number.
+        data[42..50].copy_from_slice(&seq.to_be_bytes());
+        Packet { data }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for an empty frame (never produced by the generator).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flow 5-tuple hash input (source ip/port, dest ip/port, proto),
+    /// if this looks like a UDP/IPv4 frame.
+    pub fn flow_key(&self) -> Option<[u8; 13]> {
+        if self.data.len() < 42 || self.data[12] != 0x08 || self.data[23] != 17 {
+            return None;
+        }
+        let mut key = [0u8; 13];
+        key[..4].copy_from_slice(&self.data[26..30]);
+        key[4..8].copy_from_slice(&self.data[30..34]);
+        key[8..10].copy_from_slice(&self.data[34..36]);
+        key[10..12].copy_from_slice(&self.data[36..38]);
+        key[12] = self.data[23];
+        Some(key)
+    }
+
+    /// The sequence number embedded by [`Packet::udp64`].
+    pub fn seq(&self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[42..50]);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// A pktgen-style source producing 64-byte UDP frames at line rate.
+#[derive(Debug, Default)]
+pub struct PktGen {
+    next_seq: u64,
+}
+
+impl PktGen {
+    /// A fresh generator.
+    pub fn new() -> Self {
+        PktGen::default()
+    }
+
+    /// Produces the next frame.
+    pub fn next_packet(&mut self) -> Packet {
+        let p = Packet::udp64(self.next_seq);
+        self.next_seq += 1;
+        p
+    }
+
+    /// Frames generated so far.
+    pub fn generated(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp64_is_64_bytes_and_parsable() {
+        let p = Packet::udp64(7);
+        assert_eq!(p.len(), 64);
+        assert!(!p.is_empty());
+        assert_eq!(p.seq(), 7);
+        assert!(p.flow_key().is_some());
+    }
+
+    #[test]
+    fn flow_keys_differ_across_flows() {
+        let a = Packet::udp64(1).flow_key().unwrap();
+        let b = Packet::udp64(2).flow_key().unwrap();
+        assert_ne!(a, b);
+        // Same seq → same flow key (deterministic).
+        assert_eq!(a, Packet::udp64(1).flow_key().unwrap());
+    }
+
+    #[test]
+    fn non_udp_frame_has_no_flow_key() {
+        let mut p = Packet::udp64(1);
+        p.data[23] = 6; // TCP
+        assert!(p.flow_key().is_none());
+    }
+
+    #[test]
+    fn generator_is_sequential() {
+        let mut g = PktGen::new();
+        assert_eq!(g.next_packet().seq(), 0);
+        assert_eq!(g.next_packet().seq(), 1);
+        assert_eq!(g.generated(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Single-producer/single-consumer shared-memory rings.
+//!
+//! Applications and driver processes communicate through shared-memory
+//! ring buffers established over endpoints (§3, §6.5: "communicates with
+//! the driver ... through a shared-memory ring buffer"). The ring is the
+//! classic power-of-two head/tail design; each enqueue/dequeue costs one
+//! `ring_op` in the cycle model.
+
+/// A bounded SPSC ring.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Vec<Option<T>>,
+    head: usize, // next dequeue
+    tail: usize, // next enqueue
+}
+
+impl<T> SpscRing<T> {
+    /// A ring with capacity `cap` (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        let cap = cap.next_power_of_two();
+        SpscRing {
+            slots: (0..cap).map(|_| None).collect(),
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// `true` when no further entry fits.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.slots.len()
+    }
+
+    /// Enqueues `item`; returns it back when the ring is full.
+    pub fn enqueue(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        let mask = self.slots.len() - 1;
+        self.slots[self.tail & mask] = Some(item);
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest entry.
+    pub fn dequeue(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let item = self.slots[self.head & mask].take();
+        self.head += 1;
+        item
+    }
+
+    /// Dequeues up to `n` entries.
+    pub fn dequeue_batch(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        for _ in 0..n {
+            match self.dequeue() {
+                Some(x) => out.push(x),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = SpscRing::new(4);
+        r.enqueue(1).unwrap();
+        r.enqueue(2).unwrap();
+        assert_eq!(r.dequeue(), Some(1));
+        assert_eq!(r.dequeue(), Some(2));
+        assert_eq!(r.dequeue(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut r = SpscRing::new(2);
+        r.enqueue(1).unwrap();
+        r.enqueue(2).unwrap();
+        assert!(r.is_full());
+        assert_eq!(r.enqueue(3), Err(3));
+        r.dequeue();
+        assert!(r.enqueue(3).is_ok());
+    }
+
+    #[test]
+    fn wraparound_preserves_items() {
+        let mut r = SpscRing::new(4);
+        for round in 0..10 {
+            for i in 0..3 {
+                r.enqueue(round * 10 + i).unwrap();
+            }
+            assert_eq!(
+                r.dequeue_batch(3),
+                vec![round * 10, round * 10 + 1, round * 10 + 2]
+            );
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let r: SpscRing<u8> = SpscRing::new(5);
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn dequeue_batch_stops_at_empty() {
+        let mut r = SpscRing::new(8);
+        r.enqueue(1).unwrap();
+        assert_eq!(r.dequeue_batch(5), vec![1]);
+    }
+}

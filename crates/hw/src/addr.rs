@@ -1,0 +1,274 @@
+//! Virtual and physical addresses, page sizes and index arithmetic.
+//!
+//! Atmosphere manages memory at page granularity — 4 KiB base pages plus
+//! 2 MiB and 1 GiB superpages (§4.2). Virtual addresses follow the x86-64
+//! 4-level scheme: bits 47..39 index PML4, 38..30 the PDPT, 29..21 the PD,
+//! and 20..12 the PT; bit 47 is sign-extended (canonical form).
+
+use std::fmt;
+
+/// Size of a base page: 4 KiB.
+pub const PAGE_SIZE_4K: usize = 4096;
+/// Size of a 2 MiB superpage.
+pub const PAGE_SIZE_2M: usize = 512 * PAGE_SIZE_4K;
+/// Size of a 1 GiB superpage.
+pub const PAGE_SIZE_1G: usize = 512 * PAGE_SIZE_2M;
+
+/// Entries per page-table level.
+pub const ENTRIES_PER_TABLE: usize = 512;
+
+/// A virtual address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub usize);
+
+/// A physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub usize);
+
+impl VAddr {
+    /// Creates a virtual address.
+    pub const fn new(addr: usize) -> Self {
+        VAddr(addr)
+    }
+
+    /// Raw value.
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// `true` when the address is in x86-64 canonical form (bits 63..48
+    /// replicate bit 47).
+    pub fn is_canonical(self) -> bool {
+        let upper = self.0 >> 47;
+        upper == 0 || upper == (1 << 17) - 1
+    }
+
+    /// `true` when aligned to `align` (a power of two).
+    pub fn is_aligned(self, align: usize) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds down to the nearest `align` boundary.
+    pub fn align_down(self, align: usize) -> VAddr {
+        debug_assert!(align.is_power_of_two());
+        VAddr(self.0 & !(align - 1))
+    }
+
+    /// PML4 index (bits 47..39).
+    pub fn l4_index(self) -> usize {
+        (self.0 >> 39) & 0x1ff
+    }
+
+    /// PDPT index (bits 38..30).
+    pub fn l3_index(self) -> usize {
+        (self.0 >> 30) & 0x1ff
+    }
+
+    /// PD index (bits 29..21).
+    pub fn l2_index(self) -> usize {
+        (self.0 >> 21) & 0x1ff
+    }
+
+    /// PT index (bits 20..12).
+    pub fn l1_index(self) -> usize {
+        (self.0 >> 12) & 0x1ff
+    }
+
+    /// Offset within a 4 KiB page.
+    pub fn page_offset_4k(self) -> usize {
+        self.0 & (PAGE_SIZE_4K - 1)
+    }
+
+    /// Adds a byte offset.
+    pub fn offset(self, bytes: usize) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+}
+
+impl PAddr {
+    /// Creates a physical address.
+    pub const fn new(addr: usize) -> Self {
+        PAddr(addr)
+    }
+
+    /// Raw value.
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// `true` when aligned to `align` (a power of two).
+    pub fn is_aligned(self, align: usize) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// Adds a byte offset.
+    pub fn offset(self, bytes: usize) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+}
+
+/// Rebuilds a canonical virtual address from the four table indices
+/// (the paper's `index2va((l4i, l3i, l2i, l1i))`).
+///
+/// # Panics
+///
+/// Panics when any index is ≥ 512.
+pub fn index2va(l4i: usize, l3i: usize, l2i: usize, l1i: usize) -> VAddr {
+    assert!(l4i < 512 && l3i < 512 && l2i < 512 && l1i < 512);
+    let raw = (l4i << 39) | (l3i << 30) | (l2i << 21) | (l1i << 12);
+    // Sign-extend bit 47 to produce a canonical address.
+    if l4i >= 256 {
+        VAddr(raw | !0usize << 48)
+    } else {
+        VAddr(raw)
+    }
+}
+
+/// A contiguous range of 4 KiB virtual pages (the `va_range` argument of
+/// `mmap`, Listing 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VaRange4K {
+    /// First page's virtual address (4 KiB aligned).
+    pub base: VAddr,
+    /// Number of 4 KiB pages.
+    pub len: usize,
+}
+
+impl VaRange4K {
+    /// Creates a range; the base must be 4 KiB-aligned and canonical, and
+    /// the range must not wrap.
+    pub fn new(base: VAddr, len: usize) -> Option<Self> {
+        if !base.is_aligned(PAGE_SIZE_4K) || !base.is_canonical() {
+            return None;
+        }
+        let bytes = len.checked_mul(PAGE_SIZE_4K)?;
+        let end = base.0.checked_add(bytes)?;
+        if !VAddr(end).is_canonical() && end != base.0 {
+            return None;
+        }
+        Some(VaRange4K { base, len })
+    }
+
+    /// Virtual address of page `i` of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn page(&self, i: usize) -> VAddr {
+        assert!(i < self.len, "page index out of range");
+        self.base.offset(i * PAGE_SIZE_4K)
+    }
+
+    /// `true` when `va` is one of the page addresses in the range.
+    pub fn contains(&self, va: VAddr) -> bool {
+        if va.0 < self.base.0 || !va.is_aligned(PAGE_SIZE_4K) {
+            return false;
+        }
+        let delta = (va.0 - self.base.0) / PAGE_SIZE_4K;
+        delta < self.len
+    }
+
+    /// Iterator over the page addresses.
+    pub fn iter(&self) -> impl Iterator<Item = VAddr> + '_ {
+        (0..self.len).map(move |i| self.page(i))
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAddr({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes_nest() {
+        assert_eq!(PAGE_SIZE_2M, 2 * 1024 * 1024);
+        assert_eq!(PAGE_SIZE_1G, 1024 * 1024 * 1024);
+        assert_eq!(PAGE_SIZE_2M / PAGE_SIZE_4K, 512);
+        assert_eq!(PAGE_SIZE_1G / PAGE_SIZE_2M, 512);
+    }
+
+    #[test]
+    fn index_extraction_round_trips() {
+        for &(l4, l3, l2, l1) in &[
+            (0, 0, 0, 0),
+            (1, 2, 3, 4),
+            (255, 511, 511, 511),
+            (256, 0, 0, 1),
+        ] {
+            let va = index2va(l4, l3, l2, l1);
+            assert!(va.is_canonical(), "{va:?} not canonical");
+            assert_eq!(va.l4_index(), l4);
+            assert_eq!(va.l3_index(), l3);
+            assert_eq!(va.l2_index(), l2);
+            assert_eq!(va.l1_index(), l1);
+        }
+    }
+
+    #[test]
+    fn canonical_form_checks() {
+        assert!(VAddr(0x0000_7fff_ffff_f000).is_canonical());
+        assert!(VAddr(0xffff_8000_0000_0000).is_canonical());
+        assert!(!VAddr(0x0000_8000_0000_0000).is_canonical());
+        assert!(!VAddr(0x1234_0000_0000_0000).is_canonical());
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let va = VAddr(0x1234);
+        assert!(!va.is_aligned(PAGE_SIZE_4K));
+        assert_eq!(va.align_down(PAGE_SIZE_4K), VAddr(0x1000));
+        assert!(VAddr(0x20_0000).is_aligned(PAGE_SIZE_2M));
+    }
+
+    #[test]
+    fn va_range_pages_and_contains() {
+        let r = VaRange4K::new(VAddr(0x40_0000), 3).unwrap();
+        assert_eq!(r.page(0), VAddr(0x40_0000));
+        assert_eq!(r.page(2), VAddr(0x40_2000));
+        assert!(r.contains(VAddr(0x40_1000)));
+        assert!(!r.contains(VAddr(0x40_3000)));
+        assert!(
+            !r.contains(VAddr(0x40_0800)),
+            "unaligned addresses are not pages"
+        );
+        assert!(!r.contains(VAddr(0x3f_f000)));
+    }
+
+    #[test]
+    fn va_range_rejects_bad_bases() {
+        assert!(VaRange4K::new(VAddr(0x123), 1).is_none(), "unaligned");
+        assert!(
+            VaRange4K::new(VAddr(0x0000_8000_0000_0000), 1).is_none(),
+            "non-canonical"
+        );
+        assert!(
+            VaRange4K::new(VAddr(0x1000), usize::MAX).is_none(),
+            "overflow"
+        );
+    }
+
+    #[test]
+    fn va_range_iterates_in_order() {
+        let r = VaRange4K::new(VAddr(0x1000), 2).unwrap();
+        let pages: Vec<_> = r.iter().collect();
+        assert_eq!(pages, vec![VAddr(0x1000), VAddr(0x2000)]);
+    }
+
+    #[test]
+    fn page_offset() {
+        assert_eq!(VAddr(0x1234).page_offset_4k(), 0x234);
+    }
+}

@@ -1,0 +1,162 @@
+//! The simulated machine: cores, meters and the interrupt controller.
+//!
+//! Models the pieces of platform state the paper's trusted initialization
+//! code touches (§5, item 8: APIC, IDT, per-CPU structures): a set of
+//! [`Core`]s each with a [`CycleMeter`], and a simple local-APIC-style
+//! [`InterruptController`] with per-vector pending/masked state.
+
+use crate::boot::BootInfo;
+use crate::cycles::{CostModel, CpuProfile, CycleMeter};
+
+/// One simulated CPU core.
+#[derive(Clone, Debug)]
+pub struct Core {
+    /// Core id (APIC id in the real system).
+    pub id: usize,
+    /// This core's cycle meter.
+    pub meter: CycleMeter,
+}
+
+/// A local-APIC-style interrupt controller: 256 vectors with pending and
+/// masked bits. Delivery order is lowest vector first, as on hardware.
+#[derive(Clone, Debug)]
+pub struct InterruptController {
+    pending: [bool; 256],
+    masked: [bool; 256],
+}
+
+impl Default for InterruptController {
+    fn default() -> Self {
+        InterruptController::new()
+    }
+}
+
+impl InterruptController {
+    /// A controller with nothing pending and nothing masked.
+    pub fn new() -> Self {
+        InterruptController {
+            pending: [false; 256],
+            masked: [false; 256],
+        }
+    }
+
+    /// Raises interrupt `vector` (device → controller).
+    pub fn raise(&mut self, vector: u8) {
+        self.pending[vector as usize] = true;
+    }
+
+    /// Masks interrupt `vector`.
+    pub fn mask(&mut self, vector: u8) {
+        self.masked[vector as usize] = true;
+    }
+
+    /// Unmasks interrupt `vector`.
+    pub fn unmask(&mut self, vector: u8) {
+        self.masked[vector as usize] = false;
+    }
+
+    /// `true` when `vector` is pending (regardless of masking).
+    pub fn is_pending(&self, vector: u8) -> bool {
+        self.pending[vector as usize]
+    }
+
+    /// Acknowledges and returns the highest-priority (lowest-numbered)
+    /// pending, unmasked vector, clearing its pending bit.
+    pub fn ack(&mut self) -> Option<u8> {
+        for v in 0..256 {
+            if self.pending[v] && !self.masked[v] {
+                self.pending[v] = false;
+                return Some(v as u8);
+            }
+        }
+        None
+    }
+}
+
+/// The simulated machine handed to the kernel at boot.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Per-core state.
+    pub cores: Vec<Core>,
+    /// The CPU profile (frequency, thread count).
+    pub profile: CpuProfile,
+    /// The calibrated cost model all subsystems charge against.
+    pub costs: CostModel,
+    /// Interrupt controller (one, matching the big-lock single-controller
+    /// model of the paper).
+    pub intc: InterruptController,
+    /// Boot information (memory map, command line).
+    pub boot: BootInfo,
+}
+
+impl Machine {
+    /// Boots a simulated c220g5-class machine.
+    pub fn boot_c220g5(usable_mib: usize, cpu_count: usize, cmdline: &str) -> Self {
+        let boot = BootInfo::simulated(usable_mib, cpu_count, cmdline);
+        assert!(boot.map_wf(), "boot memory map must be well formed");
+        Machine {
+            cores: (0..cpu_count)
+                .map(|id| Core {
+                    id,
+                    meter: CycleMeter::new(),
+                })
+                .collect(),
+            profile: CpuProfile::c220g5(),
+            costs: CostModel::c220g5(),
+            intc: InterruptController::new(),
+            boot,
+        }
+    }
+
+    /// Mutable access to a core's meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    pub fn meter(&mut self, core: usize) -> &mut CycleMeter {
+        &mut self.cores[core].meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_produces_requested_cores() {
+        let m = Machine::boot_c220g5(64, 4, "");
+        assert_eq!(m.cores.len(), 4);
+        assert_eq!(m.cores[3].id, 3);
+        assert_eq!(m.profile.freq_hz, 2_200_000_000);
+    }
+
+    #[test]
+    fn interrupt_priority_order() {
+        let mut ic = InterruptController::new();
+        ic.raise(40);
+        ic.raise(33);
+        assert_eq!(ic.ack(), Some(33));
+        assert_eq!(ic.ack(), Some(40));
+        assert_eq!(ic.ack(), None);
+    }
+
+    #[test]
+    fn masked_vectors_not_delivered() {
+        let mut ic = InterruptController::new();
+        ic.raise(33);
+        ic.mask(33);
+        assert_eq!(ic.ack(), None);
+        assert!(ic.is_pending(33), "pending survives masking");
+        ic.unmask(33);
+        assert_eq!(ic.ack(), Some(33));
+        assert!(!ic.is_pending(33));
+    }
+
+    #[test]
+    fn meters_are_per_core() {
+        let mut m = Machine::boot_c220g5(64, 2, "");
+        m.meter(0).charge(100);
+        assert_eq!(m.cores[0].meter.now(), 100);
+        assert_eq!(m.cores[1].meter.now(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Interrupt dispatch (§3: "interrupt dispatch"; §5 item 8: the trusted
+//! APIC/IDT initialization and entry trampolines).
+//!
+//! Devices raise vectors on the interrupt controller; the kernel's trap
+//! handler acknowledges the highest-priority pending vector under the big
+//! lock and dispatches: the timer vector drives round-robin preemption,
+//! device vectors wake the driver thread registered for them (the
+//! user-space driver model of §6.5 — drivers normally poll, but the
+//! interrupt path exists for the blocking configuration).
+
+use atmo_pm::types::{CpuId, ThrdPtr};
+
+use crate::kernel::Kernel;
+
+/// The timer interrupt vector (local APIC timer).
+pub const TIMER_VECTOR: u8 = 32;
+
+/// First vector available to devices.
+pub const DEVICE_VECTOR_BASE: u8 = 48;
+
+impl Kernel {
+    /// Registers `thread` to be woken when `vector` fires.
+    ///
+    /// Returns `false` when the vector is reserved (below
+    /// [`DEVICE_VECTOR_BASE`]) or already claimed.
+    pub fn register_irq_handler(&mut self, vector: u8, thread: ThrdPtr) -> bool {
+        if vector < DEVICE_VECTOR_BASE || !self.pm.thrd_perms.contains(thread) {
+            return false;
+        }
+        if self.irq_handlers.contains_key(&vector) {
+            return false;
+        }
+        self.irq_handlers.insert(vector, thread);
+        true
+    }
+
+    /// Removes the handler registration for `vector`.
+    pub fn unregister_irq_handler(&mut self, vector: u8) -> Option<ThrdPtr> {
+        self.irq_handlers.remove(&vector)
+    }
+
+    /// A device raises `vector` (DMA completion, link event, ...).
+    pub fn raise_irq(&mut self, vector: u8) {
+        self.machine.intc.raise(vector);
+    }
+
+    /// The interrupt trap handler for `cpu`: acknowledges and dispatches
+    /// every pending unmasked vector, charging trampoline costs. Returns
+    /// the number of vectors handled.
+    pub fn handle_interrupts(&mut self, cpu: CpuId) -> usize {
+        let costs = self.machine.costs;
+        let mut handled = 0;
+        while let Some(vector) = self.machine.intc.ack() {
+            self.charge(cpu, costs.syscall_entry + costs.syscall_exit);
+            handled += 1;
+            if vector == TIMER_VECTOR {
+                // Preemption tick.
+                self.charge(cpu, costs.thread_switch);
+                self.pm.timer_tick(cpu);
+            } else if let Some(&t) = self.irq_handlers.get(&vector) {
+                // Wake the registered driver thread if it is blocked
+                // receiving (the interrupt models a doorbell on its
+                // notification endpoint); runnable threads just see the
+                // interrupt as a no-op.
+                if self.pm.thrd_perms.contains(t) {
+                    self.charge(cpu, costs.endpoint_queue_op);
+                    self.pm.wake_if_blocked(&mut self.alloc, t);
+                }
+            }
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use crate::syscall::SyscallArgs;
+    use atmo_pm::ThreadState;
+    use atmo_spec::harness::Invariant;
+
+    #[test]
+    fn timer_interrupt_preempts_round_robin() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let init_proc = k.init_proc;
+        let t2 = k
+            .syscall(
+                0,
+                SyscallArgs::NewThread {
+                    proc: init_proc,
+                    cpu: 0,
+                },
+            )
+            .val0() as usize;
+
+        k.raise_irq(TIMER_VECTOR);
+        assert_eq!(k.handle_interrupts(0), 1);
+        assert_eq!(k.pm.sched.current(0), Some(t2));
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+
+    #[test]
+    fn device_interrupt_wakes_registered_driver() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let init_proc = k.init_proc;
+        let t_drv = k
+            .syscall(
+                0,
+                SyscallArgs::NewThread {
+                    proc: init_proc,
+                    cpu: 0,
+                },
+            )
+            .val0() as usize;
+        let e = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 }).val0() as usize;
+        k.pm.install_descriptor(t_drv, 0, e).unwrap();
+        assert!(k.register_irq_handler(DEVICE_VECTOR_BASE, t_drv));
+
+        // The driver blocks in recv; the device interrupt wakes it.
+        k.pm.timer_tick(0);
+        assert_eq!(k.pm.sched.current(0), Some(t_drv));
+        k.syscall(0, SyscallArgs::Recv { slot: 0 });
+        assert!(matches!(
+            k.pm.thrd(t_drv).state,
+            ThreadState::BlockedRecv(_)
+        ));
+
+        k.raise_irq(DEVICE_VECTOR_BASE);
+        assert_eq!(k.handle_interrupts(0), 1);
+        assert!(matches!(
+            k.pm.thrd(t_drv).state,
+            ThreadState::Ready | ThreadState::Running(_)
+        ));
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+
+    #[test]
+    fn unregistered_vector_is_ignored() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        k.raise_irq(DEVICE_VECTOR_BASE + 3);
+        assert_eq!(k.handle_interrupts(0), 1, "acked but no handler");
+        assert!(k.wf().is_ok());
+    }
+
+    #[test]
+    fn handler_registration_rules() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let t = k.init_thread;
+        assert!(!k.register_irq_handler(TIMER_VECTOR, t), "reserved vector");
+        assert!(
+            !k.register_irq_handler(DEVICE_VECTOR_BASE, 0xdead),
+            "dead thread"
+        );
+        assert!(k.register_irq_handler(DEVICE_VECTOR_BASE, t));
+        assert!(
+            !k.register_irq_handler(DEVICE_VECTOR_BASE, t),
+            "double claim"
+        );
+        assert_eq!(k.unregister_irq_handler(DEVICE_VECTOR_BASE), Some(t));
+    }
+}

@@ -1,0 +1,203 @@
+//! The kernel state Ψ, boot, and the big-lock SMP wrapper.
+
+use std::collections::BTreeMap;
+
+use atmo_hw::machine::Machine;
+use atmo_mem::{PageAllocator, PagePtr};
+use atmo_pm::types::{CtnrPtr, ProcPtr, ThrdPtr};
+use atmo_pm::ProcessManager;
+use parking_lot::Mutex;
+
+use crate::abs::AbstractKernel;
+use crate::vm::VmSubsystem;
+
+/// Boot-time configuration of the simulated machine and kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Usable RAM in MiB.
+    pub mem_mib: usize,
+    /// CPU cores.
+    pub ncpus: usize,
+    /// Page quota granted to the root container.
+    pub root_quota: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            mem_mib: 64,
+            ncpus: 4,
+            root_quota: 2048,
+        }
+    }
+}
+
+/// The Atmosphere kernel: machine + allocator + process manager + VM.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The simulated machine (cores, meters, cost model, interrupts).
+    pub machine: Machine,
+    /// The page allocator (§4.2).
+    pub alloc: PageAllocator,
+    /// The process manager (§4.1).
+    pub pm: ProcessManager,
+    /// The virtual-memory subsystem (§4.2).
+    pub vm: VmSubsystem,
+    /// The boot container.
+    pub root_container: CtnrPtr,
+    /// The init process.
+    pub init_proc: ProcPtr,
+    /// The init thread (running on CPU 0 after boot).
+    pub init_thread: ThrdPtr,
+    /// Page grants delivered to a thread but not yet mapped
+    /// ([`crate::syscall`]'s `MapGranted`/`DropGrant` consume them).
+    pub(crate) pending_grants: BTreeMap<ThrdPtr, PagePtr>,
+    /// IOMMU protection-domain ownership: domain → creating container.
+    pub(crate) iommu_owner: BTreeMap<u32, CtnrPtr>,
+    /// Containers granted access to a domain via IPC (`iommu_grant`).
+    pub(crate) iommu_access: BTreeMap<u32, Vec<CtnrPtr>>,
+    /// Device interrupt vector → driver thread to wake.
+    pub(crate) irq_handlers: BTreeMap<u8, ThrdPtr>,
+}
+
+impl Kernel {
+    /// Boots the kernel on a fresh simulated c220g5-class machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is unbootable (no CPU, no memory) —
+    /// boot failures are fail-stop.
+    pub fn boot(cfg: KernelConfig) -> Self {
+        let machine = Machine::boot_c220g5(cfg.mem_mib, cfg.ncpus, "");
+        let mut alloc = PageAllocator::new(&machine.boot);
+        let (pm, root, init_proc, init_thread) =
+            ProcessManager::boot(&mut alloc, cfg.ncpus, cfg.root_quota)
+                .expect("process-manager boot failed");
+        let mut vm = VmSubsystem::new();
+        vm.create_space(&mut alloc, pm.proc(init_proc).addr_space)
+            .expect("init address space allocation failed");
+        Kernel {
+            machine,
+            alloc,
+            pm,
+            vm,
+            root_container: root,
+            init_proc,
+            init_thread,
+            pending_grants: BTreeMap::new(),
+            iommu_owner: BTreeMap::new(),
+            iommu_access: BTreeMap::new(),
+            irq_handlers: BTreeMap::new(),
+        }
+    }
+
+    /// `true` when `cntr` may operate on IOMMU `domain`: it owns it or
+    /// was granted access through an endpoint (§3: IPC passes "IOMMU
+    /// identifiers").
+    pub fn iommu_authorized(&self, domain: u32, cntr: CtnrPtr) -> bool {
+        self.iommu_owner.get(&domain) == Some(&cntr)
+            || self
+                .iommu_access
+                .get(&domain)
+                .is_some_and(|v| v.contains(&cntr))
+    }
+
+    /// Charges `cost` cycles to `cpu`'s meter.
+    pub fn charge(&mut self, cpu: usize, cost: u64) {
+        self.machine.meter(cpu).charge(cost);
+    }
+
+    /// Cycle count of `cpu`'s meter.
+    pub fn cycles(&self, cpu: usize) -> u64 {
+        self.machine.cores[cpu].meter.now()
+    }
+
+    /// Projects the abstract kernel state Ψ.
+    pub fn view(&self) -> AbstractKernel {
+        AbstractKernel {
+            pm: self.pm.view(),
+            spaces: self.vm.view(),
+            free_4k: self.alloc.free_pages_4k(),
+            allocated: self.alloc.allocated_pages(),
+            mapped: self.alloc.mapped_pages(),
+        }
+    }
+}
+
+/// The big-lock multiprocessor kernel (§3): every system call and
+/// interrupt acquires one global lock, so kernel code runs strictly
+/// serialized even when issued from many simulated CPUs concurrently.
+pub struct SmpKernel {
+    inner: Mutex<Kernel>,
+}
+
+impl SmpKernel {
+    /// Wraps a booted kernel behind the big lock.
+    pub fn new(kernel: Kernel) -> Self {
+        SmpKernel {
+            inner: Mutex::new(kernel),
+        }
+    }
+
+    /// Executes `f` under the big lock, as a trap handler on `cpu` would.
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let mut guard = self.inner.lock();
+        f(&mut guard)
+    }
+
+    /// Consumes the wrapper, returning the kernel.
+    pub fn into_inner(self) -> Kernel {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmo_spec::harness::Invariant;
+
+    #[test]
+    fn boot_produces_running_init_thread() {
+        let k = Kernel::boot(KernelConfig::default());
+        assert_eq!(k.pm.sched.current(0), Some(k.init_thread));
+        assert!(k.pm.wf().is_ok());
+        assert!(k.vm.wf().is_ok());
+        assert_eq!(k.vm.spaces().len(), 1);
+    }
+
+    #[test]
+    fn view_is_reproducible() {
+        let k = Kernel::boot(KernelConfig::default());
+        assert_eq!(k.view(), k.view());
+    }
+
+    #[test]
+    fn two_boots_are_deterministic() {
+        // Determinism underpins the output-consistency proof (§4.3).
+        let a = Kernel::boot(KernelConfig::default());
+        let b = Kernel::boot(KernelConfig::default());
+        assert_eq!(a.view(), b.view());
+    }
+
+    #[test]
+    fn big_lock_serializes_access() {
+        use std::sync::Arc;
+        let smp = Arc::new(SmpKernel::new(Kernel::boot(KernelConfig::default())));
+        let mut handles = Vec::new();
+        for cpu in 0..4 {
+            let smp = Arc::clone(&smp);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    smp.with_kernel(|k| k.charge(cpu, 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let k = Arc::try_unwrap(smp).ok().unwrap().into_inner();
+        for cpu in 0..4 {
+            assert_eq!(k.cycles(cpu), 100);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! User programs and the system runner.
+//!
+//! In the real Atmosphere, user code executes on the CPU until it traps;
+//! in this reproduction a *user program* is a state machine that, each
+//! time its thread is running, decides the next system call
+//! ([`UserProgram::next`]) and later observes the result. The
+//! [`SystemRunner`] drives a whole machine: on each step it asks the
+//! program of the currently running thread on each CPU for its syscall,
+//! executes it, delivers results, and injects timer preemption — a
+//! deterministic, schedulable model of multi-program execution on top of
+//! the kernel.
+
+use std::collections::BTreeMap;
+
+use atmo_pm::types::{CpuId, ThrdPtr};
+
+use crate::interrupt::TIMER_VECTOR;
+use crate::kernel::Kernel;
+use crate::syscall::{SyscallArgs, SyscallReturn};
+
+/// What a program does when it gets the CPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Perform this system call.
+    Syscall(SyscallArgs),
+    /// Spin for one quantum (compute-bound work).
+    Compute,
+    /// The program is finished; its thread exits.
+    Done,
+}
+
+/// A user program: a deterministic state machine over syscall results.
+pub trait UserProgram {
+    /// Decides the next action. `last` is the result of the previous
+    /// syscall this program performed (if any).
+    fn next(&mut self, last: Option<SyscallReturn>) -> Action;
+}
+
+/// Drives registered programs against the kernel.
+pub struct SystemRunner {
+    programs: BTreeMap<ThrdPtr, Box<dyn UserProgram>>,
+    pending_result: BTreeMap<ThrdPtr, SyscallReturn>,
+    /// Threads whose program returned [`Action::Done`].
+    pub finished: Vec<ThrdPtr>,
+}
+
+impl SystemRunner {
+    /// An empty runner.
+    pub fn new() -> Self {
+        SystemRunner {
+            programs: BTreeMap::new(),
+            pending_result: BTreeMap::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Binds `program` to thread `t`.
+    pub fn register(&mut self, t: ThrdPtr, program: Box<dyn UserProgram>) {
+        self.programs.insert(t, program);
+    }
+
+    /// Number of registered, unfinished programs.
+    pub fn live_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Runs one scheduling quantum on `cpu`: the current thread's program
+    /// chooses an action; syscalls execute through the kernel. Returns
+    /// `false` when the CPU is idle or its thread has no program.
+    pub fn step(&mut self, k: &mut Kernel, cpu: CpuId) -> bool {
+        let Some(t) = k.pm.sched.current(cpu) else {
+            // Idle CPU: try to dispatch someone.
+            k.pm.timer_tick(cpu);
+            return false;
+        };
+        let Some(program) = self.programs.get_mut(&t) else {
+            // A thread without a program (e.g. init) idles; the caller's
+            // preemption rotates past it. (Yielding here as well would
+            // rotate twice per quantum and can parity-trap a thread.)
+            return false;
+        };
+        match program.next(self.pending_result.remove(&t)) {
+            Action::Syscall(args) => {
+                let ret = k.syscall(cpu, args);
+                self.pending_result.insert(t, ret);
+                true
+            }
+            Action::Compute => {
+                k.charge(cpu, 10_000); // one quantum of user work
+                true
+            }
+            Action::Done => {
+                self.programs.remove(&t);
+                self.finished.push(t);
+                k.syscall(cpu, SyscallArgs::Exit);
+                true
+            }
+        }
+    }
+
+    /// Runs up to `quanta` scheduling quanta across all CPUs, injecting a
+    /// timer interrupt every `preempt_every` quanta per CPU. Stops early
+    /// when every program has finished.
+    pub fn run(&mut self, k: &mut Kernel, quanta: usize, preempt_every: usize) {
+        let ncpus = k.pm.sched.ncpus();
+        for q in 0..quanta {
+            if self.programs.is_empty() {
+                break;
+            }
+            for cpu in 0..ncpus {
+                self.step(k, cpu);
+                if preempt_every > 0 && q % preempt_every == preempt_every - 1 {
+                    k.raise_irq(TIMER_VECTOR);
+                    k.handle_interrupts(cpu);
+                }
+            }
+        }
+    }
+}
+
+impl Default for SystemRunner {
+    fn default() -> Self {
+        SystemRunner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use atmo_spec::harness::Invariant;
+
+    /// Maps `pages` pages one at a time, then unmaps them, then exits.
+    struct MapWorker {
+        base: usize,
+        pages: usize,
+        done_maps: usize,
+        done_unmaps: usize,
+    }
+
+    impl UserProgram for MapWorker {
+        fn next(&mut self, last: Option<SyscallReturn>) -> Action {
+            if let Some(r) = last {
+                assert!(r.is_ok(), "worker syscall failed: {r:?}");
+            }
+            if self.done_maps < self.pages {
+                let va = self.base + self.done_maps * 0x1000;
+                self.done_maps += 1;
+                Action::Syscall(SyscallArgs::Mmap {
+                    va_base: va,
+                    len: 1,
+                    writable: true,
+                })
+            } else if self.done_unmaps < self.pages {
+                let va = self.base + self.done_unmaps * 0x1000;
+                self.done_unmaps += 1;
+                Action::Syscall(SyscallArgs::Munmap {
+                    va_base: va,
+                    len: 1,
+                })
+            } else {
+                Action::Done
+            }
+        }
+    }
+
+    #[test]
+    fn two_workers_share_a_cpu_under_preemption() {
+        let mut k = Kernel::boot(KernelConfig {
+            mem_mib: 64,
+            ncpus: 1,
+            root_quota: 2048,
+        });
+        let mut runner = SystemRunner::new();
+        for i in 0..2 {
+            let p = k.syscall(0, SyscallArgs::NewChildProcess).val0() as usize;
+            let t = k
+                .syscall(0, SyscallArgs::NewThread { proc: p, cpu: 0 })
+                .val0() as usize;
+            runner.register(
+                t,
+                Box::new(MapWorker {
+                    base: 0x4000_0000 + i * 0x100_0000,
+                    pages: 6,
+                    done_maps: 0,
+                    done_unmaps: 0,
+                }),
+            );
+        }
+        runner.run(&mut k, 400, 3);
+        assert_eq!(runner.live_programs(), 0, "both workers completed");
+        assert_eq!(runner.finished.len(), 2);
+        assert!(k.alloc.mapped_pages().is_empty(), "workers cleaned up");
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+
+    #[test]
+    fn workers_on_distinct_cpus_run_in_parallel() {
+        let mut k = Kernel::boot(KernelConfig {
+            mem_mib: 64,
+            ncpus: 3,
+            root_quota: 2048,
+        });
+        let mut runner = SystemRunner::new();
+        for cpu in 1..3usize {
+            let c = k
+                .syscall(
+                    0,
+                    SyscallArgs::NewContainer {
+                        quota: 64,
+                        cpus: vec![cpu],
+                    },
+                )
+                .val0() as usize;
+            let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+            let t = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu }).val0() as usize;
+            k.pm.timer_tick(cpu);
+            runner.register(
+                t,
+                Box::new(MapWorker {
+                    base: 0x4000_0000,
+                    pages: 4,
+                    done_maps: 0,
+                    done_unmaps: 0,
+                }),
+            );
+        }
+        runner.run(&mut k, 200, 0);
+        assert_eq!(runner.live_programs(), 0);
+        // Both worker CPUs burned cycles.
+        assert!(k.cycles(1) > 0 && k.cycles(2) > 0);
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+
+    #[test]
+    fn compute_bound_program_is_preempted_fairly() {
+        struct Spinner {
+            quanta: usize,
+        }
+        impl UserProgram for Spinner {
+            fn next(&mut self, _last: Option<SyscallReturn>) -> Action {
+                if self.quanta == 0 {
+                    return Action::Done;
+                }
+                self.quanta -= 1;
+                Action::Compute
+            }
+        }
+        let mut k = Kernel::boot(KernelConfig {
+            mem_mib: 64,
+            ncpus: 1,
+            root_quota: 2048,
+        });
+        let mut runner = SystemRunner::new();
+        let init_proc = k.init_proc;
+        for _ in 0..2 {
+            let t = k
+                .syscall(
+                    0,
+                    SyscallArgs::NewThread {
+                        proc: init_proc,
+                        cpu: 0,
+                    },
+                )
+                .val0() as usize;
+            runner.register(t, Box::new(Spinner { quanta: 10 }));
+        }
+        runner.run(&mut k, 200, 1); // preempt every quantum
+        assert_eq!(
+            runner.live_programs(),
+            0,
+            "both spinners finished despite hogging"
+        );
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+}

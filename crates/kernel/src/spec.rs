@@ -1,0 +1,640 @@
+//! Per-syscall transition specifications (Listing 1 of the paper).
+//!
+//! Each `syscall_*_spec(Ψ, Ψ', args, ret) -> bool` captures how the
+//! abstract kernel state changes across the call: what must change, what
+//! must *not* change (the frame conditions), and how the return value
+//! relates to the states. The refinement harness ([`crate::refine`])
+//! asserts the matching spec after every audited system call; failed
+//! syscalls must satisfy [`syscall_noop_spec`] — error paths change
+//! nothing.
+
+use atmo_hw::addr::VaRange4K;
+use atmo_hw::VAddr;
+
+use crate::abs::{
+    containers_unchanged_except, endpoints_unchanged_except, processes_unchanged_except,
+    spaces_unchanged_except, threads_unchanged, threads_unchanged_except, AbstractKernel,
+};
+use crate::syscall::SyscallReturn;
+
+/// Failed (and state-neutral) syscalls leave Ψ untouched.
+pub fn syscall_noop_spec(pre: &AbstractKernel, post: &AbstractKernel) -> bool {
+    pre == post
+}
+
+/// `syscall_mmap_spec` (Listing 1, lines 5–27).
+pub fn syscall_mmap_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    t_ptr: usize,
+    va_range: VaRange4K,
+    ret: &SyscallReturn,
+) -> bool {
+    if ret.result.is_err() {
+        return syscall_noop_spec(pre, post);
+    }
+    let Some(thread) = pre.get_thread(t_ptr) else {
+        return false;
+    };
+    let proc_ptr = thread.owning_proc;
+    let cntr = thread.owning_cntr;
+    let as_id = match pre.get_process(proc_ptr) {
+        Some(p) => p.addr_space,
+        None => return false,
+    };
+
+    // The state of each thread is unchanged (lines 7–11).
+    if !threads_unchanged(pre, post) {
+        return false;
+    }
+    // Processes and endpoints unchanged; containers unchanged except the
+    // caller's (its quota charge grew by len).
+    if !processes_unchanged_except(pre, post, &[])
+        || !endpoints_unchanged_except(pre, post, &[])
+        || !containers_unchanged_except(pre, post, &[cntr])
+    {
+        return false;
+    }
+    let (pre_c, post_c) = match (pre.get_container(cntr), post.get_container(cntr)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    if post_c.used != pre_c.used + va_range.len {
+        return false;
+    }
+
+    // Other address spaces are unchanged.
+    if !spaces_unchanged_except(pre, post, &[as_id]) {
+        return false;
+    }
+    let pre_space = pre.get_address_space(proc_ptr);
+    let post_space = post.get_address_space(proc_ptr);
+
+    // Virtual addresses outside va_range are not changed (lines 13–18).
+    let outside_ok = pre_space
+        .iter()
+        .all(|(va, e)| va_range.contains(VAddr(*va)) || post_space.index(va) == Some(e))
+        && post_space
+            .iter()
+            .all(|(va, e)| va_range.contains(VAddr(*va)) || pre_space.index(va) == Some(e));
+    if !outside_ok {
+        return false;
+    }
+
+    // Each virtual address in va_range maps a page that was free before
+    // (lines 19–22) and pages are pairwise distinct (lines 23–26).
+    let mut seen = std::collections::BTreeSet::new();
+    for va in va_range.iter() {
+        let Some((entry, _size)) = post_space.index(&va.as_usize()) else {
+            return false;
+        };
+        if !pre.page_is_free(entry.frame) {
+            return false;
+        }
+        if !seen.insert(entry.frame) {
+            return false;
+        }
+        // The range was previously unmapped.
+        if pre_space.contains_key(&va.as_usize()) {
+            return false;
+        }
+        // And the allocator now records the page as mapped, not free.
+        if post.free_4k.contains(&entry.frame) || !post.mapped.contains(&entry.frame) {
+            return false;
+        }
+    }
+    true
+}
+
+/// `munmap`: the range disappears from the caller's space, frames return
+/// toward the allocator, quota is released, everything else unchanged.
+pub fn syscall_munmap_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    t_ptr: usize,
+    va_range: VaRange4K,
+    ret: &SyscallReturn,
+) -> bool {
+    if ret.result.is_err() {
+        return syscall_noop_spec(pre, post);
+    }
+    let Some(thread) = pre.get_thread(t_ptr) else {
+        return false;
+    };
+    let proc_ptr = thread.owning_proc;
+    let cntr = thread.owning_cntr;
+    let as_id = match pre.get_process(proc_ptr) {
+        Some(p) => p.addr_space,
+        None => return false,
+    };
+
+    if !threads_unchanged(pre, post)
+        || !processes_unchanged_except(pre, post, &[])
+        || !endpoints_unchanged_except(pre, post, &[])
+        || !containers_unchanged_except(pre, post, &[cntr])
+        || !spaces_unchanged_except(pre, post, &[as_id])
+    {
+        return false;
+    }
+    let (pre_c, post_c) = match (pre.get_container(cntr), post.get_container(cntr)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    if pre_c.used != post_c.used + va_range.len {
+        return false;
+    }
+    let pre_space = pre.get_address_space(proc_ptr);
+    let post_space = post.get_address_space(proc_ptr);
+    // Every page of the range was mapped and is gone; outside unchanged.
+    for va in va_range.iter() {
+        if !pre_space.contains_key(&va.as_usize()) || post_space.contains_key(&va.as_usize()) {
+            return false;
+        }
+    }
+    pre_space
+        .iter()
+        .all(|(va, e)| va_range.contains(VAddr(*va)) || post_space.index(va) == Some(e))
+}
+
+/// `new_container` (Listing 3's `new_container_ensures`, adapted to the
+/// syscall boundary): a fresh container appears under the caller's
+/// container, the parent's charge grows by `quota + 1`, the parent's CPU
+/// set shrinks by the passed cores, ancestors' subtrees grow by exactly
+/// the child, and nothing else changes.
+pub fn syscall_new_container_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    t_ptr: usize,
+    quota: usize,
+    cpus: &[usize],
+    ret: &SyscallReturn,
+) -> bool {
+    let Ok(vals) = ret.result else {
+        return syscall_noop_spec(pre, post);
+    };
+    let child = vals[0] as usize;
+    let Some(thread) = pre.get_thread(t_ptr) else {
+        return false;
+    };
+    let parent = thread.owning_cntr;
+
+    if pre.get_container(child).is_some() {
+        return false; // the pointer must be fresh
+    }
+    let Some(child_c) = post.get_container(child) else {
+        return false;
+    };
+    let (Some(pre_p), Some(post_p)) = (pre.get_container(parent), post.get_container(parent))
+    else {
+        return false;
+    };
+
+    // Child shape.
+    if child_c.parent != Some(parent)
+        || child_c.quota != quota
+        || child_c.used != 0
+        || child_c.depth != pre_p.depth + 1
+        || !child_c.subtree.is_empty()
+        || *child_c.path.view() != pre_p.path.push(parent)
+    {
+        return false;
+    }
+    for cpu in cpus {
+        if !child_c.owned_cpus.contains(cpu) || post_p.owned_cpus.contains(cpu) {
+            return false;
+        }
+    }
+    // Parent bookkeeping.
+    if post_p.used != pre_p.used + quota + 1 || !post_p.children.contains(&child) {
+        return false;
+    }
+
+    // Ancestors' subtrees grew by exactly the child; all other containers
+    // unchanged (Listing 3 lines 14–21).
+    let ancestors: Vec<usize> = {
+        let mut v = pre_p.path.to_vec();
+        v.push(parent);
+        v
+    };
+    for (c_ptr, pre_c) in pre.pm.containers.iter() {
+        let Some(post_c) = post.get_container(*c_ptr) else {
+            return false;
+        };
+        if ancestors.contains(c_ptr) {
+            if *post_c.subtree.view() != pre_c.subtree.insert(child) {
+                return false;
+            }
+        } else if *c_ptr != parent && post_c != pre_c {
+            return false;
+        }
+    }
+
+    // The child's object page came from the free set.
+    if !pre.free_4k.contains(&child) || post.free_4k.contains(&child) {
+        return false;
+    }
+
+    threads_unchanged(pre, post)
+        && processes_unchanged_except(pre, post, &[])
+        && endpoints_unchanged_except(pre, post, &[])
+        && spaces_unchanged_except(pre, post, &[])
+}
+
+/// `new_endpoint`: a fresh endpoint appears, installed in the caller's
+/// descriptor table, charged to the caller's container; nothing else
+/// changes (Listing 4's postcondition shape).
+pub fn syscall_new_endpoint_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    t_ptr: usize,
+    slot: usize,
+    ret: &SyscallReturn,
+) -> bool {
+    let Ok(vals) = ret.result else {
+        return syscall_noop_spec(pre, post);
+    };
+    let e_ptr = vals[0] as usize;
+    let Some(thread) = pre.get_thread(t_ptr) else {
+        return false;
+    };
+    let cntr = thread.owning_cntr;
+
+    if pre.get_endpoint(e_ptr).is_some() {
+        return false;
+    }
+    let Some(e) = post.get_endpoint(e_ptr) else {
+        return false;
+    };
+    if e.refcount != 1 || e.owning_cntr != cntr || !e.queue.is_empty() {
+        return false;
+    }
+    // The page was free (Listing 4: "newly allocated page was previously
+    // not allocated").
+    if !pre.page_is_free(e_ptr) || post.free_4k.contains(&e_ptr) {
+        return false;
+    }
+    // The caller's descriptor table gained exactly this endpoint.
+    let (Some(pre_t), Some(post_t)) = (pre.get_thread(t_ptr), post.get_thread(t_ptr)) else {
+        return false;
+    };
+    if post_t.edpt_descriptors[slot] != Some(e_ptr) || pre_t.edpt_descriptors[slot].is_some() {
+        return false;
+    }
+    // Container charge grew by one.
+    match (pre.get_container(cntr), post.get_container(cntr)) {
+        (Some(a), Some(b)) if b.used == a.used + 1 => {}
+        _ => return false,
+    }
+    threads_unchanged_except(pre, post, &[t_ptr])
+        && containers_unchanged_except(pre, post, &[cntr])
+        && processes_unchanged_except(pre, post, &[])
+        && endpoints_unchanged_except(pre, post, &[e_ptr])
+        && spaces_unchanged_except(pre, post, &[])
+}
+
+/// IPC operations (`send`/`recv`/`call`/`reply`): address spaces, the
+/// process tree and container quotas are untouched (except in-flight
+/// grant accounting); only the participating threads, the endpoint, and
+/// scheduler-visible thread states may change.
+pub fn syscall_ipc_frame_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    touched_threads: &[usize],
+    touched_endpoints: &[usize],
+) -> bool {
+    threads_unchanged_except(pre, post, touched_threads)
+        && endpoints_unchanged_except(pre, post, touched_endpoints)
+        && processes_unchanged_except(pre, post, &[])
+        && containers_unchanged_except(pre, post, &[])
+        && spaces_unchanged_except(pre, post, &[])
+        && pre.allocated == post.allocated
+}
+
+/// `yield` / timer tick: only thread scheduling states change; the set of
+/// threads, all memory and all other objects are untouched.
+pub fn syscall_yield_spec(pre: &AbstractKernel, post: &AbstractKernel) -> bool {
+    if pre.thread_dom() != post.thread_dom() {
+        return false;
+    }
+    // Threads may differ only in their `state` field.
+    for (t, pre_t) in pre.pm.threads.iter() {
+        let Some(post_t) = post.get_thread(*t) else {
+            return false;
+        };
+        let mut normalized = post_t.clone();
+        normalized.state = pre_t.state;
+        if &normalized != pre_t {
+            return false;
+        }
+    }
+    pre.pm.containers == post.pm.containers
+        && pre.pm.processes == post.pm.processes
+        && pre.pm.endpoints == post.pm.endpoints
+        && pre.spaces == post.spaces
+        && pre.free_4k == post.free_4k
+        && pre.allocated == post.allocated
+        && pre.mapped == post.mapped
+}
+
+/// `terminate_container`: the target and its whole subtree vanish; their
+/// pages return to the free set; the parent recovers the reservation and
+/// CPUs; containers outside the dead set (other than ancestors, whose
+/// subtrees shrink) are unchanged.
+pub fn syscall_terminate_container_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    cntr: usize,
+    ret: &SyscallReturn,
+) -> bool {
+    if ret.result.is_err() {
+        return syscall_noop_spec(pre, post);
+    }
+    let Some(pre_c) = pre.get_container(cntr) else {
+        return false;
+    };
+    let Some(parent) = pre_c.parent else {
+        return false;
+    };
+    let mut dead: Vec<usize> = pre_c.subtree.to_vec();
+    dead.push(cntr);
+
+    // Dead containers (and their processes/threads) are gone.
+    for d in &dead {
+        if post.get_container(*d).is_some() {
+            return false;
+        }
+    }
+    for (p_ptr, p) in pre.pm.processes.iter() {
+        if dead.contains(&p.owning_container) && post.get_process(*p_ptr).is_some() {
+            return false;
+        }
+    }
+    for (t_ptr, t) in pre.pm.threads.iter() {
+        if dead.contains(&t.owning_cntr) && post.get_thread(*t_ptr).is_some() {
+            return false;
+        }
+    }
+    // Parent recovered the reservation.
+    let (Some(pre_p), Some(post_p)) = (pre.get_container(parent), post.get_container(parent))
+    else {
+        return false;
+    };
+    if pre_p.used < pre_c.quota + 1 {
+        return false;
+    }
+    // (Endpoint-charge transfers may add to the parent; allow ≥.)
+    if post_p.used + pre_c.quota + 1 < pre_p.used {
+        return false;
+    }
+    if post_p.children.contains(&cntr) {
+        return false;
+    }
+    // Ancestors' subtrees shrank by the dead set; unrelated containers
+    // unchanged except quota-neutral fields.
+    for (c_ptr, pre_other) in pre.pm.containers.iter() {
+        if dead.contains(c_ptr) || *c_ptr == parent {
+            continue;
+        }
+        let Some(post_other) = post.get_container(*c_ptr) else {
+            return false;
+        };
+        let on_path = pre_c.path.contains(c_ptr);
+        if on_path {
+            let expected: atmo_spec::Set<usize> = dead
+                .iter()
+                .fold(pre_other.subtree.view().clone(), |acc, d| acc.remove(d));
+            if *post_other.subtree.view() != expected {
+                return false;
+            }
+        } else if post_other != pre_other {
+            return false;
+        }
+    }
+    true
+}
+
+/// `new_process`: a fresh process appears in `cntr` with a fresh, empty
+/// address space; the container is charged one page; nothing else
+/// changes.
+pub fn syscall_new_process_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    cntr: usize,
+    ret: &SyscallReturn,
+) -> bool {
+    let Ok(vals) = ret.result else {
+        return syscall_noop_spec(pre, post);
+    };
+    let p_ptr = vals[0] as usize;
+    if pre.get_process(p_ptr).is_some() {
+        return false; // pointer freshness
+    }
+    let Some(p) = post.get_process(p_ptr) else {
+        return false;
+    };
+    if p.owning_container != cntr || p.parent.is_some() || !p.threads.is_empty() {
+        return false;
+    }
+    // Fresh address space, empty.
+    if pre.spaces.contains_key(&p.addr_space) {
+        return false;
+    }
+    match post.spaces.index(&p.addr_space) {
+        Some(space) if space.is_empty() => {}
+        _ => return false,
+    }
+    // Container bookkeeping: +1 page, process recorded.
+    let (Some(pre_c), Some(post_c)) = (pre.get_container(cntr), post.get_container(cntr)) else {
+        return false;
+    };
+    if post_c.used != pre_c.used + 1
+        || !post_c.owned_procs.contains(&p_ptr)
+        || !post_c.root_procs.contains(&p_ptr)
+    {
+        return false;
+    }
+    // The object page came from the free set.
+    if !pre.page_is_free(p_ptr) || post.free_4k.contains(&p_ptr) {
+        return false;
+    }
+    threads_unchanged(pre, post)
+        && containers_unchanged_except(pre, post, &[cntr])
+        && processes_unchanged_except(pre, post, &[p_ptr])
+        && endpoints_unchanged_except(pre, post, &[])
+        && spaces_unchanged_except(pre, post, &[p.addr_space])
+}
+
+/// `new_thread`: a fresh, Ready thread appears in `proc`; its process
+/// and container record it; one page of quota is charged.
+pub fn syscall_new_thread_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    proc: usize,
+    ret: &SyscallReturn,
+) -> bool {
+    let Ok(vals) = ret.result else {
+        return syscall_noop_spec(pre, post);
+    };
+    let t_ptr = vals[0] as usize;
+    if pre.get_thread(t_ptr).is_some() {
+        return false;
+    }
+    let Some(t) = post.get_thread(t_ptr) else {
+        return false;
+    };
+    if t.owning_proc != proc
+        || t.state != atmo_pm::ThreadState::Ready
+        || t.ipc_buf.is_some()
+        || t.edpt_descriptors.iter().any(|d| d.is_some())
+    {
+        return false;
+    }
+    let (Some(pre_p), Some(post_p)) = (pre.get_process(proc), post.get_process(proc)) else {
+        return false;
+    };
+    if !post_p.threads.contains(&t_ptr) || post_p.threads.len() != pre_p.threads.len() + 1 {
+        return false;
+    }
+    let cntr = pre_p.owning_container;
+    match (pre.get_container(cntr), post.get_container(cntr)) {
+        (Some(a), Some(b)) if b.used == a.used + 1 && b.owned_thrds.contains(&t_ptr) => {}
+        _ => return false,
+    }
+    if !pre.page_is_free(t_ptr) || post.free_4k.contains(&t_ptr) {
+        return false;
+    }
+    threads_unchanged_except(pre, post, &[t_ptr])
+        && containers_unchanged_except(pre, post, &[cntr])
+        && processes_unchanged_except(pre, post, &[proc])
+        && endpoints_unchanged_except(pre, post, &[])
+        && spaces_unchanged_except(pre, post, &[])
+}
+
+/// `terminate_process`: the process, its descendants, their threads and
+/// their address spaces vanish; the owning container's charge shrinks by
+/// the objects plus mapped pages; other containers untouched.
+pub fn syscall_terminate_process_spec(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    proc: usize,
+    ret: &SyscallReturn,
+) -> bool {
+    if ret.result.is_err() {
+        return syscall_noop_spec(pre, post);
+    }
+    let Some(root) = pre.get_process(proc) else {
+        return false;
+    };
+    let cntr = root.owning_container;
+    // Collect the doomed subtree from the *pre* view.
+    let mut stack = vec![proc];
+    let mut doomed_procs = Vec::new();
+    while let Some(q) = stack.pop() {
+        doomed_procs.push(q);
+        if let Some(p) = pre.get_process(q) {
+            stack.extend(p.children.iter());
+        }
+    }
+    let mut doomed_threads = Vec::new();
+    let mut doomed_spaces = Vec::new();
+    let mut mapped_pages = 0usize;
+    for &q in &doomed_procs {
+        let p = pre.get_process(q).expect("doomed proc in pre");
+        doomed_threads.extend(p.threads.iter());
+        doomed_spaces.push(p.addr_space);
+        mapped_pages += pre
+            .spaces
+            .index(&p.addr_space)
+            .map(|s| s.values().map(|(_e, sz)| sz.frames()).sum::<usize>())
+            .unwrap_or(0);
+    }
+    // Everything doomed is gone.
+    if doomed_procs.iter().any(|p| post.get_process(*p).is_some())
+        || doomed_threads.iter().any(|t| post.get_thread(*t).is_some())
+        || doomed_spaces.iter().any(|s| post.spaces.contains_key(s))
+    {
+        return false;
+    }
+    // Quota: objects (procs + threads) + mapped pages released. Endpoint
+    // pages may also be released when their last descriptor dies, so the
+    // container's use may shrink further.
+    let released_min = doomed_procs.len() + doomed_threads.len() + mapped_pages;
+    match (pre.get_container(cntr), post.get_container(cntr)) {
+        (Some(a), Some(b)) if a.used >= released_min && b.used <= a.used - released_min => {}
+        _ => return false,
+    }
+    containers_unchanged_except(pre, post, &[cntr])
+        && spaces_unchanged_except(pre, post, &doomed_spaces)
+}
+
+/// Success-path frame conditions shared by the pure IPC operations
+/// (`send`/`recv`/`call`/`reply`/`poll`/`take_msg`): the object
+/// *populations* and all memory state are untouched; only thread and
+/// endpoint contents may change.
+pub fn syscall_ipc_population_spec(pre: &AbstractKernel, post: &AbstractKernel) -> bool {
+    pre.thread_dom() == post.thread_dom()
+        && pre.pm.endpoints.dom() == post.pm.endpoints.dom()
+        && pre.pm.processes == post.pm.processes
+        && pre.pm.containers == post.pm.containers
+        && pre.spaces == post.spaces
+        && pre.allocated == post.allocated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelConfig};
+    use crate::syscall::SyscallArgs;
+    
+
+    #[test]
+    fn noop_spec_accepts_identical_states() {
+        let k = Kernel::boot(KernelConfig::default());
+        let v = k.view();
+        assert!(syscall_noop_spec(&v, &v));
+    }
+
+    #[test]
+    fn mmap_spec_accepts_real_mmap() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let t = k.init_thread;
+        let pre = k.view();
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 3,
+                writable: true,
+            },
+        );
+        assert!(ret.is_ok());
+        let post = k.view();
+        let range = VaRange4K::new(VAddr(0x40_0000), 3).unwrap();
+        assert!(syscall_mmap_spec(&pre, &post, t, range, &ret));
+        // The spec is discriminating: a wrong thread pointer fails it.
+        assert!(!syscall_mmap_spec(&pre, &post, 0xdead, range, &ret));
+        // And a wrong range fails the outside-unchanged clause.
+        let wrong = VaRange4K::new(VAddr(0x50_0000), 3).unwrap();
+        assert!(!syscall_mmap_spec(&pre, &post, t, wrong, &ret));
+    }
+
+    #[test]
+    fn failed_mmap_is_a_noop() {
+        let mut k = Kernel::boot(KernelConfig::default());
+        let t = k.init_thread;
+        let pre = k.view();
+        // Non-canonical base address.
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x0000_8000_0000_0000,
+                len: 1,
+                writable: true,
+            },
+        );
+        assert!(!ret.is_ok());
+        let post = k.view();
+        assert!(syscall_noop_spec(&pre, &post));
+        let _ = t;
+    }
+}

@@ -1,0 +1,884 @@
+//! The system-call interface.
+//!
+//! Every entry point follows the paper's discipline: resolve the calling
+//! thread through the flat permission maps (Listing 1 lines 35–40),
+//! validate arguments, perform the transition, and either succeed having
+//! changed exactly what the specification allows or fail having changed
+//! nothing (error paths roll back). Costs are charged to the calling
+//! CPU's cycle meter according to the calibrated [`atmo_hw::CostModel`].
+
+use atmo_hw::addr::{VAddr, VaRange4K};
+use atmo_hw::paging::EntryFlags;
+use atmo_mem::{PagePtr, PageSize};
+use atmo_pm::manager::{RecvOutcome, SendOutcome};
+use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
+use atmo_ptable::MapError;
+
+use crate::kernel::Kernel;
+
+/// System-call arguments (the union of all entry points).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyscallArgs {
+    /// Map `len` fresh 4 KiB pages at `va_base` into the caller's space.
+    Mmap {
+        /// First virtual address (4 KiB aligned).
+        va_base: usize,
+        /// Number of pages.
+        len: usize,
+        /// Writable mapping?
+        writable: bool,
+    },
+    /// Unmap `len` pages starting at `va_base` from the caller's space.
+    Munmap {
+        /// First virtual address.
+        va_base: usize,
+        /// Number of pages.
+        len: usize,
+    },
+    /// Create a child container under the caller's container.
+    NewContainer {
+        /// Page reservation for the child.
+        quota: usize,
+        /// CPU cores passed to the child.
+        cpus: Vec<CpuId>,
+    },
+    /// Terminate a (direct or indirect) child container.
+    TerminateContainer {
+        /// The doomed container.
+        cntr: CtnrPtr,
+    },
+    /// Create a top-level process in a container of the caller's subtree.
+    NewProcess {
+        /// Target container.
+        cntr: CtnrPtr,
+    },
+    /// Create a child process under the caller's own process (same
+    /// container; the per-container process tree of §3).
+    NewChildProcess,
+    /// Terminate the calling thread (exit). The CPU dispatches the next
+    /// ready thread.
+    Exit,
+    /// Terminate a process of the caller's container subtree.
+    TerminateProcess {
+        /// The doomed process.
+        proc: ProcPtr,
+    },
+    /// Create a thread in a process of the caller's subtree, homed on `cpu`.
+    NewThread {
+        /// Owning process.
+        proc: ProcPtr,
+        /// Home CPU (must be reserved by the owning container).
+        cpu: CpuId,
+    },
+    /// Create an endpoint in descriptor `slot` of the calling thread.
+    NewEndpoint {
+        /// Target descriptor slot.
+        slot: EdptIdx,
+    },
+    /// Send on the endpoint in `slot`.
+    Send {
+        /// Descriptor slot.
+        slot: EdptIdx,
+        /// Scalar payload.
+        scalars: [u64; 4],
+        /// Optionally grant the page mapped at this VA (shared memory).
+        grant_page_va: Option<usize>,
+        /// Optionally grant the endpoint in this descriptor slot.
+        grant_endpoint_slot: Option<EdptIdx>,
+        /// Optionally grant access to this IOMMU protection domain.
+        grant_iommu_domain: Option<u32>,
+    },
+    /// Receive on the endpoint in `slot`.
+    Recv {
+        /// Descriptor slot.
+        slot: EdptIdx,
+    },
+    /// Non-blocking receive on the endpoint in `slot`.
+    Poll {
+        /// Descriptor slot.
+        slot: EdptIdx,
+    },
+    /// Call (send + await reply) on the endpoint in `slot`.
+    Call {
+        /// Descriptor slot.
+        slot: EdptIdx,
+        /// Scalar payload.
+        scalars: [u64; 4],
+    },
+    /// Reply to the caller this thread owes a reply.
+    Reply {
+        /// Scalar payload.
+        scalars: [u64; 4],
+    },
+    /// Take the delivered message (scalars; stashes any page grant).
+    TakeMsg,
+    /// Map the pending granted page at `va`.
+    MapGranted {
+        /// Target virtual address in the caller's space.
+        va: usize,
+    },
+    /// Discard the pending granted page (releases its reference).
+    DropGrant,
+    /// Map one 2 MiB superpage at `va_base` (512 pages of quota).
+    MmapHuge2M {
+        /// 2 MiB-aligned virtual address.
+        va_base: usize,
+        /// Writable mapping?
+        writable: bool,
+    },
+    /// Unmap the 2 MiB superpage at `va_base`.
+    MunmapHuge2M {
+        /// 2 MiB-aligned virtual address.
+        va_base: usize,
+    },
+    /// Create an IOMMU protection domain owned by the caller's container.
+    IommuCreateDomain,
+    /// Attach a device to an IOMMU domain.
+    IommuAttach {
+        /// Target domain.
+        domain: u32,
+        /// PCI-style device id.
+        device: u16,
+    },
+    /// Detach a device from its IOMMU domain.
+    IommuDetach {
+        /// PCI-style device id.
+        device: u16,
+    },
+    /// Make the caller's page at `va` DMA-visible at `iova` in `domain`.
+    IommuMap {
+        /// Target domain.
+        domain: u32,
+        /// Device-visible address.
+        iova: usize,
+        /// Caller-space virtual address of the page.
+        va: usize,
+    },
+    /// Remove the DMA mapping at `iova` in `domain`.
+    IommuUnmap {
+        /// Target domain.
+        domain: u32,
+        /// Device-visible address.
+        iova: usize,
+    },
+    /// Yield the CPU (round-robin rotation).
+    Yield,
+}
+
+/// System-call error codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyscallError {
+    /// Out of physical memory.
+    NoMem,
+    /// Container quota exhausted.
+    Quota,
+    /// A fixed capacity (children, threads, queue, slots) is full.
+    Capacity,
+    /// Referenced object does not exist.
+    NotFound,
+    /// Malformed arguments.
+    Invalid,
+    /// The caller lacks authority over the target.
+    Denied,
+    /// The calling thread is not in the right state.
+    WrongState,
+    /// Address translation failed (unmapped or conflicting VA).
+    Fault,
+}
+
+impl From<PmError> for SyscallError {
+    fn from(e: PmError) -> Self {
+        match e {
+            PmError::QuotaExceeded => SyscallError::Quota,
+            PmError::OutOfMemory => SyscallError::NoMem,
+            PmError::CapacityExceeded | PmError::EndpointFull => SyscallError::Capacity,
+            PmError::NotFound => SyscallError::NotFound,
+            PmError::InvalidArgument => SyscallError::Invalid,
+            PmError::CpuNotOwned | PmError::Denied => SyscallError::Denied,
+            PmError::NotEmpty | PmError::WrongState => SyscallError::WrongState,
+        }
+    }
+}
+
+impl From<MapError> for SyscallError {
+    fn from(e: MapError) -> Self {
+        match e {
+            MapError::OutOfMemory => SyscallError::NoMem,
+            MapError::Misaligned | MapError::NonCanonical => SyscallError::Invalid,
+            MapError::AlreadyMapped | MapError::NotMapped | MapError::SizeConflict => {
+                SyscallError::Fault
+            }
+        }
+    }
+}
+
+/// The system-call return structure (the paper's `SyscallReturnStruct`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyscallReturn {
+    /// Success payload (up to four scalar values) or the error code.
+    pub result: Result<[u64; 4], SyscallError>,
+}
+
+impl SyscallReturn {
+    fn ok(vals: [u64; 4]) -> Self {
+        SyscallReturn { result: Ok(vals) }
+    }
+
+    fn err(e: SyscallError) -> Self {
+        SyscallReturn { result: Err(e) }
+    }
+
+    /// `true` on success.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// First scalar of a successful return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an error return.
+    pub fn val0(&self) -> u64 {
+        self.result.expect("syscall failed")[0]
+    }
+}
+
+impl Kernel {
+    /// The system-call trap handler for `cpu`.
+    ///
+    /// Resolves the current thread, dispatches, and charges entry/exit
+    /// trampoline costs (the assembly of §5, item 8).
+    pub fn syscall(&mut self, cpu: CpuId, args: SyscallArgs) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_entry);
+        let ret = match self.pm.sched.current(cpu) {
+            Some(t) => self.dispatch(cpu, t, args),
+            None => SyscallReturn::err(SyscallError::WrongState),
+        };
+        self.charge(cpu, costs.syscall_exit);
+        ret
+    }
+
+    fn dispatch(&mut self, cpu: CpuId, t: ThrdPtr, args: SyscallArgs) -> SyscallReturn {
+        match args {
+            SyscallArgs::Mmap {
+                va_base,
+                len,
+                writable,
+            } => self.sys_mmap(cpu, t, va_base, len, writable),
+            SyscallArgs::Munmap { va_base, len } => self.sys_munmap(cpu, t, va_base, len),
+            SyscallArgs::NewContainer { quota, cpus } => {
+                self.sys_new_container(cpu, t, quota, &cpus)
+            }
+            SyscallArgs::TerminateContainer { cntr } => self.sys_terminate_container(cpu, t, cntr),
+            SyscallArgs::NewProcess { cntr } => self.sys_new_process(cpu, t, cntr),
+            SyscallArgs::NewChildProcess => self.sys_new_child_process(cpu, t),
+            SyscallArgs::Exit => self.sys_exit(cpu, t),
+            SyscallArgs::TerminateProcess { proc } => self.sys_terminate_process(cpu, t, proc),
+            SyscallArgs::NewThread { proc, cpu: home } => self.sys_new_thread(cpu, t, proc, home),
+            SyscallArgs::NewEndpoint { slot } => self.sys_new_endpoint(cpu, t, slot),
+            SyscallArgs::Send {
+                slot,
+                scalars,
+                grant_page_va,
+                grant_endpoint_slot,
+                grant_iommu_domain,
+            } => self.sys_send(
+                cpu,
+                t,
+                slot,
+                scalars,
+                grant_page_va,
+                grant_endpoint_slot,
+                grant_iommu_domain,
+            ),
+            SyscallArgs::Recv { slot } => self.sys_recv(cpu, t, slot),
+            SyscallArgs::Poll { slot } => self.sys_poll(cpu, t, slot),
+            SyscallArgs::Call { slot, scalars } => self.sys_call(cpu, t, slot, scalars),
+            SyscallArgs::Reply { scalars } => self.sys_reply(cpu, t, scalars),
+            SyscallArgs::TakeMsg => self.sys_take_msg(cpu, t),
+            SyscallArgs::MapGranted { va } => self.sys_map_granted(cpu, t, va),
+            SyscallArgs::DropGrant => self.sys_drop_grant(cpu, t),
+            SyscallArgs::MmapHuge2M { va_base, writable } => {
+                self.sys_mmap_huge_2m(cpu, t, va_base, writable)
+            }
+            SyscallArgs::MunmapHuge2M { va_base } => self.sys_munmap_huge_2m(cpu, t, va_base),
+            SyscallArgs::IommuCreateDomain => self.sys_iommu_create_domain(cpu, t),
+            SyscallArgs::IommuAttach { domain, device } => {
+                self.sys_iommu_attach(cpu, t, domain, device)
+            }
+            SyscallArgs::IommuDetach { device } => self.sys_iommu_detach(cpu, t, device),
+            SyscallArgs::IommuMap { domain, iova, va } => {
+                self.sys_iommu_map(cpu, t, domain, iova, va)
+            }
+            SyscallArgs::IommuUnmap { domain, iova } => self.sys_iommu_unmap(cpu, t, domain, iova),
+            SyscallArgs::Yield => self.sys_yield(cpu, t),
+        }
+    }
+
+    // ----- memory management ----------------------------------------------
+
+    /// `mmap` (Listing 1): allocate `len` fresh physical pages and map
+    /// them at `va_base..va_base+len*4K` in the caller's address space.
+    fn sys_mmap(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        va_base: usize,
+        len: usize,
+        writable: bool,
+    ) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_validate);
+        let Some(range) = VaRange4K::new(VAddr(va_base), len) else {
+            return SyscallReturn::err(SyscallError::Invalid);
+        };
+        if len == 0 {
+            return SyscallReturn::err(SyscallError::Invalid);
+        }
+        // Listing 1 lines 35–40: resolve the thread, then its process.
+        let (proc_ptr, cntr) = {
+            let thread = self.pm.thrd(t);
+            (thread.owning_proc, thread.owning_cntr)
+        };
+        let as_id = self.pm.proc(proc_ptr).addr_space;
+        // The whole range must be unmapped (otherwise nothing changes).
+        {
+            let pt = self.vm.table(as_id).expect("process without address space");
+            for va in range.iter() {
+                if pt.resolve(va).is_some() {
+                    return SyscallReturn::err(SyscallError::Fault);
+                }
+            }
+        }
+        // Charge quota for the new frames.
+        if let Err(e) = self.pm.charge(cntr, len) {
+            return SyscallReturn::err(e.into());
+        }
+        let flags = if writable {
+            EntryFlags::user_rw()
+        } else {
+            EntryFlags::user_ro()
+        };
+        let mut mapped: Vec<(VAddr, PagePtr)> = Vec::with_capacity(len);
+        for va in range.iter() {
+            self.charge(
+                cpu,
+                costs.page_alloc_4k
+                    + costs.quota_account
+                    + 3 * costs.pt_level_read
+                    + costs.pt_level_write
+                    + costs.page_state_update
+                    + costs.tlb_invalidate,
+            );
+            let frame = match self.alloc.alloc_mapped(PageSize::Size4K) {
+                Ok(f) => f,
+                Err(_) => {
+                    self.rollback_mmap(cntr, as_id, len, &mapped);
+                    return SyscallReturn::err(SyscallError::NoMem);
+                }
+            };
+            let pt = self.vm.table_mut(as_id).expect("space exists");
+            match pt.map_4k_page(&mut self.alloc, va, frame, flags) {
+                Ok(()) => mapped.push((va, frame)),
+                Err(e) => {
+                    self.alloc.dec_map_ref(frame);
+                    self.rollback_mmap(cntr, as_id, len, &mapped);
+                    return SyscallReturn::err(e.into());
+                }
+            }
+        }
+        SyscallReturn::ok([va_base as u64, len as u64, 0, 0])
+    }
+
+    fn rollback_mmap(
+        &mut self,
+        cntr: CtnrPtr,
+        as_id: crate::vm::AsId,
+        charged: usize,
+        mapped: &[(VAddr, PagePtr)],
+    ) {
+        for (va, frame) in mapped {
+            let pt = self.vm.table_mut(as_id).expect("space exists");
+            pt.unmap_4k_page(*va).expect("rollback of a fresh mapping");
+            self.alloc.dec_map_ref(*frame);
+        }
+        self.pm.uncharge(cntr, charged);
+    }
+
+    /// `munmap`: remove `len` 4 KiB mappings, dropping the frames'
+    /// references and releasing quota.
+    fn sys_munmap(&mut self, cpu: CpuId, t: ThrdPtr, va_base: usize, len: usize) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_validate);
+        let Some(range) = VaRange4K::new(VAddr(va_base), len) else {
+            return SyscallReturn::err(SyscallError::Invalid);
+        };
+        if len == 0 {
+            return SyscallReturn::err(SyscallError::Invalid);
+        }
+        let (proc_ptr, cntr) = {
+            let thread = self.pm.thrd(t);
+            (thread.owning_proc, thread.owning_cntr)
+        };
+        let as_id = self.pm.proc(proc_ptr).addr_space;
+        // All pages must be mapped 4 KiB for the call to change anything.
+        {
+            let pt = self.vm.table(as_id).expect("space exists");
+            for va in range.iter() {
+                if !pt.map_4k.contains_key(&va.as_usize()) {
+                    return SyscallReturn::err(SyscallError::Fault);
+                }
+            }
+        }
+        for va in range.iter() {
+            self.charge(
+                cpu,
+                costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate,
+            );
+            let pt = self.vm.table_mut(as_id).expect("space exists");
+            let frame = pt.unmap_4k_page(va).expect("checked above");
+            self.alloc.dec_map_ref(frame);
+        }
+        self.pm.uncharge(cntr, len);
+        SyscallReturn::ok([len as u64, 0, 0, 0])
+    }
+
+    // ----- containers / processes / threads --------------------------------
+
+    fn sys_new_container(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        quota: usize,
+        cpus: &[CpuId],
+    ) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
+        );
+        let parent = self.pm.thrd(t).owning_cntr;
+        match self.pm.new_container(&mut self.alloc, parent, quota, cpus) {
+            Ok(c) => SyscallReturn::ok([c as u64, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_terminate_container(&mut self, cpu: CpuId, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_validate);
+        let caller_cntr = self.pm.thrd(t).owning_cntr;
+        if !self.pm.cntr_perms.contains(cntr) {
+            return SyscallReturn::err(SyscallError::NotFound);
+        }
+        // Authority: only direct/indirect children may be terminated (§3).
+        if !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
+            return SyscallReturn::err(SyscallError::Denied);
+        }
+        // Release kernel-held grant references of every dying thread.
+        let mut dying_threads: Vec<ThrdPtr> = Vec::new();
+        let mut dead_cntrs: Vec<CtnrPtr> = self.pm.cntr(cntr).subtree.to_vec();
+        dead_cntrs.push(cntr);
+        for dc in &dead_cntrs {
+            dying_threads.extend(self.pm.cntr(*dc).owned_thrds.iter().copied());
+        }
+        self.release_pending_grants(&dying_threads);
+        self.cleanup_iommu_for(&dead_cntrs);
+
+        match self.pm.terminate_container(&mut self.alloc, cntr) {
+            Ok(freed_spaces) => {
+                for as_id in freed_spaces {
+                    self.charge(cpu, costs.page_free_4k);
+                    self.vm.destroy_space(&mut self.alloc, as_id);
+                }
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_new_process(&mut self, cpu: CpuId, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
+        );
+        let caller_cntr = self.pm.thrd(t).owning_cntr;
+        if !self.pm.cntr_perms.contains(cntr) {
+            return SyscallReturn::err(SyscallError::NotFound);
+        }
+        if cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
+            return SyscallReturn::err(SyscallError::Denied);
+        }
+        let p = match self.pm.new_process(&mut self.alloc, cntr, None) {
+            Ok(p) => p,
+            Err(e) => return SyscallReturn::err(e.into()),
+        };
+        let as_id = self.pm.proc(p).addr_space;
+        if self.vm.create_space(&mut self.alloc, as_id).is_err() {
+            // Roll back the half-created process.
+            let _ = self.pm.terminate_process(&mut self.alloc, p);
+            return SyscallReturn::err(SyscallError::NoMem);
+        }
+        SyscallReturn::ok([p as u64, 0, 0, 0])
+    }
+
+    /// Creates a child process under the caller's process, in the same
+    /// container (§3: per-container process trees with parent-child
+    /// tracking).
+    fn sys_new_child_process(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
+        );
+        let (parent_proc, cntr) = {
+            let th = self.pm.thrd(t);
+            (th.owning_proc, th.owning_cntr)
+        };
+        let p = match self
+            .pm
+            .new_process(&mut self.alloc, cntr, Some(parent_proc))
+        {
+            Ok(p) => p,
+            Err(e) => return SyscallReturn::err(e.into()),
+        };
+        let as_id = self.pm.proc(p).addr_space;
+        if self.vm.create_space(&mut self.alloc, as_id).is_err() {
+            let _ = self.pm.terminate_process(&mut self.alloc, p);
+            return SyscallReturn::err(SyscallError::NoMem);
+        }
+        SyscallReturn::ok([p as u64, 0, 0, 0])
+    }
+
+    /// Terminates the calling thread. If it was the last thread of its
+    /// process, the process itself stays (an empty process a parent can
+    /// reuse or terminate) — matching the paper's explicit lifecycle.
+    fn sys_exit(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.thread_switch + costs.page_free_4k);
+        self.release_pending_grants(&[t]);
+        match self.pm.terminate_thread(&mut self.alloc, t) {
+            Ok(()) => {
+                // The CPU is idle now; pick up the next ready thread.
+                if self.pm.sched.current(cpu).is_none() {
+                    if let Some(next) = self.pm.sched.dispatch(cpu) {
+                        use atmo_pm::ThreadState;
+                        let p = atmo_spec::PPtr::<atmo_pm::Thread>::from_usize(next);
+                        p.borrow_mut(self.pm.thrd_perms.tracked_borrow_mut(next))
+                            .state = ThreadState::Running(cpu);
+                    }
+                }
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_terminate_process(&mut self, cpu: CpuId, t: ThrdPtr, proc: ProcPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_validate);
+        if !self.pm.proc_perms.contains(proc) {
+            return SyscallReturn::err(SyscallError::NotFound);
+        }
+        let caller_cntr = self.pm.thrd(t).owning_cntr;
+        let caller_proc = self.pm.thrd(t).owning_proc;
+        let target_cntr = self.pm.proc(proc).owning_container;
+        // Authority: own process tree (self or descendant) or a process in
+        // a child container.
+        let same_tree = proc == caller_proc || self.pm.proc(proc).path.contains(&caller_proc);
+        let child_cntr = self.pm.cntr(caller_cntr).subtree.contains(&target_cntr);
+        if !(same_tree || child_cntr) {
+            return SyscallReturn::err(SyscallError::Denied);
+        }
+        // Collect (container, mapped-page-count, as_id) per dying process
+        // so quota can be released after teardown.
+        let mut stack = vec![proc];
+        let mut doomed = Vec::new();
+        while let Some(q) = stack.pop() {
+            let pr = self.pm.proc(q);
+            doomed.push((pr.owning_container, pr.addr_space));
+            stack.extend(pr.children.iter());
+        }
+        let mut dying_threads = Vec::new();
+        {
+            let mut stack = vec![proc];
+            while let Some(q) = stack.pop() {
+                dying_threads.extend(self.pm.proc(q).threads.iter());
+                stack.extend(self.pm.proc(q).children.iter());
+            }
+        }
+        self.release_pending_grants(&dying_threads);
+
+        match self.pm.terminate_process(&mut self.alloc, proc) {
+            Ok(_freed) => {
+                for (cntr, as_id) in doomed {
+                    self.charge(cpu, costs.page_free_4k);
+                    let removed = self.vm.destroy_space(&mut self.alloc, as_id);
+                    if self.pm.cntr_perms.contains(cntr) {
+                        self.pm.uncharge(cntr, removed);
+                    }
+                }
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn release_pending_grants(&mut self, threads: &[ThrdPtr]) {
+        for t in threads {
+            if let Some(frame) = self.pending_grants.remove(t) {
+                self.alloc.dec_map_ref(frame);
+            }
+        }
+    }
+
+    fn sys_new_thread(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        proc: ProcPtr,
+        home: CpuId,
+    ) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
+        );
+        if !self.pm.proc_perms.contains(proc) {
+            return SyscallReturn::err(SyscallError::NotFound);
+        }
+        let caller_cntr = self.pm.thrd(t).owning_cntr;
+        let target_cntr = self.pm.proc(proc).owning_container;
+        if target_cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&target_cntr) {
+            return SyscallReturn::err(SyscallError::Denied);
+        }
+        match self.pm.new_thread(&mut self.alloc, proc, home) {
+            Ok(nt) => SyscallReturn::ok([nt as u64, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    // ----- endpoints and IPC ------------------------------------------------
+
+    fn sys_new_endpoint(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.page_alloc_4k + costs.quota_account);
+        match self.pm.new_endpoint(&mut self.alloc, t, slot) {
+            Ok(e) => SyscallReturn::ok([e as u64, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn build_payload(
+        &mut self,
+        t: ThrdPtr,
+        scalars: [u64; 4],
+        grant_page_va: Option<usize>,
+        grant_endpoint_slot: Option<EdptIdx>,
+        grant_iommu_domain: Option<u32>,
+    ) -> Result<IpcPayload, SyscallError> {
+        let mut payload = IpcPayload::scalars(scalars);
+        if let Some(domain) = grant_iommu_domain {
+            // Only domains the sender is authorized for may be granted.
+            let cntr = self.pm.thrd(t).owning_cntr;
+            if !self.iommu_authorized(domain, cntr) {
+                return Err(SyscallError::Denied);
+            }
+            payload.iommu_grant = Some(domain);
+        }
+        if let Some(slot) = grant_endpoint_slot {
+            let e = self
+                .pm
+                .thrd(t)
+                .descriptor(slot)
+                .ok_or(SyscallError::Invalid)?;
+            payload.endpoint_grant = Some(e);
+        }
+        if let Some(va) = grant_page_va {
+            let as_id = self.pm.proc(self.pm.thrd(t).owning_proc).addr_space;
+            let pt = self.vm.table(as_id).expect("space exists");
+            let frame = *pt
+                .map_4k
+                .index(&VAddr(va).align_down(atmo_hw::PAGE_SIZE_4K).as_usize())
+                .map(|e| &e.frame)
+                .ok_or(SyscallError::Fault)?;
+            // The in-flight grant holds a mapping reference.
+            self.alloc.inc_map_ref(frame);
+            payload.page_grant = Some(frame);
+        }
+        Ok(payload)
+    }
+
+    fn charge_ipc(&mut self, cpu: CpuId) {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.endpoint_queue_op + costs.ipc_transfer + costs.thread_switch,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sys_send(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        slot: EdptIdx,
+        scalars: [u64; 4],
+        grant_page_va: Option<usize>,
+        grant_endpoint_slot: Option<EdptIdx>,
+        grant_iommu_domain: Option<u32>,
+    ) -> SyscallReturn {
+        self.charge_ipc(cpu);
+        let payload = match self.build_payload(
+            t,
+            scalars,
+            grant_page_va,
+            grant_endpoint_slot,
+            grant_iommu_domain,
+        ) {
+            Ok(p) => p,
+            Err(e) => return SyscallReturn::err(e),
+        };
+        if grant_page_va.is_some() {
+            self.charge(cpu, self.machine.costs.ipc_cap_transfer);
+        }
+        match self.pm.send(t, cpu, slot, payload) {
+            Ok(SendOutcome::Delivered(r)) => SyscallReturn::ok([1, r as u64, 0, 0]),
+            Ok(SendOutcome::Blocked) => SyscallReturn::ok([0, 0, 0, 0]),
+            Err(e) => {
+                // Roll back the in-flight grant reference.
+                if let Some(frame) = payload.page_grant {
+                    self.alloc.dec_map_ref(frame);
+                }
+                SyscallReturn::err(e.into())
+            }
+        }
+    }
+
+    fn sys_recv(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
+        self.charge_ipc(cpu);
+        match self.pm.recv(t, cpu, slot) {
+            Ok(RecvOutcome::Received(_)) => self.sys_take_msg(cpu, t),
+            Ok(RecvOutcome::Blocked) => SyscallReturn::ok([0, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    /// Non-blocking receive: returns the message scalars when a sender
+    /// was waiting, or `[0, 0, 0, u64::MAX]` when the endpoint was empty.
+    fn sys_poll(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
+        self.charge(cpu, self.machine.costs.endpoint_queue_op);
+        match self.pm.try_recv(t, cpu, slot) {
+            Ok(Some(_payload)) => {
+                self.charge(cpu, self.machine.costs.ipc_transfer);
+                self.sys_take_msg(cpu, t)
+            }
+            Ok(None) => SyscallReturn::ok([0, 0, 0, u64::MAX]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_call(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        slot: EdptIdx,
+        scalars: [u64; 4],
+    ) -> SyscallReturn {
+        self.charge_ipc(cpu);
+        let payload = IpcPayload::scalars(scalars);
+        match self.pm.call(t, cpu, slot, payload) {
+            Ok(_) => SyscallReturn::ok([0, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_reply(&mut self, cpu: CpuId, t: ThrdPtr, scalars: [u64; 4]) -> SyscallReturn {
+        self.charge_ipc(cpu);
+        match self.pm.reply(t, cpu, IpcPayload::scalars(scalars)) {
+            Ok(caller) => SyscallReturn::ok([caller as u64, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    /// Takes the delivered message: returns its scalars, stashing a page
+    /// grant (if any) as the thread's pending grant.
+    fn sys_take_msg(&mut self, _cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+        match self.pm.take_message(t) {
+            Some(payload) => {
+                if let Some(domain) = payload.iommu_grant {
+                    self.deliver_iommu_grant(t, domain);
+                }
+                if let Some(frame) = payload.page_grant {
+                    // At most one pending grant per thread; a second grant
+                    // replaces the first, whose reference is dropped.
+                    if let Some(old) = self.pending_grants.insert(t, frame) {
+                        self.alloc.dec_map_ref(old);
+                    }
+                }
+                let e_grant = payload.endpoint_grant.map(|e| e as u64).unwrap_or(0);
+                let has_page = payload.page_grant.is_some() as u64;
+                SyscallReturn::ok([payload.scalars[0], payload.scalars[1], e_grant, has_page])
+            }
+            None => SyscallReturn::err(SyscallError::WrongState),
+        }
+    }
+
+    /// Maps the pending granted frame at `va` in the caller's space,
+    /// charging one page of quota (shared mappings are charged to every
+    /// container that maps them — a conservative upper bound).
+    fn sys_map_granted(&mut self, cpu: CpuId, t: ThrdPtr, va: usize) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(
+            cpu,
+            costs.syscall_validate + costs.quota_account + costs.pt_level_write,
+        );
+        let Some(&frame) = self.pending_grants.get(&t) else {
+            return SyscallReturn::err(SyscallError::WrongState);
+        };
+        let va = VAddr(va);
+        if !va.is_aligned(atmo_hw::PAGE_SIZE_4K) || !va.is_canonical() {
+            return SyscallReturn::err(SyscallError::Invalid);
+        }
+        let (proc_ptr, cntr) = {
+            let th = self.pm.thrd(t);
+            (th.owning_proc, th.owning_cntr)
+        };
+        let as_id = self.pm.proc(proc_ptr).addr_space;
+        if let Err(e) = self.pm.charge(cntr, 1) {
+            return SyscallReturn::err(e.into());
+        }
+        let pt = self.vm.table_mut(as_id).expect("space exists");
+        match pt.map_4k_page(&mut self.alloc, va, frame, EntryFlags::user_rw()) {
+            Ok(()) => {
+                // The mapping consumes the grant's reference.
+                self.pending_grants.remove(&t);
+                SyscallReturn::ok([va.as_usize() as u64, 0, 0, 0])
+            }
+            Err(e) => {
+                self.pm.uncharge(cntr, 1);
+                SyscallReturn::err(e.into())
+            }
+        }
+    }
+
+    fn sys_drop_grant(&mut self, _cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+        match self.pending_grants.remove(&t) {
+            Some(frame) => {
+                self.alloc.dec_map_ref(frame);
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            None => SyscallReturn::err(SyscallError::WrongState),
+        }
+    }
+
+    fn sys_yield(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.thread_switch);
+        let _ = t;
+        let next = self.pm.timer_tick(cpu);
+        SyscallReturn::ok([next.unwrap_or(0) as u64, 0, 0, 0])
+    }
+}

@@ -1,0 +1,215 @@
+//! The virtual-memory subsystem: all page tables plus the IOMMU.
+//!
+//! "The virtual memory management subsystem owns the memory of all page
+//! tables and IOMMU page tables. The subsystem maintains a set of
+//! invariants to ensure that each page table and IOMMU table's
+//! `page_closure()` are pairwise disjoint, and their union is equal to the
+//! `page_closure()` of the virtual memory management subsystem" (§4.2).
+
+use std::collections::BTreeMap;
+
+use atmo_mem::{closure_partition_wf, AllocError, PageAllocator, PageClosure, PagePtr};
+use atmo_ptable::{refinement_wf, Iommu, PageTable};
+use atmo_spec::harness::{check, Invariant, VerifResult};
+use atmo_spec::{Map, Set};
+
+/// Address-space identifier (one per process; see
+/// [`atmo_pm::Process::addr_space`]).
+pub type AsId = usize;
+
+/// The VM subsystem.
+#[derive(Debug)]
+pub struct VmSubsystem {
+    tables: BTreeMap<AsId, PageTable>,
+    /// The IOMMU and its per-device translation domains.
+    pub iommu: Iommu,
+}
+
+impl VmSubsystem {
+    /// An empty subsystem.
+    pub fn new() -> Self {
+        VmSubsystem {
+            tables: BTreeMap::new(),
+            iommu: Iommu::new(),
+        }
+    }
+
+    /// Creates the page table for a new address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `as_id` already exists (process creation assigns fresh
+    /// identifiers).
+    pub fn create_space(
+        &mut self,
+        alloc: &mut PageAllocator,
+        as_id: AsId,
+    ) -> Result<(), AllocError> {
+        assert!(!self.tables.contains_key(&as_id), "duplicate address space");
+        let pt = PageTable::new(alloc)?;
+        self.tables.insert(as_id, pt);
+        Ok(())
+    }
+
+    /// Tears down an address space: unmaps every frame (dropping mapping
+    /// references), then releases the table frames.
+    ///
+    /// Returns the number of mapping entries that were removed (for quota
+    /// release by the caller).
+    pub fn destroy_space(&mut self, alloc: &mut PageAllocator, as_id: AsId) -> usize {
+        let mut pt = self.tables.remove(&as_id).expect("unknown address space");
+        let mut removed = 0;
+        for (va, (_e, size)) in pt.address_space().iter() {
+            let frame = match size {
+                atmo_mem::PageSize::Size4K => pt.unmap_4k_page(atmo_hw::VAddr(*va)).unwrap(),
+                atmo_mem::PageSize::Size2M => pt.unmap_2m_page(atmo_hw::VAddr(*va)).unwrap(),
+                atmo_mem::PageSize::Size1G => pt.unmap_1g_page(atmo_hw::VAddr(*va)).unwrap(),
+            };
+            alloc.dec_map_ref(frame);
+            removed += 1;
+        }
+        pt.release(alloc);
+        removed
+    }
+
+    /// Immutable access to an address space's page table.
+    pub fn table(&self, as_id: AsId) -> Option<&PageTable> {
+        self.tables.get(&as_id)
+    }
+
+    /// Mutable access to an address space's page table.
+    pub fn table_mut(&mut self, as_id: AsId) -> Option<&mut PageTable> {
+        self.tables.get_mut(&as_id)
+    }
+
+    /// The identifiers of all live address spaces.
+    pub fn spaces(&self) -> Set<AsId> {
+        self.tables.keys().copied().collect()
+    }
+
+    /// The abstract view: per-space abstract mappings (the
+    /// `get_address_space()` of §4.3).
+    pub fn view(&self) -> Map<AsId, Map<usize, (atmo_ptable::MapEntry, atmo_mem::PageSize)>> {
+        self.tables
+            .iter()
+            .map(|(id, pt)| (*id, pt.address_space()))
+            .collect()
+    }
+}
+
+impl Default for VmSubsystem {
+    fn default() -> Self {
+        VmSubsystem::new()
+    }
+}
+
+impl PageClosure for VmSubsystem {
+    fn page_closure(&self) -> Set<PagePtr> {
+        let mut s = self.iommu.page_closure();
+        for pt in self.tables.values() {
+            s = s.union(&pt.page_closure());
+        }
+        s
+    }
+}
+
+impl Invariant for VmSubsystem {
+    /// Per-table structure + refinement, IOMMU well-formedness, and the
+    /// §4.2 closure partition at this level of the hierarchy.
+    fn wf(&self) -> VerifResult {
+        let mut closures = Vec::new();
+        for (id, pt) in &self.tables {
+            pt.wf()?;
+            refinement_wf(pt)?;
+            check(
+                !pt.address_space().is_empty() || pt.table_frame_count() >= 1,
+                "vm",
+                format!("space {id} lost its root table"),
+            )?;
+            closures.push(pt.page_closure());
+        }
+        self.iommu.wf()?;
+        closures.push(self.iommu.page_closure());
+        closure_partition_wf("vm", &self.page_closure(), &closures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmo_hw::boot::BootInfo;
+    use atmo_hw::paging::EntryFlags;
+    use atmo_hw::VAddr;
+    use atmo_mem::PageSize;
+
+    fn setup() -> (PageAllocator, VmSubsystem) {
+        (
+            PageAllocator::new(&BootInfo::simulated(16, 1, "")),
+            VmSubsystem::new(),
+        )
+    }
+
+    #[test]
+    fn create_and_destroy_space_is_leak_free() {
+        let (mut a, mut vm) = setup();
+        let allocated0 = a.allocated_pages().len();
+        vm.create_space(&mut a, 1).unwrap();
+        assert!(vm.is_wf());
+
+        let frame = a.alloc_mapped(PageSize::Size4K).unwrap();
+        vm.table_mut(1)
+            .unwrap()
+            .map_4k_page(&mut a, VAddr(0x40_0000), frame, EntryFlags::user_rw())
+            .unwrap();
+        assert!(vm.is_wf());
+
+        let removed = vm.destroy_space(&mut a, 1);
+        assert_eq!(removed, 1);
+        assert_eq!(a.allocated_pages().len(), allocated0);
+        assert!(a.mapped_pages().is_empty());
+        assert!(vm.spaces().is_empty());
+    }
+
+    #[test]
+    fn two_spaces_have_disjoint_closures() {
+        let (mut a, mut vm) = setup();
+        vm.create_space(&mut a, 1).unwrap();
+        vm.create_space(&mut a, 2).unwrap();
+        let f1 = a.alloc_mapped(PageSize::Size4K).unwrap();
+        let f2 = a.alloc_mapped(PageSize::Size4K).unwrap();
+        vm.table_mut(1)
+            .unwrap()
+            .map_4k_page(&mut a, VAddr(0x40_0000), f1, EntryFlags::user_rw())
+            .unwrap();
+        vm.table_mut(2)
+            .unwrap()
+            .map_4k_page(&mut a, VAddr(0x40_0000), f2, EntryFlags::user_rw())
+            .unwrap();
+        assert!(vm.wf().is_ok(), "{:?}", vm.wf());
+        assert_eq!(vm.page_closure(), a.allocated_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate address space")]
+    fn duplicate_space_rejected() {
+        let (mut a, mut vm) = setup();
+        vm.create_space(&mut a, 1).unwrap();
+        vm.create_space(&mut a, 1).unwrap();
+    }
+
+    #[test]
+    fn view_projects_abstract_mappings() {
+        let (mut a, mut vm) = setup();
+        vm.create_space(&mut a, 7).unwrap();
+        let f = a.alloc_mapped(PageSize::Size4K).unwrap();
+        vm.table_mut(7)
+            .unwrap()
+            .map_4k_page(&mut a, VAddr(0x1000), f, EntryFlags::user_ro())
+            .unwrap();
+        let v = vm.view();
+        let space = v.index(&7).unwrap();
+        let (entry, size) = space.index(&0x1000).unwrap();
+        assert_eq!(entry.frame, f);
+        assert_eq!(*size, PageSize::Size4K);
+    }
+}

@@ -1,0 +1,124 @@
+//! Linear page-ownership tokens and page → kernel-object conversion.
+//!
+//! `alloc_page_4k()` in the paper returns a page *and a permission to use
+//! it* (Listing 4). [`PagePermission`] is that token: affine (not `Clone`),
+//! produced only by the allocator, consumed either by freeing the page or
+//! by converting the page into a typed kernel object — which yields the
+//! `(PPtr<T>, PointsTo<T>)` pair all subsequent accesses go through.
+//!
+//! The conversion enforces the paper's type-safety discipline: one page
+//! backs exactly one object of one type, and the object permission's
+//! address is the page address, so the `page_closure()` of the owning
+//! subsystem is directly the set of object addresses.
+
+use atmo_spec::{PPtr, PointsTo};
+
+use crate::meta::{PagePtr, PageSize};
+
+/// Affine ownership of one free-standing physical block.
+///
+/// Held by whichever subsystem currently owns the block's storage;
+/// returned to the allocator on free.
+#[derive(Debug)]
+pub struct PagePermission {
+    addr: PagePtr,
+    size: PageSize,
+}
+
+impl PagePermission {
+    /// Trusted constructor — only the allocator mints permissions.
+    pub(crate) fn new(addr: PagePtr, size: PageSize) -> Self {
+        PagePermission { addr, size }
+    }
+
+    /// Physical address of the block's first frame.
+    pub fn addr(&self) -> PagePtr {
+        self.addr
+    }
+
+    /// Block size.
+    pub fn size(&self) -> PageSize {
+        self.size
+    }
+
+    /// Converts a 4 KiB page into a typed kernel object, producing the
+    /// pointer/permission pair of §2 (Listing 1).
+    ///
+    /// The value is constructed in place; the resulting [`PointsTo`]
+    /// carries it as ghost state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block is a superpage: kernel objects are 4 KiB
+    /// (a "verification failure" — the paper's type system would reject
+    /// the corresponding code path statically).
+    pub fn into_object<T>(self, value: T) -> (PPtr<T>, PointsTo<T>) {
+        assert_eq!(
+            self.size,
+            PageSize::Size4K,
+            "kernel objects occupy exactly one 4 KiB page"
+        );
+        (
+            PPtr::from_usize(self.addr),
+            PointsTo::new_init(self.addr, value),
+        )
+    }
+
+    /// Reclaims the page behind a kernel object, destroying the object.
+    ///
+    /// The inverse of [`PagePermission::into_object`]: consumes the object
+    /// permission (temporal safety — the pointer can never be dereferenced
+    /// again) and returns the page permission plus the final object value.
+    pub fn from_object<T>(ptr: PPtr<T>, perm: PointsTo<T>) -> (PagePermission, Option<T>) {
+        assert_eq!(
+            ptr.addr(),
+            perm.addr(),
+            "object permission does not match pointer"
+        );
+        let addr = perm.addr();
+        (
+            PagePermission::new(addr, PageSize::Size4K),
+            perm.into_value(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Endpoint {
+        queue_len: usize,
+    }
+
+    #[test]
+    fn page_becomes_object_and_back() {
+        let page = PagePermission::new(0x5000, PageSize::Size4K);
+        let (ptr, mut perm) = page.into_object(Endpoint { queue_len: 0 });
+        assert_eq!(ptr.addr(), 0x5000);
+        assert_eq!(perm.addr(), 0x5000);
+        ptr.borrow_mut(&mut perm).queue_len = 3;
+
+        let (page, last) = PagePermission::from_object(ptr, perm);
+        assert_eq!(page.addr(), 0x5000);
+        assert_eq!(page.size(), PageSize::Size4K);
+        assert_eq!(last, Some(Endpoint { queue_len: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KiB page")]
+    fn superpage_cannot_back_an_object() {
+        let page = PagePermission::new(0x20_0000, PageSize::Size2M);
+        let _ = page.into_object(0u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_object_reclaim_rejected() {
+        let page = PagePermission::new(0x5000, PageSize::Size4K);
+        let (_ptr, perm) = page.into_object(1u64);
+        let other = PPtr::<u64>::from_usize(0x6000);
+        let _ = PagePermission::from_object(other, perm);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based exploration of the page allocator.
+//!
+//! Drives random sequences of allocator operations and checks after every
+//! step that the well-formedness invariant (`PageAllocator::wf`) holds and
+//! that no frame is ever lost or duplicated — the dynamic counterpart of
+//! the paper's allocator-level safety and leak-freedom proofs (§4.2).
+
+use atmo_hw::boot::BootInfo;
+use atmo_mem::{PageAllocator, PagePermission, PageSize};
+use atmo_spec::harness::Invariant;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc4K,
+    FreeOldest,
+    MapBlock(u8),
+    UnmapOldest,
+    ShareOldest,
+    Merge2M,
+    Merge1G,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => Just(Op::Alloc4K),
+        3 => Just(Op::FreeOldest),
+        2 => (0u8..3).prop_map(Op::MapBlock),
+        2 => Just(Op::UnmapOldest),
+        1 => Just(Op::ShareOldest),
+        1 => Just(Op::Merge2M),
+        1 => Just(Op::Merge1G),
+    ]
+}
+
+/// Every frame of the managed region is accounted for exactly once across
+/// the allocator's abstract views (allocator-level leak freedom).
+fn frames_partitioned(a: &PageAllocator) -> bool {
+    let free_4k = a.free_pages_4k().len();
+    // Free superpage heads count 1 in free view + constituents in merged.
+    let free_2m = a.free_pages_2m().len();
+    let free_1g = a.free_pages_1g().len();
+    let allocated = a.allocated_pages().len();
+    let mapped_heads = a.mapped_pages().len();
+    let merged = a.merged_pages().len();
+    free_4k + free_2m + free_1g + allocated + mapped_heads + merged == a.nframes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn allocator_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut a = PageAllocator::new(&BootInfo::simulated(8, 1, ""));
+        let mut held: Vec<PagePermission> = Vec::new();
+        let mut steps: u32 = 0;
+        let mut mapped: Vec<usize> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc4K => {
+                    if let Ok((_p, perm)) = a.alloc_page_4k() {
+                        held.push(perm);
+                    }
+                }
+                Op::FreeOldest => {
+                    if !held.is_empty() {
+                        let perm = held.remove(0);
+                        a.free_page_4k(perm);
+                    }
+                }
+                Op::MapBlock(sz) => {
+                    let size = match sz {
+                        0 => PageSize::Size4K,
+                        1 => PageSize::Size2M,
+                        _ => PageSize::Size1G,
+                    };
+                    if let Ok(p) = a.alloc_mapped(size) {
+                        mapped.push(p);
+                    }
+                }
+                Op::UnmapOldest => {
+                    if !mapped.is_empty() {
+                        let p = mapped.remove(0);
+                        if a.dec_map_ref(p) {
+                            // block is free again; nothing more to track
+                        } else {
+                            // still referenced by a sharing entry
+                        }
+                    }
+                }
+                Op::ShareOldest => {
+                    if let Some(&p) = mapped.first() {
+                        a.inc_map_ref(p);
+                        mapped.push(p); // a second unmap will drop it
+                    }
+                }
+                Op::Merge2M => {
+                    let _ = a.merge_2m();
+                }
+                Op::Merge1G => {
+                    let _ = a.merge_1g();
+                }
+            }
+            // Full wf is O(frames); check it on a sampled cadence and
+            // always at the end.
+            if steps.is_multiple_of(7) {
+                prop_assert!(a.wf().is_ok(), "invariant violated after {op:?}: {:?}", a.wf());
+                prop_assert!(frames_partitioned(&a), "frames lost or duplicated after {op:?}");
+            }
+            steps += 1;
+        }
+
+        // Drain everything; the allocator must return to a fully free state.
+        for perm in held.drain(..) {
+            a.free_page_4k(perm);
+        }
+        for p in mapped.drain(..) {
+            let _ = a.dec_map_ref(p);
+        }
+        prop_assert!(a.wf().is_ok());
+        prop_assert!(a.allocated_pages().is_empty());
+        prop_assert!(a.mapped_pages().is_empty());
+        prop_assert!(frames_partitioned(&a), "final leak-freedom check");
+    }
+}

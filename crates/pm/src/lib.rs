@@ -1,0 +1,49 @@
+//! The Atmosphere process manager (§3, §4.1).
+//!
+//! "The process manager, a subsystem responsible for managing processes,
+//! IPC, and scheduling, holds the permissions to all threads, processes,
+//! containers, endpoints, etc., as a collection of flat maps" (Listing 2).
+//! This crate implements that subsystem:
+//!
+//! * **Containers** form a single unbounded tree with guaranteed memory
+//!   quotas and CPU-core reservations; parents can terminate children and
+//!   harvest their resources (coarse-grained revocation, §3).
+//! * **Processes** form a separate tree *inside* each container; threads
+//!   belong to processes; endpoints connect threads for IPC.
+//! * Every kernel object lives in exactly one 4 KiB page from the page
+//!   allocator, charged against its container's quota, and is reached
+//!   through a raw pointer whose permission sits in one of the
+//!   [`ProcessManager`]'s flat [`PermMap`]s.
+//! * Tree shape is exposed to specifications through the per-node ghost
+//!   `path` (ancestors, root first) and `subtree` (all reachable
+//!   descendants) — the paper's device for writing *non-recursive*
+//!   invariants over unbounded recursive structures.
+//! * Structural invariants (`container_tree_wf`, `process_forest_wf`,
+//!   `threads_wf`, `endpoints_wf`, `quota_wf`, `sched_wf`) live in their
+//!   defining modules, separated from the per-operation transition specs
+//!   (`*_ensures`), reproducing the paper's modular proof layout
+//!   (Listing 3).
+//!
+//! [`PermMap`]: atmo_spec::PermMap
+
+pub mod ablation;
+pub mod container;
+pub mod endpoint;
+pub mod manager;
+pub mod process;
+pub mod sched;
+pub mod staticlist;
+pub mod thread;
+pub mod types;
+
+pub use container::Container;
+pub use endpoint::Endpoint;
+pub use manager::ProcessManager;
+pub use process::Process;
+pub use sched::Scheduler;
+pub use staticlist::StaticList;
+pub use thread::Thread;
+pub use types::{
+    CpuId, CtnrPtr, EdptIdx, EdptPtr, IpcPayload, PmError, ProcPtr, ThrdPtr, ThreadState,
+    MAX_CHILD_CONTAINERS, MAX_CHILD_PROCESSES, MAX_ENDPOINT_SLOTS, MAX_PROC_THREADS,
+};

@@ -1,0 +1,267 @@
+//! The per-CPU round-robin scheduler.
+//!
+//! Atmosphere partitions CPU cores among containers (a container's
+//! reservation, §3); each core runs a round-robin queue of threads whose
+//! containers own that core. Strict core partitioning is part of what
+//! makes the non-interference argument go through: a thread of container A
+//! can never occupy a core reserved for container B.
+
+use atmo_spec::harness::{check, VerifResult};
+use atmo_spec::PermMap;
+
+use crate::container::Container;
+use crate::staticlist::StaticList;
+use crate::thread::Thread;
+use crate::types::{CpuId, ThrdPtr, ThreadState};
+
+/// Ready-queue capacity per CPU.
+pub const MAX_READY_QUEUE: usize = 64;
+
+/// Per-CPU scheduling state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuSched {
+    /// The thread currently executing on this CPU.
+    pub current: Option<ThrdPtr>,
+    /// Runnable threads, FIFO.
+    pub ready: StaticList<ThrdPtr, MAX_READY_QUEUE>,
+}
+
+impl CpuSched {
+    fn new() -> Self {
+        CpuSched {
+            current: None,
+            ready: StaticList::new(),
+        }
+    }
+}
+
+/// The scheduler: one queue per CPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scheduler {
+    cpus: Vec<CpuSched>,
+}
+
+impl Scheduler {
+    /// A scheduler for `ncpus` cores, all idle.
+    pub fn new(ncpus: usize) -> Self {
+        Scheduler {
+            cpus: (0..ncpus).map(|_| CpuSched::new()).collect(),
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn ncpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The running thread on `cpu`.
+    pub fn current(&self, cpu: CpuId) -> Option<ThrdPtr> {
+        self.cpus.get(cpu).and_then(|c| c.current)
+    }
+
+    /// Read-only view of `cpu`'s ready queue.
+    pub fn ready_queue(&self, cpu: CpuId) -> Vec<ThrdPtr> {
+        self.cpus
+            .get(cpu)
+            .map(|c| c.ready.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Enqueues a runnable thread on `cpu`. Returns `false` when the queue
+    /// is full or the CPU does not exist.
+    pub fn enqueue(&mut self, cpu: CpuId, t: ThrdPtr) -> bool {
+        match self.cpus.get_mut(cpu) {
+            Some(c) => c.ready.push(t),
+            None => false,
+        }
+    }
+
+    /// Removes `t` from wherever it is queued or running. Returns `true`
+    /// when it was found.
+    pub fn remove(&mut self, t: ThrdPtr) -> bool {
+        for c in &mut self.cpus {
+            if c.current == Some(t) {
+                c.current = None;
+                return true;
+            }
+            if c.ready.remove(&t) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Round-robin step on `cpu`: the current thread (if any) goes to the
+    /// back of the queue, the front becomes current. Returns the new
+    /// current thread.
+    pub fn rotate(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
+        let c = self.cpus.get_mut(cpu)?;
+        if let Some(cur) = c.current.take() {
+            let pushed = c.ready.push(cur);
+            debug_assert!(pushed, "ready queue overflow on rotate");
+        }
+        c.current = c.ready.pop_front();
+        c.current
+    }
+
+    /// Makes the front of `cpu`'s queue current without requeueing the
+    /// previous thread (used when the previous thread blocked).
+    pub fn dispatch(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
+        let c = self.cpus.get_mut(cpu)?;
+        debug_assert!(c.current.is_none(), "dispatch over a running thread");
+        c.current = c.ready.pop_front();
+        c.current
+    }
+
+    /// Marks `t` as the thread currently running on `cpu` (boot/init path).
+    pub fn set_current(&mut self, cpu: CpuId, t: ThrdPtr) {
+        let c = &mut self.cpus[cpu];
+        debug_assert!(c.current.is_none(), "CPU already running a thread");
+        c.current = Some(t);
+    }
+
+    /// Takes the current thread off `cpu` (it blocked or exited).
+    pub fn clear_current(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
+        self.cpus.get_mut(cpu).and_then(|c| c.current.take())
+    }
+}
+
+/// Scheduler well-formedness: every queued/running thread is live and in
+/// the matching state, appears on at most one CPU, and runs only on a core
+/// its container (or one of its ancestors) owns.
+pub fn sched_wf(
+    sched: &Scheduler,
+    cntrs: &PermMap<Container>,
+    thrds: &PermMap<Thread>,
+) -> VerifResult {
+    let mut seen: Vec<ThrdPtr> = Vec::new();
+    for cpu in 0..sched.ncpus() {
+        let mut on_cpu: Vec<ThrdPtr> = sched.ready_queue(cpu);
+        if let Some(cur) = sched.current(cpu) {
+            on_cpu.push(cur);
+        }
+        for t in on_cpu {
+            check(
+                thrds.contains(t),
+                "scheduler",
+                format!("dead thread {t:#x} scheduled on CPU {cpu}"),
+            )?;
+            check(
+                !seen.contains(&t),
+                "scheduler",
+                format!("thread {t:#x} scheduled twice"),
+            )?;
+            seen.push(t);
+
+            let thread = thrds.value(t);
+            let expected = if sched.current(cpu) == Some(t) {
+                matches!(thread.state, ThreadState::Running(c) if c == cpu)
+            } else {
+                thread.state == ThreadState::Ready
+            };
+            check(
+                expected,
+                "scheduler",
+                format!(
+                    "thread {t:#x} state {:?} inconsistent with CPU {cpu}",
+                    thread.state
+                ),
+            )?;
+
+            // CPU ownership: the owning container or an ancestor owns the core.
+            let c = thread.owning_cntr;
+            check(
+                cntrs.contains(c),
+                "scheduler",
+                format!("scheduled thread {t:#x} of unknown container"),
+            )?;
+            let cntr = cntrs.value(c);
+            let owns = cntr.owned_cpus.contains(&cpu)
+                || cntr
+                    .path
+                    .iter()
+                    .any(|anc| cntrs.contains(*anc) && cntrs.value(*anc).owned_cpus.contains(&cpu));
+            check(
+                owns,
+                "scheduler",
+                format!("thread {t:#x} runs on CPU {cpu} its container does not own"),
+            )?;
+        }
+    }
+
+    // Conversely, every Ready/Running thread is scheduled somewhere.
+    for (t_ptr, perm) in thrds.iter() {
+        match perm.value().state {
+            ThreadState::Ready | ThreadState::Running(_) => {
+                check(
+                    seen.contains(&t_ptr),
+                    "scheduler",
+                    format!("runnable thread {t_ptr:#x} not scheduled on any CPU"),
+                )?;
+            }
+            _ => {
+                check(
+                    !seen.contains(&t_ptr),
+                    "scheduler",
+                    format!("blocked thread {t_ptr:#x} still scheduled"),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_is_round_robin() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 0xa);
+        s.enqueue(0, 0xb);
+        assert_eq!(s.rotate(0), Some(0xa));
+        assert_eq!(s.rotate(0), Some(0xb));
+        assert_eq!(s.rotate(0), Some(0xa), "wraps around");
+        assert_eq!(s.ready_queue(0), vec![0xb]);
+    }
+
+    #[test]
+    fn dispatch_after_block() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 0xa);
+        s.enqueue(0, 0xb);
+        s.dispatch(0);
+        assert_eq!(s.current(0), Some(0xa));
+        // 0xa blocks: clear and dispatch the next.
+        assert_eq!(s.clear_current(0), Some(0xa));
+        assert_eq!(s.dispatch(0), Some(0xb));
+    }
+
+    #[test]
+    fn remove_finds_thread_anywhere() {
+        let mut s = Scheduler::new(2);
+        s.enqueue(0, 0xa);
+        s.enqueue(1, 0xb);
+        s.dispatch(1);
+        assert!(s.remove(0xa), "from a ready queue");
+        assert!(s.remove(0xb), "from current");
+        assert!(!s.remove(0xc));
+        assert_eq!(s.current(1), None);
+    }
+
+    #[test]
+    fn rotate_on_empty_cpu_idles() {
+        let mut s = Scheduler::new(1);
+        assert_eq!(s.rotate(0), None);
+        assert_eq!(s.current(0), None);
+    }
+
+    #[test]
+    fn per_cpu_isolation_of_queues() {
+        let mut s = Scheduler::new(2);
+        s.enqueue(0, 0xa);
+        assert!(s.ready_queue(1).is_empty());
+        assert_eq!(s.ready_queue(0), vec![0xa]);
+    }
+}

@@ -1,0 +1,186 @@
+//! `StaticList<T, N>`: a fixed-capacity list with internal storage.
+//!
+//! Atmosphere does not use the Rust standard library's heap collections
+//! (§5: "our code does not use many common types like vectors"); kernel
+//! objects embed fixed-capacity lists instead (Listing 2:
+//! `children: StaticList<CtnrPtr>`). This is that type: a `[T; N]`-backed
+//! list with O(1) push, order-preserving removal and no allocation.
+
+/// A fixed-capacity, stack-allocated list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticList<T: Copy + Default, const N: usize> {
+    items: [T; N],
+    len: usize,
+}
+
+impl<T: Copy + Default, const N: usize> StaticList<T, N> {
+    /// An empty list.
+    pub fn new() -> Self {
+        StaticList {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the list has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when no further element fits.
+    pub fn is_full(&self) -> bool {
+        self.len == N
+    }
+
+    /// Capacity `N`.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Appends `item`; returns `false` when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.len == N {
+            return false;
+        }
+        self.items[self.len] = item;
+        self.len += 1;
+        true
+    }
+
+    /// Element at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len` (spatial safety; Verus would discharge the
+    /// bound statically).
+    pub fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "StaticList index out of bounds");
+        self.items[i]
+    }
+
+    /// Iterator over the live elements.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.items[..self.len].iter().copied()
+    }
+
+    /// The live elements as a vector (spec-level convenience).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.items[..self.len].to_vec()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> StaticList<T, N> {
+    /// `true` when some element equals `item`.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items[..self.len].contains(item)
+    }
+
+    /// Removes the first occurrence of `item`, preserving order.
+    /// Returns `true` when an element was removed.
+    pub fn remove(&mut self, item: &T) -> bool {
+        match self.items[..self.len].iter().position(|x| x == item) {
+            None => false,
+            Some(i) => {
+                self.items.copy_within(i + 1..self.len, i);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// Removes and returns the first element (FIFO pop), if any.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let first = self.items[0];
+        self.items.copy_within(1..self.len, 0);
+        self.len -= 1;
+        Some(first)
+    }
+
+    /// `true` when no element occurs twice.
+    pub fn no_duplicates(&self) -> bool {
+        for i in 0..self.len {
+            for j in (i + 1)..self.len {
+                if self.items[i] == self.items[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for StaticList<T, N> {
+    fn default() -> Self {
+        StaticList::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full() {
+        let mut l: StaticList<u32, 3> = StaticList::new();
+        assert!(l.push(1) && l.push(2) && l.push(3));
+        assert!(l.is_full());
+        assert!(!l.push(4), "push on a full list fails");
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.capacity(), 3);
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut l: StaticList<u32, 4> = StaticList::new();
+        for x in [1, 2, 3, 4] {
+            l.push(x);
+        }
+        assert!(l.remove(&2));
+        assert_eq!(l.to_vec(), vec![1, 3, 4]);
+        assert!(!l.remove(&9));
+    }
+
+    #[test]
+    fn pop_front_is_fifo() {
+        let mut l: StaticList<u32, 4> = StaticList::new();
+        l.push(1);
+        l.push(2);
+        assert_eq!(l.pop_front(), Some(1));
+        assert_eq!(l.pop_front(), Some(2));
+        assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn contains_and_get() {
+        let mut l: StaticList<u32, 4> = StaticList::new();
+        l.push(5);
+        assert!(l.contains(&5));
+        assert!(!l.contains(&6));
+        assert_eq!(l.get(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_len_panics() {
+        let l: StaticList<u32, 4> = StaticList::new();
+        let _ = l.get(0);
+    }
+
+    #[test]
+    fn no_duplicates_predicate() {
+        let mut l: StaticList<u32, 4> = StaticList::new();
+        l.push(1);
+        l.push(2);
+        assert!(l.no_duplicates());
+        l.push(1);
+        assert!(!l.no_duplicates());
+    }
+}

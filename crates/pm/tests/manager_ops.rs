@@ -1,0 +1,335 @@
+//! Integration tests for `ProcessManager`: object lifecycle, quota
+//! accounting, IPC rendezvous, and invariant preservation across
+//! operation sequences.
+
+use atmo_hw::boot::BootInfo;
+use atmo_mem::PageAllocator;
+use atmo_mem::PageClosure;
+use atmo_pm::manager::{RecvOutcome, SendOutcome};
+use atmo_pm::types::PmError;
+use atmo_pm::{IpcPayload, ProcessManager, ThreadState};
+use atmo_spec::harness::Invariant;
+
+fn boot(ncpus: usize, quota: usize) -> (PageAllocator, ProcessManager, usize, usize, usize) {
+    let mut alloc = PageAllocator::new(&BootInfo::simulated(16, ncpus, ""));
+    let (pm, c, p, t) = ProcessManager::boot(&mut alloc, ncpus, quota).unwrap();
+    (alloc, pm, c, p, t)
+}
+
+#[test]
+fn boot_state_is_well_formed() {
+    let (_a, pm, root, init_p, init_t) = boot(2, 100);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+    assert_eq!(pm.root_container, root);
+    assert_eq!(pm.thrd(init_t).owning_proc, init_p);
+    assert_eq!(pm.thrd(init_t).state, ThreadState::Running(0));
+    assert_eq!(pm.cntr(root).used, 3);
+    assert_eq!(pm.page_closure().len(), 3);
+}
+
+#[test]
+fn container_creation_updates_tree_and_quota() {
+    let (mut a, mut pm, root, _p, _t) = boot(4, 100);
+    let c1 = pm.new_container(&mut a, root, 20, &[1]).unwrap();
+    let c2 = pm.new_container(&mut a, c1, 10, &[]).unwrap();
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // Quota: root charged 21 for c1; c1 charged 11 for c2.
+    assert_eq!(pm.cntr(root).used, 3 + 21);
+    assert_eq!(pm.cntr(c1).used, 11);
+    // Subtrees (ghost, flat): root sees both; c1 sees c2.
+    assert!(pm.cntr(root).subtree.contains(&c1));
+    assert!(pm.cntr(root).subtree.contains(&c2));
+    assert!(pm.cntr(c1).subtree.contains(&c2));
+    // CPU 1 moved from root to c1.
+    assert!(!pm.cntr(root).owned_cpus.contains(&1));
+    assert!(pm.cntr(c1).owned_cpus.contains(&1));
+    // Paths.
+    assert_eq!(pm.cntr(c2).path.to_vec(), vec![root, c1]);
+    assert_eq!(pm.cntr(c2).depth, 2);
+}
+
+#[test]
+fn container_quota_is_enforced() {
+    let (mut a, mut pm, root, _p, _t) = boot(1, 10);
+    // used=3; requesting quota 8 needs 9 more > 7 available.
+    assert_eq!(
+        pm.new_container(&mut a, root, 8, &[]),
+        Err(PmError::QuotaExceeded)
+    );
+    // Within budget works.
+    let c = pm.new_container(&mut a, root, 5, &[]).unwrap();
+    // Child cannot exceed its own reservation.
+    let mut pm2 = pm;
+    assert_eq!(
+        pm2.new_container(&mut a, c, 5, &[]),
+        Err(PmError::QuotaExceeded)
+    );
+    assert!(pm2.wf().is_ok());
+}
+
+#[test]
+fn cpu_reservation_is_enforced() {
+    let (mut a, mut pm, root, _p, _t) = boot(2, 100);
+    let c1 = pm.new_container(&mut a, root, 20, &[1]).unwrap();
+    // Root no longer owns CPU 1.
+    assert_eq!(
+        pm.new_container(&mut a, root, 5, &[1]),
+        Err(PmError::CpuNotOwned)
+    );
+    // c1 cannot hand out CPU 0 (it never owned it).
+    assert_eq!(
+        pm.new_container(&mut a, c1, 5, &[0]),
+        Err(PmError::CpuNotOwned)
+    );
+}
+
+#[test]
+fn process_and_thread_lifecycle() {
+    let (mut a, mut pm, root, init_p, _t) = boot(2, 100);
+    let child_p = pm.new_process(&mut a, root, Some(init_p)).unwrap();
+    let t = pm.new_thread(&mut a, child_p, 1).unwrap();
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+    assert!(pm.proc(init_p).children.contains(&child_p));
+    assert!(pm.cntr(root).owned_thrds.contains(&t));
+    assert_eq!(pm.thrd(t).state, ThreadState::Ready);
+
+    let used_before = pm.cntr(root).used;
+    let freed = pm.terminate_process(&mut a, child_p).unwrap();
+    assert_eq!(freed.len(), 1);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+    assert!(!pm.proc_perms.contains(child_p));
+    assert!(!pm.thrd_perms.contains(t));
+    assert_eq!(pm.cntr(root).used, used_before - 2);
+}
+
+#[test]
+fn nested_process_termination_tears_down_subtree() {
+    let (mut a, mut pm, root, init_p, _t) = boot(1, 100);
+    let p1 = pm.new_process(&mut a, root, Some(init_p)).unwrap();
+    let p2 = pm.new_process(&mut a, root, Some(p1)).unwrap();
+    let p3 = pm.new_process(&mut a, root, Some(p2)).unwrap();
+    let freed = pm.terminate_process(&mut a, p1).unwrap();
+    assert_eq!(freed.len(), 3);
+    for p in [p1, p2, p3] {
+        assert!(!pm.proc_perms.contains(p));
+    }
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn endpoint_creation_and_refcounting() {
+    let (mut a, mut pm, root, init_p, init_t) = boot(1, 100);
+    let e = pm.new_endpoint(&mut a, init_t, 0).unwrap();
+    assert_eq!(pm.edpt(e).refcount, 1);
+    assert!(pm.cntr(root).owned_edpts.contains(&e));
+
+    // Second descriptor on another thread.
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    pm.install_descriptor(t2, 3, e).unwrap();
+    assert_eq!(pm.edpt(e).refcount, 2);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // Dropping both descriptors destroys the endpoint and releases its page.
+    let used = pm.cntr(root).used;
+    pm.remove_descriptor(&mut a, init_t, 0).unwrap();
+    assert!(pm.edpt_perms.contains(e));
+    pm.remove_descriptor(&mut a, t2, 3).unwrap();
+    assert!(!pm.edpt_perms.contains(e));
+    assert_eq!(pm.cntr(root).used, used - 1);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn send_blocks_until_receiver_arrives() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // t1 (running on CPU 0) sends: no receiver → blocks; t2 dispatched.
+    let out = pm
+        .send(t1, 0, 0, IpcPayload::scalars([7, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(out, SendOutcome::Blocked);
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+    assert_eq!(pm.sched.current(0), Some(t2));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // t2 receives: gets the payload, t1 becomes ready again.
+    let got = pm.recv(t2, 0, 0).unwrap();
+    match got {
+        RecvOutcome::Received(p) => assert_eq!(p.scalars[0], 7),
+        other => panic!("expected delivery, got {other:?}"),
+    }
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn recv_blocks_until_sender_arrives() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    assert_eq!(pm.recv(t1, 0, 0).unwrap(), RecvOutcome::Blocked);
+    assert_eq!(pm.sched.current(0), Some(t2));
+    // t2 sends directly into the waiting receiver.
+    let out = pm
+        .send(t2, 0, 0, IpcPayload::scalars([9, 9, 9, 9]))
+        .unwrap();
+    assert_eq!(out, SendOutcome::Delivered(t1));
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready);
+    assert_eq!(pm.take_message(t1).unwrap().scalars[0], 9);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn call_reply_round_trip() {
+    // The Figure 1 / Table 3 scenario: T1 calls, T2 receives and replies.
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // t2 must be receiving first for the fast path; start with t1 calling.
+    assert_eq!(
+        pm.call(t1, 0, 0, IpcPayload::scalars([1, 2, 3, 4]))
+            .unwrap(),
+        SendOutcome::Blocked
+    );
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // t2 (now current) receives: message arrives, t1 switches to
+    // awaiting-reply, t2 owes it a reply.
+    let got = pm.recv(t2, 0, 0).unwrap();
+    assert!(matches!(got, RecvOutcome::Received(p) if p.scalars == [1, 2, 3, 4]));
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedReply(e));
+    assert_eq!(pm.thrd(t2).reply_partner, Some(t1));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // t2 replies: t1 wakes with the answer.
+    pm.reply(t2, 0, IpcPayload::scalars([40, 2, 0, 0])).unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready);
+    assert_eq!(pm.take_message(t1).unwrap().scalars[0], 40);
+    assert_eq!(pm.thrd(t2).reply_partner, None);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn endpoint_grant_transfers_descriptor() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    let e2 = pm.new_endpoint(&mut a, t1, 1).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // t1 sends endpoint e2 through e.
+    let mut payload = IpcPayload::scalars([0; 4]);
+    payload.endpoint_grant = Some(e2);
+    pm.send(t1, 0, 0, payload).unwrap();
+    let got = pm.recv(t2, 0, 0).unwrap();
+    assert!(matches!(got, RecvOutcome::Received(p) if p.endpoint_grant == Some(e2)));
+    // t2 now holds a descriptor to e2; refcount grew.
+    assert!(pm.thrd(t2).edpt_descriptors.contains(&Some(e2)));
+    assert_eq!(pm.edpt(e2).refcount, 2);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn terminating_a_blocked_caller_unsticks_the_receiver() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    pm.call(t1, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+    pm.recv(t2, 0, 0).unwrap();
+    assert_eq!(pm.thrd(t2).reply_partner, Some(t1));
+
+    // The caller dies before the reply: the receiver's obligation clears.
+    pm.terminate_thread(&mut a, t1).unwrap();
+    assert_eq!(pm.thrd(t2).reply_partner, None);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn terminating_a_receiver_wakes_the_caller_empty_handed() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    pm.call(t1, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+    pm.recv(t2, 0, 0).unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedReply(e));
+
+    // The service crashes: the caller must not stay wedged (§3: V releases
+    // resources even if the peer crashes — same liveness idea). The CPU
+    // went idle when t2 died, so the woken caller is dispatched directly.
+    pm.terminate_thread(&mut a, t2).unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::Running(0));
+    assert_eq!(pm.take_message(t1), None);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn terminate_container_harvests_resources() {
+    let (mut a, mut pm, root, _p, _t) = boot(4, 200);
+    let c1 = pm.new_container(&mut a, root, 50, &[1, 2]).unwrap();
+    let c2 = pm.new_container(&mut a, c1, 20, &[2]).unwrap();
+    let p1 = pm.new_process(&mut a, c1, None).unwrap();
+    let _t1 = pm.new_thread(&mut a, p1, 1).unwrap();
+    let p2 = pm.new_process(&mut a, c2, None).unwrap();
+    let _t2 = pm.new_thread(&mut a, p2, 2).unwrap();
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    let used_before = pm.cntr(root).used;
+    let freed = pm.terminate_container(&mut a, c1).unwrap();
+    assert_eq!(freed.len(), 2, "two address spaces died");
+    assert!(!pm.cntr_perms.contains(c1));
+    assert!(!pm.cntr_perms.contains(c2));
+    // CPUs returned to root.
+    assert!(pm.cntr(root).owned_cpus.contains(&1));
+    assert!(pm.cntr(root).owned_cpus.contains(&2));
+    // Quota: root released the 51 pages charged for c1.
+    assert_eq!(pm.cntr(root).used, used_before - 51);
+    assert!(pm.cntr(root).subtree.is_empty());
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn terminate_root_is_denied() {
+    let (mut a, mut pm, root, _p, _t) = boot(1, 100);
+    assert_eq!(pm.terminate_container(&mut a, root), Err(PmError::Denied));
+}
+
+#[test]
+fn timer_tick_rotates_threads() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    assert_eq!(pm.timer_tick(0), Some(t2));
+    assert_eq!(pm.thrd(t2).state, ThreadState::Running(0));
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready);
+    assert_eq!(pm.timer_tick(0), Some(t1));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn leak_freedom_objects_equal_allocated_pages() {
+    // The §4.2 leak-freedom equation at the PM level: the manager's page
+    // closure equals the allocator's "allocated" set (no page tables exist
+    // in this test).
+    let (mut a, mut pm, root, init_p, _t) = boot(2, 100);
+    let c1 = pm.new_container(&mut a, root, 20, &[1]).unwrap();
+    let p1 = pm.new_process(&mut a, c1, None).unwrap();
+    let t1 = pm.new_thread(&mut a, p1, 1).unwrap();
+    let _e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    assert_eq!(pm.page_closure(), a.allocated_pages());
+
+    pm.terminate_container(&mut a, c1).unwrap();
+    assert_eq!(pm.page_closure(), a.allocated_pages());
+    let _ = init_p;
+}

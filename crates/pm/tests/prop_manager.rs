@@ -1,0 +1,183 @@
+//! Property-based exploration of the process manager: random sequences
+//! of lifecycle and IPC operations across a dynamic population of
+//! containers, processes, threads and endpoints. After every operation
+//! the full `ProcessManager::wf()` must hold, and at the end everything
+//! torn down must leave the allocator leak-free.
+
+use atmo_hw::boot::BootInfo;
+use atmo_mem::{PageAllocator, PageClosure};
+use atmo_pm::types::IpcPayload;
+use atmo_pm::ProcessManager;
+use atmo_spec::harness::Invariant;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    NewContainer { quota: u8 },
+    TerminateContainer,
+    NewProcess,
+    TerminateProcess,
+    NewThread,
+    NewEndpoint { slot: u8 },
+    ShareEndpoint { slot: u8 },
+    Send { payload: u8 },
+    Recv,
+    Call { payload: u8 },
+    Reply,
+    Tick,
+    TerminateThread,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (4u8..32).prop_map(|quota| Op::NewContainer { quota }),
+        1 => Just(Op::TerminateContainer),
+        3 => Just(Op::NewProcess),
+        1 => Just(Op::TerminateProcess),
+        4 => Just(Op::NewThread),
+        2 => (0u8..4).prop_map(|slot| Op::NewEndpoint { slot }),
+        2 => (0u8..4).prop_map(|slot| Op::ShareEndpoint { slot }),
+        3 => (0u8..255).prop_map(|payload| Op::Send { payload }),
+        3 => Just(Op::Recv),
+        2 => (0u8..255).prop_map(|payload| Op::Call { payload }),
+        2 => Just(Op::Reply),
+        3 => Just(Op::Tick),
+        1 => Just(Op::TerminateThread),
+    ]
+}
+
+/// Deterministic "pick one" over a sorted population.
+fn pick<T: Copy>(items: &[T], salt: usize) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[salt % items.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn manager_wf_holds_under_random_lifecycles(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut alloc = PageAllocator::new(&BootInfo::simulated(16, 2, ""));
+        let (mut pm, root, _init_p, _init_t) = ProcessManager::boot(&mut alloc, 2, 1024).unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let containers: Vec<usize> = pm.cntr_perms.dom().to_vec();
+            let processes: Vec<usize> = pm.proc_perms.dom().to_vec();
+            let threads: Vec<usize> = pm.thrd_perms.dom().to_vec();
+            match op {
+                Op::NewContainer { quota } => {
+                    if let Some(parent) = pick(&containers, i) {
+                        let _ = pm.new_container(&mut alloc, parent, *quota as usize, &[]);
+                    }
+                }
+                Op::TerminateContainer => {
+                    // Never the root; termination harvests the subtree.
+                    let non_root: Vec<usize> =
+                        containers.iter().copied().filter(|c| *c != root).collect();
+                    if let Some(victim) = pick(&non_root, i) {
+                        let _ = pm.terminate_container(&mut alloc, victim);
+                    }
+                }
+                Op::NewProcess => {
+                    if let Some(c) = pick(&containers, i) {
+                        let _ = pm.new_process(&mut alloc, c, None);
+                    }
+                }
+                Op::TerminateProcess => {
+                    if let Some(p) = pick(&processes, i.wrapping_mul(7)) {
+                        let _ = pm.terminate_process(&mut alloc, p);
+                    }
+                }
+                Op::NewThread => {
+                    if let Some(p) = pick(&processes, i) {
+                        let cpu = i % 2;
+                        let _ = pm.new_thread(&mut alloc, p, cpu);
+                    }
+                }
+                Op::NewEndpoint { slot } => {
+                    if let Some(t) = pick(&threads, i) {
+                        let _ = pm.new_endpoint(&mut alloc, t, *slot as usize);
+                    }
+                }
+                Op::ShareEndpoint { slot } => {
+                    // Give a random thread a descriptor to a random live
+                    // endpoint (the boot-time capability-distribution path).
+                    let endpoints: Vec<usize> = pm.edpt_perms.dom().to_vec();
+                    if let (Some(t), Some(e)) = (pick(&threads, i), pick(&endpoints, i / 2)) {
+                        let _ = pm.install_descriptor(t, *slot as usize, e);
+                    }
+                }
+                Op::Send { payload } => {
+                    for cpu in 0..2 {
+                        if let Some(t) = pm.sched.current(cpu) {
+                            let _ = pm.send(t, cpu, i % 4,
+                                            IpcPayload::scalars([*payload as u64, 0, 0, 0]));
+                            break;
+                        }
+                    }
+                }
+                Op::Recv => {
+                    for cpu in 0..2 {
+                        if let Some(t) = pm.sched.current(cpu) {
+                            let _ = pm.recv(t, cpu, i % 4);
+                            break;
+                        }
+                    }
+                }
+                Op::Call { payload } => {
+                    for cpu in 0..2 {
+                        if let Some(t) = pm.sched.current(cpu) {
+                            let _ = pm.call(t, cpu, i % 4,
+                                            IpcPayload::scalars([*payload as u64, 0, 0, 0]));
+                            break;
+                        }
+                    }
+                }
+                Op::Reply => {
+                    for cpu in 0..2 {
+                        if let Some(t) = pm.sched.current(cpu) {
+                            let _ = pm.reply(t, cpu, IpcPayload::scalars([1, 0, 0, 0]));
+                            break;
+                        }
+                    }
+                }
+                Op::Tick => {
+                    let _ = pm.timer_tick(i % 2);
+                }
+                Op::TerminateThread => {
+                    if let Some(t) = pick(&threads, i.wrapping_mul(13)) {
+                        let _ = pm.terminate_thread(&mut alloc, t);
+                    }
+                }
+            }
+            prop_assert!(pm.wf().is_ok(), "op {i} ({op:?}): {:?}", pm.wf());
+            // The PM's closure is always exactly the allocator's
+            // allocated set (no page tables exist in this test).
+            prop_assert_eq!(pm.page_closure(), alloc.allocated_pages(), "op {} ({:?})", i, op);
+        }
+
+        // Teardown: terminate every child container, then every process
+        // except init's — the system must return to a lean, leak-free
+        // state.
+        let children: Vec<usize> = pm
+            .cntr_perms
+            .dom()
+            .to_vec()
+            .into_iter()
+            .filter(|c| *c != root)
+            .collect();
+        for c in children {
+            if pm.cntr_perms.contains(c) && pm.cntr(c).parent == Some(root) {
+                let _ = pm.terminate_container(&mut alloc, c);
+            }
+        }
+        prop_assert!(pm.wf().is_ok(), "after teardown: {:?}", pm.wf());
+        prop_assert_eq!(pm.page_closure(), alloc.allocated_pages());
+        prop_assert_eq!(pm.cntr_perms.len(), 1, "only the root container remains");
+    }
+}

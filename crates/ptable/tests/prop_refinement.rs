@@ -1,0 +1,120 @@
+//! Property-based exploration of the page table: random map/unmap
+//! sequences over all three page sizes must preserve structural
+//! well-formedness and the MMU-walk refinement relation after every
+//! operation (§6.2's theorem, fuzzed).
+
+use atmo_hw::boot::BootInfo;
+use atmo_hw::paging::EntryFlags;
+use atmo_hw::VAddr;
+use atmo_mem::{PageAllocator, PageSize};
+use atmo_ptable::{refinement_wf, PageTable};
+use atmo_spec::harness::Invariant;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Map4K { slot: u8, ro: bool },
+    Unmap4K { slot: u8 },
+    Map2M { slot: u8 },
+    Unmap2M { slot: u8 },
+    Map1G,
+    Unmap1G,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<bool>()).prop_map(|(slot, ro)| Op::Map4K { slot, ro }),
+        4 => any::<u8>().prop_map(|slot| Op::Unmap4K { slot }),
+        2 => (0u8..8).prop_map(|slot| Op::Map2M { slot }),
+        2 => (0u8..8).prop_map(|slot| Op::Unmap2M { slot }),
+        1 => Just(Op::Map1G),
+        1 => Just(Op::Unmap1G),
+    ]
+}
+
+fn va_4k(slot: u8) -> VAddr {
+    VAddr(0x4000_0000 + (slot as usize) * 0x1000)
+}
+
+fn va_2m(slot: u8) -> VAddr {
+    VAddr(0x8000_0000 + (slot as usize) * 0x20_0000)
+}
+
+const VA_1G: VAddr = VAddr(0x80_0000_0000);
+const FRAME_1G: usize = 0x1_0000_0000; // device-range frame, 1 GiB aligned
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn refinement_survives_random_map_unmap(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut alloc = PageAllocator::new(&BootInfo::simulated(24, 1, ""));
+        let mut pt = PageTable::new(&mut alloc).unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Map4K { slot, ro } => {
+                    if let Ok(frame) = alloc.alloc_mapped(PageSize::Size4K) {
+                        let flags = if *ro { EntryFlags::user_ro() } else { EntryFlags::user_rw() };
+                        if pt.map_4k_page(&mut alloc, va_4k(*slot), frame, flags).is_err() {
+                            alloc.dec_map_ref(frame);
+                        }
+                    }
+                }
+                Op::Unmap4K { slot } => {
+                    if let Ok(frame) = pt.unmap_4k_page(va_4k(*slot)) {
+                        alloc.dec_map_ref(frame);
+                    }
+                }
+                Op::Map2M { slot } => {
+                    if let Ok(frame) = alloc.alloc_mapped(PageSize::Size2M) {
+                        if pt.map_2m_page(&mut alloc, va_2m(*slot), frame, EntryFlags::user_rw()).is_err() {
+                            alloc.dec_map_ref(frame);
+                        }
+                    }
+                }
+                Op::Unmap2M { slot } => {
+                    if let Ok(frame) = pt.unmap_2m_page(va_2m(*slot)) {
+                        alloc.dec_map_ref(frame);
+                    }
+                }
+                Op::Map1G => {
+                    // A fixed 1 GiB device frame (no allocator involvement).
+                    let _ = pt.map_1g_page(&mut alloc, VA_1G, FRAME_1G, EntryFlags::user_ro());
+                }
+                Op::Unmap1G => {
+                    let _ = pt.unmap_1g_page(VA_1G);
+                }
+            }
+            prop_assert!(pt.wf().is_ok(), "structure broken after op {i} ({op:?}): {:?}", pt.wf());
+            prop_assert!(
+                refinement_wf(&pt).is_ok(),
+                "refinement broken after op {i} ({op:?}): {:?}",
+                refinement_wf(&pt)
+            );
+            prop_assert!(alloc.wf().is_ok(), "allocator broken after op {i}: {:?}", alloc.wf());
+        }
+
+        // Drain: unmap everything; release tables; nothing leaks.
+        let spaces: Vec<(usize, PageSize)> = pt
+            .address_space()
+            .iter()
+            .map(|(va, (_e, sz))| (*va, *sz))
+            .collect();
+        for (va, sz) in spaces {
+            let frame = match sz {
+                PageSize::Size4K => pt.unmap_4k_page(VAddr(va)).unwrap(),
+                PageSize::Size2M => pt.unmap_2m_page(VAddr(va)).unwrap(),
+                PageSize::Size1G => {
+                    pt.unmap_1g_page(VAddr(va)).unwrap();
+                    continue; // device frame, not allocator-owned
+                }
+            };
+            alloc.dec_map_ref(frame);
+        }
+        pt.release(&mut alloc);
+        prop_assert!(alloc.allocated_pages().is_empty());
+        prop_assert!(alloc.mapped_pages().is_empty());
+        prop_assert!(alloc.wf().is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! Algebraic laws of the ghost collections.
+//!
+//! §5 of the paper lists ~700 lines of *trusted* axioms about sequences,
+//! sets and maps that Verus lacks (e.g. "if we remove an element from a
+//! unique sequence, the result sequence is still unique"). Here those
+//! laws are property-tested against the executable collections instead of
+//! being trusted.
+
+use atmo_spec::{Map, Seq, Set};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- Seq laws -------------------------------------------------------
+
+    #[test]
+    fn seq_push_then_last(v in proptest::collection::vec(any::<u32>(), 0..20), x in any::<u32>()) {
+        let s = Seq::from_slice(&v).push(x);
+        prop_assert_eq!(*s.last(), x);
+        prop_assert_eq!(s.len(), v.len() + 1);
+        prop_assert_eq!(s.drop_last(), Seq::from_slice(&v));
+    }
+
+    #[test]
+    fn seq_subrange_composes(v in proptest::collection::vec(any::<u32>(), 0..30),
+                             a in 0usize..10, b in 0usize..10) {
+        let s = Seq::from_slice(&v);
+        let (a, b) = (a.min(v.len()), b.min(v.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let sub = s.subrange(lo, hi);
+        prop_assert_eq!(sub.len(), hi - lo);
+        for i in 0..sub.len() {
+            prop_assert_eq!(sub[i], v[lo + i]);
+        }
+    }
+
+    #[test]
+    fn unique_seq_remove_stays_unique(v in proptest::collection::btree_set(any::<u32>(), 0..20),
+                                      pick in any::<proptest::sample::Index>()) {
+        // The §5 axiom, as a test: build a duplicate-free sequence, remove
+        // any element, uniqueness is preserved.
+        let items: Vec<u32> = v.into_iter().collect();
+        let s = Seq::from_slice(&items);
+        prop_assert!(s.no_duplicates());
+        if !items.is_empty() {
+            let victim = items[pick.index(items.len())];
+            let removed = s.remove_first(&victim);
+            prop_assert!(removed.no_duplicates());
+            prop_assert_eq!(removed.len(), items.len() - 1);
+            prop_assert!(!removed.contains(&victim));
+        }
+    }
+
+    #[test]
+    fn seq_add_is_associative(a in proptest::collection::vec(any::<u32>(), 0..10),
+                              b in proptest::collection::vec(any::<u32>(), 0..10),
+                              c in proptest::collection::vec(any::<u32>(), 0..10)) {
+        let (sa, sb, sc) = (Seq::from_slice(&a), Seq::from_slice(&b), Seq::from_slice(&c));
+        prop_assert_eq!(sa.add(&sb).add(&sc), sa.add(&sb.add(&sc)));
+    }
+
+    #[test]
+    fn seq_to_set_contains_exactly_elements(v in proptest::collection::vec(0u32..50, 0..25)) {
+        let s = Seq::from_slice(&v).to_set();
+        for x in &v {
+            prop_assert!(s.contains(x));
+        }
+        for x in s.iter() {
+            prop_assert!(v.contains(x));
+        }
+    }
+
+    // ----- Set laws -------------------------------------------------------
+
+    #[test]
+    fn set_union_is_commutative_and_idempotent(a in proptest::collection::vec(0u32..60, 0..20),
+                                               b in proptest::collection::vec(0u32..60, 0..20)) {
+        let (sa, sb) = (Set::from_slice(&a), Set::from_slice(&b));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.union(&sa), sa.clone());
+        prop_assert!(sa.subset_of(&sa.union(&sb)));
+    }
+
+    #[test]
+    fn set_demorgan(a in proptest::collection::vec(0u32..40, 0..15),
+                    b in proptest::collection::vec(0u32..40, 0..15),
+                    u in proptest::collection::vec(0u32..40, 0..30)) {
+        // U \ (A ∪ B) == (U \ A) ∩ (U \ B)
+        let (sa, sb, su) = (Set::from_slice(&a), Set::from_slice(&b), Set::from_slice(&u));
+        prop_assert_eq!(
+            su.difference(&sa.union(&sb)),
+            su.difference(&sa).intersect(&su.difference(&sb))
+        );
+    }
+
+    #[test]
+    fn set_disjoint_iff_empty_intersection(a in proptest::collection::vec(0u32..30, 0..15),
+                                           b in proptest::collection::vec(0u32..30, 0..15)) {
+        let (sa, sb) = (Set::from_slice(&a), Set::from_slice(&b));
+        prop_assert_eq!(sa.disjoint(&sb), sa.intersect(&sb).is_empty());
+    }
+
+    #[test]
+    fn set_insert_remove_inverse(a in proptest::collection::vec(0u32..30, 0..15), x in 0u32..30) {
+        let s = Set::from_slice(&a);
+        if !s.contains(&x) {
+            prop_assert_eq!(s.insert(x).remove(&x), s);
+        } else {
+            prop_assert_eq!(s.remove(&x).insert(x), s);
+        }
+    }
+
+    // ----- Map laws -------------------------------------------------------
+
+    #[test]
+    fn map_insert_shadows(pairs in proptest::collection::vec((0u32..20, any::<u32>()), 0..15),
+                          k in 0u32..20, v1 in any::<u32>(), v2 in any::<u32>()) {
+        let m: Map<u32, u32> = pairs.into_iter().collect();
+        let m2 = m.insert(k, v1).insert(k, v2);
+        prop_assert_eq!(m2.index(&k), Some(&v2));
+        prop_assert_eq!(m2.len(), m.insert(k, v2).len());
+    }
+
+    #[test]
+    fn map_dom_tracks_insert_remove(pairs in proptest::collection::vec((0u32..20, any::<u32>()), 0..15),
+                                    k in 0u32..20) {
+        let m: Map<u32, u32> = pairs.into_iter().collect();
+        prop_assert_eq!(m.insert(k, 1).dom(), m.dom().insert(k));
+        prop_assert_eq!(m.remove(&k).dom(), m.dom().remove(&k));
+    }
+
+    #[test]
+    fn map_union_prefer_right_really_prefers_right(
+        a in proptest::collection::vec((0u32..12, any::<u32>()), 0..10),
+        b in proptest::collection::vec((0u32..12, any::<u32>()), 0..10)
+    ) {
+        let ma: Map<u32, u32> = a.into_iter().collect();
+        let mb: Map<u32, u32> = b.into_iter().collect();
+        let u = ma.union_prefer_right(&mb);
+        for (k, v) in mb.iter() {
+            prop_assert_eq!(u.index(k), Some(v));
+        }
+        for (k, v) in ma.iter() {
+            if !mb.contains_key(k) {
+                prop_assert_eq!(u.index(k), Some(v));
+            }
+        }
+        prop_assert_eq!(u.dom(), ma.dom().union(&mb.dom()));
+    }
+
+    #[test]
+    fn map_restrict_then_submap(pairs in proptest::collection::vec((0u32..20, any::<u32>()), 0..15)) {
+        let m: Map<u32, u32> = pairs.into_iter().collect();
+        let r = m.restrict(|k| k % 2 == 0);
+        prop_assert!(r.submap_of(&m));
+        prop_assert!(r.agrees(&m));
+        for k in r.keys() {
+            prop_assert!(k % 2 == 0);
+        }
+    }
+}

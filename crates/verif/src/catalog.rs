@@ -1,0 +1,86 @@
+//! Published proof-effort data (Table 1 of the paper).
+
+/// One row of Table 1: a verified-systems project and its proof effort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PublishedRatio {
+    /// Project name.
+    pub name: &'static str,
+    /// Implementation language.
+    pub language: &'static str,
+    /// Specification/proof language.
+    pub spec_language: &'static str,
+    /// Proof-to-code ratio as published.
+    pub ratio: f64,
+}
+
+/// The rows of Table 1, as published.
+pub fn published_ratios() -> Vec<PublishedRatio> {
+    vec![
+        PublishedRatio {
+            name: "seL4",
+            language: "C+Asm",
+            spec_language: "Isabelle/HOL",
+            ratio: 20.0,
+        },
+        PublishedRatio {
+            name: "CertiKOS",
+            language: "C+Asm",
+            spec_language: "Coq",
+            ratio: 14.9,
+        },
+        PublishedRatio {
+            name: "SeKVM",
+            language: "C+Asm",
+            spec_language: "Coq",
+            ratio: 6.9,
+        },
+        PublishedRatio {
+            name: "Ironclad",
+            language: "Dafny",
+            spec_language: "Dafny",
+            ratio: 4.8,
+        },
+        PublishedRatio {
+            name: "NrOS",
+            language: "Rust",
+            spec_language: "Verus",
+            ratio: 10.0,
+        },
+        PublishedRatio {
+            name: "VeriSMo",
+            language: "Rust",
+            spec_language: "Verus",
+            ratio: 2.0,
+        },
+        PublishedRatio {
+            name: "Atmosphere",
+            language: "Rust",
+            spec_language: "Verus",
+            ratio: 3.32,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_published_rows() {
+        let rows = published_ratios();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|r| r.name == "seL4" && r.ratio == 20.0));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "Atmosphere" && r.ratio == 3.32));
+    }
+
+    #[test]
+    fn atmosphere_improves_on_interactive_provers() {
+        let rows = published_ratios();
+        let atmo = rows.iter().find(|r| r.name == "Atmosphere").unwrap();
+        let sel4 = rows.iter().find(|r| r.name == "seL4").unwrap();
+        let certikos = rows.iter().find(|r| r.name == "CertiKOS").unwrap();
+        assert!(atmo.ratio < sel4.ratio && atmo.ratio < certikos.ratio);
+    }
+}

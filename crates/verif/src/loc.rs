@@ -1,0 +1,231 @@
+//! Source-line classification: executable vs. specification vs. proof.
+//!
+//! The paper reports 6K lines of executable code, 14.3K of specification
+//! and 5.8K of proofs/hints (§1). In this reproduction the proof artefacts
+//! are executable checkers and tests, so the classifier maps:
+//!
+//! * **Exec** — ordinary code lines outside test modules, outside
+//!   spec-role modules;
+//! * **Spec** — lines of modules whose role is specification: abstract
+//!   state, transition specs, invariant (`*_wf`) definitions;
+//! * **Proof** — test modules (`#[cfg(test)]` to end of file), files under
+//!   `tests/`, and property-based suites — the artefacts that *discharge*
+//!   the obligations;
+//! * comments and blank lines are counted separately and excluded from
+//!   the ratio.
+//!
+//! Module roles are declared in the (private) `module_role` table; the measurement itself
+//! is mechanical.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Classification of one source line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineClass {
+    /// Executable code.
+    Exec,
+    /// Specification (abstract state, spec functions, invariants).
+    Spec,
+    /// Proof (tests, property suites, refinement drivers).
+    Proof,
+    /// Comment or documentation.
+    Comment,
+    /// Blank.
+    Blank,
+}
+
+/// Aggregated line counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocReport {
+    /// Executable lines.
+    pub exec: usize,
+    /// Specification lines.
+    pub spec: usize,
+    /// Proof lines.
+    pub proof: usize,
+    /// Comment/doc lines.
+    pub comment: usize,
+    /// Blank lines.
+    pub blank: usize,
+}
+
+impl LocReport {
+    /// Total classified lines.
+    pub fn total(&self) -> usize {
+        self.exec + self.spec + self.proof + self.comment + self.blank
+    }
+
+    /// The proof-to-code ratio: (spec + proof) / exec.
+    pub fn proof_to_code(&self) -> f64 {
+        if self.exec == 0 {
+            return 0.0;
+        }
+        (self.spec + self.proof) as f64 / self.exec as f64
+    }
+
+    fn add(&mut self, class: LineClass) {
+        match class {
+            LineClass::Exec => self.exec += 1,
+            LineClass::Spec => self.spec += 1,
+            LineClass::Proof => self.proof += 1,
+            LineClass::Comment => self.comment += 1,
+            LineClass::Blank => self.blank += 1,
+        }
+    }
+}
+
+/// Role of a module's non-test lines, decided from its workspace path.
+///
+/// Spec-role modules are the ones holding abstract state, transition
+/// specifications and invariant definitions — the reproduction's
+/// counterparts of the paper's ghost code.
+fn module_role(path: &Path) -> LineClass {
+    let p = path.to_string_lossy().replace('\\', "/");
+    // Anything under a crate's tests/ directory is proof by construction.
+    if p.contains("/tests/") {
+        return LineClass::Proof;
+    }
+    const SPEC_MARKERS: [&str; 10] = [
+        "crates/spec/",
+        "/abs.rs",
+        "/spec.rs",
+        "/iso.rs",
+        "/noninterf.rs",
+        "/refine.rs",
+        "/closure.rs",
+        "crates/verif/",
+        "/wf.rs",
+        "/meta.rs",
+    ];
+    if SPEC_MARKERS.iter().any(|m| p.contains(m)) {
+        return LineClass::Spec;
+    }
+    LineClass::Exec
+}
+
+/// Classifies one file's contents given its path-derived role.
+pub fn classify_file(path: &Path, contents: &str) -> LocReport {
+    let role = module_role(path);
+    let mut report = LocReport::default();
+    let mut in_tests = false;
+    for line in contents.lines() {
+        let trimmed = line.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            // Test modules run to end of file in this codebase's layout.
+            in_tests = true;
+        }
+        let class = if trimmed.is_empty() {
+            LineClass::Blank
+        } else if trimmed.starts_with("//") {
+            LineClass::Comment
+        } else if in_tests {
+            LineClass::Proof
+        } else {
+            role
+        };
+        report.add(class);
+    }
+    report
+}
+
+/// Walks `root` (a workspace checkout) and classifies every `.rs` file
+/// under `crates/`, `src/`, `tests/` and `examples/`.
+pub fn classify_workspace(root: &Path) -> LocReport {
+    let mut report = LocReport::default();
+    let mut stack: Vec<PathBuf> = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|p| p.exists())
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                // Skip build artefacts.
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(contents) = fs::read_to_string(&path) {
+                    let file_report = classify_file(&path, &contents);
+                    report.exec += file_report.exec;
+                    report.spec += file_report.spec;
+                    report.proof += file_report.proof;
+                    report.comment += file_report.comment;
+                    report.blank += file_report.blank;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_file_classification() {
+        let src = "fn main() {\n    let x = 1;\n\n    // a comment\n}\n";
+        let r = classify_file(Path::new("crates/kernel/src/syscall.rs"), src);
+        assert_eq!(r.exec, 3);
+        assert_eq!(r.comment, 1);
+        assert_eq!(r.blank, 1);
+    }
+
+    #[test]
+    fn spec_module_lines_are_spec() {
+        let src = "pub fn syscall_mmap_spec() -> bool { true }\n";
+        let r = classify_file(Path::new("crates/kernel/src/spec.rs"), src);
+        assert_eq!(r.spec, 1);
+        assert_eq!(r.exec, 0);
+    }
+
+    #[test]
+    fn test_modules_count_as_proof() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let r = classify_file(Path::new("crates/mem/src/alloc.rs"), src);
+        assert_eq!(r.exec, 1);
+        assert_eq!(r.proof, 4, "cfg(test) line onward is proof");
+    }
+
+    #[test]
+    fn integration_tests_are_proof() {
+        let src = "fn probe() {}\n";
+        let r = classify_file(Path::new("crates/pm/tests/manager_ops.rs"), src);
+        assert_eq!(r.proof, 1);
+    }
+
+    #[test]
+    fn ratio_arithmetic() {
+        let r = LocReport {
+            exec: 100,
+            spec: 250,
+            proof: 82,
+            comment: 10,
+            blank: 5,
+        };
+        assert!((r.proof_to_code() - 3.32).abs() < 1e-9);
+        assert_eq!(r.total(), 447);
+        assert_eq!(LocReport::default().proof_to_code(), 0.0);
+    }
+
+    #[test]
+    fn classify_this_workspace_finds_substantial_code() {
+        // The crate lives at <root>/crates/verif; hop two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let r = classify_workspace(root);
+        assert!(r.exec > 1000, "exec lines: {}", r.exec);
+        assert!(r.spec > 500, "spec lines: {}", r.spec);
+        assert!(r.proof > 1000, "proof lines: {}", r.proof);
+    }
+}

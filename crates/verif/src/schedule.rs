@@ -1,0 +1,143 @@
+//! Parallel verification scheduling (Table 2, §6.1 wall-clock times).
+//!
+//! Verus dispatches per-function SMT queries to a pool of worker threads
+//! in declaration order. [`simulate_verification`] replays a catalog
+//! through that policy: a list scheduler assigning each task to the
+//! earliest-free worker. The makespan plus the serial startup cost is the
+//! verification wall time; dividing by a CPU profile's single-thread
+//! speedup translates c220g5 times onto other machines (the i9-13900HX
+//! laptop of §6.1).
+
+use crate::tasks::{catalog_total_ms, VerifTask, STARTUP_MS};
+
+/// Result of one simulated verification run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleResult {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Total CPU seconds across workers (excludes startup).
+    pub cpu_s: f64,
+    /// Number of tasks verified.
+    pub tasks: usize,
+    /// The longest single task in seconds (the scaling limiter).
+    pub critical_s: f64,
+}
+
+/// Simulates verifying `tasks` on `threads` workers of a machine whose
+/// single-thread performance is `speedup`× the c220g5 (1.0 = c220g5).
+///
+/// # Panics
+///
+/// Panics when `threads == 0` or `speedup <= 0`.
+pub fn simulate_verification(tasks: &[VerifTask], threads: usize, speedup: f64) -> ScheduleResult {
+    assert!(threads > 0, "at least one verification worker");
+    assert!(speedup > 0.0, "speedup must be positive");
+    // List scheduling in catalog order: each task goes to the worker that
+    // frees up first.
+    let mut workers = vec![0u64; threads];
+    for t in tasks {
+        let (idx, _) = workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| **w)
+            .expect("nonempty worker pool");
+        workers[idx] += t.cost_ms;
+    }
+    let makespan_ms = workers.iter().copied().max().unwrap_or(0) + STARTUP_MS;
+    let critical = tasks.iter().map(|t| t.cost_ms).max().unwrap_or(0);
+    ScheduleResult {
+        threads,
+        wall_s: makespan_ms as f64 / 1000.0 / speedup,
+        cpu_s: catalog_total_ms(tasks) as f64 / 1000.0 / speedup,
+        tasks: tasks.len(),
+        critical_s: critical as f64 / 1000.0 / speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{system_catalog, SystemId};
+
+    fn within(actual: f64, expected: f64, tol_frac: f64) -> bool {
+        (actual - expected).abs() <= expected * tol_frac
+    }
+
+    #[test]
+    fn atmosphere_matches_table2() {
+        let cat = system_catalog(SystemId::Atmosphere);
+        let t1 = simulate_verification(&cat, 1, 1.0);
+        let t8 = simulate_verification(&cat, 8, 1.0);
+        // Table 2: 3m29s and 1m7s.
+        assert!(within(t1.wall_s, 209.0, 0.02), "1t: {}", t1.wall_s);
+        assert!(within(t8.wall_s, 67.0, 0.10), "8t: {}", t8.wall_s);
+    }
+
+    #[test]
+    fn atmosphere_matches_laptop_times() {
+        // §6.1: 15 s on 32 threads, 47 s on one thread (i9-13900HX).
+        let cat = system_catalog(SystemId::Atmosphere);
+        let speedup = 4.45;
+        let t1 = simulate_verification(&cat, 1, speedup);
+        let t32 = simulate_verification(&cat, 32, speedup);
+        assert!(within(t1.wall_s, 47.0, 0.05), "1t: {}", t1.wall_s);
+        assert!(within(t32.wall_s, 15.0, 0.10), "32t: {}", t32.wall_s);
+    }
+
+    #[test]
+    fn nros_pt_matches_table2() {
+        let cat = system_catalog(SystemId::NrosPageTable);
+        let t1 = simulate_verification(&cat, 1, 1.0);
+        let t8 = simulate_verification(&cat, 8, 1.0);
+        assert!(within(t1.wall_s, 112.0, 0.02), "1t: {}", t1.wall_s);
+        assert!(within(t8.wall_s, 51.0, 0.10), "8t: {}", t8.wall_s);
+    }
+
+    #[test]
+    fn atmo_pt_matches_table2() {
+        let cat = system_catalog(SystemId::AtmoPageTable);
+        let t1 = simulate_verification(&cat, 1, 1.0);
+        assert!(within(t1.wall_s, 33.0, 0.03), "1t: {}", t1.wall_s);
+    }
+
+    #[test]
+    fn mimalloc_matches_table2() {
+        let cat = system_catalog(SystemId::Mimalloc);
+        let t1 = simulate_verification(&cat, 1, 1.0);
+        let t8 = simulate_verification(&cat, 8, 1.0);
+        assert!(within(t1.wall_s, 492.0, 0.02), "1t: {}", t1.wall_s);
+        assert!(within(t8.wall_s, 100.0, 0.10), "8t: {}", t8.wall_s);
+    }
+
+    #[test]
+    fn verismo_matches_table2() {
+        let cat = system_catalog(SystemId::VeriSmo);
+        let t1 = simulate_verification(&cat, 1, 1.0);
+        let t8 = simulate_verification(&cat, 8, 1.0);
+        assert!(within(t1.wall_s, 3684.0, 0.02), "1t: {}", t1.wall_s);
+        assert!(within(t8.wall_s, 731.0, 0.10), "8t: {}", t8.wall_s);
+    }
+
+    #[test]
+    fn scaling_is_limited_by_the_critical_task() {
+        let cat = system_catalog(SystemId::Atmosphere);
+        let t64 = simulate_verification(&cat, 64, 1.0);
+        assert!(
+            t64.wall_s >= t64.critical_s,
+            "wall {} < critical {}",
+            t64.wall_s,
+            t64.critical_s
+        );
+        // More threads cannot beat the pole + startup.
+        let t8 = simulate_verification(&cat, 8, 1.0);
+        assert!(t64.wall_s <= t8.wall_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_rejected() {
+        let _ = simulate_verification(&[], 0, 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-function verification-task catalogs (Table 2, Figure 2).
+//!
+//! A *catalog* models one system's verification workload: one task per
+//! function, with the single-thread Z3 query time on the CloudLab c220g5.
+//! Catalog shapes are calibrated to the published wall-clock times:
+//! the total equals the 1-thread time, and each catalog's *longest pole*
+//! (the hardest function) dominates the 8-thread time — which is exactly
+//! why verification does not scale linearly (§6.1, Table 2).
+//!
+//! Filler tasks are drawn from a deterministic long-tail generator, so
+//! Figure 2's distribution (many sub-second functions, a handful of
+//! multi-second poles) is reproducible bit-for-bit.
+
+/// The systems measured in Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemId {
+    /// The NrOS verified page table (recursive-ownership design).
+    NrosPageTable,
+    /// Atmosphere's page table (flat design, §6.2).
+    AtmoPageTable,
+    /// Verified mimalloc.
+    Mimalloc,
+    /// VeriSMo.
+    VeriSmo,
+    /// The full Atmosphere kernel.
+    Atmosphere,
+}
+
+/// One verification task (one function's SMT queries).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifTask {
+    /// Function name.
+    pub name: String,
+    /// Owning module (used to group Figure 2 output).
+    pub module: &'static str,
+    /// Single-thread query time on the c220g5, in milliseconds.
+    pub cost_ms: u64,
+}
+
+/// Published proof / executable line counts per system (Table 2).
+pub fn system_loc(id: SystemId) -> (usize, usize) {
+    match id {
+        SystemId::NrosPageTable => (5329, 400),
+        SystemId::AtmoPageTable => (2168, 496),
+        SystemId::Mimalloc => (13703, 3178),
+        SystemId::VeriSmo => (16101, 7915),
+        SystemId::Atmosphere => (20098, 6048),
+    }
+}
+
+/// Startup overhead of a verification run (crate loading, SMT context),
+/// in milliseconds of c220g5 single-thread time.
+pub const STARTUP_MS: u64 = 4_000;
+
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Long-tailed sample in `[lo, hi)` ms, biased toward `lo`.
+    fn tail(&mut self, lo: u64, hi: u64) -> u64 {
+        let u = (self.next() % 1000) as f64 / 1000.0;
+        let x = u * u * u; // cubic bias toward small values
+        lo + ((hi - lo) as f64 * x) as u64
+    }
+}
+
+/// Generates `n` filler tasks in `module` summing to exactly `total_ms`.
+fn filler(seed: u64, module: &'static str, n: usize, total_ms: u64) -> Vec<VerifTask> {
+    let mut rng = Xs(seed);
+    let mut costs: Vec<u64> = (0..n).map(|_| 50 + rng.tail(0, 2_000)).collect();
+    // Rescale to the exact total.
+    let sum: u64 = costs.iter().sum();
+    let mut acc = 0u64;
+    for (i, c) in costs.iter_mut().enumerate() {
+        let scaled = (*c as u128 * total_ms as u128 / sum as u128) as u64;
+        *c = scaled.max(1);
+        acc += *c;
+        if i + 1 == n {
+            // Absorb rounding drift in the last task.
+            *c = (*c + total_ms).saturating_sub(acc).max(1);
+        }
+    }
+    let fixed: u64 = costs.iter().take(n - 1).sum();
+    let last = total_ms.saturating_sub(fixed).max(1);
+    let len = costs.len();
+    costs[len - 1] = last;
+    costs
+        .into_iter()
+        .enumerate()
+        .map(|(i, cost_ms)| VerifTask {
+            name: format!("{module}::fn_{i:03}"),
+            module,
+            cost_ms,
+        })
+        .collect()
+}
+
+fn pole(name: &str, module: &'static str, cost_ms: u64) -> VerifTask {
+    VerifTask {
+        name: name.to_string(),
+        module,
+        cost_ms,
+    }
+}
+
+/// The verification catalog of a system. Deterministic; task order is the
+/// order Verus would dispatch them (declaration order), which the
+/// scheduler replays.
+pub fn system_catalog(id: SystemId) -> Vec<VerifTask> {
+    match id {
+        // NrOS page table: 1t = 1m52s (112 s); dominated by the manually
+        // unrolled recursive map_frame_aux proof (§6.2).
+        SystemId::NrosPageTable => {
+            let mut v = filler(11, "nros_pt", 38, 63_000);
+            v.insert(3, pole("nros_pt::map_frame_aux", "nros_pt", 45_000));
+            v
+        }
+        // Atmosphere page table: 1t = 33 s, flat proofs — no large pole.
+        SystemId::AtmoPageTable => {
+            let mut v = filler(13, "atmo_pt", 30, 21_000);
+            v.insert(5, pole("atmo_pt::map_4k_page", "atmo_pt", 8_000));
+            v
+        }
+        // Mimalloc: 1t = 8m12s (492 s), 8t = 1m40s.
+        SystemId::Mimalloc => {
+            let mut v = filler(17, "mimalloc", 160, 396_000);
+            v.insert(10, pole("mimalloc::page_free_list_wf", "mimalloc", 92_000));
+            v
+        }
+        // VeriSMo: 1t = 61m24s (3684 s), 8t = 12m11s — relaxed timeout,
+        // one enormous pole.
+        SystemId::VeriSmo => {
+            let mut v = filler(19, "verismo", 260, 2_965_000);
+            v.insert(20, pole("verismo::rmp_entry_update", "verismo", 715_000));
+            v
+        }
+        // The full Atmosphere kernel: 1t = 3m29s (209 s), 8t = 1m7s.
+        // ~400 functions; the non-interference step theorem is the pole.
+        SystemId::Atmosphere => {
+            let mut v = Vec::new();
+            v.extend(filler(23, "page_alloc", 60, 18_000));
+            v.extend(filler(29, "page_table", 31, 29_000));
+            v.push(pole(
+                "noninterf::step_consistency",
+                "noninterference",
+                62_000,
+            ));
+            v.extend(filler(31, "process_manager", 140, 52_000));
+            v.extend(filler(37, "syscalls", 120, 31_000));
+            v.extend(filler(41, "noninterference", 50, 13_000));
+            v
+        }
+    }
+}
+
+/// Total single-thread verification time of a catalog (ms), excluding
+/// startup.
+pub fn catalog_total_ms(tasks: &[VerifTask]) -> u64 {
+    tasks.iter().map(|t| t.cost_ms).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_deterministic() {
+        assert_eq!(
+            system_catalog(SystemId::Atmosphere),
+            system_catalog(SystemId::Atmosphere)
+        );
+    }
+
+    #[test]
+    fn atmosphere_total_matches_published_single_thread_time() {
+        // 3m29s = 209 s; catalog + startup = 209 s.
+        let total = catalog_total_ms(&system_catalog(SystemId::Atmosphere)) + STARTUP_MS;
+        let err = (total as i64 - 209_000).abs();
+        assert!(err < 2_000, "total {total} ms");
+    }
+
+    #[test]
+    fn verismo_total_matches_published_single_thread_time() {
+        let total = catalog_total_ms(&system_catalog(SystemId::VeriSmo)) + STARTUP_MS;
+        let err = (total as i64 - 3_684_000).abs();
+        assert!(err < 20_000, "total {total} ms");
+    }
+
+    #[test]
+    fn atmo_pt_is_over_3x_faster_than_nros_pt() {
+        // §6.2: "on a single thread, verification of the Atmosphere's
+        // page table is over 3x faster".
+        let atmo = catalog_total_ms(&system_catalog(SystemId::AtmoPageTable));
+        let nros = catalog_total_ms(&system_catalog(SystemId::NrosPageTable));
+        assert!(nros > 3 * atmo, "nros {nros} vs atmo {atmo}");
+    }
+
+    #[test]
+    fn figure2_distribution_is_long_tailed() {
+        let tasks = system_catalog(SystemId::Atmosphere);
+        assert!(tasks.len() > 350, "{} functions", tasks.len());
+        let sub_second = tasks.iter().filter(|t| t.cost_ms < 1_000).count();
+        assert!(
+            sub_second * 10 >= tasks.len() * 7,
+            "most functions verify in under a second ({sub_second}/{})",
+            tasks.len()
+        );
+        let max = tasks.iter().map(|t| t.cost_ms).max().unwrap();
+        assert_eq!(max, 62_000, "the pole is the step-consistency theorem");
+    }
+
+    #[test]
+    fn loc_table_rows() {
+        let (p, e) = system_loc(SystemId::Atmosphere);
+        assert_eq!(p, 20098);
+        assert_eq!(e, 6048);
+        assert!((p as f64 / e as f64 - 3.32).abs() < 0.01);
+    }
+}

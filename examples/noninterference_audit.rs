@@ -1,0 +1,38 @@
+//! The executable non-interference theorem (§4.3): fire hundreds of
+//! arbitrary system calls (including garbage arguments) from the isolated
+//! containers A and B and check, after every single step, that the other
+//! domain's observable state is untouched and both isolation invariants
+//! hold — plus the output-consistency replay check.
+//!
+//! ```sh
+//! cargo run --release --example noninterference_audit [steps] [seeds]
+//! ```
+
+use atmosphere::kernel::noninterf::{check_output_consistency, run_noninterference_trial};
+use atmosphere::spec::harness::Obligations;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let steps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    println!("step consistency + isolation preservation ({steps} arbitrary syscalls per seed):");
+    for seed in 1..=seeds {
+        run_noninterference_trial(steps, seed)
+            .unwrap_or_else(|e| panic!("non-interference violated (seed {seed}): {e}"));
+        println!("  seed {seed}: OK");
+    }
+
+    println!("output consistency (deterministic replay):");
+    for seed in 1..=seeds {
+        check_output_consistency(steps, seed)
+            .unwrap_or_else(|e| panic!("output consistency violated (seed {seed}): {e}"));
+        println!("  seed {seed}: OK");
+    }
+
+    println!(
+        "\nunwinding conditions hold — {} proof obligations discharged",
+        Obligations::count()
+    );
+    println!("(local respect coincides with step consistency in this configuration, §4.3)");
+}

@@ -1,0 +1,86 @@
+//! A "verification run" over this artefact, in the spirit of invoking
+//! Verus on Atmosphere: measure the repository's spec/proof/exec line
+//! counts, replay the modeled verification schedule on several machines,
+//! and discharge a live batch of proof obligations (audited syscalls +
+//! the non-interference trial), printing a summary report.
+//!
+//! ```sh
+//! cargo run --release --example verification_report
+//! ```
+
+use std::path::Path;
+
+use atmosphere::kernel::noninterf::run_noninterference_trial;
+use atmosphere::kernel::refine::audited_syscall;
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+use atmosphere::spec::harness::Obligations;
+use atmosphere::verif::loc::classify_workspace;
+use atmosphere::verif::schedule::simulate_verification;
+use atmosphere::verif::tasks::{system_catalog, SystemId};
+
+fn main() {
+    println!("=== Atmosphere reproduction — verification report ===\n");
+
+    // 1. Artefact size, measured live.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let loc = classify_workspace(root);
+    println!("source inventory (this checkout):");
+    println!("  executable lines : {:>6}", loc.exec);
+    println!("  specification    : {:>6}", loc.spec);
+    println!("  proof (tests)    : {:>6}", loc.proof);
+    println!("  comments/docs    : {:>6}", loc.comment);
+    println!(
+        "  proof-to-code    : {:>6.2}:1   (paper: 3.32:1 with SMT proofs)",
+        loc.proof_to_code()
+    );
+
+    // 2. The modeled verification schedule (what Verus+Z3 would take).
+    println!("\nmodeled SMT verification wall time (Atmosphere catalog):");
+    let cat = system_catalog(SystemId::Atmosphere);
+    for (machine, threads, speedup) in [
+        ("c220g5", 1usize, 1.0f64),
+        ("c220g5", 8, 1.0),
+        ("laptop i9-13900HX", 32, 4.45),
+    ] {
+        let r = simulate_verification(&cat, threads, speedup);
+        println!("  {machine:<18} {threads:>2} threads: {:>6.1} s", r.wall_s);
+    }
+
+    // 3. A live obligation batch: audited kernel transitions.
+    let before = Obligations::count();
+    let mut k = Kernel::boot(KernelConfig::default());
+    let mut audited = 0u32;
+    let calls = [
+        SyscallArgs::NewContainer {
+            quota: 128,
+            cpus: vec![1],
+        },
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 8,
+            writable: true,
+        },
+        SyscallArgs::NewEndpoint { slot: 0 },
+        SyscallArgs::Munmap {
+            va_base: 0x4000_0000,
+            len: 8,
+        },
+        SyscallArgs::Yield,
+    ];
+    for args in calls {
+        let (_ret, audit) = audited_syscall(&mut k, 0, args);
+        audit.expect("transition verified");
+        audited += 1;
+    }
+    println!("\nlive refinement audit: {audited} transitions, all green");
+
+    // 4. The non-interference trial (the §4.3 theorem, executed).
+    run_noninterference_trial(100, 2026).expect("non-interference holds");
+    println!("non-interference trial: 100 arbitrary syscalls from A/B, all green");
+
+    println!(
+        "\ntotal proof obligations discharged this run: {}",
+        Obligations::count() - before
+    );
+    println!("verdict: VERIFIED (dynamically, per DESIGN.md's substitution)");
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Regenerates every table and figure of the paper into results/.
+#
+# Usage: scripts/reproduce_all.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+cargo build --release -p atmo-bench
+
+for target in table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation; do
+    echo "== repro-$target =="
+    ./target/release/repro-"$target" | tee "results/repro-$target.txt"
+    echo
+done
+
+./target/release/repro-table2 --verif-time | tee results/repro-verif-time.txt
+
+echo "All experiment outputs written to results/."

@@ -1,0 +1,49 @@
+//! # Atmosphere (reproduction)
+//!
+//! A full reproduction of *"Atmosphere: Practical Verified Kernels with
+//! Rust and Verus"* (SOSP 2025) as a simulated, executable-specification
+//! Rust system. This facade crate re-exports the public API of every
+//! subsystem:
+//!
+//! * [`spec`] — the verification substrate (ghost collections, linear
+//!   permission pointers, invariant/refinement harness);
+//! * [`hw`] — the simulated machine (addresses, MMU walk semantics,
+//!   cycle meters and the calibrated cost model, boot info);
+//! * [`mem`] — the page allocator (page array, free lists, superpages,
+//!   `page_closure` accounting);
+//! * [`ptable`] — the flat-permission 4-level page table and the IOMMU;
+//! * [`pm`] — the process manager (containers, processes, threads,
+//!   endpoints, scheduler);
+//! * [`kernel`] — the microkernel: syscalls, abstract specifications,
+//!   `total_wf`, refinement auditing, isolation and non-interference,
+//!   and the verified shared service V;
+//! * [`verif`] — verification-effort tooling (line classifier, proof-task
+//!   catalogs, scheduler simulation, development history);
+//! * [`drivers`] — ixgbe / NVMe device models and polling drivers,
+//!   shared-memory rings and deployment scenarios;
+//! * [`apps`] — Maglev, the kv-store and httpd;
+//! * [`baselines`] — Linux / DPDK / SPDK / fio / seL4 / nginx
+//!   comparators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+//! use atmosphere::spec::harness::Invariant;
+//!
+//! let mut k = Kernel::boot(KernelConfig::default());
+//! let ret = k.syscall(0, SyscallArgs::Mmap { va_base: 0x40_0000, len: 4, writable: true });
+//! assert!(ret.is_ok());
+//! assert!(k.wf().is_ok(), "total_wf holds after every transition");
+//! ```
+
+pub use atmo_apps as apps;
+pub use atmo_baselines as baselines;
+pub use atmo_drivers as drivers;
+pub use atmo_hw as hw;
+pub use atmo_kernel as kernel;
+pub use atmo_mem as mem;
+pub use atmo_pm as pm;
+pub use atmo_ptable as ptable;
+pub use atmo_spec as spec;
+pub use atmo_verif as verif;

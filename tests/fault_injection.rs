@@ -1,0 +1,166 @@
+//! Fault injection: deliberately corrupt kernel state and verify that
+//! `total_wf` *detects* each corruption class. A verification harness is
+//! only as good as its checkers; these tests establish that every
+//! invariant family actually refutes the states it is supposed to rule
+//! out (the dynamic counterpart of proving the invariants are not
+//! vacuous).
+
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+use atmosphere::pm::{Container, Thread};
+use atmosphere::spec::harness::Invariant;
+use atmosphere::spec::PPtr;
+
+fn populated_kernel() -> Kernel {
+    let mut k = Kernel::boot(KernelConfig::default());
+    let c = k
+        .syscall(
+            0,
+            SyscallArgs::NewContainer {
+                quota: 128,
+                cpus: vec![1],
+            },
+        )
+        .val0() as usize;
+    let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+    k.syscall(0, SyscallArgs::NewThread { proc: p, cpu: 1 });
+    k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
+    k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 4,
+            writable: true,
+        },
+    );
+    assert!(k.wf().is_ok(), "baseline must be healthy: {:?}", k.wf());
+    k
+}
+
+fn root_container_mut(k: &mut Kernel) -> &mut Container {
+    let root = k.root_container;
+    PPtr::<Container>::from_usize(root).borrow_mut(k.pm.cntr_perms.tracked_borrow_mut(root))
+}
+
+#[test]
+fn detects_quota_over_commitment() {
+    let mut k = populated_kernel();
+    root_container_mut(&mut k).used = 1 << 30;
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "container_quota");
+}
+
+#[test]
+fn detects_subtree_ghost_corruption() {
+    let mut k = populated_kernel();
+    let fake = 0xdead_b000;
+    let c = root_container_mut(&mut k);
+    c.subtree.assign(c.subtree.insert(fake));
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "container_tree");
+}
+
+#[test]
+fn detects_path_ghost_corruption() {
+    let mut k = populated_kernel();
+    // Corrupt a child container's path.
+    let child = *k
+        .pm
+        .cntr(k.root_container)
+        .children
+        .to_vec()
+        .first()
+        .unwrap();
+    let perm = k.pm.cntr_perms.tracked_borrow_mut(child);
+    let c = PPtr::<Container>::from_usize(child).borrow_mut(perm);
+    c.path.assign(atmosphere::spec::Seq::from_slice(&[0x1234]));
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "container_tree");
+}
+
+#[test]
+fn detects_stale_thread_container_cache() {
+    let mut k = populated_kernel();
+    let t = k.init_thread;
+    let perm = k.pm.thrd_perms.tracked_borrow_mut(t);
+    PPtr::<Thread>::from_usize(t).borrow_mut(perm).owning_cntr = 0x9999;
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "threads");
+}
+
+#[test]
+fn detects_endpoint_refcount_drift() {
+    let mut k = populated_kernel();
+    let e_ptr = *k
+        .pm
+        .thrd(k.init_thread)
+        .edpt_descriptors
+        .iter()
+        .flatten()
+        .next()
+        .unwrap();
+    let perm = k.pm.edpt_perms.tracked_borrow_mut(e_ptr);
+    PPtr::<atmosphere::pm::Endpoint>::from_usize(e_ptr)
+        .borrow_mut(perm)
+        .refcount = 99;
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "endpoints");
+}
+
+#[test]
+fn detects_scheduler_ghost_thread() {
+    let mut k = populated_kernel();
+    k.pm.sched.enqueue(0, 0xdead_b000);
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "scheduler");
+}
+
+#[test]
+fn detects_page_table_refinement_break() {
+    // Corrupt the ghost abstract mapping so it disagrees with the MMU.
+    let mut k = populated_kernel();
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let pt = k.vm.table_mut(as_id).unwrap();
+    let wrong = pt.map_4k.insert(
+        0x7777_7000,
+        atmosphere::ptable::MapEntry {
+            frame: 0x1000,
+            flags: atmosphere::hw::paging::EntryFlags::user_rw(),
+        },
+    );
+    pt.map_4k.assign(wrong);
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "pt_refinement");
+}
+
+#[test]
+fn detects_leaked_mapped_frame() {
+    // A frame marked mapped in the allocator but referenced by no address
+    // space is a leak; the kernel-wide equation must flag it.
+    let mut k = populated_kernel();
+    let _orphan = k
+        .alloc
+        .alloc_mapped(atmosphere::mem::PageSize::Size4K)
+        .unwrap();
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "kernel_memory");
+}
+
+#[test]
+fn detects_closure_partition_break() {
+    // Allocate a kernel page owned by no subsystem: the closure-partition
+    // equation (closures == allocated) must fail.
+    let mut k = populated_kernel();
+    let (_p, perm) = k.alloc.alloc_page_4k().unwrap();
+    Box::leak(Box::new(perm)); // deliberately leak the permission
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "kernel_memory");
+}
+
+#[test]
+fn detects_ghost_owned_thread_drift() {
+    let mut k = populated_kernel();
+    let c = root_container_mut(&mut k);
+    c.owned_thrds.assign(c.owned_thrds.insert(0xdead_b000));
+    let e = k.wf().unwrap_err();
+    assert_eq!(e.subsystem, "threads");
+}

@@ -1,0 +1,126 @@
+//! The full mixed-criticality deployment of Figure 1, run as a scheduled
+//! system: client *programs* in containers A and B execute under timer
+//! preemption on their reserved CPUs while the verified service V polls
+//! on its own core — all isolation and functional-correctness properties
+//! checked at the end of the run.
+
+use atmosphere::kernel::iso::{domain_sets, endpoint_iso, memory_iso};
+use atmosphere::kernel::noninterf::setup_abv;
+use atmosphere::kernel::runner::{Action, SystemRunner, UserProgram};
+use atmosphere::kernel::vservice::{VService, OP_GET, OP_PUT};
+use atmosphere::kernel::{SyscallArgs, SyscallReturn};
+use atmosphere::spec::harness::Invariant;
+
+/// A client program: PUT `values` one by one, then GET the sum via
+/// call/reply, then finish (keeping the thread alive so the container
+/// stays populated).
+struct Client {
+    values: Vec<u64>,
+    next: usize,
+    state: ClientState,
+    observed_sum: Option<u64>,
+}
+
+enum ClientState {
+    Putting,
+    Calling,
+    AwaitingReply,
+    Finished,
+}
+
+impl UserProgram for Client {
+    fn next(&mut self, last: Option<SyscallReturn>) -> Action {
+        match self.state {
+            ClientState::Putting => {
+                if self.next < self.values.len() {
+                    let v = self.values[self.next];
+                    self.next += 1;
+                    Action::Syscall(SyscallArgs::Send {
+                        slot: 0,
+                        scalars: [OP_PUT, v, 0, 0],
+                        grant_page_va: None,
+                        grant_endpoint_slot: None,
+                        grant_iommu_domain: None,
+                    })
+                } else {
+                    self.state = ClientState::Calling;
+                    Action::Syscall(SyscallArgs::Call {
+                        slot: 0,
+                        scalars: [OP_GET, 0, 0, 0],
+                    })
+                }
+            }
+            ClientState::Calling => {
+                // The call returned (we were woken by the reply); fetch it.
+                self.state = ClientState::AwaitingReply;
+                Action::Syscall(SyscallArgs::TakeMsg)
+            }
+            ClientState::AwaitingReply => {
+                if let Some(r) = last {
+                    if let Ok(vals) = r.result {
+                        self.observed_sum = Some(vals[0]);
+                        self.state = ClientState::Finished;
+                        return Action::Compute; // idle from now on
+                    }
+                }
+                // Reply not there yet; retry.
+                Action::Syscall(SyscallArgs::TakeMsg)
+            }
+            ClientState::Finished => Action::Compute,
+        }
+    }
+}
+
+#[test]
+fn scheduled_clients_and_service_interleave_correctly() {
+    let (mut k, sc) = setup_abv();
+    let mut v = VService::new(sc.tv, sc.cpu_v);
+    let mut runner = SystemRunner::new();
+
+    let a_values: Vec<u64> = (1..=10).collect(); // sum 55
+    let b_values: Vec<u64> = (100..110).collect(); // sum 1045
+    runner.register(
+        sc.ta,
+        Box::new(Client {
+            values: a_values.clone(),
+            next: 0,
+            state: ClientState::Putting,
+            observed_sum: None,
+        }),
+    );
+    runner.register(
+        sc.tb,
+        Box::new(Client {
+            values: b_values.clone(),
+            next: 0,
+            state: ClientState::Putting,
+            observed_sum: None,
+        }),
+    );
+
+    // Interleave: client quanta on CPUs 1–2 (with preemption), V polling
+    // on CPU 3, isolation checked periodically.
+    for round in 0..400 {
+        runner.step(&mut k, sc.cpu_a);
+        runner.step(&mut k, sc.cpu_b);
+        v.step(&mut k);
+        if round % 25 == 0 {
+            let psi = k.view();
+            let da = domain_sets(&psi, sc.a);
+            let db = domain_sets(&psi, sc.b);
+            assert!(memory_iso(&psi, &da.processes, &db.processes), "round {round}");
+            assert!(endpoint_iso(&psi, &da.threads, &db.threads), "round {round}");
+            assert!(k.wf().is_ok(), "round {round}: {:?}", k.wf());
+        }
+    }
+
+    // Both clients observed exactly their own sums.
+    assert_eq!(v.sessions[0].sum, a_values.iter().sum::<u64>());
+    assert_eq!(v.sessions[1].sum, b_values.iter().sum::<u64>());
+    assert!(v.spec_wf(&k).is_ok(), "{:?}", v.spec_wf(&k));
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    // The runner's program state is internal; verify through V's replies
+    // delivered to the clients (their threads hold no stale messages).
+    assert!(k.pm.thrd(sc.ta).ipc_buf.is_none());
+    assert!(k.pm.thrd(sc.tb).ipc_buf.is_none());
+}

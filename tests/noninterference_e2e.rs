@@ -1,0 +1,122 @@
+//! End-to-end non-interference: long randomized trials of the A/B/V
+//! configuration across many seeds (§4.3's theorem, executed).
+
+use atmosphere::kernel::iso::{domain_sets, endpoint_iso, memory_iso, t_x_wf};
+use atmosphere::kernel::noninterf::{
+    check_output_consistency, run_noninterference_trial, setup_abv,
+};
+use atmosphere::kernel::vservice::{VService, OP_GET, OP_PUT};
+use atmosphere::kernel::SyscallArgs;
+use atmosphere::spec::harness::Invariant;
+
+#[test]
+fn noninterference_holds_across_seeds() {
+    for seed in [1u64, 42, 0xdead, 0xbeef, 31337] {
+        run_noninterference_trial(120, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn output_consistency_across_seeds() {
+    for seed in [3u64, 17, 255] {
+        check_output_consistency(80, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn isolation_survives_service_traffic() {
+    // A and B both talk to V concurrently; isolation between A and B must
+    // hold at every interleaving point.
+    let (mut k, sc) = setup_abv();
+    let mut v = VService::new(sc.tv, sc.cpu_v);
+
+    for round in 0..20u64 {
+        k.syscall(
+            sc.cpu_a,
+            SyscallArgs::Send {
+                slot: 0,
+                scalars: [OP_PUT, round, 0, 0],
+                grant_page_va: None,
+                grant_endpoint_slot: None,
+                grant_iommu_domain: None,
+            },
+        );
+        k.syscall(
+            sc.cpu_b,
+            SyscallArgs::Send {
+                slot: 0,
+                scalars: [OP_PUT, 1000 + round, 0, 0],
+                grant_page_va: None,
+                grant_endpoint_slot: None,
+                grant_iommu_domain: None,
+            },
+        );
+        v.step(&mut k);
+
+        let psi = k.view();
+        let da = domain_sets(&psi, sc.a);
+        let db = domain_sets(&psi, sc.b);
+        assert!(
+            memory_iso(&psi, &da.processes, &db.processes),
+            "round {round}"
+        );
+        assert!(
+            endpoint_iso(&psi, &da.threads, &db.threads),
+            "round {round}"
+        );
+        assert!(t_x_wf(&psi, sc.a, &da.threads));
+        assert!(k.wf().is_ok(), "round {round}: {:?}", k.wf());
+    }
+    assert!(v.spec_wf(&k).is_ok());
+
+    // Sums stayed per-client.
+    k.syscall(
+        sc.cpu_a,
+        SyscallArgs::Call {
+            slot: 0,
+            scalars: [OP_GET, 0, 0, 0],
+        },
+    );
+    v.step(&mut k);
+    let a_sum = k.syscall(sc.cpu_a, SyscallArgs::TakeMsg).val0();
+    assert_eq!(a_sum, (0..20).sum::<u64>());
+}
+
+#[test]
+fn terminating_a_client_does_not_disturb_the_other() {
+    let (mut k, sc) = setup_abv();
+    let mut v = VService::new(sc.tv, sc.cpu_v);
+
+    // B builds up state.
+    k.syscall(
+        sc.cpu_b,
+        SyscallArgs::Send {
+            slot: 0,
+            scalars: [OP_PUT, 55, 0, 0],
+            grant_page_va: None,
+            grant_endpoint_slot: None,
+            grant_iommu_domain: None,
+        },
+    );
+    v.step(&mut k);
+
+    let obs_b_before = atmosphere::kernel::noninterf::observable_state(&k.view(), sc.b);
+
+    // A crashes hard.
+    k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
+    v.cleanup_client(&mut k, 0);
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // B's observable state is unchanged and its session still works.
+    let obs_b_after = atmosphere::kernel::noninterf::observable_state(&k.view(), sc.b);
+    assert_eq!(obs_b_before, obs_b_after);
+    k.syscall(
+        sc.cpu_b,
+        SyscallArgs::Call {
+            slot: 0,
+            scalars: [OP_GET, 0, 0, 0],
+        },
+    );
+    v.step(&mut k);
+    assert_eq!(k.syscall(sc.cpu_b, SyscallArgs::TakeMsg).val0(), 55);
+}

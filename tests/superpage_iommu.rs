@@ -1,0 +1,370 @@
+//! Superpage mappings and the IOMMU system-call interface (§3, §4.2):
+//! 2 MiB user mappings with quota accounting, DMA protection domains,
+//! device attachment, DMA-visibility of own memory only, grant of domain
+//! identifiers over IPC, and teardown on container termination.
+
+use atmosphere::hw::VAddr;
+use atmosphere::kernel::refine::audited_syscall;
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs, SyscallError};
+use atmosphere::spec::harness::Invariant;
+
+fn ok(k: &mut Kernel, cpu: usize, args: SyscallArgs) -> u64 {
+    let (ret, audit) = audited_syscall(k, cpu, args.clone());
+    audit.unwrap_or_else(|e| panic!("{args:?}: {e}"));
+    assert!(ret.is_ok(), "{args:?} failed: {ret:?}");
+    ret.val0()
+}
+
+#[test]
+fn mmap_huge_2m_roundtrip() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    });
+    let used0 = k.pm.cntr(k.root_container).used;
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::MmapHuge2M {
+            va_base: 0x4000_0000,
+            writable: true,
+        },
+    );
+    assert_eq!(
+        k.pm.cntr(k.root_container).used,
+        used0 + 512,
+        "512 pages charged"
+    );
+
+    // The MMU resolves an address inside the superpage.
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let r =
+        k.vm.table(as_id)
+            .unwrap()
+            .resolve(VAddr(0x4000_5000))
+            .unwrap();
+    assert_eq!(r.size, atmosphere::hw::PAGE_SIZE_2M);
+
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::MunmapHuge2M {
+            va_base: 0x4000_0000,
+        },
+    );
+    assert_eq!(k.pm.cntr(k.root_container).used, used0);
+    assert!(k.alloc.mapped_pages().is_empty());
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn mmap_huge_rejects_bad_arguments() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    });
+    // Misaligned base.
+    let (ret, audit) = audited_syscall(
+        &mut k,
+        0,
+        SyscallArgs::MmapHuge2M {
+            va_base: 0x4000_1000,
+            writable: true,
+        },
+    );
+    assert_eq!(ret.result, Err(SyscallError::Invalid));
+    audit.unwrap();
+    // Quota too small (needs 512 pages).
+    let c = ok(
+        &mut k,
+        0,
+        SyscallArgs::NewContainer {
+            quota: 64,
+            cpus: vec![],
+        },
+    ) as usize;
+    let p = ok(&mut k, 0, SyscallArgs::NewProcess { cntr: c }) as usize;
+    ok(&mut k, 0, SyscallArgs::NewThread { proc: p, cpu: 0 });
+    k.pm.timer_tick(0);
+    let (ret, audit) = audited_syscall(
+        &mut k,
+        0,
+        SyscallArgs::MmapHuge2M {
+            va_base: 0x4000_0000,
+            writable: true,
+        },
+    );
+    assert_eq!(ret.result, Err(SyscallError::Quota));
+    audit.unwrap();
+}
+
+#[test]
+fn huge_and_small_mappings_coexist() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    });
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4020_0000,
+            len: 2,
+            writable: true,
+        },
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::MmapHuge2M {
+            va_base: 0x4040_0000,
+            writable: false,
+        },
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    // Overlapping 4K map under the superpage conflicts.
+    let (ret, _audit) = audited_syscall(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4040_0000,
+            len: 1,
+            writable: true,
+        },
+    );
+    assert_eq!(ret.result, Err(SyscallError::Fault));
+}
+
+#[test]
+fn iommu_dma_visibility_lifecycle() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    });
+    // Map a page, create a domain, attach a device, expose the page.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 1,
+            writable: true,
+        },
+    );
+    let dom = ok(&mut k, 0, SyscallArgs::IommuCreateDomain) as u32;
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuAttach {
+            domain: dom,
+            device: 7,
+        },
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuMap {
+            domain: dom,
+            iova: 0x10_0000,
+            va: 0x4000_0000,
+        },
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // The device resolves the IOVA to the process's frame.
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let frame =
+        k.vm.table(as_id)
+            .unwrap()
+            .map_4k
+            .index(&0x4000_0000)
+            .unwrap()
+            .frame;
+    let r = k.vm.iommu.translate(7, VAddr(0x10_0000)).unwrap();
+    assert_eq!(r.frame.as_usize(), frame);
+    assert_eq!(k.alloc.map_refcnt(frame), 2, "process + IOMMU references");
+
+    // Unmapping from the process keeps the DMA mapping alive (the driver
+    // still owns the buffer) — no dangling DMA.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_0000,
+            len: 1,
+        },
+    );
+    assert_eq!(k.alloc.map_refcnt(frame), 1);
+    assert!(k.vm.iommu.translate(7, VAddr(0x10_0000)).is_some());
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // IOMMU unmap releases the last reference.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuUnmap {
+            domain: dom,
+            iova: 0x10_0000,
+        },
+    );
+    assert!(k.alloc.page_is_free(frame));
+    ok(&mut k, 0, SyscallArgs::IommuDetach { device: 7 });
+    assert_eq!(k.vm.iommu.translate(7, VAddr(0x10_0000)), None);
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn iommu_map_requires_own_mapping() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    });
+    let dom = ok(&mut k, 0, SyscallArgs::IommuCreateDomain) as u32;
+    // The VA is not mapped in the caller's space: Fault.
+    let (ret, audit) = audited_syscall(
+        &mut k,
+        0,
+        SyscallArgs::IommuMap {
+            domain: dom,
+            iova: 0x10_0000,
+            va: 0x4000_0000,
+        },
+    );
+    assert_eq!(ret.result, Err(SyscallError::Fault));
+    audit.unwrap();
+}
+
+#[test]
+fn iommu_domain_access_is_container_scoped_until_granted() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 2,
+        root_quota: 2048,
+    });
+    let init_proc = k.init_proc;
+    // A second container with its own thread.
+    let c = ok(
+        &mut k,
+        0,
+        SyscallArgs::NewContainer {
+            quota: 64,
+            cpus: vec![1],
+        },
+    ) as usize;
+    let p = ok(&mut k, 0, SyscallArgs::NewProcess { cntr: c }) as usize;
+    let t2 = ok(&mut k, 0, SyscallArgs::NewThread { proc: p, cpu: 1 }) as usize;
+    k.pm.timer_tick(1);
+
+    // Root creates a domain; the child container may not attach devices.
+    let dom = ok(&mut k, 0, SyscallArgs::IommuCreateDomain) as u32;
+    let (ret, _) = audited_syscall(
+        &mut k,
+        1,
+        SyscallArgs::IommuAttach {
+            domain: dom,
+            device: 3,
+        },
+    );
+    assert_eq!(ret.result, Err(SyscallError::Denied));
+
+    // Root grants the domain over an endpoint; afterwards the child may.
+    let e = ok(&mut k, 0, SyscallArgs::NewEndpoint { slot: 0 }) as usize;
+    k.pm.install_descriptor(t2, 0, e).unwrap();
+    let (ret, _) = audited_syscall(&mut k, 1, SyscallArgs::Recv { slot: 0 });
+    assert!(ret.is_ok());
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Send {
+            slot: 0,
+            scalars: [0; 4],
+            grant_page_va: None,
+            grant_endpoint_slot: None,
+            grant_iommu_domain: Some(dom),
+        },
+    );
+    let msg = k.syscall(1, SyscallArgs::TakeMsg);
+    assert!(msg.is_ok());
+    ok(
+        &mut k,
+        1,
+        SyscallArgs::IommuAttach {
+            domain: dom,
+            device: 3,
+        },
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    let _ = init_proc;
+}
+
+#[test]
+fn container_termination_tears_down_its_domains() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 2,
+        root_quota: 2048,
+    });
+    let c = ok(
+        &mut k,
+        0,
+        SyscallArgs::NewContainer {
+            quota: 64,
+            cpus: vec![1],
+        },
+    ) as usize;
+    let p = ok(&mut k, 0, SyscallArgs::NewProcess { cntr: c }) as usize;
+    ok(&mut k, 0, SyscallArgs::NewThread { proc: p, cpu: 1 });
+    k.pm.timer_tick(1);
+
+    // The child's thread creates a domain, attaches a device and maps a
+    // DMA buffer.
+    ok(
+        &mut k,
+        1,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 1,
+            writable: true,
+        },
+    );
+    let dom = ok(&mut k, 1, SyscallArgs::IommuCreateDomain) as u32;
+    ok(
+        &mut k,
+        1,
+        SyscallArgs::IommuAttach {
+            domain: dom,
+            device: 9,
+        },
+    );
+    ok(
+        &mut k,
+        1,
+        SyscallArgs::IommuMap {
+            domain: dom,
+            iova: 0x20_0000,
+            va: 0x4000_0000,
+        },
+    );
+    assert_eq!(k.vm.iommu.domain_count(), 1);
+
+    // Kill the container: the domain, its device binding, its DMA
+    // mappings and its frames all disappear; nothing leaks.
+    let free_expected = {
+        let before = k.alloc.free_pages_4k().len();
+        ok(&mut k, 0, SyscallArgs::TerminateContainer { cntr: c });
+        before
+    };
+    assert_eq!(k.vm.iommu.domain_count(), 0);
+    assert_eq!(k.vm.iommu.translate(9, VAddr(0x20_0000)), None);
+    assert!(
+        k.alloc.free_pages_4k().len() > free_expected,
+        "frames returned"
+    );
+    assert!(k.alloc.mapped_pages().is_empty());
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
