@@ -1,74 +1,71 @@
-//! Criterion benchmarks of the application data paths: Maglev lookup,
+//! Microbenchmarks of the application data paths: Maglev lookup,
 //! kv-store operations and HTTP parsing — the real per-request work of
 //! §6.6.
+//!
+//! Runs with the in-repo harness (`harness = false`, no external
+//! benchmarking dependency): `cargo bench -p atmo-bench --bench applications`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use atmo_apps::fnv1a;
 use atmo_apps::httpd::parse_request;
 use atmo_apps::kvstore::{KvRequest, KvStore};
 use atmo_apps::maglev::MaglevTable;
+use atmo_bench::microbench::bench;
 use atmo_drivers::pkt::Packet;
 
-fn maglev_process_packet(c: &mut Criterion) {
+fn maglev_process_packet() {
     let backends: Vec<String> = (0..16).map(|i| format!("backend-{i}")).collect();
     let table = MaglevTable::new(&backends, 65537);
     let mut pkt = Packet::udp64(1234);
-    c.bench_function("maglev_process_packet", |b| {
-        b.iter(|| black_box(table.process_packet(&mut pkt)))
+    bench("maglev_process_packet", || {
+        black_box(table.process_packet(&mut pkt))
     });
 }
 
-fn maglev_table_build(c: &mut Criterion) {
+fn maglev_table_build() {
     let backends: Vec<String> = (0..16).map(|i| format!("backend-{i}")).collect();
-    c.bench_function("maglev_table_build_65537", |b| {
-        b.iter(|| black_box(MaglevTable::new(&backends, 65537)))
+    bench("maglev_table_build_65537", || {
+        black_box(MaglevTable::new(&backends, 65537))
     });
 }
 
-fn kv_get_set(c: &mut Criterion) {
+fn kv_get_set() {
     let mut kv = KvStore::with_capacity(1 << 20);
     for i in 0..100_000u32 {
         kv.set(&i.to_le_bytes(), b"valuevalue");
     }
     let mut i = 0u32;
-    c.bench_function("kv_get_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 100_000;
-            black_box(kv.get(&i.to_le_bytes()))
-        })
+    bench("kv_get_hit", || {
+        i = (i + 1) % 100_000;
+        black_box(kv.get(&i.to_le_bytes()).is_some())
     });
-    c.bench_function("kv_set_update", |b| {
-        b.iter(|| {
-            i = (i + 1) % 100_000;
-            black_box(kv.set(&i.to_le_bytes(), b"othervalue"))
-        })
+    let mut j = 0u32;
+    bench("kv_set_update", || {
+        j = (j + 1) % 100_000;
+        black_box(kv.set(&j.to_le_bytes(), b"othervalue"))
     });
     let req = KvRequest::Get(7u32.to_le_bytes().to_vec()).encode();
-    c.bench_function("kv_decode_serve", |b| {
-        b.iter(|| {
-            let r = KvRequest::decode(&req).unwrap();
-            black_box(kv.serve(&r))
-        })
+    bench("kv_decode_serve", || {
+        let r = KvRequest::decode(&req).unwrap();
+        black_box(kv.serve(&r))
     });
 }
 
-fn http_parse(c: &mut Criterion) {
+fn http_parse() {
     let raw = b"GET /index.html HTTP/1.1\r\nHost: bench\r\nUser-Agent: wrk\r\nAccept: */*\r\n\r\n";
-    c.bench_function("http_parse_request", |b| {
-        b.iter(|| black_box(parse_request(raw)))
-    });
+    bench("http_parse_request", || black_box(parse_request(raw)));
 }
 
-fn fnv_hash(c: &mut Criterion) {
+fn fnv_hash() {
     let key = Packet::udp64(42).flow_key().unwrap();
-    c.bench_function("fnv1a_flow_key", |b| b.iter(|| black_box(fnv1a(&key))));
+    bench("fnv1a_flow_key", || black_box(fnv1a(&key)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = maglev_process_packet, maglev_table_build, kv_get_set, http_parse, fnv_hash
+fn main() {
+    maglev_process_packet();
+    maglev_table_build();
+    kv_get_set();
+    http_parse();
+    fnv_hash();
 }
-criterion_main!(benches);

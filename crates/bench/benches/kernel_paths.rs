@@ -1,18 +1,21 @@
-//! Criterion benchmarks of the kernel's real hot paths.
+//! Microbenchmarks of the kernel's real hot paths.
 //!
 //! These measure the wall-clock cost of *this implementation* (the
 //! simulated kernel running on the host), complementing the modeled
 //! cycle numbers of the `repro-*` binaries. The interesting outputs are
 //! the relative costs: IPC fast path vs map/unmap vs full `total_wf`
 //! invariant checking (the price of the executable verification).
+//!
+//! Runs with the in-repo harness (`harness = false`, no external
+//! benchmarking dependency): `cargo bench -p atmo-bench --bench kernel_paths`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use atmo_bench::microbench::bench;
 use atmo_kernel::{Kernel, KernelConfig, SyscallArgs};
 use atmo_spec::harness::Invariant;
 
-fn ipc_round_trip(c: &mut Criterion) {
+fn ipc_round_trip() {
     // T2 parked in recv; each iteration: T1 call → T2 reply → take msg.
     let mut k = Kernel::boot(KernelConfig::default());
     let t2 = k
@@ -27,57 +30,53 @@ fn ipc_round_trip(c: &mut Criterion) {
     let e = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 }).val0() as usize;
     k.pm.install_descriptor(t2, 0, e).unwrap();
     k.pm.timer_tick(0);
-    k.syscall(0, SyscallArgs::Recv { slot: 0 });
+    let _ = k.syscall(0, SyscallArgs::Recv { slot: 0 });
 
-    c.bench_function("ipc_call_reply_round_trip", |b| {
-        b.iter(|| {
-            let r1 = k.syscall(
-                0,
-                SyscallArgs::Call {
-                    slot: 0,
-                    scalars: [1, 2, 3, 4],
-                },
-            );
-            let r2 = k.syscall(
-                0,
-                SyscallArgs::Reply {
-                    scalars: [9, 0, 0, 0],
-                },
-            );
-            let msg = k.syscall(0, SyscallArgs::TakeMsg);
-            // Park T2 back into recv for the next iteration.
-            k.pm.timer_tick(0);
-            let r3 = k.syscall(0, SyscallArgs::Recv { slot: 0 });
-            black_box((r1, r2, msg, r3))
-        })
+    bench("ipc_call_reply_round_trip", || {
+        let r1 = k.syscall(
+            0,
+            SyscallArgs::Call {
+                slot: 0,
+                scalars: [1, 2, 3, 4],
+            },
+        );
+        let r2 = k.syscall(
+            0,
+            SyscallArgs::Reply {
+                scalars: [9, 0, 0, 0],
+            },
+        );
+        let msg = k.syscall(0, SyscallArgs::TakeMsg);
+        // Park T2 back into recv for the next iteration.
+        k.pm.timer_tick(0);
+        let r3 = k.syscall(0, SyscallArgs::Recv { slot: 0 });
+        black_box((r1, r2, msg, r3))
     });
 }
 
-fn mmap_munmap(c: &mut Criterion) {
+fn mmap_munmap() {
     let mut k = Kernel::boot(KernelConfig::default());
-    c.bench_function("mmap_munmap_4_pages", |b| {
-        b.iter(|| {
-            let r1 = k.syscall(
-                0,
-                SyscallArgs::Mmap {
-                    va_base: 0x40_0000,
-                    len: 4,
-                    writable: true,
-                },
-            );
-            let r2 = k.syscall(
-                0,
-                SyscallArgs::Munmap {
-                    va_base: 0x40_0000,
-                    len: 4,
-                },
-            );
-            black_box((r1, r2))
-        })
+    bench("mmap_munmap_4_pages", || {
+        let r1 = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 4,
+                writable: true,
+            },
+        );
+        let r2 = k.syscall(
+            0,
+            SyscallArgs::Munmap {
+                va_base: 0x40_0000,
+                len: 4,
+            },
+        );
+        black_box((r1, r2))
     });
 }
 
-fn total_wf_check(c: &mut Criterion) {
+fn total_wf_check() {
     // The cost of one full `total_wf()` pass over a populated kernel —
     // the per-transition price of executable verification.
     let mut k = Kernel::boot(KernelConfig::default());
@@ -91,8 +90,8 @@ fn total_wf_check(c: &mut Criterion) {
         )
         .val0() as usize;
     let p = k.syscall(0, SyscallArgs::NewProcess { cntr: child }).val0() as usize;
-    k.syscall(0, SyscallArgs::NewThread { proc: p, cpu: 1 });
-    k.syscall(
+    let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu: 1 });
+    let _ = k.syscall(
         0,
         SyscallArgs::Mmap {
             va_base: 0x40_0000,
@@ -100,28 +99,26 @@ fn total_wf_check(c: &mut Criterion) {
             writable: true,
         },
     );
-    c.bench_function("total_wf_full_check", |b| {
-        b.iter(|| black_box(k.wf().is_ok()))
-    });
+    bench("total_wf_full_check", || black_box(k.wf().is_ok()));
 }
 
-fn syscall_yield(c: &mut Criterion) {
+fn syscall_yield() {
     let mut k = Kernel::boot(KernelConfig::default());
-    k.syscall(
+    let _ = k.syscall(
         0,
         SyscallArgs::NewThread {
             proc: k.init_proc,
             cpu: 0,
         },
     );
-    c.bench_function("yield_round_robin", |b| {
-        b.iter(|| black_box(k.syscall(0, SyscallArgs::Yield)))
+    bench("yield_round_robin", || {
+        black_box(k.syscall(0, SyscallArgs::Yield))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = ipc_round_trip, mmap_munmap, total_wf_check, syscall_yield
+fn main() {
+    ipc_round_trip();
+    mmap_munmap();
+    total_wf_check();
+    syscall_yield();
 }
-criterion_main!(benches);

@@ -1,39 +1,38 @@
-//! Criterion benchmarks of the memory substrates: the page allocator's
+//! Microbenchmarks of the memory substrates: the page allocator's
 //! free lists and superpage merging, and the page table's map/walk paths.
+//!
+//! Runs with the in-repo harness (`harness = false`, no external
+//! benchmarking dependency): `cargo bench -p atmo-bench --bench memory`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use atmo_bench::microbench::bench;
 use atmo_hw::boot::BootInfo;
 use atmo_hw::paging::EntryFlags;
 use atmo_hw::VAddr;
 use atmo_mem::{PageAllocator, PageSize};
 use atmo_ptable::{refinement_wf, PageTable};
 
-fn alloc_free_4k(c: &mut Criterion) {
+fn alloc_free_4k() {
     let mut alloc = PageAllocator::new(&BootInfo::simulated(16, 1, ""));
-    c.bench_function("page_alloc_free_4k", |b| {
-        b.iter(|| {
-            let (p, perm) = alloc.alloc_page_4k().unwrap();
-            alloc.free_page_4k(perm);
-            black_box(p)
-        })
+    bench("page_alloc_free_4k", || {
+        let (p, perm) = alloc.alloc_page_4k().unwrap();
+        alloc.free_page_4k(perm);
+        black_box(p)
     });
 }
 
-fn superpage_merge_split(c: &mut Criterion) {
+fn superpage_merge_split() {
     let mut alloc = PageAllocator::new(&BootInfo::simulated(8, 1, ""));
-    c.bench_function("superpage_merge_split_2m", |b| {
-        b.iter(|| {
-            assert!(alloc.merge_2m());
-            let head = *alloc.free_pages_2m().choose().unwrap();
-            alloc.split_2m(head);
-            black_box(head)
-        })
+    bench("superpage_merge_split_2m", || {
+        assert!(alloc.merge_2m());
+        let head = *alloc.free_pages_2m().choose().unwrap();
+        alloc.split_2m(head);
+        black_box(head)
     });
 }
 
-fn page_table_map_resolve_unmap(c: &mut Criterion) {
+fn page_table_map_resolve_unmap() {
     let mut alloc = PageAllocator::new(&BootInfo::simulated(32, 1, ""));
     let mut pt = PageTable::new(&mut alloc).unwrap();
     let frame = alloc.alloc_mapped(PageSize::Size4K).unwrap();
@@ -41,19 +40,17 @@ fn page_table_map_resolve_unmap(c: &mut Criterion) {
     pt.map_4k_page(&mut alloc, VAddr(0x3f_f000), frame, EntryFlags::user_rw())
         .unwrap();
     pt.unmap_4k_page(VAddr(0x3f_f000)).unwrap();
-    c.bench_function("pt_map_resolve_unmap_4k", |b| {
-        b.iter(|| {
-            pt.map_4k_page(&mut alloc, VAddr(0x40_0000), frame, EntryFlags::user_rw())
-                .unwrap();
-            let r = pt.resolve(VAddr(0x40_0000));
-            pt.unmap_4k_page(VAddr(0x40_0000)).unwrap();
-            black_box(r)
-        })
+    bench("pt_map_resolve_unmap_4k", || {
+        pt.map_4k_page(&mut alloc, VAddr(0x40_0000), frame, EntryFlags::user_rw())
+            .unwrap();
+        let r = pt.resolve(VAddr(0x40_0000));
+        pt.unmap_4k_page(VAddr(0x40_0000)).unwrap();
+        black_box(r)
     });
     alloc.dec_map_ref(frame);
 }
 
-fn page_table_refinement_check(c: &mut Criterion) {
+fn page_table_refinement_check() {
     // Cost of checking the MMU-walk refinement over a populated space.
     let mut alloc = PageAllocator::new(&BootInfo::simulated(32, 1, ""));
     let mut pt = PageTable::new(&mut alloc).unwrap();
@@ -67,14 +64,14 @@ fn page_table_refinement_check(c: &mut Criterion) {
         )
         .unwrap();
     }
-    c.bench_function("pt_refinement_wf_64_mappings", |b| {
-        b.iter(|| black_box(refinement_wf(&pt).is_ok()))
+    bench("pt_refinement_wf_64_mappings", || {
+        black_box(refinement_wf(&pt).is_ok())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = alloc_free_4k, superpage_merge_split, page_table_map_resolve_unmap, page_table_refinement_check
+fn main() {
+    alloc_free_4k();
+    superpage_merge_split();
+    page_table_map_resolve_unmap();
+    page_table_refinement_check();
 }
-criterion_main!(benches);

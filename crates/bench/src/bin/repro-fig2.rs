@@ -3,6 +3,7 @@
 //! limit parallel scaling).
 
 use atmo_bench::render_table;
+use atmo_trace::LatencyHist;
 use atmo_verif::tasks::{catalog_total_ms, system_catalog, SystemId};
 
 fn main() {
@@ -55,8 +56,22 @@ fn main() {
         "{}",
         render_table("Slowest functions", &["Function", "Module", "Time"], &top)
     );
+    // Percentile summary of the same distribution, through the trace
+    // subsystem's histogram (the one the kernel uses for syscall latency).
+    let mut hist = LatencyHist::new();
+    for t in &tasks {
+        hist.record(t.cost_ms);
+    }
     println!(
-        "\n{} functions, {:.1} s single-thread total (paper: full verification 3m29s on 1 thread).",
+        "\nPer-function time: p50 {} ms, p90 {} ms, p99 {} ms, max {} ms \
+         (log2-bucket resolution).",
+        hist.p50(),
+        hist.p90(),
+        hist.p99(),
+        hist.max()
+    );
+    println!(
+        "{} functions, {:.1} s single-thread total (paper: full verification 3m29s on 1 thread).",
         tasks.len(),
         catalog_total_ms(&tasks) as f64 / 1000.0
     );

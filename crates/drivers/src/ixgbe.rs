@@ -9,6 +9,7 @@
 //! `min(CPU rate, line rate)` — exactly the behaviour behind Figure 4.
 
 use atmo_hw::cycles::CycleMeter;
+use atmo_trace::{DeviceKind, KernelEvent, TraceHandle, TraceShare};
 
 use crate::pkt::{Packet, PktGen};
 use crate::DriverCosts;
@@ -85,12 +86,24 @@ pub struct IxgbeDriver {
     /// The device being driven.
     pub device: IxgbeDevice,
     costs: DriverCosts,
+    /// Batch-event sink (always-equal share: tracing does not change
+    /// driver state).
+    trace: TraceShare,
 }
 
 impl IxgbeDriver {
     /// Binds a driver to a device.
     pub fn new(device: IxgbeDevice, costs: DriverCosts) -> Self {
-        IxgbeDriver { device, costs }
+        IxgbeDriver {
+            device,
+            costs,
+            trace: TraceShare::detached(),
+        }
+    }
+
+    /// Routes rx/tx batch events into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
     }
 
     /// Polls until up to `batch` frames are received, charging descriptor
@@ -103,6 +116,10 @@ impl IxgbeDriver {
         }
         let pkts = self.device.rx_take(meter.now(), batch);
         meter.charge(self.costs.rx_desc * pkts.len() as u64 + self.costs.doorbell);
+        self.trace.emit(KernelEvent::DriverRx {
+            device: DeviceKind::Ixgbe,
+            batch: pkts.len() as u64,
+        });
         pkts
     }
 
@@ -111,6 +128,10 @@ impl IxgbeDriver {
         let n = pkts.len();
         meter.charge(self.costs.tx_desc * n as u64 + self.costs.doorbell);
         self.device.tx_submit(n);
+        self.trace.emit(KernelEvent::DriverTx {
+            device: DeviceKind::Ixgbe,
+            batch: n as u64,
+        });
     }
 }
 

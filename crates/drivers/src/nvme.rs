@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use atmo_hw::cycles::CycleMeter;
+use atmo_trace::{DeviceKind, KernelEvent, TraceHandle, TraceShare};
 
 use crate::DriverCosts;
 
@@ -149,12 +150,24 @@ pub struct NvmeDriver {
     /// The device being driven.
     pub device: NvmeDevice,
     costs: DriverCosts,
+    /// Batch-event sink (always-equal share: tracing does not change
+    /// driver state).
+    trace: TraceShare,
 }
 
 impl NvmeDriver {
     /// Binds a driver to a device.
     pub fn new(device: NvmeDevice, costs: DriverCosts) -> Self {
-        NvmeDriver { device, costs }
+        NvmeDriver {
+            device,
+            costs,
+            trace: TraceShare::detached(),
+        }
+    }
+
+    /// Routes submit/completion batch events into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
     }
 
     /// Per-I/O CPU cost (submission + completion processing).
@@ -174,6 +187,10 @@ impl NvmeDriver {
             };
             self.device.submit_with_penalty(meter.now(), kind, penalty);
         }
+        self.trace.emit(KernelEvent::DriverTx {
+            device: DeviceKind::Nvme,
+            batch: n as u64,
+        });
     }
 
     /// Polls until at least one completion arrives (waiting if needed);
@@ -182,7 +199,12 @@ impl NvmeDriver {
         if let Some(wait) = self.device.cycles_until_completion(meter.now()) {
             meter.charge(wait);
         }
-        self.device.poll(meter.now())
+        let n = self.device.poll(meter.now());
+        self.trace.emit(KernelEvent::DriverRx {
+            device: DeviceKind::Nvme,
+            batch: n,
+        });
+        n
     }
 }
 

@@ -1,11 +1,12 @@
-//! Property-based check of the trusted MMU specification: for randomly
+//! Randomized check of the trusted MMU specification: for randomly
 //! generated table hierarchies, the exhaustive enumeration and the
 //! pointwise 4-level walk agree exactly — `enumerate_mappings` finds all
-//! and only the addresses `walk_4level` resolves.
+//! and only the addresses `walk_4level` resolves. Randomness comes from
+//! the deterministic in-repo [`XorShift64Star`] generator.
 
 use atmo_hw::addr::{index2va, PAddr, VAddr, ENTRIES_PER_TABLE};
 use atmo_hw::paging::{enumerate_mappings, walk_4level, EntryFlags, PageEntry, PhysFrameSource};
-use proptest::prelude::*;
+use atmo_spec::XorShift64Star;
 use std::collections::BTreeMap;
 
 #[derive(Default)]
@@ -30,23 +31,15 @@ struct Entry {
     writable: bool,
 }
 
-fn entry_strategy() -> impl Strategy<Value = Entry> {
-    (
-        0usize..8,
-        0usize..8,
-        0usize..8,
-        0usize..8,
-        0u8..3,
-        any::<bool>(),
-    )
-        .prop_map(|(l4, l3, l2, l1, size, writable)| Entry {
-            l4,
-            l3,
-            l2,
-            l1,
-            size,
-            writable,
-        })
+fn random_entry(rng: &mut XorShift64Star) -> Entry {
+    Entry {
+        l4: rng.below(8),
+        l3: rng.below(8),
+        l2: rng.below(8),
+        l1: rng.below(8),
+        size: rng.below(3) as u8,
+        writable: rng.chance(1, 2),
+    }
 }
 
 /// Builds a table hierarchy from the requests (first-writer-wins per
@@ -142,18 +135,19 @@ fn build(mem: &mut ToyMem, entries: &[Entry]) -> PAddr {
     PAddr::new(root)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn enumeration_agrees_with_pointwise_walks(entries in proptest::collection::vec(entry_strategy(), 1..24)) {
+#[test]
+fn enumeration_agrees_with_pointwise_walks() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64Star::new(0x5eed_6001 + case);
+        let n = rng.range(1, 24);
+        let entries: Vec<Entry> = (0..n).map(|_| random_entry(&mut rng)).collect();
         let mut mem = ToyMem::default();
         let root = build(&mut mem, &entries);
         let all = enumerate_mappings(&mem, root);
 
         // Direction 1: every enumerated mapping resolves identically.
         for (va, resolved) in &all {
-            prop_assert_eq!(walk_4level(&mem, root, *va), Some(*resolved));
+            assert_eq!(walk_4level(&mem, root, *va), Some(*resolved), "seed {case}");
         }
         // Direction 2: every requested slot that resolves is enumerated.
         for e in &entries {
@@ -162,16 +156,16 @@ proptest! {
                 // The enumeration reports the mapping at its leaf-aligned
                 // base address.
                 let base = VAddr(va.as_usize() & !(r.size - 1));
-                prop_assert!(
+                assert!(
                     all.iter().any(|(v, m)| *v == base && *m == r),
-                    "missing {va:?} (base {base:?})"
+                    "seed {case}: missing {va:?} (base {base:?})"
                 );
             }
         }
         // No duplicates in the enumeration.
         let mut seen = std::collections::BTreeSet::new();
         for (va, _) in &all {
-            prop_assert!(seen.insert(va.as_usize()), "duplicate {va:?}");
+            assert!(seen.insert(va.as_usize()), "seed {case}: duplicate {va:?}");
         }
     }
 }

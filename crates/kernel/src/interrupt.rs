@@ -120,7 +120,7 @@ mod tests {
         // The driver blocks in recv; the device interrupt wakes it.
         k.pm.timer_tick(0);
         assert_eq!(k.pm.sched.current(0), Some(t_drv));
-        k.syscall(0, SyscallArgs::Recv { slot: 0 });
+        let _ = k.syscall(0, SyscallArgs::Recv { slot: 0 });
         assert!(matches!(
             k.pm.thrd(t_drv).state,
             ThreadState::BlockedRecv(_)

@@ -102,7 +102,6 @@ mod tests {
     use super::*;
     use crate::kernel::{Kernel, KernelConfig};
     use crate::syscall::SyscallArgs;
-    
 
     /// Boots a kernel and creates two sibling containers, each with a
     /// process and a thread.
@@ -132,7 +131,7 @@ mod tests {
             .val0() as usize;
         for (c, cpu) in [(a, 1), (b, 2)] {
             let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
-            k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
+            let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
         }
         (k, a, b)
     }

@@ -2,11 +2,13 @@
 
 use std::collections::BTreeMap;
 
+use std::sync::Mutex;
+
 use atmo_hw::machine::Machine;
 use atmo_mem::{PageAllocator, PagePtr};
 use atmo_pm::types::{CtnrPtr, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
-use parking_lot::Mutex;
+use atmo_trace::{Snapshot, TraceHandle, TraceSink, DEFAULT_RING_CAPACITY};
 
 use crate::abs::AbstractKernel;
 use crate::vm::VmSubsystem;
@@ -58,6 +60,14 @@ pub struct Kernel {
     pub(crate) iommu_access: BTreeMap<u32, Vec<CtnrPtr>>,
     /// Device interrupt vector → driver thread to wake.
     pub(crate) irq_handlers: BTreeMap<u8, ThrdPtr>,
+    /// The tracing subsystem: per-CPU event rings, syscall latency
+    /// histograms and subsystem counters (shared with `alloc`, `pm` and
+    /// `vm`, which emit through clones of this handle).
+    pub trace: TraceHandle,
+    /// The snapshot published by the most recent
+    /// [`SyscallArgs::TraceSnapshot`](crate::SyscallArgs::TraceSnapshot)
+    /// call (trace state is diagnostic, not part of Ψ).
+    pub(crate) last_trace_snapshot: Option<Snapshot>,
 }
 
 impl Kernel {
@@ -76,6 +86,14 @@ impl Kernel {
         let mut vm = VmSubsystem::new();
         vm.create_space(&mut alloc, pm.proc(init_proc).addr_space)
             .expect("init address space allocation failed");
+        // Tracing starts at the end of boot: the sink is created after
+        // the boot-time allocations so post-boot counts reconcile with
+        // issued syscalls, then shared with every emitting subsystem.
+        let trace = TraceSink::new(cfg.ncpus, DEFAULT_RING_CAPACITY);
+        alloc.attach_trace(trace.clone());
+        let mut pm = pm;
+        pm.attach_trace(trace.clone());
+        vm.attach_trace(trace.clone());
         Kernel {
             machine,
             alloc,
@@ -88,6 +106,8 @@ impl Kernel {
             iommu_owner: BTreeMap::new(),
             iommu_access: BTreeMap::new(),
             irq_handlers: BTreeMap::new(),
+            trace,
+            last_trace_snapshot: None,
         }
     }
 
@@ -110,6 +130,18 @@ impl Kernel {
     /// Cycle count of `cpu`'s meter.
     pub fn cycles(&self, cpu: usize) -> u64 {
         self.machine.cores[cpu].meter.now()
+    }
+
+    /// Builds a coherent merged trace snapshot (rings, histograms,
+    /// counters across all CPUs).
+    pub fn trace_snapshot(&self) -> Snapshot {
+        self.trace.snapshot()
+    }
+
+    /// Takes the snapshot published by the most recent
+    /// `TraceSnapshot` syscall, if any.
+    pub fn take_trace_snapshot(&mut self) -> Option<Snapshot> {
+        self.last_trace_snapshot.take()
     }
 
     /// Projects the abstract kernel state Ψ.
@@ -141,13 +173,23 @@ impl SmpKernel {
 
     /// Executes `f` under the big lock, as a trap handler on `cpu` would.
     pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
-        let mut guard = self.inner.lock();
+        // A panic under the big lock is a kernel bug; later entries
+        // continue against the poisoned-but-consistent state, matching
+        // the fail-stop reading of the paper's verified kernel.
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         f(&mut guard)
+    }
+
+    /// Aggregates the per-CPU trace rings into one coherent merged
+    /// snapshot, taken under the big lock so no event is lost or
+    /// double-counted while merging.
+    pub fn trace_snapshot(&self) -> Snapshot {
+        self.with_kernel(|k| k.trace_snapshot())
     }
 
     /// Consumes the wrapper, returning the kernel.
     pub fn into_inner(self) -> Kernel {
-        self.inner.into_inner()
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 

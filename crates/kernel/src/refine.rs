@@ -84,7 +84,11 @@ impl Invariant for Kernel {
             "mapped frames and address-space references diverge (leak)",
         )?;
 
-        self.alloc.wf()
+        self.alloc.wf()?;
+
+        // The trace subsystem audits like any other: coherent rings,
+        // histogram/counter reconciliation, monotone counters.
+        atmo_trace::trace_wf(&self.trace)
     }
 }
 
@@ -142,6 +146,9 @@ pub fn audited_syscall(
                     spec::syscall_ipc_population_spec(&pre, &post)
                 }
             }
+            // Reading the trace is not a transition of Ψ at all: the
+            // snapshot lives outside the abstract state.
+            SyscallArgs::TraceSnapshot => spec::syscall_noop_spec(&pre, &post),
             // The remaining calls are audited against well-formedness and
             // the no-op-on-error rule; their positive frame conditions are
             // exercised by dedicated tests.

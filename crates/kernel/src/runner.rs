@@ -92,7 +92,7 @@ impl SystemRunner {
             Action::Done => {
                 self.programs.remove(&t);
                 self.finished.push(t);
-                k.syscall(cpu, SyscallArgs::Exit);
+                let _ = k.syscall(cpu, SyscallArgs::Exit);
                 true
             }
         }

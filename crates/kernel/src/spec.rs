@@ -585,7 +585,6 @@ mod tests {
     use super::*;
     use crate::kernel::{Kernel, KernelConfig};
     use crate::syscall::SyscallArgs;
-    
 
     #[test]
     fn noop_spec_accepts_identical_states() {

@@ -163,6 +163,48 @@ pub enum SyscallArgs {
     },
     /// Yield the CPU (round-robin rotation).
     Yield,
+    /// Read-only: publish a merged trace snapshot (per-CPU rings,
+    /// latency histograms, subsystem counters) for the caller to
+    /// retrieve via [`Kernel::take_trace_snapshot`]. Changes no
+    /// abstract kernel state.
+    TraceSnapshot,
+}
+
+impl SyscallArgs {
+    /// The trace discriminant of this call (for per-kind histograms and
+    /// counters).
+    pub fn trace_kind(&self) -> atmo_trace::SyscallKind {
+        use atmo_trace::SyscallKind as K;
+        match self {
+            SyscallArgs::Mmap { .. } => K::Mmap,
+            SyscallArgs::Munmap { .. } => K::Munmap,
+            SyscallArgs::NewContainer { .. } => K::NewContainer,
+            SyscallArgs::TerminateContainer { .. } => K::TerminateContainer,
+            SyscallArgs::NewProcess { .. } => K::NewProcess,
+            SyscallArgs::NewChildProcess => K::NewChildProcess,
+            SyscallArgs::Exit => K::Exit,
+            SyscallArgs::TerminateProcess { .. } => K::TerminateProcess,
+            SyscallArgs::NewThread { .. } => K::NewThread,
+            SyscallArgs::NewEndpoint { .. } => K::NewEndpoint,
+            SyscallArgs::Send { .. } => K::Send,
+            SyscallArgs::Recv { .. } => K::Recv,
+            SyscallArgs::Poll { .. } => K::Poll,
+            SyscallArgs::Call { .. } => K::Call,
+            SyscallArgs::Reply { .. } => K::Reply,
+            SyscallArgs::TakeMsg => K::TakeMsg,
+            SyscallArgs::MapGranted { .. } => K::MapGranted,
+            SyscallArgs::DropGrant => K::DropGrant,
+            SyscallArgs::MmapHuge2M { .. } => K::MmapHuge2M,
+            SyscallArgs::MunmapHuge2M { .. } => K::MunmapHuge2M,
+            SyscallArgs::IommuCreateDomain => K::IommuCreateDomain,
+            SyscallArgs::IommuAttach { .. } => K::IommuAttach,
+            SyscallArgs::IommuDetach { .. } => K::IommuDetach,
+            SyscallArgs::IommuMap { .. } => K::IommuMap,
+            SyscallArgs::IommuUnmap { .. } => K::IommuUnmap,
+            SyscallArgs::Yield => K::Yield,
+            SyscallArgs::TraceSnapshot => K::TraceSnapshot,
+        }
+    }
 }
 
 /// System-call error codes.
@@ -213,6 +255,7 @@ impl From<MapError> for SyscallError {
 }
 
 /// The system-call return structure (the paper's `SyscallReturnStruct`).
+#[must_use = "a syscall's return carries its error class and must be checked"]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SyscallReturn {
     /// Success payload (up to four scalar values) or the error code.
@@ -241,6 +284,22 @@ impl SyscallReturn {
     pub fn val0(&self) -> u64 {
         self.result.expect("syscall failed")[0]
     }
+
+    /// The trace class of this return.
+    pub fn trace_class(&self) -> atmo_trace::ReturnClass {
+        use atmo_trace::ReturnClass as C;
+        match self.result {
+            Ok(_) => C::Ok,
+            Err(SyscallError::NoMem) => C::NoMem,
+            Err(SyscallError::Quota) => C::Quota,
+            Err(SyscallError::Capacity) => C::Capacity,
+            Err(SyscallError::NotFound) => C::NotFound,
+            Err(SyscallError::Invalid) => C::Invalid,
+            Err(SyscallError::Denied) => C::Denied,
+            Err(SyscallError::WrongState) => C::WrongState,
+            Err(SyscallError::Fault) => C::Fault,
+        }
+    }
 }
 
 impl Kernel {
@@ -250,12 +309,17 @@ impl Kernel {
     /// trampoline costs (the assembly of §5, item 8).
     pub fn syscall(&mut self, cpu: CpuId, args: SyscallArgs) -> SyscallReturn {
         let costs = self.machine.costs;
+        let kind = args.trace_kind();
+        let entered = self.cycles(cpu);
+        self.trace.syscall_enter(cpu, kind);
         self.charge(cpu, costs.syscall_entry);
         let ret = match self.pm.sched.current(cpu) {
             Some(t) => self.dispatch(cpu, t, args),
             None => SyscallReturn::err(SyscallError::WrongState),
         };
         self.charge(cpu, costs.syscall_exit);
+        self.trace
+            .syscall_exit(cpu, kind, ret.trace_class(), self.cycles(cpu) - entered);
         ret
     }
 
@@ -313,7 +377,27 @@ impl Kernel {
             }
             SyscallArgs::IommuUnmap { domain, iova } => self.sys_iommu_unmap(cpu, t, domain, iova),
             SyscallArgs::Yield => self.sys_yield(cpu, t),
+            SyscallArgs::TraceSnapshot => self.sys_trace_snapshot(cpu, t),
         }
+    }
+
+    /// `trace_snapshot`: publishes the merged trace snapshot (a read of
+    /// ghost/diagnostic state — Ψ is unchanged, so the audit holds it to
+    /// the no-op specification). The scalars summarize; the full
+    /// [`atmo_trace::Snapshot`] is stashed for
+    /// [`Kernel::take_trace_snapshot`].
+    fn sys_trace_snapshot(&mut self, cpu: CpuId, _t: ThrdPtr) -> SyscallReturn {
+        let costs = self.machine.costs;
+        self.charge(cpu, costs.syscall_validate);
+        let snap = self.trace.snapshot();
+        let ret = SyscallReturn::ok([
+            snap.total_syscall_exits(),
+            snap.total_events,
+            snap.total_dropped,
+            snap.per_cpu.len() as u64,
+        ]);
+        self.last_trace_snapshot = Some(snap);
+        ret
     }
 
     // ----- memory management ----------------------------------------------

@@ -12,6 +12,7 @@ use atmo_mem::{closure_partition_wf, AllocError, PageAllocator, PageClosure, Pag
 use atmo_ptable::{refinement_wf, Iommu, PageTable};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, Set};
+use atmo_trace::{TraceHandle, TraceShare};
 
 /// Address-space identifier (one per process; see
 /// [`atmo_pm::Process::addr_space`]).
@@ -23,6 +24,9 @@ pub struct VmSubsystem {
     tables: BTreeMap<AsId, PageTable>,
     /// The IOMMU and its per-device translation domains.
     pub iommu: Iommu,
+    /// Map/unmap event sink, propagated to every page table (existing and
+    /// future).
+    trace: TraceShare,
 }
 
 impl VmSubsystem {
@@ -31,7 +35,17 @@ impl VmSubsystem {
         VmSubsystem {
             tables: BTreeMap::new(),
             iommu: Iommu::new(),
+            trace: TraceShare::detached(),
         }
+    }
+
+    /// Routes map/unmap events from every page table — current and
+    /// subsequently created — into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        for pt in self.tables.values_mut() {
+            pt.attach_trace(sink.clone());
+        }
+        self.trace.attach(sink);
     }
 
     /// Creates the page table for a new address space.
@@ -46,7 +60,10 @@ impl VmSubsystem {
         as_id: AsId,
     ) -> Result<(), AllocError> {
         assert!(!self.tables.contains_key(&as_id), "duplicate address space");
-        let pt = PageTable::new(alloc)?;
+        let mut pt = PageTable::new(alloc)?;
+        if let Some(sink) = self.trace.handle() {
+            pt.attach_trace(sink.clone());
+        }
         self.tables.insert(as_id, pt);
         Ok(())
     }

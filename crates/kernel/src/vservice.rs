@@ -261,7 +261,7 @@ mod tests {
         let mut v = VService::new(sc.tv, sc.cpu_v);
 
         // A maps a page and PUTs 5 with a page grant.
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Mmap {
                 va_base: 0x40_0000,
@@ -304,7 +304,7 @@ mod tests {
         assert!(k.wf().is_ok(), "{:?}", k.wf());
 
         // B GETs its sum via call/reply.
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_b,
             SyscallArgs::Call {
                 slot: 0,
@@ -323,7 +323,7 @@ mod tests {
         let (mut k, sc) = setup_abv();
         let mut v = VService::new(sc.tv, sc.cpu_v);
 
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Mmap {
                 va_base: 0x40_0000,
@@ -331,7 +331,7 @@ mod tests {
                 writable: true,
             },
         );
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Send {
                 slot: 0,
@@ -344,7 +344,7 @@ mod tests {
         v.step(&mut k);
         assert!(v.sessions[0].mapped_va.is_some());
 
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Send {
                 slot: 0,
@@ -368,7 +368,7 @@ mod tests {
         let (mut k, sc) = setup_abv();
         let mut v = VService::new(sc.tv, sc.cpu_v);
 
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Mmap {
                 va_base: 0x40_0000,
@@ -376,7 +376,7 @@ mod tests {
                 writable: true,
             },
         );
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Send {
                 slot: 0,
@@ -391,7 +391,7 @@ mod tests {
 
         // A's container is terminated (crash). Its mapping of the frame
         // dies; V still maps it, so the frame stays alive.
-        k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
+        let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
         assert!(k.wf().is_ok(), "{:?}", k.wf());
         assert!(k.alloc.map_refcnt(frame) >= 1);
 
@@ -411,7 +411,7 @@ mod tests {
         let mut v = VService::new(sc.tv, sc.cpu_v);
 
         for (cpu, val) in [(sc.cpu_a, 100u64), (sc.cpu_b, 23)] {
-            k.syscall(
+            let _ = k.syscall(
                 cpu,
                 SyscallArgs::Send {
                     slot: 0,
@@ -423,7 +423,7 @@ mod tests {
             );
         }
         v.step(&mut k);
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Call {
                 slot: 0,

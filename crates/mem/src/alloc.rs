@@ -19,6 +19,7 @@
 
 use atmo_spec::harness::{check, check_all, Invariant, VerifResult};
 use atmo_spec::Set;
+use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
 
 use atmo_hw::addr::PAGE_SIZE_4K;
 use atmo_hw::boot::BootInfo;
@@ -44,7 +45,10 @@ pub struct PageArray {
 
 impl PageArray {
     fn index(&self, p: PagePtr) -> usize {
-        assert!(p.is_multiple_of(PAGE_SIZE_4K), "unaligned page pointer {p:#x}");
+        assert!(
+            p.is_multiple_of(PAGE_SIZE_4K),
+            "unaligned page pointer {p:#x}"
+        );
         assert!(p >= self.base, "page pointer {p:#x} below array base");
         let i = (p - self.base) / PAGE_SIZE_4K;
         assert!(i < self.pages.len(), "page pointer {p:#x} beyond array end");
@@ -85,6 +89,9 @@ pub struct PageAllocator {
     free_4k: FreeList,
     free_2m: FreeList,
     free_1g: FreeList,
+    /// Allocation-event sink (always-equal share: tracing does not change
+    /// allocator state).
+    trace: TraceShare,
 }
 
 impl PageAllocator {
@@ -114,7 +121,13 @@ impl PageAllocator {
             free_4k,
             free_2m: FreeList::new(),
             free_1g: FreeList::new(),
+            trace: TraceShare::detached(),
         }
+    }
+
+    /// Routes page alloc/free events into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
     }
 
     /// Base address of the managed region.
@@ -156,6 +169,10 @@ impl PageAllocator {
             .ok_or(AllocError::OutOfMemory)?;
         debug_assert_eq!(self.array.state(p), PageState::Free(PageSize::Size4K));
         self.array.set_state(p, PageState::Allocated);
+        self.trace.emit(KernelEvent::PageAlloc {
+            frames: 1,
+            closure_delta: 1,
+        });
         Ok((p, PagePermission::new(p, PageSize::Size4K)))
     }
 
@@ -175,6 +192,10 @@ impl PageAllocator {
         );
         self.array.set_state(p, PageState::Free(PageSize::Size4K));
         self.free_4k.push_front(&mut self.array, p);
+        self.trace.emit(KernelEvent::PageFree {
+            frames: 1,
+            closure_delta: -1,
+        });
     }
 
     // ----- allocation of user-mapped frames -----------------------------
@@ -212,6 +233,10 @@ impl PageAllocator {
         debug_assert_eq!(self.array.state(p), PageState::Free(size));
         self.array
             .set_state(p, PageState::Mapped { size, refcnt: 1 });
+        self.trace.emit(KernelEvent::PageAlloc {
+            frames: size.frames() as u64,
+            closure_delta: 1,
+        });
         Ok(p)
     }
 
@@ -261,6 +286,10 @@ impl PageAllocator {
                         PageSize::Size2M => self.free_2m.push_front(&mut self.array, p),
                         PageSize::Size1G => self.free_1g.push_front(&mut self.array, p),
                     }
+                    self.trace.emit(KernelEvent::PageFree {
+                        frames: size.frames() as u64,
+                        closure_delta: -1,
+                    });
                     true
                 }
             }
@@ -302,7 +331,11 @@ impl PageAllocator {
         let per = PageSize::Size2M.frames();
         let mut i = 0;
         // Start at the first 2 MiB-aligned frame.
-        while !self.array.frame_at(i).is_multiple_of(PageSize::Size2M.bytes()) {
+        while !self
+            .array
+            .frame_at(i)
+            .is_multiple_of(PageSize::Size2M.bytes())
+        {
             i += 1;
             if i >= self.array.pages.len() {
                 return false;
@@ -362,7 +395,11 @@ impl PageAllocator {
         let per_2m = PageSize::Size2M.frames();
         let blocks = PageSize::Size1G.bytes() / PageSize::Size2M.bytes();
         let mut i = 0;
-        while !self.array.frame_at(i).is_multiple_of(PageSize::Size1G.bytes()) {
+        while !self
+            .array
+            .frame_at(i)
+            .is_multiple_of(PageSize::Size1G.bytes())
+        {
             i += 1;
             if i >= self.array.pages.len() {
                 return false;

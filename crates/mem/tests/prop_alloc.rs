@@ -1,36 +1,43 @@
-//! Property-based exploration of the page allocator.
+//! Randomized exploration of the page allocator.
 //!
 //! Drives random sequences of allocator operations and checks after every
 //! step that the well-formedness invariant (`PageAllocator::wf`) holds and
 //! that no frame is ever lost or duplicated — the dynamic counterpart of
 //! the paper's allocator-level safety and leak-freedom proofs (§4.2).
+//! Randomness comes from the deterministic in-repo [`XorShift64Star`]
+//! generator.
 
 use atmo_hw::boot::BootInfo;
 use atmo_mem::{PageAllocator, PagePermission, PageSize};
 use atmo_spec::harness::Invariant;
-use proptest::prelude::*;
+use atmo_spec::XorShift64Star;
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Op {
     Alloc4K,
     FreeOldest,
-    MapBlock(u8),
+    MapBlock(PageSize),
     UnmapOldest,
     ShareOldest,
     Merge2M,
     Merge1G,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => Just(Op::Alloc4K),
-        3 => Just(Op::FreeOldest),
-        2 => (0u8..3).prop_map(Op::MapBlock),
-        2 => Just(Op::UnmapOldest),
-        1 => Just(Op::ShareOldest),
-        1 => Just(Op::Merge2M),
-        1 => Just(Op::Merge1G),
-    ]
+/// Weighted operation mix: allocation-heavy with occasional merges.
+fn random_op(rng: &mut XorShift64Star) -> Op {
+    match rng.below(14) {
+        0..=3 => Op::Alloc4K,
+        4..=6 => Op::FreeOldest,
+        7..=8 => Op::MapBlock(match rng.below(3) {
+            0 => PageSize::Size4K,
+            1 => PageSize::Size2M,
+            _ => PageSize::Size1G,
+        }),
+        9..=10 => Op::UnmapOldest,
+        11 => Op::ShareOldest,
+        12 => Op::Merge2M,
+        _ => Op::Merge1G,
+    }
 }
 
 /// Every frame of the managed region is accounted for exactly once across
@@ -46,18 +53,17 @@ fn frames_partitioned(a: &PageAllocator) -> bool {
     free_4k + free_2m + free_1g + allocated + mapped_heads + merged == a.nframes()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    #[allow(clippy::explicit_counter_loop)]
-    fn allocator_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn allocator_invariants_hold_under_random_ops() {
+    for case in 0..24u64 {
+        let mut rng = XorShift64Star::new(0x5eed_4001 + case);
         let mut a = PageAllocator::new(&BootInfo::simulated(8, 1, ""));
         let mut held: Vec<PagePermission> = Vec::new();
-        let mut steps: u32 = 0;
         let mut mapped: Vec<usize> = Vec::new();
 
-        for op in ops {
+        let nops = rng.range(1, 60);
+        for step in 0..nops {
+            let op = random_op(&mut rng);
             match op {
                 Op::Alloc4K => {
                     if let Ok((_p, perm)) = a.alloc_page_4k() {
@@ -70,12 +76,7 @@ proptest! {
                         a.free_page_4k(perm);
                     }
                 }
-                Op::MapBlock(sz) => {
-                    let size = match sz {
-                        0 => PageSize::Size4K,
-                        1 => PageSize::Size2M,
-                        _ => PageSize::Size1G,
-                    };
+                Op::MapBlock(size) => {
                     if let Ok(p) = a.alloc_mapped(size) {
                         mapped.push(p);
                     }
@@ -83,11 +84,9 @@ proptest! {
                 Op::UnmapOldest => {
                     if !mapped.is_empty() {
                         let p = mapped.remove(0);
-                        if a.dec_map_ref(p) {
-                            // block is free again; nothing more to track
-                        } else {
-                            // still referenced by a sharing entry
-                        }
+                        // `true` means the block is free again; otherwise a
+                        // sharing entry still references it.
+                        let _ = a.dec_map_ref(p);
                     }
                 }
                 Op::ShareOldest => {
@@ -105,11 +104,17 @@ proptest! {
             }
             // Full wf is O(frames); check it on a sampled cadence and
             // always at the end.
-            if steps.is_multiple_of(7) {
-                prop_assert!(a.wf().is_ok(), "invariant violated after {op:?}: {:?}", a.wf());
-                prop_assert!(frames_partitioned(&a), "frames lost or duplicated after {op:?}");
+            if step % 7 == 0 {
+                assert!(
+                    a.wf().is_ok(),
+                    "seed {case}: invariant violated after {op:?}: {:?}",
+                    a.wf()
+                );
+                assert!(
+                    frames_partitioned(&a),
+                    "seed {case}: frames lost or duplicated after {op:?}"
+                );
             }
-            steps += 1;
         }
 
         // Drain everything; the allocator must return to a fully free state.
@@ -119,9 +124,9 @@ proptest! {
         for p in mapped.drain(..) {
             let _ = a.dec_map_ref(p);
         }
-        prop_assert!(a.wf().is_ok());
-        prop_assert!(a.allocated_pages().is_empty());
-        prop_assert!(a.mapped_pages().is_empty());
-        prop_assert!(frames_partitioned(&a), "final leak-freedom check");
+        assert!(a.wf().is_ok());
+        assert!(a.allocated_pages().is_empty());
+        assert!(a.mapped_pages().is_empty());
+        assert!(frames_partitioned(&a), "final leak-freedom check");
     }
 }

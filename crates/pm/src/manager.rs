@@ -4,6 +4,7 @@
 use atmo_mem::{PageAllocator, PageClosure, PagePermission, PagePtr};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, PPtr, PermMap, Set};
+use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
 
 use crate::container::{container_tree_wf, cpu_partition_wf, quota_wf, Container};
 use crate::endpoint::{endpoints_wf, Endpoint, QueueSide};
@@ -68,6 +69,8 @@ pub struct ProcessManager {
     /// Per-thread home CPU (chosen at creation; used to requeue on wake).
     home_cpu: std::collections::BTreeMap<ThrdPtr, CpuId>,
     next_addr_space: usize,
+    /// IPC event sink (tracing is diagnostic: not part of the view).
+    trace: TraceShare,
 }
 
 impl ProcessManager {
@@ -162,6 +165,7 @@ impl ProcessManager {
             sched: Scheduler::new(ncpus),
             home_cpu: std::collections::BTreeMap::new(),
             next_addr_space: 1,
+            trace: TraceShare::detached(),
         };
         pm.cntr_perms.tracked_insert(c_ptr, c_perm);
         pm.proc_perms.tracked_insert(p_ptr, p_perm);
@@ -175,6 +179,13 @@ impl ProcessManager {
         pm.sched.set_current(0, t_ptr);
         pm.home_cpu.insert(t_ptr, 0);
         Ok((pm, c_ptr, p_ptr, t_ptr))
+    }
+
+    /// Routes IPC events (and, via the scheduler, context switches) into
+    /// `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink.clone());
+        self.sched.attach_trace(sink);
     }
 
     // ----- quota accounting ------------------------------------------------
@@ -590,6 +601,14 @@ impl ProcessManager {
 
     /// Drops one descriptor reference to `e`; destroys the endpoint when
     /// the last reference goes.
+    ///
+    /// A thread can be *queued* on an endpoint it no longer holds a
+    /// descriptor to (its descriptor was removed while it was blocked, or
+    /// it was granted away). When the last descriptor reference goes, any
+    /// such threads can never rendezvous again: each is dequeued, its
+    /// in-flight payload is discarded (releasing any granted page's
+    /// mapping reference), and it is woken with no message delivered —
+    /// the error signal for an aborted IPC.
     fn release_endpoint_ref(&mut self, alloc: &mut PageAllocator, e: EdptPtr) {
         let (refcount, owner) = {
             let ep = self.edpt_mut(e);
@@ -597,7 +616,25 @@ impl ProcessManager {
             (ep.refcount, ep.owning_cntr)
         };
         if refcount == 0 {
-            debug_assert!(self.edpt(e).queue.is_empty(), "queued threads hold refs");
+            let orphans: Vec<ThrdPtr> = {
+                let ep = self.edpt_mut(e);
+                let q = ep.queue.to_vec();
+                for t in &q {
+                    ep.queue.remove(t);
+                }
+                ep.side = QueueSide::Idle;
+                q
+            };
+            for t in orphans {
+                // An aborted send abandons its in-flight payload.
+                if let Some(p) = self.thrd_mut(t).ipc_buf.take() {
+                    if let Some(frame) = p.page_grant {
+                        alloc.dec_map_ref(frame);
+                    }
+                }
+                self.thrd_mut(t).is_calling = false;
+                self.make_ready(t);
+            }
             let c = self.cntr_mut(owner);
             c.owned_edpts.assign(c.owned_edpts.remove(&e));
             let perm = self.edpt_perms.tracked_remove(e);
@@ -759,6 +796,15 @@ impl ProcessManager {
             };
             self.deliver(r, payload);
             self.make_ready(r);
+            // Fast path: one message transferred — submit + consume.
+            self.trace.emit(KernelEvent::EndpointSend {
+                endpoint: e,
+                rendezvous: true,
+            });
+            self.trace.emit(KernelEvent::EndpointRecv {
+                endpoint: e,
+                rendezvous: false,
+            });
             Ok(SendOutcome::Delivered(r))
         } else {
             if self.edpt(e).queue.is_full() {
@@ -775,6 +821,10 @@ impl ProcessManager {
                 ep.side = QueueSide::Senders;
             }
             self.block_current(cpu, t, ThreadState::BlockedSend(e));
+            self.trace.emit(KernelEvent::EndpointSend {
+                endpoint: e,
+                rendezvous: false,
+            });
             Ok(SendOutcome::Blocked)
         }
     }
@@ -805,6 +855,11 @@ impl ProcessManager {
         } else {
             self.make_ready(s);
         }
+        // A queued sender's message was consumed (receive fast path).
+        self.trace.emit(KernelEvent::EndpointRecv {
+            endpoint: e,
+            rendezvous: true,
+        });
         delivered
     }
 
@@ -880,6 +935,14 @@ impl ProcessManager {
             self.thrd_mut(r).reply_partner = Some(t);
             self.make_ready(r);
             self.block_current(cpu, t, ThreadState::BlockedReply(e));
+            self.trace.emit(KernelEvent::EndpointSend {
+                endpoint: e,
+                rendezvous: true,
+            });
+            self.trace.emit(KernelEvent::EndpointRecv {
+                endpoint: e,
+                rendezvous: false,
+            });
             Ok(SendOutcome::Delivered(r))
         } else {
             if self.edpt(e).queue.is_full() {
@@ -896,6 +959,10 @@ impl ProcessManager {
                 ep.side = QueueSide::Senders;
             }
             self.block_current(cpu, t, ThreadState::BlockedSend(e));
+            self.trace.emit(KernelEvent::EndpointSend {
+                endpoint: e,
+                rendezvous: false,
+            });
             Ok(SendOutcome::Blocked)
         }
     }
@@ -909,12 +976,22 @@ impl ProcessManager {
     ) -> Result<ThrdPtr, PmError> {
         self.check_running(t, cpu)?;
         let caller = self.thrd(t).reply_partner.ok_or(PmError::WrongState)?;
-        if !matches!(self.thrd(caller).state, ThreadState::BlockedReply(_)) {
-            return Err(PmError::WrongState);
-        }
+        let e = match self.thrd(caller).state {
+            ThreadState::BlockedReply(e) => e,
+            _ => return Err(PmError::WrongState),
+        };
         self.deliver(caller, payload);
         self.thrd_mut(t).reply_partner = None;
         self.make_ready(caller);
+        // A reply is a direct transfer to the waiting caller.
+        self.trace.emit(KernelEvent::EndpointSend {
+            endpoint: e,
+            rendezvous: true,
+        });
+        self.trace.emit(KernelEvent::EndpointRecv {
+            endpoint: e,
+            rendezvous: false,
+        });
         Ok(caller)
     }
 

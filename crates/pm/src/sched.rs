@@ -8,6 +8,7 @@
 
 use atmo_spec::harness::{check, VerifResult};
 use atmo_spec::PermMap;
+use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
 
 use crate::container::Container;
 use crate::staticlist::StaticList;
@@ -39,6 +40,9 @@ impl CpuSched {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Scheduler {
     cpus: Vec<CpuSched>,
+    /// Context-switch event sink (always-equal share: tracing does not
+    /// change scheduler state).
+    trace: TraceShare,
 }
 
 impl Scheduler {
@@ -46,6 +50,21 @@ impl Scheduler {
     pub fn new(ncpus: usize) -> Self {
         Scheduler {
             cpus: (0..ncpus).map(|_| CpuSched::new()).collect(),
+            trace: TraceShare::detached(),
+        }
+    }
+
+    /// Routes context-switch events into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
+    }
+
+    /// Emits a context-switch event when the running thread actually
+    /// changed.
+    fn note_switch(&self, cpu: CpuId, from: Option<ThrdPtr>, to: Option<ThrdPtr>) {
+        if from != to {
+            self.trace
+                .emit(KernelEvent::ContextSwitch { cpu, from, to });
         }
     }
 
@@ -79,12 +98,13 @@ impl Scheduler {
     /// Removes `t` from wherever it is queued or running. Returns `true`
     /// when it was found.
     pub fn remove(&mut self, t: ThrdPtr) -> bool {
-        for c in &mut self.cpus {
-            if c.current == Some(t) {
-                c.current = None;
+        for cpu in 0..self.cpus.len() {
+            if self.cpus[cpu].current == Some(t) {
+                self.cpus[cpu].current = None;
+                self.note_switch(cpu, Some(t), None);
                 return true;
             }
-            if c.ready.remove(&t) {
+            if self.cpus[cpu].ready.remove(&t) {
                 return true;
             }
         }
@@ -96,12 +116,15 @@ impl Scheduler {
     /// current thread.
     pub fn rotate(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
         let c = self.cpus.get_mut(cpu)?;
+        let prev = c.current;
         if let Some(cur) = c.current.take() {
             let pushed = c.ready.push(cur);
             debug_assert!(pushed, "ready queue overflow on rotate");
         }
         c.current = c.ready.pop_front();
-        c.current
+        let next = c.current;
+        self.note_switch(cpu, prev, next);
+        next
     }
 
     /// Makes the front of `cpu`'s queue current without requeueing the
@@ -110,7 +133,9 @@ impl Scheduler {
         let c = self.cpus.get_mut(cpu)?;
         debug_assert!(c.current.is_none(), "dispatch over a running thread");
         c.current = c.ready.pop_front();
-        c.current
+        let next = c.current;
+        self.note_switch(cpu, None, next);
+        next
     }
 
     /// Marks `t` as the thread currently running on `cpu` (boot/init path).
@@ -118,11 +143,14 @@ impl Scheduler {
         let c = &mut self.cpus[cpu];
         debug_assert!(c.current.is_none(), "CPU already running a thread");
         c.current = Some(t);
+        self.note_switch(cpu, None, Some(t));
     }
 
     /// Takes the current thread off `cpu` (it blocked or exited).
     pub fn clear_current(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
-        self.cpus.get_mut(cpu).and_then(|c| c.current.take())
+        let prev = self.cpus.get_mut(cpu).and_then(|c| c.current.take());
+        self.note_switch(cpu, prev, None);
+        prev
     }
 }
 

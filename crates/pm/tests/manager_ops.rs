@@ -333,3 +333,73 @@ fn leak_freedom_objects_equal_allocated_pages() {
     assert_eq!(pm.page_closure(), a.allocated_pages());
     let _ = init_p;
 }
+
+#[test]
+fn closing_last_descriptor_wakes_queued_sender_with_no_message() {
+    // The refcount edge case: a thread blocks in `send` on an endpoint,
+    // then the *last* descriptor referencing that endpoint is removed.
+    // Nobody can ever rendezvous with the sleeper again, so the endpoint
+    // teardown must dequeue it and wake it empty-handed (the error
+    // signal for an aborted IPC) — and `endpoints_wf` must hold through
+    // the whole sequence with the endpoint's page reclaimed.
+    use atmo_pm::endpoint::endpoints_wf;
+
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 1, e).unwrap();
+
+    // t1 sends with no receiver: it parks on e's queue; t2 is dispatched.
+    let out = pm
+        .send(t1, 0, 0, IpcPayload::scalars([41, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(out, SendOutcome::Blocked);
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+
+    // Both descriptors go while t1 is still queued. Removing t1's own
+    // descriptor (refcount 2 -> 1) must NOT disturb the sleeper...
+    pm.remove_descriptor(&mut a, t1, 0).unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+    assert!(endpoints_wf(&pm.thrd_perms, &pm.edpt_perms).is_ok());
+
+    // ...but dropping the last one destroys the endpoint and wakes t1.
+    pm.remove_descriptor(&mut a, t2, 1).unwrap();
+    assert!(!pm.edpt_perms.contains(e), "endpoint destroyed");
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready, "woken, not wedged");
+    assert_eq!(pm.take_message(t1), None, "no message was delivered");
+    assert!(endpoints_wf(&pm.thrd_perms, &pm.edpt_perms).is_ok());
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+    // The endpoint's page went back to the allocator (leak freedom).
+    assert_eq!(pm.page_closure(), a.allocated_pages());
+}
+
+#[test]
+fn closing_last_descriptor_aborts_a_queued_call() {
+    // Same edge case through the `call` path: the caller is woken with
+    // its call flag cleared so it does not wait for a reply that can
+    // never come.
+    use atmo_pm::endpoint::endpoints_wf;
+
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 1, e).unwrap();
+
+    pm.call(t1, 0, 0, IpcPayload::scalars([7, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+    assert!(pm.thrd(t1).is_calling);
+
+    pm.remove_descriptor(&mut a, t1, 0).unwrap();
+    pm.remove_descriptor(&mut a, t2, 1).unwrap();
+    assert!(!pm.edpt_perms.contains(e));
+    assert_eq!(pm.thrd(t1).state, ThreadState::Ready);
+    assert!(
+        !pm.thrd(t1).is_calling,
+        "aborted call does not await a reply"
+    );
+    assert_eq!(pm.take_message(t1), None);
+    assert!(endpoints_wf(&pm.thrd_perms, &pm.edpt_perms).is_ok());
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+    assert_eq!(pm.page_closure(), a.allocated_pages());
+}

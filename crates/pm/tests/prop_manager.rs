@@ -1,49 +1,60 @@
-//! Property-based exploration of the process manager: random sequences
-//! of lifecycle and IPC operations across a dynamic population of
+//! Randomized exploration of the process manager: random sequences of
+//! lifecycle and IPC operations across a dynamic population of
 //! containers, processes, threads and endpoints. After every operation
 //! the full `ProcessManager::wf()` must hold, and at the end everything
 //! torn down must leave the allocator leak-free.
+//!
+//! Randomness comes from the deterministic in-repo [`XorShift64Star`]
+//! generator; every case names its seed so failures replay exactly.
 
 use atmo_hw::boot::BootInfo;
 use atmo_mem::{PageAllocator, PageClosure};
 use atmo_pm::types::IpcPayload;
 use atmo_pm::ProcessManager;
 use atmo_spec::harness::Invariant;
-use proptest::prelude::*;
+use atmo_spec::XorShift64Star;
 
 #[derive(Clone, Debug)]
 enum Op {
-    NewContainer { quota: u8 },
+    NewContainer { quota: usize },
     TerminateContainer,
     NewProcess,
     TerminateProcess,
     NewThread,
-    NewEndpoint { slot: u8 },
-    ShareEndpoint { slot: u8 },
-    Send { payload: u8 },
+    NewEndpoint { slot: usize },
+    ShareEndpoint { slot: usize },
+    Send { payload: u64 },
     Recv,
-    Call { payload: u8 },
+    Call { payload: u64 },
     Reply,
     Tick,
     TerminateThread,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => (4u8..32).prop_map(|quota| Op::NewContainer { quota }),
-        1 => Just(Op::TerminateContainer),
-        3 => Just(Op::NewProcess),
-        1 => Just(Op::TerminateProcess),
-        4 => Just(Op::NewThread),
-        2 => (0u8..4).prop_map(|slot| Op::NewEndpoint { slot }),
-        2 => (0u8..4).prop_map(|slot| Op::ShareEndpoint { slot }),
-        3 => (0u8..255).prop_map(|payload| Op::Send { payload }),
-        3 => Just(Op::Recv),
-        2 => (0u8..255).prop_map(|payload| Op::Call { payload }),
-        2 => Just(Op::Reply),
-        3 => Just(Op::Tick),
-        1 => Just(Op::TerminateThread),
-    ]
+/// Weighted operation mix, mirroring the population frequencies of the
+/// original generator (lifecycle-heavy, with enough IPC to rendezvous).
+fn random_op(rng: &mut XorShift64Star) -> Op {
+    match rng.below(29) {
+        0..=1 => Op::NewContainer {
+            quota: rng.range(4, 32),
+        },
+        2 => Op::TerminateContainer,
+        3..=5 => Op::NewProcess,
+        6 => Op::TerminateProcess,
+        7..=10 => Op::NewThread,
+        11..=12 => Op::NewEndpoint { slot: rng.below(4) },
+        13..=14 => Op::ShareEndpoint { slot: rng.below(4) },
+        15..=17 => Op::Send {
+            payload: rng.next_u64() & 0xff,
+        },
+        18..=20 => Op::Recv,
+        21..=22 => Op::Call {
+            payload: rng.next_u64() & 0xff,
+        },
+        23..=24 => Op::Reply,
+        25..=27 => Op::Tick,
+        _ => Op::TerminateThread,
+    }
 }
 
 /// Deterministic "pick one" over a sorted population.
@@ -55,24 +66,23 @@ fn pick<T: Copy>(items: &[T], salt: usize) -> Option<T> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn manager_wf_holds_under_random_lifecycles(
-        ops in proptest::collection::vec(op_strategy(), 1..80),
-    ) {
+#[test]
+fn manager_wf_holds_under_random_lifecycles() {
+    for case in 0..16u64 {
+        let mut rng = XorShift64Star::new(0x5eed_2001 + case);
         let mut alloc = PageAllocator::new(&BootInfo::simulated(16, 2, ""));
         let (mut pm, root, _init_p, _init_t) = ProcessManager::boot(&mut alloc, 2, 1024).unwrap();
 
-        for (i, op) in ops.iter().enumerate() {
+        let nops = rng.range(1, 80);
+        for i in 0..nops {
+            let op = random_op(&mut rng);
             let containers: Vec<usize> = pm.cntr_perms.dom().to_vec();
             let processes: Vec<usize> = pm.proc_perms.dom().to_vec();
             let threads: Vec<usize> = pm.thrd_perms.dom().to_vec();
             match op {
                 Op::NewContainer { quota } => {
                     if let Some(parent) = pick(&containers, i) {
-                        let _ = pm.new_container(&mut alloc, parent, *quota as usize, &[]);
+                        let _ = pm.new_container(&mut alloc, parent, quota, &[]);
                     }
                 }
                 Op::TerminateContainer => {
@@ -101,7 +111,7 @@ proptest! {
                 }
                 Op::NewEndpoint { slot } => {
                     if let Some(t) = pick(&threads, i) {
-                        let _ = pm.new_endpoint(&mut alloc, t, *slot as usize);
+                        let _ = pm.new_endpoint(&mut alloc, t, slot);
                     }
                 }
                 Op::ShareEndpoint { slot } => {
@@ -109,14 +119,13 @@ proptest! {
                     // endpoint (the boot-time capability-distribution path).
                     let endpoints: Vec<usize> = pm.edpt_perms.dom().to_vec();
                     if let (Some(t), Some(e)) = (pick(&threads, i), pick(&endpoints, i / 2)) {
-                        let _ = pm.install_descriptor(t, *slot as usize, e);
+                        let _ = pm.install_descriptor(t, slot, e);
                     }
                 }
                 Op::Send { payload } => {
                     for cpu in 0..2 {
                         if let Some(t) = pm.sched.current(cpu) {
-                            let _ = pm.send(t, cpu, i % 4,
-                                            IpcPayload::scalars([*payload as u64, 0, 0, 0]));
+                            let _ = pm.send(t, cpu, i % 4, IpcPayload::scalars([payload, 0, 0, 0]));
                             break;
                         }
                     }
@@ -132,8 +141,7 @@ proptest! {
                 Op::Call { payload } => {
                     for cpu in 0..2 {
                         if let Some(t) = pm.sched.current(cpu) {
-                            let _ = pm.call(t, cpu, i % 4,
-                                            IpcPayload::scalars([*payload as u64, 0, 0, 0]));
+                            let _ = pm.call(t, cpu, i % 4, IpcPayload::scalars([payload, 0, 0, 0]));
                             break;
                         }
                     }
@@ -155,10 +163,18 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(pm.wf().is_ok(), "op {i} ({op:?}): {:?}", pm.wf());
+            assert!(
+                pm.wf().is_ok(),
+                "seed {case}, op {i} ({op:?}): {:?}",
+                pm.wf()
+            );
             // The PM's closure is always exactly the allocator's
             // allocated set (no page tables exist in this test).
-            prop_assert_eq!(pm.page_closure(), alloc.allocated_pages(), "op {} ({:?})", i, op);
+            assert_eq!(
+                pm.page_closure(),
+                alloc.allocated_pages(),
+                "seed {case}, op {i} ({op:?})"
+            );
         }
 
         // Teardown: terminate every child container, then every process
@@ -176,8 +192,8 @@ proptest! {
                 let _ = pm.terminate_container(&mut alloc, c);
             }
         }
-        prop_assert!(pm.wf().is_ok(), "after teardown: {:?}", pm.wf());
-        prop_assert_eq!(pm.page_closure(), alloc.allocated_pages());
-        prop_assert_eq!(pm.cntr_perms.len(), 1, "only the root container remains");
+        assert!(pm.wf().is_ok(), "seed {case} after teardown: {:?}", pm.wf());
+        assert_eq!(pm.page_closure(), alloc.allocated_pages());
+        assert_eq!(pm.cntr_perms.len(), 1, "only the root container remains");
     }
 }

@@ -213,7 +213,6 @@ mod tests {
         assert!(refinement_wf(&pt).is_ok());
     }
 
-
     #[test]
     fn superpage_map_is_a_single_leaf_step() {
         // §4.2 step consistency also covers superpage leaves: the 2 MiB
@@ -226,7 +225,8 @@ mod tests {
         let f2m = a.alloc_mapped(PageSize::Size2M).unwrap();
         let va = VAddr(0x4000_0000);
         let snap = enumerate_mappings(&pt, PAddr::new(pt.cr3));
-        pt.map_2m_page(&mut a, va, f2m, EntryFlags::user_rw()).unwrap();
+        pt.map_2m_page(&mut a, va, f2m, EntryFlags::user_rw())
+            .unwrap();
         assert!(step_preserves_other_mappings(&snap, &pt, Some(va)).is_ok());
         assert!(refinement_wf(&pt).is_ok());
 

@@ -5,6 +5,7 @@ use atmo_hw::paging::{EntryFlags, PageEntry, PhysFrameSource, ResolvedMapping};
 use atmo_mem::{AllocError, PageAllocator, PageClosure, PagePtr, PageSize};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Ghost, Map, PPtr, PermMap, PointsTo, Set};
+use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
 
 /// One 512-entry table frame, stored in simulated physical memory.
 pub type TableFrame = [u64; ENTRIES_PER_TABLE];
@@ -62,6 +63,9 @@ pub struct PageTable {
     pub map_2m: Ghost<Map<usize, MapEntry>>,
     /// Abstract 1 GiB mapping.
     pub map_1g: Ghost<Map<usize, MapEntry>>,
+    /// Map/unmap event sink (always-equal share: tracing does not change
+    /// table state).
+    trace: TraceShare,
 }
 
 impl PageTable {
@@ -80,7 +84,13 @@ impl PageTable {
             map_4k: Ghost::new(Map::empty()),
             map_2m: Ghost::new(Map::empty()),
             map_1g: Ghost::new(Map::empty()),
+            trace: TraceShare::detached(),
         })
+    }
+
+    /// Routes map/unmap events into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
     }
 
     // ----- entry read/write helpers (each is one hardware step, §4.2) ----
@@ -210,6 +220,10 @@ impl PageTable {
                 flags: leaf_flags,
             },
         ));
+        self.trace.emit(KernelEvent::PtMap {
+            va: va.as_usize(),
+            frames: 1,
+        });
         Ok(())
     }
 
@@ -271,6 +285,10 @@ impl PageTable {
             self.map_2m
                 .insert(va.as_usize(), MapEntry { frame, flags: leaf }),
         );
+        self.trace.emit(KernelEvent::PtMap {
+            va: va.as_usize(),
+            frames: PageSize::Size2M.frames() as u64,
+        });
         Ok(())
     }
 
@@ -310,6 +328,10 @@ impl PageTable {
             self.map_1g
                 .insert(va.as_usize(), MapEntry { frame, flags: leaf }),
         );
+        self.trace.emit(KernelEvent::PtMap {
+            va: va.as_usize(),
+            frames: PageSize::Size1G.frames() as u64,
+        });
         Ok(())
     }
 
@@ -326,6 +348,10 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l1_tables, l1, va.l1_index(), PageEntry::zero());
         self.map_4k.assign(self.map_4k.remove(&va.as_usize()));
+        self.trace.emit(KernelEvent::PtUnmap {
+            va: va.as_usize(),
+            frames: 1,
+        });
         Ok(e.frame().as_usize())
     }
 
@@ -339,6 +365,10 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l2_tables, l2, va.l2_index(), PageEntry::zero());
         self.map_2m.assign(self.map_2m.remove(&va.as_usize()));
+        self.trace.emit(KernelEvent::PtUnmap {
+            va: va.as_usize(),
+            frames: PageSize::Size2M.frames() as u64,
+        });
         Ok(e.frame().as_usize())
     }
 
@@ -351,6 +381,10 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l3_tables, l3, va.l3_index(), PageEntry::zero());
         self.map_1g.assign(self.map_1g.remove(&va.as_usize()));
+        self.trace.emit(KernelEvent::PtUnmap {
+            va: va.as_usize(),
+            frames: PageSize::Size1G.frames() as u64,
+        });
         Ok(e.frame().as_usize())
     }
 

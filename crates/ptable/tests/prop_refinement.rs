@@ -1,7 +1,8 @@
-//! Property-based exploration of the page table: random map/unmap
-//! sequences over all three page sizes must preserve structural
-//! well-formedness and the MMU-walk refinement relation after every
-//! operation (§6.2's theorem, fuzzed).
+//! Randomized exploration of the page table: random map/unmap sequences
+//! over all three page sizes must preserve structural well-formedness and
+//! the MMU-walk refinement relation after every operation (§6.2's
+//! theorem, fuzzed). Randomness comes from the deterministic in-repo
+//! [`XorShift64Star`] generator.
 
 use atmo_hw::boot::BootInfo;
 use atmo_hw::paging::EntryFlags;
@@ -9,9 +10,9 @@ use atmo_hw::VAddr;
 use atmo_mem::{PageAllocator, PageSize};
 use atmo_ptable::{refinement_wf, PageTable};
 use atmo_spec::harness::Invariant;
-use proptest::prelude::*;
+use atmo_spec::XorShift64Star;
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Op {
     Map4K { slot: u8, ro: bool },
     Unmap4K { slot: u8 },
@@ -21,15 +22,25 @@ enum Op {
     Unmap1G,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (any::<u8>(), any::<bool>()).prop_map(|(slot, ro)| Op::Map4K { slot, ro }),
-        4 => any::<u8>().prop_map(|slot| Op::Unmap4K { slot }),
-        2 => (0u8..8).prop_map(|slot| Op::Map2M { slot }),
-        2 => (0u8..8).prop_map(|slot| Op::Unmap2M { slot }),
-        1 => Just(Op::Map1G),
-        1 => Just(Op::Unmap1G),
-    ]
+/// Weighted operation mix, 4 KiB-heavy like real address spaces.
+fn random_op(rng: &mut XorShift64Star) -> Op {
+    match rng.below(15) {
+        0..=4 => Op::Map4K {
+            slot: rng.next_u32() as u8,
+            ro: rng.chance(1, 2),
+        },
+        5..=8 => Op::Unmap4K {
+            slot: rng.next_u32() as u8,
+        },
+        9..=10 => Op::Map2M {
+            slot: rng.below(8) as u8,
+        },
+        11..=12 => Op::Unmap2M {
+            slot: rng.below(8) as u8,
+        },
+        13 => Op::Map1G,
+        _ => Op::Unmap1G,
+    }
 }
 
 fn va_4k(slot: u8) -> VAddr {
@@ -43,38 +54,49 @@ fn va_2m(slot: u8) -> VAddr {
 const VA_1G: VAddr = VAddr(0x80_0000_0000);
 const FRAME_1G: usize = 0x1_0000_0000; // device-range frame, 1 GiB aligned
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn refinement_survives_random_map_unmap(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn refinement_survives_random_map_unmap() {
+    for case in 0..20u64 {
+        let mut rng = XorShift64Star::new(0x5eed_5001 + case);
         let mut alloc = PageAllocator::new(&BootInfo::simulated(24, 1, ""));
         let mut pt = PageTable::new(&mut alloc).unwrap();
 
-        for (i, op) in ops.iter().enumerate() {
+        let nops = rng.range(1, 60);
+        for i in 0..nops {
+            let op = random_op(&mut rng);
             match op {
                 Op::Map4K { slot, ro } => {
                     if let Ok(frame) = alloc.alloc_mapped(PageSize::Size4K) {
-                        let flags = if *ro { EntryFlags::user_ro() } else { EntryFlags::user_rw() };
-                        if pt.map_4k_page(&mut alloc, va_4k(*slot), frame, flags).is_err() {
+                        let flags = if ro {
+                            EntryFlags::user_ro()
+                        } else {
+                            EntryFlags::user_rw()
+                        };
+                        if pt
+                            .map_4k_page(&mut alloc, va_4k(slot), frame, flags)
+                            .is_err()
+                        {
                             alloc.dec_map_ref(frame);
                         }
                     }
                 }
                 Op::Unmap4K { slot } => {
-                    if let Ok(frame) = pt.unmap_4k_page(va_4k(*slot)) {
+                    if let Ok(frame) = pt.unmap_4k_page(va_4k(slot)) {
                         alloc.dec_map_ref(frame);
                     }
                 }
                 Op::Map2M { slot } => {
                     if let Ok(frame) = alloc.alloc_mapped(PageSize::Size2M) {
-                        if pt.map_2m_page(&mut alloc, va_2m(*slot), frame, EntryFlags::user_rw()).is_err() {
+                        if pt
+                            .map_2m_page(&mut alloc, va_2m(slot), frame, EntryFlags::user_rw())
+                            .is_err()
+                        {
                             alloc.dec_map_ref(frame);
                         }
                     }
                 }
                 Op::Unmap2M { slot } => {
-                    if let Ok(frame) = pt.unmap_2m_page(va_2m(*slot)) {
+                    if let Ok(frame) = pt.unmap_2m_page(va_2m(slot)) {
                         alloc.dec_map_ref(frame);
                     }
                 }
@@ -86,13 +108,21 @@ proptest! {
                     let _ = pt.unmap_1g_page(VA_1G);
                 }
             }
-            prop_assert!(pt.wf().is_ok(), "structure broken after op {i} ({op:?}): {:?}", pt.wf());
-            prop_assert!(
+            assert!(
+                pt.wf().is_ok(),
+                "seed {case}: structure broken after op {i} ({op:?}): {:?}",
+                pt.wf()
+            );
+            assert!(
                 refinement_wf(&pt).is_ok(),
-                "refinement broken after op {i} ({op:?}): {:?}",
+                "seed {case}: refinement broken after op {i} ({op:?}): {:?}",
                 refinement_wf(&pt)
             );
-            prop_assert!(alloc.wf().is_ok(), "allocator broken after op {i}: {:?}", alloc.wf());
+            assert!(
+                alloc.wf().is_ok(),
+                "seed {case}: allocator broken after op {i}: {:?}",
+                alloc.wf()
+            );
         }
 
         // Drain: unmap everything; release tables; nothing leaks.
@@ -113,8 +143,8 @@ proptest! {
             alloc.dec_map_ref(frame);
         }
         pt.release(&mut alloc);
-        prop_assert!(alloc.allocated_pages().is_empty());
-        prop_assert!(alloc.mapped_pages().is_empty());
-        prop_assert!(alloc.wf().is_ok());
+        assert!(alloc.allocated_pages().is_empty());
+        assert!(alloc.mapped_pages().is_empty());
+        assert!(alloc.wf().is_ok());
     }
 }

@@ -33,6 +33,7 @@ pub mod harness;
 pub mod map;
 pub mod perm_map;
 pub mod ptr;
+pub mod rng;
 pub mod seq;
 pub mod set;
 
@@ -41,6 +42,7 @@ pub use harness::{InvariantViolation, VerifResult};
 pub use map::Map;
 pub use perm_map::PermMap;
 pub use ptr::{PPtr, PointsTo};
+pub use rng::XorShift64Star;
 pub use seq::Seq;
 pub use set::Set;
 

@@ -1,0 +1,135 @@
+//! Monotone per-subsystem counter blocks.
+//!
+//! Counters only ever increase (the `trace_wf` audit enforces this
+//! between checks via a low-water mark); a decreasing counter would mean
+//! lost events.
+
+use atmo_spec::harness::{check, VerifResult};
+
+/// Process-manager counters (scheduling and IPC).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmCounters {
+    /// Times a CPU's running thread changed.
+    pub context_switches: u64,
+    /// Messages sent over endpoints (send/call/reply deliveries).
+    pub ipc_sends: u64,
+    /// Messages received from endpoints (recv/poll completions).
+    pub ipc_recvs: u64,
+    /// Send/recv operations completed by direct rendezvous with an
+    /// already-waiting partner (the paper's IPC fast path).
+    pub rendezvous: u64,
+}
+
+/// Page-allocator counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Allocation operations.
+    pub allocs: u64,
+    /// 4 KiB frames handed out.
+    pub frames_allocated: u64,
+    /// Free operations.
+    pub frees: u64,
+    /// 4 KiB frames returned.
+    pub frames_freed: u64,
+}
+
+/// Page-table counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PtableCounters {
+    /// Leaf entries written.
+    pub maps: u64,
+    /// Leaf entries cleared.
+    pub unmaps: u64,
+    /// 4 KiB frames covered by written leaves.
+    pub frames_mapped: u64,
+    /// 4 KiB frames uncovered by cleared leaves.
+    pub frames_unmapped: u64,
+}
+
+/// Driver counters (ixgbe + NVMe).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverCounters {
+    /// Receive/completion batches.
+    pub rx_batches: u64,
+    /// Items across all receive batches.
+    pub rx_items: u64,
+    /// Transmit/submission batches.
+    pub tx_batches: u64,
+    /// Items across all transmit batches.
+    pub tx_items: u64,
+}
+
+/// All subsystem counter blocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Process manager.
+    pub pm: PmCounters,
+    /// Page allocator.
+    pub mem: MemCounters,
+    /// Page tables.
+    pub ptable: PtableCounters,
+    /// Drivers.
+    pub drivers: DriverCounters,
+}
+
+impl Counters {
+    /// Every counter as a labelled flat list (for reports and the
+    /// monotonicity audit).
+    pub fn flat(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("pm.context_switches", self.pm.context_switches),
+            ("pm.ipc_sends", self.pm.ipc_sends),
+            ("pm.ipc_recvs", self.pm.ipc_recvs),
+            ("pm.rendezvous", self.pm.rendezvous),
+            ("mem.allocs", self.mem.allocs),
+            ("mem.frames_allocated", self.mem.frames_allocated),
+            ("mem.frees", self.mem.frees),
+            ("mem.frames_freed", self.mem.frames_freed),
+            ("ptable.maps", self.ptable.maps),
+            ("ptable.unmaps", self.ptable.unmaps),
+            ("ptable.frames_mapped", self.ptable.frames_mapped),
+            ("ptable.frames_unmapped", self.ptable.frames_unmapped),
+            ("drivers.rx_batches", self.drivers.rx_batches),
+            ("drivers.rx_items", self.drivers.rx_items),
+            ("drivers.tx_batches", self.drivers.tx_batches),
+            ("drivers.tx_items", self.drivers.tx_items),
+        ]
+    }
+
+    /// Checks that no counter has decreased relative to `older`.
+    pub fn monotone_since(&self, older: &Counters) -> VerifResult {
+        for ((name, now), (_, before)) in self.flat().iter().zip(older.flat().iter()) {
+            check(
+                now >= before,
+                "trace_counters",
+                format!("counter {name} decreased: {before} -> {now}"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_since_accepts_growth_and_rejects_shrink() {
+        let mut old = Counters::default();
+        old.pm.ipc_sends = 5;
+        let mut new = old;
+        new.pm.ipc_sends = 9;
+        assert!(new.monotone_since(&old).is_ok());
+        assert!(old.monotone_since(&new).is_err());
+    }
+
+    #[test]
+    fn flat_covers_all_blocks() {
+        let c = Counters::default();
+        let names: Vec<&str> = c.flat().iter().map(|(n, _)| *n).collect();
+        assert!(names.iter().any(|n| n.starts_with("pm.")));
+        assert!(names.iter().any(|n| n.starts_with("mem.")));
+        assert!(names.iter().any(|n| n.starts_with("ptable.")));
+        assert!(names.iter().any(|n| n.starts_with("drivers.")));
+    }
+}

@@ -1,0 +1,341 @@
+//! Typed kernel events and their discriminants.
+
+/// Every system call the kernel dispatches, as a dense discriminant.
+///
+/// Lives here (below the kernel crate) so the tracer can key histograms
+/// and counters without depending on `SyscallArgs`; the kernel maps its
+/// argument enum onto this one at the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum SyscallKind {
+    Mmap,
+    Munmap,
+    NewContainer,
+    TerminateContainer,
+    NewProcess,
+    NewChildProcess,
+    Exit,
+    TerminateProcess,
+    NewThread,
+    NewEndpoint,
+    Send,
+    Recv,
+    Poll,
+    Call,
+    Reply,
+    TakeMsg,
+    MapGranted,
+    DropGrant,
+    MmapHuge2M,
+    MunmapHuge2M,
+    IommuCreateDomain,
+    IommuAttach,
+    IommuDetach,
+    IommuMap,
+    IommuUnmap,
+    Yield,
+    TraceSnapshot,
+}
+
+/// Number of syscall kinds (array dimension for per-kind state).
+pub const NUM_SYSCALL_KINDS: usize = 27;
+
+impl SyscallKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [SyscallKind; NUM_SYSCALL_KINDS] = [
+        SyscallKind::Mmap,
+        SyscallKind::Munmap,
+        SyscallKind::NewContainer,
+        SyscallKind::TerminateContainer,
+        SyscallKind::NewProcess,
+        SyscallKind::NewChildProcess,
+        SyscallKind::Exit,
+        SyscallKind::TerminateProcess,
+        SyscallKind::NewThread,
+        SyscallKind::NewEndpoint,
+        SyscallKind::Send,
+        SyscallKind::Recv,
+        SyscallKind::Poll,
+        SyscallKind::Call,
+        SyscallKind::Reply,
+        SyscallKind::TakeMsg,
+        SyscallKind::MapGranted,
+        SyscallKind::DropGrant,
+        SyscallKind::MmapHuge2M,
+        SyscallKind::MunmapHuge2M,
+        SyscallKind::IommuCreateDomain,
+        SyscallKind::IommuAttach,
+        SyscallKind::IommuDetach,
+        SyscallKind::IommuMap,
+        SyscallKind::IommuUnmap,
+        SyscallKind::Yield,
+        SyscallKind::TraceSnapshot,
+    ];
+
+    /// Dense index for per-kind arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallKind::Mmap => "mmap",
+            SyscallKind::Munmap => "munmap",
+            SyscallKind::NewContainer => "new_container",
+            SyscallKind::TerminateContainer => "terminate_container",
+            SyscallKind::NewProcess => "new_process",
+            SyscallKind::NewChildProcess => "new_child_process",
+            SyscallKind::Exit => "exit",
+            SyscallKind::TerminateProcess => "terminate_process",
+            SyscallKind::NewThread => "new_thread",
+            SyscallKind::NewEndpoint => "new_endpoint",
+            SyscallKind::Send => "send",
+            SyscallKind::Recv => "recv",
+            SyscallKind::Poll => "poll",
+            SyscallKind::Call => "call",
+            SyscallKind::Reply => "reply",
+            SyscallKind::TakeMsg => "take_msg",
+            SyscallKind::MapGranted => "map_granted",
+            SyscallKind::DropGrant => "drop_grant",
+            SyscallKind::MmapHuge2M => "mmap_huge_2m",
+            SyscallKind::MunmapHuge2M => "munmap_huge_2m",
+            SyscallKind::IommuCreateDomain => "iommu_create_domain",
+            SyscallKind::IommuAttach => "iommu_attach",
+            SyscallKind::IommuDetach => "iommu_detach",
+            SyscallKind::IommuMap => "iommu_map",
+            SyscallKind::IommuUnmap => "iommu_unmap",
+            SyscallKind::Yield => "yield",
+            SyscallKind::TraceSnapshot => "trace_snapshot",
+        }
+    }
+}
+
+/// The class of a syscall return value, mirroring `SyscallError` plus
+/// `Ok` (the tracer records the class, not the payload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReturnClass {
+    /// Success.
+    Ok,
+    /// Out of physical memory.
+    NoMem,
+    /// Container quota exhausted.
+    Quota,
+    /// A fixed-capacity structure is full.
+    Capacity,
+    /// Referenced object does not exist.
+    NotFound,
+    /// Malformed arguments.
+    Invalid,
+    /// Permission denied.
+    Denied,
+    /// Object in the wrong state.
+    WrongState,
+    /// Address fault.
+    Fault,
+}
+
+impl ReturnClass {
+    /// `true` for the success class.
+    pub fn is_ok(self) -> bool {
+        self == ReturnClass::Ok
+    }
+}
+
+/// Which simulated device emitted a driver batch event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// The ixgbe 10 GbE NIC (§6.3).
+    Ixgbe,
+    /// The NVMe SSD (§6.4).
+    Nvme,
+}
+
+/// One traced kernel transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A system call entered the dispatcher on the attributed CPU.
+    SyscallEnter {
+        /// Which syscall.
+        kind: SyscallKind,
+    },
+    /// The dispatcher returned.
+    SyscallExit {
+        /// Which syscall.
+        kind: SyscallKind,
+        /// Success or error class of the return.
+        class: ReturnClass,
+        /// Modeled cycles between enter and exit (from `hw::cycles`).
+        cycles: u64,
+    },
+    /// The scheduler changed the running thread on a CPU.
+    ContextSwitch {
+        /// The CPU whose `current` changed.
+        cpu: usize,
+        /// Previously running thread (`None` = idle).
+        from: Option<usize>,
+        /// Newly running thread (`None` = idle).
+        to: Option<usize>,
+    },
+    /// A message was sent over an endpoint.
+    EndpointSend {
+        /// Endpoint object page.
+        endpoint: usize,
+        /// `true` when a waiting receiver took the message immediately.
+        rendezvous: bool,
+    },
+    /// A message was received from an endpoint.
+    EndpointRecv {
+        /// Endpoint object page.
+        endpoint: usize,
+        /// `true` when a queued sender's message was already waiting.
+        rendezvous: bool,
+    },
+    /// Frames left the allocator's free state.
+    PageAlloc {
+        /// 4 KiB frames allocated (512 for a 2 MiB page, …).
+        frames: u64,
+        /// Signed change to the owner's `page_closure` size.
+        closure_delta: i64,
+    },
+    /// Frames returned to the allocator's free state.
+    PageFree {
+        /// 4 KiB frames freed.
+        frames: u64,
+        /// Signed change to the owner's `page_closure` size.
+        closure_delta: i64,
+    },
+    /// A page-table leaf was written.
+    PtMap {
+        /// Virtual address of the new mapping.
+        va: usize,
+        /// 4 KiB frames covered by the leaf.
+        frames: u64,
+    },
+    /// A page-table leaf was cleared.
+    PtUnmap {
+        /// Virtual address of the removed mapping.
+        va: usize,
+        /// 4 KiB frames the leaf covered.
+        frames: u64,
+    },
+    /// A driver received a batch of completions/packets.
+    DriverRx {
+        /// Which device.
+        device: DeviceKind,
+        /// Items in the batch.
+        batch: u64,
+    },
+    /// A driver submitted a batch of descriptors/commands.
+    DriverTx {
+        /// Which device.
+        device: DeviceKind,
+        /// Items in the batch.
+        batch: u64,
+    },
+}
+
+/// Dense discriminant of [`KernelEvent`] for counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum EventKind {
+    SyscallEnter,
+    SyscallExit,
+    ContextSwitch,
+    EndpointSend,
+    EndpointRecv,
+    PageAlloc,
+    PageFree,
+    PtMap,
+    PtUnmap,
+    DriverRx,
+    DriverTx,
+}
+
+/// Number of event kinds (array dimension for per-kind counts).
+pub const NUM_EVENT_KINDS: usize = 11;
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; NUM_EVENT_KINDS] = [
+        EventKind::SyscallEnter,
+        EventKind::SyscallExit,
+        EventKind::ContextSwitch,
+        EventKind::EndpointSend,
+        EventKind::EndpointRecv,
+        EventKind::PageAlloc,
+        EventKind::PageFree,
+        EventKind::PtMap,
+        EventKind::PtUnmap,
+        EventKind::DriverRx,
+        EventKind::DriverTx,
+    ];
+
+    /// Dense index for per-kind arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SyscallEnter => "syscall_enter",
+            EventKind::SyscallExit => "syscall_exit",
+            EventKind::ContextSwitch => "context_switch",
+            EventKind::EndpointSend => "endpoint_send",
+            EventKind::EndpointRecv => "endpoint_recv",
+            EventKind::PageAlloc => "page_alloc",
+            EventKind::PageFree => "page_free",
+            EventKind::PtMap => "pt_map",
+            EventKind::PtUnmap => "pt_unmap",
+            EventKind::DriverRx => "driver_rx",
+            EventKind::DriverTx => "driver_tx",
+        }
+    }
+}
+
+impl KernelEvent {
+    /// The event's discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            KernelEvent::SyscallEnter { .. } => EventKind::SyscallEnter,
+            KernelEvent::SyscallExit { .. } => EventKind::SyscallExit,
+            KernelEvent::ContextSwitch { .. } => EventKind::ContextSwitch,
+            KernelEvent::EndpointSend { .. } => EventKind::EndpointSend,
+            KernelEvent::EndpointRecv { .. } => EventKind::EndpointRecv,
+            KernelEvent::PageAlloc { .. } => EventKind::PageAlloc,
+            KernelEvent::PageFree { .. } => EventKind::PageFree,
+            KernelEvent::PtMap { .. } => EventKind::PtMap,
+            KernelEvent::PtUnmap { .. } => EventKind::PtUnmap,
+            KernelEvent::DriverRx { .. } => EventKind::DriverRx,
+            KernelEvent::DriverTx { .. } => EventKind::DriverTx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_kind_indices_are_dense() {
+        for (i, k) in SyscallKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn event_kind_indices_are_dense() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SyscallKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_SYSCALL_KINDS);
+    }
+}

@@ -1,0 +1,533 @@
+//! The shared trace sink: per-CPU rings + histograms + counters behind
+//! one handle, with the `trace_wf` well-formedness audit.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use atmo_spec::harness::{check, Invariant, VerifResult};
+
+use crate::counters::Counters;
+use crate::event::{
+    EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
+};
+use crate::hist::LatencyHist;
+use crate::ring::EventRing;
+use crate::snapshot::{CpuSummary, Snapshot, SyscallSummary};
+
+/// Per-kind syscall statistics on one CPU.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyscallStats {
+    /// Dispatcher entries.
+    pub enters: u64,
+    /// Dispatcher returns.
+    pub exits: u64,
+    /// Returns in the success class.
+    pub ok: u64,
+    /// Returns in an error class.
+    pub errs: u64,
+    /// Latency distribution of completed calls (modeled cycles).
+    pub hist: LatencyHist,
+}
+
+/// One CPU's trace state.
+#[derive(Clone, Debug)]
+struct PerCpuTrace {
+    ring: EventRing,
+    /// Events pushed, by [`EventKind`] (monotone; unlike the ring, never
+    /// loses history to overwrite).
+    kinds: [u64; NUM_EVENT_KINDS],
+    /// Per-syscall-kind statistics.
+    syscalls: Vec<SyscallStats>,
+}
+
+impl PerCpuTrace {
+    fn new(ring_capacity: usize) -> Self {
+        PerCpuTrace {
+            ring: EventRing::new(ring_capacity),
+            kinds: [0; NUM_EVENT_KINDS],
+            syscalls: vec![SyscallStats::default(); NUM_SYSCALL_KINDS],
+        }
+    }
+}
+
+struct TraceInner {
+    cpus: Vec<PerCpuTrace>,
+    counters: Counters,
+    /// CPU attributed to subsystem emissions: set at syscall entry; sound
+    /// because the big lock serializes kernel execution (§3).
+    current_cpu: usize,
+    /// Counter values at the previous `trace_wf` audit (monotonicity
+    /// low-water mark).
+    low_water: Counters,
+}
+
+/// The trace sink for one kernel instance.
+///
+/// Cheap to share ([`TraceHandle`] = `Arc<TraceSink>`); interior
+/// mutability keeps subsystem signatures unchanged. The mutex is
+/// uncontended in practice — kernel code runs under the big lock.
+pub struct TraceSink {
+    inner: Mutex<TraceInner>,
+}
+
+/// A shared reference to a kernel's trace sink.
+pub type TraceHandle = Arc<TraceSink>;
+
+impl TraceSink {
+    /// A sink with one ring per CPU, each retaining `ring_capacity`
+    /// events. All storage is allocated here, never afterwards.
+    pub fn new(ncpus: usize, ring_capacity: usize) -> TraceHandle {
+        Arc::new(TraceSink {
+            inner: Mutex::new(TraceInner {
+                cpus: (0..ncpus.max(1))
+                    .map(|_| PerCpuTrace::new(ring_capacity))
+                    .collect(),
+                counters: Counters::default(),
+                current_cpu: 0,
+                low_water: Counters::default(),
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceInner> {
+        // A panicking holder cannot leave the counters half-updated in a
+        // way the audit should hide, so poisoning is not propagated.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of per-CPU rings.
+    pub fn ncpus(&self) -> usize {
+        self.lock().cpus.len()
+    }
+
+    /// Attributes subsequent [`emit`](Self::emit) calls to `cpu`
+    /// (called at syscall entry, under the big lock).
+    pub fn set_cpu(&self, cpu: usize) {
+        let mut inner = self.lock();
+        if cpu < inner.cpus.len() {
+            inner.current_cpu = cpu;
+        }
+    }
+
+    /// Emits `ev` on the currently attributed CPU.
+    pub fn emit(&self, ev: KernelEvent) {
+        let mut inner = self.lock();
+        let cpu = inner.current_cpu;
+        apply(&mut inner, cpu, ev);
+    }
+
+    /// Emits `ev` on an explicit CPU.
+    pub fn emit_on(&self, cpu: usize, ev: KernelEvent) {
+        let mut inner = self.lock();
+        let cpu = cpu.min(inner.cpus.len() - 1);
+        apply(&mut inner, cpu, ev);
+    }
+
+    /// Records a dispatcher entry for `kind` on `cpu` (also attributes
+    /// subsequent emissions to `cpu`).
+    pub fn syscall_enter(&self, cpu: usize, kind: SyscallKind) {
+        let mut inner = self.lock();
+        let cpu = cpu.min(inner.cpus.len() - 1);
+        inner.current_cpu = cpu;
+        apply(&mut inner, cpu, KernelEvent::SyscallEnter { kind });
+    }
+
+    /// Records a dispatcher return: the exit event plus the latency
+    /// histogram update.
+    pub fn syscall_exit(&self, cpu: usize, kind: SyscallKind, class: ReturnClass, cycles: u64) {
+        let mut inner = self.lock();
+        let cpu = cpu.min(inner.cpus.len() - 1);
+        apply(
+            &mut inner,
+            cpu,
+            KernelEvent::SyscallExit {
+                kind,
+                class,
+                cycles,
+            },
+        );
+    }
+
+    /// Builds the merged snapshot: per-CPU ring summaries, merged
+    /// per-kind syscall statistics and the subsystem counters, all read
+    /// atomically under one lock acquisition.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut per_cpu = Vec::with_capacity(inner.cpus.len());
+        let mut merged_kinds = [0u64; NUM_EVENT_KINDS];
+        let mut merged: Vec<SyscallStats> = vec![SyscallStats::default(); NUM_SYSCALL_KINDS];
+        let mut total_events = 0u64;
+        let mut total_dropped = 0u64;
+        for (cpu, c) in inner.cpus.iter().enumerate() {
+            for (m, k) in merged_kinds.iter_mut().zip(c.kinds.iter()) {
+                *m += k;
+            }
+            for (m, s) in merged.iter_mut().zip(c.syscalls.iter()) {
+                m.enters += s.enters;
+                m.exits += s.exits;
+                m.ok += s.ok;
+                m.errs += s.errs;
+                m.hist.merge(&s.hist);
+            }
+            total_events += c.ring.head();
+            total_dropped += c.ring.dropped();
+            per_cpu.push(CpuSummary {
+                cpu,
+                head: c.ring.head(),
+                tail: c.ring.tail(),
+                dropped: c.ring.dropped(),
+                kinds: c.kinds,
+                per_kind_enters: c.syscalls.iter().map(|s| s.enters).collect(),
+                per_kind_exits: c.syscalls.iter().map(|s| s.exits).collect(),
+            });
+        }
+        let syscalls = SyscallKind::ALL
+            .iter()
+            .map(|&kind| {
+                let s = &merged[kind.index()];
+                SyscallSummary {
+                    kind,
+                    enters: s.enters,
+                    exits: s.exits,
+                    ok: s.ok,
+                    errs: s.errs,
+                    mean_cycles: s.hist.mean(),
+                    p50_cycles: s.hist.p50(),
+                    p90_cycles: s.hist.p90(),
+                    p99_cycles: s.hist.p99(),
+                    max_cycles: s.hist.max(),
+                }
+            })
+            .collect();
+        Snapshot {
+            per_cpu,
+            syscalls,
+            kinds: merged_kinds,
+            counters: inner.counters,
+            total_events,
+            total_dropped,
+        }
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("TraceSink")
+            .field("ncpus", &inner.cpus.len())
+            .field("counters", &inner.counters)
+            .finish()
+    }
+}
+
+fn apply(inner: &mut TraceInner, cpu: usize, ev: KernelEvent) {
+    let counters = &mut inner.counters;
+    match ev {
+        KernelEvent::ContextSwitch { .. } => counters.pm.context_switches += 1,
+        KernelEvent::EndpointSend { rendezvous, .. } => {
+            counters.pm.ipc_sends += 1;
+            if rendezvous {
+                counters.pm.rendezvous += 1;
+            }
+        }
+        KernelEvent::EndpointRecv { rendezvous, .. } => {
+            counters.pm.ipc_recvs += 1;
+            if rendezvous {
+                counters.pm.rendezvous += 1;
+            }
+        }
+        KernelEvent::PageAlloc { frames, .. } => {
+            counters.mem.allocs += 1;
+            counters.mem.frames_allocated += frames;
+        }
+        KernelEvent::PageFree { frames, .. } => {
+            counters.mem.frees += 1;
+            counters.mem.frames_freed += frames;
+        }
+        KernelEvent::PtMap { frames, .. } => {
+            counters.ptable.maps += 1;
+            counters.ptable.frames_mapped += frames;
+        }
+        KernelEvent::PtUnmap { frames, .. } => {
+            counters.ptable.unmaps += 1;
+            counters.ptable.frames_unmapped += frames;
+        }
+        KernelEvent::DriverRx { batch, .. } => {
+            counters.drivers.rx_batches += 1;
+            counters.drivers.rx_items += batch;
+        }
+        KernelEvent::DriverTx { batch, .. } => {
+            counters.drivers.tx_batches += 1;
+            counters.drivers.tx_items += batch;
+        }
+        KernelEvent::SyscallEnter { .. } | KernelEvent::SyscallExit { .. } => {}
+    }
+    let c = &mut inner.cpus[cpu];
+    c.ring.push(ev);
+    c.kinds[ev.kind().index()] += 1;
+    match ev {
+        KernelEvent::SyscallEnter { kind } => c.syscalls[kind.index()].enters += 1,
+        KernelEvent::SyscallExit {
+            kind,
+            class,
+            cycles,
+        } => {
+            let s = &mut c.syscalls[kind.index()];
+            s.exits += 1;
+            if class.is_ok() {
+                s.ok += 1;
+            } else {
+                s.errs += 1;
+            }
+            s.hist.record(cycles);
+        }
+        _ => {}
+    }
+}
+
+/// The trace subsystem's well-formedness invariant (conjoined into the
+/// kernel's `total_wf`):
+///
+/// * every per-CPU ring is coherent (`tail ≤ head`,
+///   `head − tail ≤ capacity`, retained slots carry their sequence
+///   numbers, `dropped` accounts for the advanced tail);
+/// * per CPU, the per-kind event counts sum to the ring's `head` (no
+///   event pushed without being counted, none counted without a push);
+/// * per CPU and syscall kind, the latency histogram total equals the
+///   exit count, `ok + errs = exits`, and at most one call is in flight
+///   (`exits ≤ enters ≤ exits + 1`);
+/// * subsystem counters reconcile with the per-kind event counts
+///   (e.g. `pm.context_switches` = total `ContextSwitch` events);
+/// * no counter has decreased since the previous audit (low-water
+///   mark, raised on every check).
+pub fn trace_wf(sink: &TraceSink) -> VerifResult {
+    let mut inner = sink.lock();
+    let mut kind_totals = [0u64; NUM_EVENT_KINDS];
+    let mut enter_total = 0u64;
+    let mut exit_total = 0u64;
+    for (cpu, c) in inner.cpus.iter().enumerate() {
+        c.ring.wf()?;
+        let pushed: u64 = c.kinds.iter().sum();
+        check(
+            pushed == c.ring.head(),
+            "trace",
+            format!(
+                "cpu {cpu}: {pushed} counted events but ring head {}",
+                c.ring.head()
+            ),
+        )?;
+        for (m, k) in kind_totals.iter_mut().zip(c.kinds.iter()) {
+            *m += k;
+        }
+        for (kind, s) in SyscallKind::ALL.iter().zip(c.syscalls.iter()) {
+            s.hist.wf()?;
+            check(
+                s.hist.count() == s.exits,
+                "trace",
+                format!(
+                    "cpu {cpu} {}: histogram holds {} samples for {} exits",
+                    kind.name(),
+                    s.hist.count(),
+                    s.exits
+                ),
+            )?;
+            check(
+                s.ok + s.errs == s.exits,
+                "trace",
+                format!("cpu {cpu} {}: ok+errs != exits", kind.name()),
+            )?;
+            check(
+                s.exits <= s.enters && s.enters <= s.exits + 1,
+                "trace",
+                format!(
+                    "cpu {cpu} {}: {} enters vs {} exits",
+                    kind.name(),
+                    s.enters,
+                    s.exits
+                ),
+            )?;
+            enter_total += s.enters;
+            exit_total += s.exits;
+        }
+    }
+    check(
+        kind_totals[EventKind::SyscallEnter.index()] == enter_total
+            && kind_totals[EventKind::SyscallExit.index()] == exit_total,
+        "trace",
+        "per-kind syscall stats disagree with event counts",
+    )?;
+    let ctrs = inner.counters;
+    let pairs = [
+        (
+            "pm.context_switches",
+            ctrs.pm.context_switches,
+            EventKind::ContextSwitch,
+        ),
+        ("pm.ipc_sends", ctrs.pm.ipc_sends, EventKind::EndpointSend),
+        ("pm.ipc_recvs", ctrs.pm.ipc_recvs, EventKind::EndpointRecv),
+        ("mem.allocs", ctrs.mem.allocs, EventKind::PageAlloc),
+        ("mem.frees", ctrs.mem.frees, EventKind::PageFree),
+        ("ptable.maps", ctrs.ptable.maps, EventKind::PtMap),
+        ("ptable.unmaps", ctrs.ptable.unmaps, EventKind::PtUnmap),
+        (
+            "drivers.rx_batches",
+            ctrs.drivers.rx_batches,
+            EventKind::DriverRx,
+        ),
+        (
+            "drivers.tx_batches",
+            ctrs.drivers.tx_batches,
+            EventKind::DriverTx,
+        ),
+    ];
+    for (name, counter, kind) in pairs {
+        check(
+            counter == kind_totals[kind.index()],
+            "trace",
+            format!(
+                "counter {name} = {counter} but {} {} events",
+                kind_totals[kind.index()],
+                kind.name()
+            ),
+        )?;
+    }
+    check(
+        ctrs.pm.rendezvous <= ctrs.pm.ipc_sends + ctrs.pm.ipc_recvs,
+        "trace",
+        "more rendezvous than IPC operations",
+    )?;
+    let low = inner.low_water;
+    ctrs.monotone_since(&low)?;
+    inner.low_water = ctrs;
+    Ok(())
+}
+
+impl Invariant for TraceSink {
+    fn wf(&self) -> VerifResult {
+        trace_wf(self)
+    }
+}
+
+/// An optional trace handle a subsystem can hold without disturbing its
+/// derived `Clone`/`PartialEq`/`Eq`: two shares always compare equal, so
+/// attaching a tracer never changes a subsystem's abstract state.
+#[derive(Clone, Default)]
+pub struct TraceShare(Option<TraceHandle>);
+
+impl TraceShare {
+    /// A share of `sink`.
+    pub fn new(sink: TraceHandle) -> Self {
+        TraceShare(Some(sink))
+    }
+
+    /// A share with no sink attached (emissions are dropped).
+    pub fn detached() -> Self {
+        TraceShare(None)
+    }
+
+    /// Attaches `sink`; subsequent emissions land in it.
+    pub fn attach(&mut self, sink: TraceHandle) {
+        self.0 = Some(sink);
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits on the attributed CPU (no-op when detached).
+    pub fn emit(&self, ev: KernelEvent) {
+        if let Some(sink) = &self.0 {
+            sink.emit(ev);
+        }
+    }
+
+    /// The underlying handle, when attached.
+    pub fn handle(&self) -> Option<&TraceHandle> {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Debug for TraceShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TraceShare(attached)"
+        } else {
+            "TraceShare(detached)"
+        })
+    }
+}
+
+impl PartialEq for TraceShare {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for TraceShare {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emissions_are_counted_and_wf_holds() {
+        let sink = TraceSink::new(2, 8);
+        sink.syscall_enter(1, SyscallKind::Mmap);
+        sink.emit(KernelEvent::PageAlloc {
+            frames: 1,
+            closure_delta: 1,
+        });
+        sink.emit(KernelEvent::PtMap {
+            va: 0x1000,
+            frames: 1,
+        });
+        sink.syscall_exit(1, SyscallKind::Mmap, ReturnClass::Ok, 1234);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.exits(SyscallKind::Mmap), 1);
+        assert_eq!(snap.counters.mem.allocs, 1);
+        assert_eq!(snap.counters.ptable.maps, 1);
+        assert_eq!(snap.per_cpu[1].head, 4, "all events on the set CPU");
+        assert_eq!(snap.per_cpu[0].head, 0);
+    }
+
+    #[test]
+    fn wf_detects_counter_regression() {
+        let sink = TraceSink::new(1, 8);
+        sink.emit(KernelEvent::ContextSwitch {
+            cpu: 0,
+            from: None,
+            to: Some(1),
+        });
+        assert!(trace_wf(&sink).is_ok());
+        // Forge a regression: counters behind the low-water mark.
+        sink.lock().counters.pm.context_switches = 0;
+        assert!(trace_wf(&sink).is_err());
+    }
+
+    #[test]
+    fn shares_compare_equal_regardless_of_attachment() {
+        let a = TraceShare::detached();
+        let b = TraceShare::new(TraceSink::new(1, 4));
+        assert_eq!(a, b);
+        b.emit(KernelEvent::DriverRx {
+            device: crate::event::DeviceKind::Ixgbe,
+            batch: 32,
+        });
+        assert_eq!(b.handle().unwrap().snapshot().counters.drivers.rx_items, 32);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_wf() {
+        let sink = TraceSink::new(1, 4);
+        for i in 0..64 {
+            sink.emit(KernelEvent::PtMap { va: i, frames: 1 });
+        }
+        assert!(trace_wf(&sink).is_ok());
+        let snap = sink.snapshot();
+        assert_eq!(snap.total_events, 64);
+        assert_eq!(snap.total_dropped, 60);
+        assert_eq!(snap.counters.ptable.maps, 64, "counters survive overwrite");
+    }
+}

@@ -19,7 +19,7 @@ fn main() {
     println!("containers: A={:#x} B={:#x} V={:#x}", sc.a, sc.b, sc.v);
 
     // A maps a page and shares it with V while accumulating values.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_a,
         SyscallArgs::Mmap {
             va_base: 0x40_0000,
@@ -28,7 +28,7 @@ fn main() {
         },
     );
     for val in [10u64, 20, 12] {
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Send {
                 slot: 0,
@@ -42,7 +42,7 @@ fn main() {
     }
 
     // B uses the service too — without a shared page.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_b,
         SyscallArgs::Send {
             slot: 0,
@@ -55,7 +55,7 @@ fn main() {
     v.step(&mut k);
 
     // Each client reads back its own sum via call/reply.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_a,
         SyscallArgs::Call {
             slot: 0,
@@ -64,7 +64,7 @@ fn main() {
     );
     v.step(&mut k);
     let a_sum = k.syscall(sc.cpu_a, SyscallArgs::TakeMsg).val0();
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_b,
         SyscallArgs::Call {
             slot: 0,
@@ -87,7 +87,7 @@ fn main() {
     println!("memory_iso ∧ endpoint_iso hold between A and B");
 
     // B closes cleanly; A crashes. V releases everything either way.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_b,
         SyscallArgs::Send {
             slot: 0,
@@ -98,7 +98,7 @@ fn main() {
         },
     );
     v.step(&mut k);
-    k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
+    let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
     v.cleanup_client(&mut k, 0);
     v.spec_wf(&k)
         .expect("V released the crashed client's resources");

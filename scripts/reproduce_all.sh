@@ -1,8 +1,8 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Regenerates every table and figure of the paper into results/.
 #
 # Usage: scripts/reproduce_all.sh
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -10,8 +10,13 @@ mkdir -p results
 cargo build --release -p atmo-bench
 
 for target in table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation; do
+    bin="./target/release/repro-$target"
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin is missing (did the atmo-bench build produce it?)" >&2
+        exit 1
+    fi
     echo "== repro-$target =="
-    ./target/release/repro-"$target" | tee "results/repro-$target.txt"
+    "$bin" | tee "results/repro-$target.txt"
     echo
 done
 

@@ -19,6 +19,9 @@
 //!   and the verified shared service V;
 //! * [`verif`] — verification-effort tooling (line classifier, proof-task
 //!   catalogs, scheduler simulation, development history);
+//! * [`trace`] — the observability subsystem: per-CPU event rings,
+//!   syscall latency histograms, subsystem counters and merged
+//!   snapshots, audited by `trace_wf`;
 //! * [`drivers`] — ixgbe / NVMe device models and polling drivers,
 //!   shared-memory rings and deployment scenarios;
 //! * [`apps`] — Maglev, the kv-store and httpd;
@@ -46,4 +49,5 @@ pub use atmo_mem as mem;
 pub use atmo_pm as pm;
 pub use atmo_ptable as ptable;
 pub use atmo_spec as spec;
+pub use atmo_trace as trace;
 pub use atmo_verif as verif;

@@ -22,9 +22,9 @@ fn populated_kernel() -> Kernel {
         )
         .val0() as usize;
     let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
-    k.syscall(0, SyscallArgs::NewThread { proc: p, cpu: 1 });
-    k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
-    k.syscall(
+    let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu: 1 });
+    let _ = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
+    let _ = k.syscall(
         0,
         SyscallArgs::Mmap {
             va_base: 0x4000_0000,

@@ -108,8 +108,14 @@ fn scheduled_clients_and_service_interleave_correctly() {
             let psi = k.view();
             let da = domain_sets(&psi, sc.a);
             let db = domain_sets(&psi, sc.b);
-            assert!(memory_iso(&psi, &da.processes, &db.processes), "round {round}");
-            assert!(endpoint_iso(&psi, &da.threads, &db.threads), "round {round}");
+            assert!(
+                memory_iso(&psi, &da.processes, &db.processes),
+                "round {round}"
+            );
+            assert!(
+                endpoint_iso(&psi, &da.threads, &db.threads),
+                "round {round}"
+            );
             assert!(k.wf().is_ok(), "round {round}: {:?}", k.wf());
         }
     }

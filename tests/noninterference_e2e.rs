@@ -31,7 +31,7 @@ fn isolation_survives_service_traffic() {
     let mut v = VService::new(sc.tv, sc.cpu_v);
 
     for round in 0..20u64 {
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_a,
             SyscallArgs::Send {
                 slot: 0,
@@ -41,7 +41,7 @@ fn isolation_survives_service_traffic() {
                 grant_iommu_domain: None,
             },
         );
-        k.syscall(
+        let _ = k.syscall(
             sc.cpu_b,
             SyscallArgs::Send {
                 slot: 0,
@@ -70,7 +70,7 @@ fn isolation_survives_service_traffic() {
     assert!(v.spec_wf(&k).is_ok());
 
     // Sums stayed per-client.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_a,
         SyscallArgs::Call {
             slot: 0,
@@ -88,7 +88,7 @@ fn terminating_a_client_does_not_disturb_the_other() {
     let mut v = VService::new(sc.tv, sc.cpu_v);
 
     // B builds up state.
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_b,
         SyscallArgs::Send {
             slot: 0,
@@ -103,14 +103,14 @@ fn terminating_a_client_does_not_disturb_the_other() {
     let obs_b_before = atmosphere::kernel::noninterf::observable_state(&k.view(), sc.b);
 
     // A crashes hard.
-    k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
+    let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
     v.cleanup_client(&mut k, 0);
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 
     // B's observable state is unchanged and its session still works.
     let obs_b_after = atmosphere::kernel::noninterf::observable_state(&k.view(), sc.b);
     assert_eq!(obs_b_before, obs_b_after);
-    k.syscall(
+    let _ = k.syscall(
         sc.cpu_b,
         SyscallArgs::Call {
             slot: 0,

@@ -1,103 +1,144 @@
-//! Property-based refinement exploration: arbitrary syscall sequences
+//! Randomized refinement exploration: arbitrary syscall sequences
 //! (valid and garbage arguments alike), every transition audited against
 //! `total_wf` and its specification — the dynamic analogue of the
 //! kernel-wide refinement theorem (§4).
+//!
+//! Randomness comes from the in-repo deterministic [`XorShift64Star`]
+//! generator, so every run explores the same sequences and failures
+//! reproduce from the printed seed.
 
 use atmosphere::kernel::refine::audited_syscall;
 use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
-use proptest::prelude::*;
+use atmosphere::spec::XorShift64Star;
 
-fn syscall_strategy() -> impl Strategy<Value = SyscallArgs> {
-    let va = (0usize..48).prop_map(|i| 0x4000_0000 + i * 0x1000);
-    let ptr = prop_oneof![
-        Just(0usize),
-        Just(0xdead_b000usize),
-        (0usize..8).prop_map(|i| 0x20_0000 + i * 0x1000),
-    ];
-    prop_oneof![
-        (va.clone(), 1usize..5, any::<bool>()).prop_map(|(va_base, len, writable)| {
-            SyscallArgs::Mmap {
-                va_base,
-                len,
-                writable,
-            }
-        }),
-        (va.clone(), 1usize..5).prop_map(|(va_base, len)| SyscallArgs::Munmap { va_base, len }),
-        (0usize..64).prop_map(|quota| SyscallArgs::NewContainer {
-            quota,
-            cpus: vec![]
-        }),
-        ptr.clone()
-            .prop_map(|cntr| SyscallArgs::NewProcess { cntr }),
-        ptr.clone()
-            .prop_map(|cntr| SyscallArgs::TerminateContainer { cntr }),
-        ptr.clone()
-            .prop_map(|proc| SyscallArgs::TerminateProcess { proc }),
-        (ptr.clone(), 0usize..4).prop_map(|(proc, cpu)| SyscallArgs::NewThread { proc, cpu }),
-        (0usize..18).prop_map(|slot| SyscallArgs::NewEndpoint { slot }),
-        (0usize..3, any::<u64>(), proptest::option::of(va.clone())).prop_map(
-            |(slot, s0, grant)| SyscallArgs::Send {
-                slot,
-                scalars: [s0, 0, 0, 0],
-                grant_page_va: grant,
+fn random_va(rng: &mut XorShift64Star) -> usize {
+    0x4000_0000 + rng.below(48) * 0x1000
+}
+
+fn random_ptr(rng: &mut XorShift64Star) -> usize {
+    match rng.below(3) {
+        0 => 0,
+        1 => 0xdead_b000,
+        _ => 0x20_0000 + rng.below(8) * 0x1000,
+    }
+}
+
+fn random_syscall(rng: &mut XorShift64Star) -> SyscallArgs {
+    match rng.below(14) {
+        0 => SyscallArgs::Mmap {
+            va_base: random_va(rng),
+            len: rng.range(1, 5),
+            writable: rng.chance(1, 2),
+        },
+        1 => SyscallArgs::Munmap {
+            va_base: random_va(rng),
+            len: rng.range(1, 5),
+        },
+        2 => SyscallArgs::NewContainer {
+            quota: rng.below(64),
+            cpus: vec![],
+        },
+        3 => SyscallArgs::NewProcess {
+            cntr: random_ptr(rng),
+        },
+        4 => SyscallArgs::TerminateContainer {
+            cntr: random_ptr(rng),
+        },
+        5 => SyscallArgs::TerminateProcess {
+            proc: random_ptr(rng),
+        },
+        6 => SyscallArgs::NewThread {
+            proc: random_ptr(rng),
+            cpu: rng.below(4),
+        },
+        7 => SyscallArgs::NewEndpoint {
+            slot: rng.below(18),
+        },
+        8 => {
+            let grant_page_va = rng.chance(1, 2).then(|| random_va(rng));
+            SyscallArgs::Send {
+                slot: rng.below(3),
+                scalars: [rng.next_u64(), 0, 0, 0],
+                grant_page_va,
                 grant_endpoint_slot: None,
                 grant_iommu_domain: None,
             }
-        ),
-        (0usize..3).prop_map(|slot| SyscallArgs::Poll { slot }),
-        Just(SyscallArgs::TakeMsg),
-        va.prop_map(|va| SyscallArgs::MapGranted { va }),
-        Just(SyscallArgs::DropGrant),
-        Just(SyscallArgs::Yield),
-    ]
+        }
+        9 => SyscallArgs::Poll { slot: rng.below(3) },
+        10 => SyscallArgs::TakeMsg,
+        11 => SyscallArgs::MapGranted { va: random_va(rng) },
+        12 => SyscallArgs::DropGrant,
+        _ => SyscallArgs::Yield,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_transition_is_audited_green(calls in proptest::collection::vec(syscall_strategy(), 1..40)) {
-        let mut k = Kernel::boot(KernelConfig { mem_mib: 32, ncpus: 2, root_quota: 512 });
-        for args in calls {
+#[test]
+fn every_transition_is_audited_green() {
+    for case in 0..24u64 {
+        let mut rng = XorShift64Star::new(0x5eed_0001 + case);
+        let mut k = Kernel::boot(KernelConfig {
+            mem_mib: 32,
+            ncpus: 2,
+            root_quota: 512,
+        });
+        let calls = rng.range(1, 40);
+        for _ in 0..calls {
             // CPU 0 may have lost its thread to a blocking call; skip then.
             if k.pm.sched.current(0).is_none() && k.pm.timer_tick(0).is_none() {
                 break;
             }
+            let args = random_syscall(&mut rng);
             let (_ret, audit) = audited_syscall(&mut k, 0, args.clone());
-            prop_assert!(audit.is_ok(), "{args:?}: {:?}", audit);
+            assert!(audit.is_ok(), "seed {case}, {args:?}: {audit:?}");
         }
     }
+}
 
-    #[test]
-    fn mmap_munmap_pairs_never_leak(ranges in proptest::collection::vec((0usize..32, 1usize..6), 1..20)) {
-        let mut k = Kernel::boot(KernelConfig { mem_mib: 32, ncpus: 1, root_quota: 512 });
+#[test]
+fn mmap_munmap_pairs_never_leak() {
+    for case in 0..16u64 {
+        let mut rng = XorShift64Star::new(0x5eed_1001 + case);
+        let mut k = Kernel::boot(KernelConfig {
+            mem_mib: 32,
+            ncpus: 1,
+            root_quota: 512,
+        });
         let free0 = k.alloc.free_pages_4k().len();
         let mut live: Vec<(usize, usize)> = Vec::new();
-        for (slot, len) in ranges {
-            let va_base = 0x4000_0000 + slot * 0x10_000;
-            let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Mmap { va_base, len, writable: true });
-            prop_assert!(audit.is_ok(), "{:?}", audit);
+        let pairs = rng.range(1, 20);
+        for _ in 0..pairs {
+            let va_base = 0x4000_0000 + rng.below(32) * 0x10_000;
+            let len = rng.range(1, 6);
+            let (ret, audit) = audited_syscall(
+                &mut k,
+                0,
+                SyscallArgs::Mmap {
+                    va_base,
+                    len,
+                    writable: true,
+                },
+            );
+            assert!(audit.is_ok(), "seed {case}: {audit:?}");
             if ret.is_ok() {
                 live.push((va_base, len));
             }
         }
         for (va_base, len) in live.drain(..) {
             let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Munmap { va_base, len });
-            prop_assert!(audit.is_ok(), "{:?}", audit);
-            prop_assert!(ret.is_ok());
+            assert!(audit.is_ok(), "seed {case}: {audit:?}");
+            assert!(ret.is_ok());
         }
         // All user frames are back. Intermediate page-table levels are
         // retained by design (freed when the address space dies), so the
         // only frames still out are exactly the VM subsystem's growth.
-        prop_assert!(k.alloc.mapped_pages().is_empty(), "user frames leaked");
+        assert!(k.alloc.mapped_pages().is_empty(), "user frames leaked");
         let spent = free0 - k.alloc.free_pages_4k().len();
         use atmosphere::mem::PageClosure;
         let as_id = k.pm.proc(k.init_proc).addr_space;
         let pt_frames = k.vm.table(as_id).expect("init space").page_closure().len();
-        prop_assert!(
+        assert!(
             spent == pt_frames - 1, // minus the boot-time root frame
-            "leaked {} frames beyond the {} retained table levels",
-            spent,
+            "seed {case}: leaked {spent} frames beyond the {} retained table levels",
             pt_frames - 1
         );
     }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use atmosphere::kernel::{Kernel, KernelConfig, SmpKernel, SyscallArgs};
 use atmosphere::spec::harness::Invariant;
+use atmosphere::trace::SyscallKind;
 
 #[test]
 fn concurrent_syscalls_on_four_cpus() {
@@ -29,7 +30,7 @@ fn concurrent_syscalls_on_four_cpus() {
             )
             .val0() as usize;
         let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
-        k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
+        let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
         k.pm.timer_tick(cpu);
         cpus.push(cpu);
     }
@@ -83,6 +84,149 @@ fn concurrent_syscalls_on_four_cpus() {
     for cpu in 1..4 {
         assert!(k.cycles(cpu) > 0);
     }
+}
+
+#[test]
+fn trace_rings_reconcile_across_four_cpus() {
+    // Four CPUs hammer the kernel concurrently; afterwards the merged
+    // trace snapshot's per-CPU ring counts must reconcile *exactly* with
+    // the syscall returns each OS thread observed — no event lost to a
+    // race, none double-counted.
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 4,
+        root_quota: 2048,
+    });
+    for cpu in 1..4usize {
+        let c = k
+            .syscall(
+                0,
+                SyscallArgs::NewContainer {
+                    quota: 256,
+                    cpus: vec![cpu],
+                },
+            )
+            .val0() as usize;
+        let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+        let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
+        k.pm.timer_tick(cpu);
+    }
+    // Baseline: everything traced so far belongs to the setup above.
+    let base = k.trace_snapshot();
+    let smp = Arc::new(SmpKernel::new(k));
+
+    const ROUNDS: u64 = 40;
+    let mut handles = Vec::new();
+    for cpu in 1..4usize {
+        let smp = Arc::clone(&smp);
+        handles.push(std::thread::spawn(move || {
+            // Tallies of *observed returns*, the reconciliation ground
+            // truth: (mmap ok, munmap ok, yields ok, errors).
+            let (mut ok_mmap, mut ok_munmap, mut ok_yield, mut errs) = (0u64, 0u64, 0u64, 0u64);
+            for round in 0..ROUNDS {
+                let base_va = 0x4000_0000 + (round as usize) * 0x4000;
+                let r = smp.with_kernel(|k| {
+                    k.syscall(
+                        cpu,
+                        SyscallArgs::Mmap {
+                            va_base: base_va,
+                            len: 2,
+                            writable: true,
+                        },
+                    )
+                });
+                if r.is_ok() {
+                    ok_mmap += 1
+                } else {
+                    errs += 1
+                }
+                let r = smp.with_kernel(|k| k.syscall(cpu, SyscallArgs::Yield));
+                if r.is_ok() {
+                    ok_yield += 1
+                } else {
+                    errs += 1
+                }
+                let r = smp.with_kernel(|k| {
+                    k.syscall(
+                        cpu,
+                        SyscallArgs::Munmap {
+                            va_base: base_va,
+                            len: 2,
+                        },
+                    )
+                });
+                if r.is_ok() {
+                    ok_munmap += 1
+                } else {
+                    errs += 1
+                }
+            }
+            (cpu, ok_mmap, ok_munmap, ok_yield, errs)
+        }));
+    }
+    let tallies: Vec<(usize, u64, u64, u64, u64)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let k = Arc::try_unwrap(smp).ok().unwrap().into_inner();
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    let snap = k.trace_snapshot();
+
+    // Per-CPU: the ring on each CPU saw exactly that worker's calls.
+    let kinds = [SyscallKind::Mmap, SyscallKind::Munmap, SyscallKind::Yield];
+    for &(cpu, ok_mmap, ok_munmap, ok_yield, errs) in &tallies {
+        assert_eq!(errs, 0, "cpu {cpu}: every syscall should have succeeded");
+        let exits = |s: &atmosphere::trace::Snapshot, kind: SyscallKind| {
+            s.per_cpu[cpu].per_kind_exits[kind.index()]
+        };
+        for (kind, expect) in kinds.iter().zip([ok_mmap, ok_munmap, ok_yield]) {
+            assert_eq!(
+                exits(&snap, *kind) - exits(&base, *kind),
+                expect,
+                "cpu {cpu} {}",
+                kind.name()
+            );
+        }
+        assert_eq!(
+            snap.per_cpu[cpu].syscall_exits() - base.per_cpu[cpu].syscall_exits(),
+            3 * ROUNDS,
+            "cpu {cpu}: exactly its own 3 calls per round, nothing else"
+        );
+    }
+
+    // Merged: the snapshot's per-kind totals equal the sum of what the
+    // workers observed, and the per-CPU rings sum to the merged view.
+    for kind in kinds {
+        let total: u64 = tallies
+            .iter()
+            .map(|&(_, m, u, y, _)| match kind {
+                SyscallKind::Mmap => m,
+                SyscallKind::Munmap => u,
+                _ => y,
+            })
+            .sum();
+        assert_eq!(
+            snap.syscall(kind).ok - base.syscall(kind).ok,
+            total,
+            "merged {} ok-returns",
+            kind.name()
+        );
+        let ring_sum: u64 = snap
+            .per_cpu
+            .iter()
+            .map(|c| c.per_kind_exits[kind.index()])
+            .sum();
+        assert_eq!(
+            ring_sum,
+            snap.exits(kind),
+            "rings sum to merged {}",
+            kind.name()
+        );
+    }
+    assert_eq!(
+        snap.total_syscall_exits() - base.total_syscall_exits(),
+        9 * ROUNDS,
+        "3 workers x 3 calls x ROUNDS, none lost or double-counted"
+    );
 }
 
 #[test]

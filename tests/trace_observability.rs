@@ -1,0 +1,168 @@
+//! End-to-end tests of the trace subsystem: the `TraceSnapshot` syscall
+//! returns per-kind counts that exactly match the syscalls issued, the
+//! latency histograms cover every completed call, and the subsystem
+//! counters reconcile with the instrumented hot paths — all on one CPU
+//! so the expected numbers are fully deterministic.
+
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs, SyscallReturn};
+use atmosphere::spec::harness::Invariant;
+use atmosphere::trace::event::NUM_SYSCALL_KINDS;
+use atmosphere::trace::SyscallKind;
+
+/// Issues `args` and tallies the observed (exit, ok, err) per kind, the
+/// ground truth the snapshot must reproduce.
+fn issue(
+    k: &mut Kernel,
+    tally: &mut [(u64, u64, u64); NUM_SYSCALL_KINDS],
+    args: SyscallArgs,
+) -> SyscallReturn {
+    let idx = args.trace_kind().index();
+    let ret = k.syscall(0, args);
+    tally[idx].0 += 1;
+    if ret.is_ok() {
+        tally[idx].1 += 1;
+    } else {
+        tally[idx].2 += 1;
+    }
+    ret
+}
+
+#[test]
+fn snapshot_counts_match_issued_syscalls_exactly() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 32,
+        ncpus: 1,
+        root_quota: 512,
+    });
+    let init_proc = k.init_proc;
+    let mut tally = [(0u64, 0u64, 0u64); NUM_SYSCALL_KINDS];
+
+    // A known mix: 4 mmaps, 3 munmaps (one of a hole → error), endpoint
+    // creation twice into the same slot (second → error), an empty poll,
+    // a thread spawn and a few yields.
+    for i in 0..4usize {
+        let r = issue(
+            &mut k,
+            &mut tally,
+            SyscallArgs::Mmap {
+                va_base: 0x4000_0000 + i * 0x1000,
+                len: 1,
+                writable: true,
+            },
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+    for i in 0..2usize {
+        let r = issue(
+            &mut k,
+            &mut tally,
+            SyscallArgs::Munmap {
+                va_base: 0x4000_0000 + i * 0x1000,
+                len: 1,
+            },
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+    let r = issue(
+        &mut k,
+        &mut tally,
+        SyscallArgs::Munmap {
+            va_base: 0x5000_0000,
+            len: 1,
+        },
+    );
+    assert!(!r.is_ok(), "unmapping a hole must fail");
+    let r = issue(&mut k, &mut tally, SyscallArgs::NewEndpoint { slot: 0 });
+    assert!(r.is_ok(), "{r:?}");
+    let r = issue(&mut k, &mut tally, SyscallArgs::NewEndpoint { slot: 0 });
+    assert!(!r.is_ok(), "occupied descriptor slot must fail");
+    let r = issue(&mut k, &mut tally, SyscallArgs::Poll { slot: 0 });
+    assert!(r.is_ok(), "{r:?}");
+    let r = issue(
+        &mut k,
+        &mut tally,
+        SyscallArgs::NewThread {
+            proc: init_proc,
+            cpu: 0,
+        },
+    );
+    assert!(r.is_ok(), "{r:?}");
+    for _ in 0..3 {
+        let _ = issue(&mut k, &mut tally, SyscallArgs::Yield);
+    }
+    let issued_exits: u64 = tally.iter().map(|t| t.0).sum();
+    assert_eq!(issued_exits, 14);
+
+    // The read-only snapshot syscall: scalar 0 is the number of syscalls
+    // completed *before* it (its own exit is not yet recorded when the
+    // snapshot is taken inside the handler).
+    let ret = k.syscall(0, SyscallArgs::TraceSnapshot);
+    assert!(ret.is_ok(), "{ret:?}");
+    assert_eq!(ret.val0(), issued_exits);
+    let snap = k.take_trace_snapshot().expect("snapshot stashed");
+
+    // Per-kind reconciliation: exactly the issued counts, nothing else.
+    for kind in SyscallKind::ALL {
+        let (exits, ok, errs) = tally[kind.index()];
+        if kind == SyscallKind::TraceSnapshot {
+            assert_eq!(snap.syscall(kind).enters, 1, "its own enter is visible");
+            assert_eq!(snap.exits(kind), 0);
+            continue;
+        }
+        let s = snap.syscall(kind);
+        assert_eq!(s.exits, exits, "{}", kind.name());
+        assert_eq!(s.ok, ok, "{}", kind.name());
+        assert_eq!(s.errs, errs, "{}", kind.name());
+        // Completed calls cost cycles; the histogram saw every one.
+        if exits > 0 {
+            assert!(s.p50_cycles > 0, "{}: p50 of a completed call", kind.name());
+            assert!(s.max_cycles >= s.p50_cycles, "{}", kind.name());
+        }
+    }
+    assert_eq!(snap.total_syscall_exits(), issued_exits);
+    assert_eq!(snap.per_cpu.len(), 1);
+    assert_eq!(snap.per_cpu[0].syscall_exits(), issued_exits);
+
+    // Subsystem counters reconcile with the instrumented paths: each ok
+    // mmap allocated and mapped one frame; each ok munmap unmapped and
+    // freed one; the endpoint and thread pages are allocator events too.
+    assert_eq!(snap.counters.ptable.maps, 4);
+    assert_eq!(snap.counters.ptable.frames_mapped, 4);
+    assert_eq!(snap.counters.ptable.unmaps, 2);
+    assert_eq!(snap.counters.mem.frees, 2);
+    assert_eq!(
+        snap.counters.mem.allocs, 9,
+        "4 mmap frames + 3 fresh page-table levels + endpoint + thread"
+    );
+
+    // A later snapshot sees the first TraceSnapshot call completed.
+    let later = k.trace_snapshot();
+    assert_eq!(later.exits(SyscallKind::TraceSnapshot), 1);
+    assert_eq!(later.total_syscall_exits(), issued_exits + 1);
+
+    // The whole transition left the kernel (incl. trace_wf) well-formed.
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn snapshot_render_is_report_styled() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 32,
+        ncpus: 1,
+        root_quota: 512,
+    });
+    let _ = k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 2,
+            writable: true,
+        },
+    );
+    let _ = k.syscall(0, SyscallArgs::Yield);
+    let text = k.trace_snapshot().render();
+    assert!(text.contains("== Trace snapshot: per-CPU event rings =="));
+    assert!(text.contains("== Trace snapshot: syscall latency (modeled cycles) =="));
+    assert!(text.contains("mmap"));
+    assert!(text.contains("mem.allocs"));
+}

@@ -95,8 +95,8 @@ fn v_survives_arbitrary_client_behaviour() {
 
         // Finally crash both clients; V cleans up; nothing user-mapped
         // remains anywhere.
-        k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
-        k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.b });
+        let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
+        let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.b });
         v.cleanup_client(&mut k, 0);
         v.cleanup_client(&mut k, 1);
         assert!(v.spec_wf(&k).is_ok());
