@@ -1,0 +1,298 @@
+//! Lock domains: ordered, instrumented mutexes for the sharded kernel.
+//!
+//! The sharded [`SmpKernel`](crate::smp::SmpKernel) replaces the big
+//! lock with one lock per domain. Deadlock freedom comes from a *total
+//! lock order* over [`LockLevel`]s — every code path acquires locks in
+//! strictly ascending level order:
+//!
+//! ```text
+//! Meter(0) → Pm(1) → Hw(2) → Snapshot(3) → Cache(4) → Mem(5) → trace shards (leaf)
+//! ```
+//!
+//! Publicly that is the documented `pm → mem → trace` order; `Meter`,
+//! `Hw`, `Snapshot` and `Cache` are auxiliary leaf-ish levels slotted
+//! around them (a CPU's meter is taken before its syscall touches pm,
+//! the per-CPU page caches sit between pm and mem because a cache
+//! refill/drain must take the mem lock while holding the cache). Trace
+//! shard locks are internal to `atmo-trace`, never acquire anything,
+//! and are only ever taken last.
+//!
+//! `Meter` and `Cache` are *multi-acquire* levels: the stop-the-world
+//! `with_kernel` path locks every CPU's meter (then every cache) in
+//! CPU-index order, which is deadlock-free because that inner order is
+//! itself total and no other path ever holds two of them.
+//!
+//! With the `lock-order-checks` feature enabled, every acquisition is
+//! checked against a thread-local table of held levels and any
+//! violation of the total order panics immediately — no external
+//! dependencies, just a `thread_local!` array.
+//!
+//! Every [`DomainLock`] also carries a modeled-time stamp
+//! ([`model_time`](DomainLock::model_time)): the release time, in
+//! modeled cycles, of the last critical section. Callers sync their
+//! CPU's [`CycleMeter`](atmo_hw::cycles::CycleMeter) to it on acquire,
+//! which makes lock serialization visible to the modeled clock — the
+//! basis of the `repro-smp-scaling` benchmark on a single-core host.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::time::Instant;
+
+use atmo_spec::{into_inner_recovering, lock_recovering};
+use atmo_trace::{ns_to_cycles, LockDomain, TraceHandle};
+
+/// Position of a lock in the total acquisition order (ascending only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum LockLevel {
+    /// Per-CPU cycle meters (multi-acquire, CPU-index order).
+    Meter = 0,
+    /// The process-manager domain.
+    Pm = 1,
+    /// The machine (interrupt controller, cost model, boot info).
+    Hw = 2,
+    /// The published trace-snapshot slot.
+    Snapshot = 3,
+    /// Per-CPU page caches (multi-acquire, CPU-index order).
+    Cache = 4,
+    /// The memory domain.
+    Mem = 5,
+}
+
+/// Number of distinct lock levels.
+pub const NUM_LOCK_LEVELS: usize = 6;
+
+impl LockLevel {
+    /// `true` when several locks of this level may be held at once
+    /// (acquired in CPU-index order by the stop-the-world path).
+    pub fn multi_acquire(self) -> bool {
+        matches!(self, LockLevel::Meter | LockLevel::Cache)
+    }
+}
+
+#[cfg(feature = "lock-order-checks")]
+mod order {
+    use super::{LockLevel, NUM_LOCK_LEVELS};
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// How many locks of each level this OS thread currently holds.
+        static HELD: RefCell<[u8; NUM_LOCK_LEVELS]> = const { RefCell::new([0; NUM_LOCK_LEVELS]) };
+    }
+
+    pub fn acquiring(level: LockLevel) {
+        HELD.with_borrow_mut(|held| {
+            let l = level as usize;
+            for (above, &count) in held.iter().enumerate().skip(l + 1) {
+                assert!(
+                    count == 0,
+                    "lock-order violation: acquiring {level:?} (level {l}) while holding a \
+                     level-{above} lock"
+                );
+            }
+            assert!(
+                held[l] == 0 || level.multi_acquire(),
+                "lock-order violation: acquiring a second {level:?} lock"
+            );
+            held[l] += 1;
+        });
+    }
+
+    pub fn released(level: LockLevel) {
+        HELD.with_borrow_mut(|held| {
+            let l = level as usize;
+            debug_assert!(held[l] > 0, "releasing a {level:?} lock that was not held");
+            held[l] = held[l].saturating_sub(1);
+        });
+    }
+}
+
+#[cfg(not(feature = "lock-order-checks"))]
+mod order {
+    use super::LockLevel;
+    pub fn acquiring(_level: LockLevel) {}
+    pub fn released(_level: LockLevel) {}
+}
+
+/// One domain's lock: an ordered, optionally instrumented mutex with a
+/// modeled release timestamp.
+#[derive(Debug)]
+pub struct DomainLock<T> {
+    mutex: Mutex<T>,
+    level: LockLevel,
+    /// When set, every acquisition is recorded into the trace sink's
+    /// per-domain lock counters.
+    instrument: Option<LockDomain>,
+    trace: TraceHandle,
+    /// Modeled cycle count at which the last critical section released
+    /// the lock; acquirers `sync_to` their meter so serialization shows
+    /// up in modeled time.
+    model_time: AtomicU64,
+}
+
+impl<T> DomainLock<T> {
+    /// A lock at `level`, instrumented as `instrument` (if any) into
+    /// `trace`.
+    pub fn new(
+        value: T,
+        level: LockLevel,
+        instrument: Option<LockDomain>,
+        trace: TraceHandle,
+    ) -> Self {
+        DomainLock {
+            mutex: Mutex::new(value),
+            level,
+            instrument,
+            trace,
+            model_time: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the lock for `cpu`, checking the total order and
+    /// recording contention. Panics on a lock-order violation when the
+    /// `lock-order-checks` feature is on.
+    pub fn lock(&self, cpu: usize) -> DomainGuard<'_, T> {
+        order::acquiring(self.level);
+        let (guard, contended) = match self.mutex.try_lock() {
+            Ok(g) => (g, false),
+            Err(TryLockError::Poisoned(e)) => (e.into_inner(), false),
+            Err(TryLockError::WouldBlock) => (lock_recovering(&self.mutex), true),
+        };
+        DomainGuard {
+            guard: Some(guard),
+            lock: self,
+            cpu,
+            contended,
+            acquired_at: Instant::now(),
+        }
+    }
+
+    /// The modeled release time of the last critical section.
+    pub fn model_time(&self) -> u64 {
+        self.model_time.load(Ordering::Acquire)
+    }
+
+    /// Advances the modeled release time to `now` (monotone).
+    pub fn set_model_time(&self, now: u64) {
+        self.model_time.fetch_max(now, Ordering::AcqRel);
+    }
+
+    /// Consumes the lock, recovering the value even if poisoned.
+    pub fn into_inner(self) -> T {
+        into_inner_recovering(self.mutex)
+    }
+}
+
+/// Guard for a [`DomainLock`]; releases the lock, reports the hold to
+/// the trace sink, and pops the held-level table on drop.
+pub struct DomainGuard<'a, T> {
+    guard: Option<MutexGuard<'a, T>>,
+    lock: &'a DomainLock<T>,
+    cpu: usize,
+    contended: bool,
+    acquired_at: Instant,
+}
+
+impl<T> Deref for DomainGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> DerefMut for DomainGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for DomainGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        order::released(self.lock.level);
+        if let Some(domain) = self.lock.instrument {
+            let held = ns_to_cycles(self.acquired_at.elapsed().as_nanos() as u64);
+            self.lock
+                .trace
+                .lock_event(self.cpu, domain, self.contended, held);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmo_trace::TraceSink;
+
+    #[test]
+    fn lock_reports_instrumented_acquisitions() {
+        let trace = TraceSink::new(1, 16);
+        let lock = DomainLock::new(5u32, LockLevel::Pm, Some(LockDomain::Pm), trace.clone());
+        {
+            let mut g = lock.lock(0);
+            *g += 1;
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.counters.locks.pm.acquisitions, 1);
+        assert_eq!(snap.counters.locks.pm.contended, 0);
+        assert_eq!(lock.into_inner(), 6);
+    }
+
+    #[test]
+    fn contention_is_detected() {
+        use std::sync::Arc;
+        let trace = TraceSink::new(1, 16);
+        let lock = Arc::new(DomainLock::new(
+            0u64,
+            LockLevel::Mem,
+            Some(LockDomain::Mem),
+            trace.clone(),
+        ));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    *lock.lock(0) += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.counters.locks.mem.acquisitions, 8000);
+        assert_eq!(*lock.lock(0), 8000);
+    }
+
+    #[test]
+    fn model_time_is_monotone() {
+        let trace = TraceSink::new(1, 4);
+        let lock = DomainLock::new((), LockLevel::Pm, None, trace);
+        lock.set_model_time(100);
+        lock.set_model_time(40);
+        assert_eq!(lock.model_time(), 100, "never rewinds");
+        lock.set_model_time(250);
+        assert_eq!(lock.model_time(), 250);
+    }
+
+    #[cfg(feature = "lock-order-checks")]
+    #[test]
+    fn order_checker_rejects_descending_acquire() {
+        let trace = TraceSink::new(1, 4);
+        let pm = DomainLock::new((), LockLevel::Pm, None, trace.clone());
+        let mem = DomainLock::new((), LockLevel::Mem, None, trace);
+        // Ascending is fine.
+        {
+            let _a = pm.lock(0);
+            let _b = mem.lock(0);
+        }
+        // Descending must panic.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _b = mem.lock(0);
+            let _a = pm.lock(0);
+        }));
+        assert!(err.is_err(), "mem→pm acquisition must be rejected");
+    }
+}

@@ -64,7 +64,7 @@ impl Kernel {
                 // interrupt as a no-op.
                 if self.pm.thrd_perms.contains(t) {
                     self.charge(cpu, costs.endpoint_queue_op);
-                    self.pm.wake_if_blocked(&mut self.alloc, t);
+                    self.pm.wake_if_blocked(&mut self.mem.alloc, t);
                 }
             }
         }

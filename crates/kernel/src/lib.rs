@@ -5,9 +5,13 @@
 //! and the process manager (`atmo-pm`) — into the full microkernel and
 //! implements the artefacts the paper proves about it:
 //!
-//! * [`kernel`] — the kernel state Ψ, boot, and the big-lock SMP wrapper
-//!   (§3: "all interrupts and system calls execute in the microkernel
-//!   under one global lock");
+//! * [`kernel`] — the kernel state Ψ, boot, the mem lock domain, and the
+//!   big-lock SMP wrapper (§3: "all interrupts and system calls execute
+//!   in the microkernel under one global lock");
+//! * [`domain`] — lock domains: ordered, instrumented locks with an
+//!   optional runtime lock-order checker (`lock-order-checks`);
+//! * [`smp`] — the sharded SMP kernel: per-subsystem lock domains
+//!   (pm / mem / trace) with a per-CPU free-page cache fast path;
 //! * [`vm`] — the virtual-memory subsystem owning every page table and
 //!   the IOMMU (§4.2's closure hierarchy);
 //! * [`syscall`] — the system-call interface: `mmap`, `munmap`,
@@ -29,12 +33,14 @@
 //!   event-driven state machine with its own functional-correctness spec.
 
 pub mod abs;
+pub mod domain;
 pub mod interrupt;
 pub mod iso;
 pub mod kernel;
 pub mod noninterf;
 pub mod refine;
 pub mod runner;
+pub mod smp;
 pub mod spec;
 pub mod syscall;
 pub mod syscall_ext;
@@ -42,6 +48,9 @@ pub mod vm;
 pub mod vservice;
 
 pub use abs::AbstractKernel;
-pub use kernel::{Kernel, KernelConfig, SmpKernel};
+pub use domain::{DomainGuard, DomainLock, LockLevel};
+pub use kernel::{BigLockKernel, Kernel, KernelConfig, MemDomain};
+pub use refine::{cross_domain_wf, mem_domain_wf, pm_domain_wf, total_wf_parts};
+pub use smp::{PmShard, SmpKernel};
 pub use syscall::{SyscallArgs, SyscallError, SyscallReturn};
 pub use vm::VmSubsystem;

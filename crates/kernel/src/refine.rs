@@ -19,76 +19,103 @@
 
 use atmo_hw::addr::{VAddr, VaRange4K};
 use atmo_mem::PageClosure;
+use atmo_pm::ProcessManager;
 use atmo_spec::harness::{check, Invariant, VerifResult};
+use atmo_trace::TraceHandle;
 
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, MemDomain};
 use crate::spec;
 use crate::syscall::{SyscallArgs, SyscallReturn};
+
+/// The pm domain's own well-formedness (restated per-domain for the
+/// sharded kernel: it holds under the pm lock alone).
+pub fn pm_domain_wf(pm: &ProcessManager) -> VerifResult {
+    pm.wf()
+}
+
+/// The mem domain's own well-formedness: the VM subsystem's closure
+/// hierarchy and the allocator's page-state invariant. Holds under the
+/// mem lock alone.
+pub fn mem_domain_wf(mem: &MemDomain) -> VerifResult {
+    mem.vm.wf()?;
+    mem.alloc.wf()
+}
+
+/// The cross-domain equations of §4.2 — these quantify over *both*
+/// domains at once, so the sharded kernel can only establish them with
+/// every domain lock held and every per-CPU page cache drained (the
+/// stop-the-world `total_wf` audit).
+pub fn cross_domain_wf(pm: &ProcessManager, mem: &MemDomain) -> VerifResult {
+    // Safety: kernel objects and table frames partition `allocated`.
+    let pm_closure = pm.page_closure();
+    let vm_closure = mem.vm.page_closure();
+    check(
+        pm_closure.disjoint(&vm_closure),
+        "kernel_memory",
+        "process-manager and VM closures overlap",
+    )?;
+    check(
+        pm_closure.union(&vm_closure) == mem.alloc.allocated_pages(),
+        "kernel_memory",
+        "subsystem closures do not cover exactly the allocated pages (leak or corruption)",
+    )?;
+
+    // Every live process has exactly its own address space.
+    let proc_spaces: atmo_spec::Set<usize> = pm
+        .proc_perms
+        .iter()
+        .map(|(_, p)| p.value().addr_space)
+        .collect();
+    check(
+        proc_spaces == mem.vm.spaces(),
+        "kernel_memory",
+        "process address spaces and VM spaces diverge",
+    )?;
+
+    // Leak freedom for user frames: the allocator's mapped heads are
+    // exactly the frames referenced by some address space or an
+    // in-flight grant.
+    let mut referenced = atmo_spec::Set::empty();
+    for id in mem.vm.spaces().iter() {
+        referenced = referenced.union(&mem.vm.table(*id).expect("space").mapped_frames());
+    }
+    for (_t, frame) in mem.pending_grants.iter() {
+        referenced = referenced.insert(*frame);
+    }
+    // DMA-visible frames hold IOMMU references.
+    referenced = referenced.union(&mem.vm.iommu.mapped_frames());
+    // In-flight grants inside IPC buffers also hold references.
+    for (_t, perm) in pm.thrd_perms.iter() {
+        if let Some(p) = perm.value().ipc_buf {
+            if let Some(frame) = p.page_grant {
+                referenced = referenced.insert(frame);
+            }
+        }
+    }
+    check(
+        referenced == mem.alloc.mapped_pages(),
+        "kernel_memory",
+        "mapped frames and address-space references diverge (leak)",
+    )
+}
+
+/// `total_wf` over the assembled parts: per-domain invariants, the
+/// cross-domain memory equations, and the trace subsystem's coherence.
+/// This is what the sharded kernel's stop-the-world audit evaluates
+/// after draining every per-CPU page cache.
+pub fn total_wf_parts(pm: &ProcessManager, mem: &MemDomain, trace: &TraceHandle) -> VerifResult {
+    pm_domain_wf(pm)?;
+    mem_domain_wf(mem)?;
+    cross_domain_wf(pm, mem)?;
+    // The trace subsystem audits like any other: coherent rings,
+    // histogram/counter reconciliation, monotone counters.
+    atmo_trace::trace_wf(trace)
+}
 
 impl Invariant for Kernel {
     /// The kernel's `total_wf()` (Listing 1 line 31).
     fn wf(&self) -> VerifResult {
-        self.pm.wf()?;
-        self.vm.wf()?;
-
-        // Safety: kernel objects and table frames partition `allocated`.
-        let pm_closure = self.pm.page_closure();
-        let vm_closure = self.vm.page_closure();
-        check(
-            pm_closure.disjoint(&vm_closure),
-            "kernel_memory",
-            "process-manager and VM closures overlap",
-        )?;
-        check(
-            pm_closure.union(&vm_closure) == self.alloc.allocated_pages(),
-            "kernel_memory",
-            "subsystem closures do not cover exactly the allocated pages (leak or corruption)",
-        )?;
-
-        // Every live process has exactly its own address space.
-        let proc_spaces: atmo_spec::Set<usize> = self
-            .pm
-            .proc_perms
-            .iter()
-            .map(|(_, p)| p.value().addr_space)
-            .collect();
-        check(
-            proc_spaces == self.vm.spaces(),
-            "kernel_memory",
-            "process address spaces and VM spaces diverge",
-        )?;
-
-        // Leak freedom for user frames: the allocator's mapped heads are
-        // exactly the frames referenced by some address space or an
-        // in-flight grant.
-        let mut referenced = atmo_spec::Set::empty();
-        for id in self.vm.spaces().iter() {
-            referenced = referenced.union(&self.vm.table(*id).expect("space").mapped_frames());
-        }
-        for (_t, frame) in self.pending_grants.iter() {
-            referenced = referenced.insert(*frame);
-        }
-        // DMA-visible frames hold IOMMU references.
-        referenced = referenced.union(&self.vm.iommu.mapped_frames());
-        // In-flight grants inside IPC buffers also hold references.
-        for (_t, perm) in self.pm.thrd_perms.iter() {
-            if let Some(p) = perm.value().ipc_buf {
-                if let Some(frame) = p.page_grant {
-                    referenced = referenced.insert(frame);
-                }
-            }
-        }
-        check(
-            referenced == self.alloc.mapped_pages(),
-            "kernel_memory",
-            "mapped frames and address-space references diverge (leak)",
-        )?;
-
-        self.alloc.wf()?;
-
-        // The trace subsystem audits like any other: coherent rings,
-        // histogram/counter reconciliation, monotone counters.
-        atmo_trace::trace_wf(&self.trace)
+        total_wf_parts(&self.pm, &self.mem, &self.trace)
     }
 }
 

@@ -190,7 +190,7 @@ mod tests {
         runner.run(&mut k, 400, 3);
         assert_eq!(runner.live_programs(), 0, "both workers completed");
         assert_eq!(runner.finished.len(), 2);
-        assert!(k.alloc.mapped_pages().is_empty(), "workers cleaned up");
+        assert!(k.mem.alloc.mapped_pages().is_empty(), "workers cleaned up");
         assert!(k.wf().is_ok(), "{:?}", k.wf());
     }
 

@@ -1,0 +1,699 @@
+//! The sharded SMP kernel: per-subsystem lock domains instead of one
+//! big lock.
+//!
+//! [`BigLockKernel`](crate::kernel::BigLockKernel) serializes *every*
+//! system call behind a single mutex — correct, and exactly the model
+//! the refinement proof covers, but all cores contend on one lock.
+//! [`SmpKernel`] splits the kernel state into independently locked
+//! domains so a dispatch acquires only the domains its system call
+//! touches:
+//!
+//! * **pm domain** — the process manager (containers, processes,
+//!   threads, endpoints, scheduler) plus the IRQ handler table. Every
+//!   syscall takes this lock: the current thread lives here.
+//! * **mem domain** — the page allocator, the VM subsystem (page
+//!   tables, IOMMU) and the grant/IOMMU bookkeeping tables. Taken
+//!   *lazily*: pm-only calls (yield, IPC, thread creation served from
+//!   the page cache) never touch it.
+//! * **trace** — already internally concurrent
+//!   ([`TraceHandle`](atmo_trace::TraceHandle) shards per CPU); never
+//!   needs an outer lock.
+//!
+//! plus per-CPU leaves: each CPU's cycle meter and its free-page cache.
+//! The cache gives the hot allocation path its fast path — kernel
+//! objects are built from cached frames without the mem lock, which is
+//! only taken briefly for batch refill/drain.
+//!
+//! # Lock order
+//!
+//! The total acquisition order (checked at runtime under the
+//! `lock-order-checks` feature) is
+//!
+//! ```text
+//! meter(cpu) → pm → hw → snapshot → cache(cpu) → mem      [trace: leaf]
+//! ```
+//!
+//! Publicly: **pm before mem before trace**. The multi-acquire levels
+//! (meters, caches) are only taken for more than one CPU by the
+//! stop-the-world path, in ascending CPU order.
+//!
+//! # Staged calls
+//!
+//! `Mmap`/`Munmap` need pm (quota) *and* mem (frames, tables) for many
+//! pages. Holding both for the whole loop would serialize pm-only
+//! traffic behind page zeroing, so they run *staged*: validate and
+//! charge under pm, release pm, do the page work under mem, and on
+//! failure re-acquire pm (order-legal — mem was released first) to
+//! return the quota. Between the stages another CPU can observe the
+//! quota charged but no pages mapped; that errs in the safe direction
+//! and the abstract spec (`noop-on-error`, exact-on-success) still
+//! holds at the return point.
+//!
+//! # `total_wf`
+//!
+//! Per-domain invariants hold under each domain's own lock; the
+//! cross-domain equations (closure partition, leak freedom) are only
+//! meaningful with *all* locks held and every per-CPU cache drained.
+//! [`SmpKernel::audit_total_wf`] is that stop-the-world audit: it
+//! assembles the domains back into a flat [`Kernel`] and runs its
+//! `wf()`.
+
+use std::collections::BTreeMap;
+
+use atmo_hw::cycles::{CostModel, CycleMeter};
+use atmo_hw::machine::Machine;
+use atmo_mem::{CacheStats, PageCache};
+use atmo_pm::types::{CpuId, CtnrPtr, ProcPtr, ThrdPtr};
+use atmo_pm::ProcessManager;
+use atmo_spec::harness::{Invariant, VerifResult};
+use atmo_trace::{LockDomain, Snapshot, TraceHandle};
+
+use crate::domain::{DomainLock, LockLevel};
+use crate::kernel::{Kernel, MemDomain};
+use crate::syscall::{
+    dispatch_current, mmap_stage_mem, mmap_stage_pm, munmap_stage_mem, munmap_stage_pm,
+    stage_validate, uncharge_stage_pm, ExecCtx, MemAccess, SyscallArgs, SyscallReturn,
+};
+
+/// The pm lock domain's contents: the process manager and the IRQ
+/// handler table (interrupt dispatch reads the scheduler anyway, so the
+/// table rides in the same domain).
+pub struct PmShard {
+    /// Containers, processes, threads, endpoints, scheduler.
+    pub pm: ProcessManager,
+    /// vector → driver thread registrations.
+    pub(crate) irq_handlers: BTreeMap<u8, ThrdPtr>,
+}
+
+/// The sharded kernel: one lock per domain, per-CPU meters and page
+/// caches, a concurrent trace sink.
+///
+/// The domain slots are `Option`s so the stop-the-world path can `take`
+/// them and assemble a flat [`Kernel`]; a successful lock acquisition
+/// outside that path always observes `Some`.
+pub struct SmpKernel {
+    /// The modeled cost table (immutable after boot; copied freely).
+    costs: CostModel,
+    /// The root container (immutable identity).
+    root_container: CtnrPtr,
+    /// The init process (immutable identity).
+    init_proc: ProcPtr,
+    /// The init thread (immutable identity).
+    init_thread: ThrdPtr,
+    /// Number of CPUs (== meters.len() == caches.len()).
+    ncpus: usize,
+    /// Per-CPU cycle meters — level 0, the first thing a dispatch takes.
+    meters: Vec<DomainLock<CycleMeter>>,
+    /// The pm domain.
+    pm: DomainLock<Option<PmShard>>,
+    /// The hardware shell (interrupt controller; meters live above).
+    hw: DomainLock<Option<Machine>>,
+    /// The last-snapshot slot served by `SyscallArgs::TraceSnapshot`.
+    snap: DomainLock<Option<Snapshot>>,
+    /// Per-CPU free-page caches.
+    caches: Vec<DomainLock<PageCache>>,
+    /// The mem domain.
+    mem: DomainLock<Option<MemDomain>>,
+    /// The concurrent trace sink (leaf; internally sharded).
+    trace: TraceHandle,
+}
+
+impl SmpKernel {
+    /// Shards a booted [`Kernel`] into lock domains.
+    pub fn new(kernel: Kernel) -> Self {
+        let Kernel {
+            machine,
+            pm,
+            mem,
+            root_container,
+            init_proc,
+            init_thread,
+            irq_handlers,
+            trace,
+            last_trace_snapshot,
+        } = kernel;
+        let costs = machine.costs;
+        let ncpus = machine.cores.len();
+        let meters = machine
+            .cores
+            .iter()
+            .map(|c| DomainLock::new(c.meter.clone(), LockLevel::Meter, None, trace.clone()))
+            .collect();
+        let caches = (0..ncpus)
+            .map(|c| DomainLock::new(PageCache::new(c), LockLevel::Cache, None, trace.clone()))
+            .collect();
+        SmpKernel {
+            costs,
+            root_container,
+            init_proc,
+            init_thread,
+            ncpus,
+            meters,
+            pm: DomainLock::new(
+                Some(PmShard { pm, irq_handlers }),
+                LockLevel::Pm,
+                Some(LockDomain::Pm),
+                trace.clone(),
+            ),
+            hw: DomainLock::new(Some(machine), LockLevel::Hw, None, trace.clone()),
+            snap: DomainLock::new(
+                last_trace_snapshot,
+                LockLevel::Snapshot,
+                None,
+                trace.clone(),
+            ),
+            caches,
+            mem: DomainLock::new(
+                Some(mem),
+                LockLevel::Mem,
+                Some(LockDomain::Mem),
+                trace.clone(),
+            ),
+            trace,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
+    }
+
+    /// The root container's pointer.
+    pub fn root_container(&self) -> CtnrPtr {
+        self.root_container
+    }
+
+    /// The init process's pointer.
+    pub fn init_proc(&self) -> ProcPtr {
+        self.init_proc
+    }
+
+    /// The init thread's pointer.
+    pub fn init_thread(&self) -> ThrdPtr {
+        self.init_thread
+    }
+
+    /// The shared trace handle.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// The system-call trap handler for `cpu` — the sharded counterpart
+    /// of [`Kernel::syscall`]. Acquires only the domains the call
+    /// touches; modeled time serializes through each domain's release
+    /// timestamp exactly like the big lock's, but per domain.
+    pub fn syscall(&self, cpu: CpuId, args: SyscallArgs) -> SyscallReturn {
+        assert!(cpu < self.ncpus, "cpu {cpu} out of range");
+        // Attribute this OS thread's trace emissions to `cpu`.
+        self.trace.set_cpu(cpu);
+        let mut meter_g = self.meters[cpu].lock(cpu);
+        if args.staged_mem() {
+            return self.syscall_staged(cpu, &mut meter_g, args);
+        }
+
+        // The entry trampoline is per-CPU work — trap, save state,
+        // decode — so it runs before any shared lock is taken.
+        let kind = args.trace_kind();
+        let entered = meter_g.now();
+        self.trace.syscall_enter(cpu, kind);
+        meter_g.charge(self.costs.syscall_entry);
+
+        let mut pm_g = self.pm.lock(cpu);
+        // Lock serialization in modeled time: a CPU entering the domain
+        // observes at least the clock of the CPU that left it last.
+        meter_g.sync_to(self.pm.model_time());
+        // The snapshot slot is its own domain, locked only by the one
+        // call that writes it.
+        let mut snap_g = if matches!(args, SyscallArgs::TraceSnapshot) {
+            Some(self.snap.lock(cpu))
+        } else {
+            None
+        };
+        let mut cache_g = self.caches[cpu].lock(cpu);
+        let shard = pm_g.as_mut().expect("pm domain present under its lock");
+        let mut ctx = ExecCtx {
+            costs: self.costs,
+            meter: &mut meter_g,
+            pm: &mut shard.pm,
+            trace: &self.trace,
+            last_snapshot: snap_g.as_deref_mut(),
+            mem: MemAccess::Shard {
+                cpu,
+                lock: &self.mem,
+                cache: &mut cache_g,
+                guard: None,
+            },
+        };
+        let ret = dispatch_current(&mut ctx, cpu, args);
+        let now = ctx.meter.now();
+        let touched_mem = ctx.mem.holds_shared();
+        drop(ctx);
+        if touched_mem {
+            self.mem.set_model_time(now);
+        }
+        self.pm.set_model_time(now);
+        drop(cache_g);
+        drop(snap_g);
+        drop(pm_g);
+
+        // The exit trampoline (restore state, sysret) is per-CPU again:
+        // it charges after the domains' release timestamps were
+        // published, so it never serializes behind another CPU.
+        meter_g.charge(self.costs.syscall_exit);
+        self.trace
+            .syscall_exit(cpu, kind, ret.trace_class(), meter_g.now() - entered);
+        ret
+    }
+
+    /// The staged two-phase trampoline for `Mmap`/`Munmap` (see the
+    /// module docs): pm stage, release pm, mem stage, then a pm
+    /// epilogue for the quota adjustment.
+    fn syscall_staged(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        args: SyscallArgs,
+    ) -> SyscallReturn {
+        let kind = args.trace_kind();
+        let entered = meter.now();
+        self.trace.syscall_enter(cpu, kind);
+        meter.charge(self.costs.syscall_entry);
+
+        let ret = match args {
+            SyscallArgs::Mmap {
+                va_base,
+                len,
+                writable,
+            } => self.staged_mmap(cpu, meter, va_base, len, writable),
+            SyscallArgs::Munmap { va_base, len } => self.staged_munmap(cpu, meter, va_base, len),
+            _ => unreachable!("staged_mem() admits only Mmap/Munmap"),
+        };
+
+        meter.charge(self.costs.syscall_exit);
+        self.trace
+            .syscall_exit(cpu, kind, ret.trace_class(), meter.now() - entered);
+        ret
+    }
+
+    /// Staged `mmap`: validate (lock-free) → pm stage (quota) → mem
+    /// stage (allocator + page tables) → pm epilogue on failure.
+    fn staged_mmap(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        va_base: usize,
+        len: usize,
+        writable: bool,
+    ) -> SyscallReturn {
+        let range = match stage_validate(&self.costs, meter, va_base, len) {
+            Ok(range) => range,
+            Err(ret) => return ret,
+        };
+        let plan = {
+            let mut pm_g = self.pm.lock(cpu);
+            meter.sync_to(self.pm.model_time());
+            let shard = pm_g.as_mut().expect("pm domain present");
+            let r = mmap_stage_pm(&mut shard.pm, cpu, range, len, writable);
+            drop(pm_g);
+            self.pm.set_model_time(meter.now());
+            r
+        };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(ret) => return ret,
+        };
+        let ret = {
+            let mut mem_g = self.mem.lock(cpu);
+            meter.sync_to(self.mem.model_time());
+            let m = mem_g.as_mut().expect("mem domain present");
+            let r = mmap_stage_mem(&self.costs, meter, m, &plan);
+            drop(mem_g);
+            self.mem.set_model_time(meter.now());
+            r
+        };
+        if !ret.is_ok() {
+            // Stage 2 failed: give the quota back. Mem is released, so
+            // re-taking pm respects the order.
+            self.staged_uncharge(cpu, meter, plan.cntr, plan.len);
+        }
+        ret
+    }
+
+    /// Staged `munmap`: validate (lock-free) → pm stage → mem stage →
+    /// pm epilogue on success (quota release).
+    fn staged_munmap(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        va_base: usize,
+        len: usize,
+    ) -> SyscallReturn {
+        let range = match stage_validate(&self.costs, meter, va_base, len) {
+            Ok(range) => range,
+            Err(ret) => return ret,
+        };
+        let plan = {
+            let mut pm_g = self.pm.lock(cpu);
+            meter.sync_to(self.pm.model_time());
+            let shard = pm_g.as_mut().expect("pm domain present");
+            let r = munmap_stage_pm(&mut shard.pm, cpu, range, len);
+            drop(pm_g);
+            self.pm.set_model_time(meter.now());
+            r
+        };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(ret) => return ret,
+        };
+        let ret = {
+            let mut mem_g = self.mem.lock(cpu);
+            meter.sync_to(self.mem.model_time());
+            let m = mem_g.as_mut().expect("mem domain present");
+            let r = munmap_stage_mem(&self.costs, meter, m, &plan);
+            drop(mem_g);
+            self.mem.set_model_time(meter.now());
+            r
+        };
+        if ret.is_ok() {
+            // Unmap succeeded: release the quota.
+            self.staged_uncharge(cpu, meter, plan.cntr, plan.len);
+        }
+        ret
+    }
+
+    /// The pm-side quota epilogue of a staged call.
+    fn staged_uncharge(&self, cpu: CpuId, meter: &mut CycleMeter, cntr: CtnrPtr, pages: usize) {
+        let mut pm_g = self.pm.lock(cpu);
+        meter.sync_to(self.pm.model_time());
+        let shard = pm_g.as_mut().expect("pm domain present");
+        uncharge_stage_pm(&mut shard.pm, cntr, pages);
+        drop(pm_g);
+        self.pm.set_model_time(meter.now());
+    }
+
+    /// Stops the world: takes *every* lock in order, drains the per-CPU
+    /// page caches, assembles the domains into a flat [`Kernel`], and
+    /// runs `f` on it. This is the compatibility bridge for everything
+    /// that wants the unified view — interrupt dispatch, the verified
+    /// services, and above all the `total_wf` audit.
+    ///
+    /// Meters are *not* synchronized here: the bridge is bookkeeping,
+    /// not a modeled serialization point.
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        // Every lock, ascending level; multi-acquire levels in CPU order.
+        let mut meter_gs: Vec<_> = (0..self.ncpus).map(|c| self.meters[c].lock(c)).collect();
+        let mut pm_g = self.pm.lock(0);
+        let mut hw_g = self.hw.lock(0);
+        let mut snap_g = self.snap.lock(0);
+        let mut cache_gs: Vec<_> = (0..self.ncpus).map(|c| self.caches[c].lock(c)).collect();
+        let mut mem_g = self.mem.lock(0);
+
+        let shard = pm_g.take().expect("pm domain present");
+        let mut machine = hw_g.take().expect("machine present");
+        let mut mem = mem_g.take().expect("mem domain present");
+
+        // Cached frames belong to no closure; the flat invariants only
+        // hold with every cache drained back to the allocator.
+        for cg in cache_gs.iter_mut() {
+            cg.drain_all_to(&mut mem.alloc);
+        }
+        // The authoritative meters live in the meter locks.
+        assert_eq!(machine.cores.len(), self.ncpus);
+        for (core, mg) in machine.cores.iter_mut().zip(meter_gs.iter()) {
+            core.meter = (**mg).clone();
+        }
+
+        let mut k = Kernel {
+            machine,
+            pm: shard.pm,
+            mem,
+            root_container: self.root_container,
+            init_proc: self.init_proc,
+            init_thread: self.init_thread,
+            irq_handlers: shard.irq_handlers,
+            trace: self.trace.clone(),
+            last_trace_snapshot: snap_g.take(),
+        };
+        let r = f(&mut k);
+
+        // Disassemble back into the domains.
+        let Kernel {
+            machine,
+            pm,
+            mem,
+            irq_handlers,
+            last_trace_snapshot,
+            ..
+        } = k;
+        let mut now = 0;
+        for (mg, core) in meter_gs.iter_mut().zip(machine.cores.iter()) {
+            **mg = core.meter.clone();
+            now = now.max(core.meter.now());
+        }
+        *pm_g = Some(PmShard { pm, irq_handlers });
+        *hw_g = Some(machine);
+        *snap_g = last_trace_snapshot;
+        *mem_g = Some(mem);
+        self.pm.set_model_time(now);
+        self.mem.set_model_time(now);
+        r
+    }
+
+    /// The stop-the-world `total_wf` audit: all locks held, caches
+    /// drained, flat invariants checked (per-domain wf, cross-domain
+    /// memory equations, trace coherence).
+    pub fn audit_total_wf(&self) -> VerifResult {
+        self.with_kernel(|k| k.wf())
+    }
+
+    /// Drains every per-CPU page cache back into the shared allocator
+    /// (without assembling a flat kernel). After this, the allocator's
+    /// free count reflects every cached frame again.
+    pub fn drain_caches(&self) {
+        let mut cache_gs: Vec<_> = (0..self.ncpus).map(|c| self.caches[c].lock(c)).collect();
+        let mut mem_g = self.mem.lock(0);
+        let m = mem_g.as_mut().expect("mem domain present");
+        for cg in cache_gs.iter_mut() {
+            cg.drain_all_to(&mut m.alloc);
+        }
+    }
+
+    /// A point-in-time statistics snapshot of `cpu`'s page cache.
+    pub fn cache_stats(&self, cpu: CpuId) -> CacheStats {
+        self.caches[cpu].lock(cpu).stats()
+    }
+
+    /// Modeled cycles elapsed on `cpu`.
+    pub fn cycles(&self, cpu: CpuId) -> u64 {
+        self.meters[cpu].lock(cpu).now()
+    }
+
+    /// Snapshots the concurrent trace sink (no kernel locks needed —
+    /// trace is a leaf domain with its own internal sharding).
+    pub fn trace_snapshot(&self) -> Snapshot {
+        self.trace.snapshot()
+    }
+
+    /// Dissolves the sharding and returns the flat [`Kernel`], caches
+    /// drained.
+    pub fn into_inner(self) -> Kernel {
+        let SmpKernel {
+            costs: _,
+            root_container,
+            init_proc,
+            init_thread,
+            ncpus: _,
+            meters,
+            pm,
+            hw,
+            snap,
+            caches,
+            mem,
+            trace,
+        } = self;
+        let shard = pm.into_inner().expect("pm domain present");
+        let mut machine = hw.into_inner().expect("machine present");
+        let mut mem = mem.into_inner().expect("mem domain present");
+        for cache in caches {
+            cache.into_inner().drain_all_to(&mut mem.alloc);
+        }
+        for (core, m) in machine.cores.iter_mut().zip(meters) {
+            core.meter = m.into_inner();
+        }
+        Kernel {
+            machine,
+            pm: shard.pm,
+            mem,
+            root_container,
+            init_proc,
+            init_thread,
+            irq_handlers: shard.irq_handlers,
+            trace,
+            last_trace_snapshot: snap.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+
+    fn smp(ncpus: usize) -> SmpKernel {
+        SmpKernel::new(Kernel::boot(KernelConfig {
+            ncpus,
+            ..KernelConfig::default()
+        }))
+    }
+
+    #[test]
+    fn sharded_boot_passes_total_wf_audit() {
+        let k = smp(4);
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn pm_only_syscall_never_takes_mem_lock() {
+        let k = smp(2);
+        let before = k.trace_snapshot().counters.locks.mem.acquisitions;
+        let ret = k.syscall(0, SyscallArgs::Yield);
+        assert!(ret.is_ok(), "{ret:?}");
+        let after = k.trace_snapshot().counters.locks.mem.acquisitions;
+        assert_eq!(before, after, "yield must not touch the mem domain");
+    }
+
+    #[test]
+    fn staged_mmap_matches_unified_cycle_charges() {
+        // The same call on the unified kernel and the sharded kernel
+        // must charge identical cycles (the staged protocol reshuffles
+        // *when* costs are paid, never *how much*).
+        let mut uni = Kernel::boot(KernelConfig::default());
+        let args = SyscallArgs::Mmap {
+            va_base: 0x40_0000,
+            len: 8,
+            writable: true,
+        };
+        let r1 = uni.syscall(0, args.clone());
+        assert!(r1.is_ok());
+        let uni_cycles = uni.cycles(0);
+
+        let shard = smp(1);
+        let r2 = shard.syscall(0, args);
+        assert!(r2.is_ok());
+        assert_eq!(r2.result, r1.result);
+        assert_eq!(shard.cycles(0), uni_cycles);
+    }
+
+    #[test]
+    fn staged_mmap_failure_refunds_quota() {
+        let k = smp(1);
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x50_0000,
+                len: 4,
+                writable: true,
+            },
+        );
+        assert!(ret.is_ok());
+        // Second map over the same range faults in stage 2 (already
+        // mapped) — stage 1's quota charge must be refunded.
+        let used_before = k.with_kernel(|flat| flat.pm.cntr(flat.root_container).used);
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x50_0000,
+                len: 4,
+                writable: true,
+            },
+        );
+        assert!(!ret.is_ok(), "double map must fail");
+        let used_after = k.with_kernel(|flat| flat.pm.cntr(flat.root_container).used);
+        assert_eq!(used_before, used_after, "stage-2 failure leaked quota");
+        assert!(k.audit_total_wf().is_ok());
+    }
+
+    #[test]
+    fn mmap_munmap_roundtrip_on_shards_is_wf() {
+        let k = smp(2);
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 16,
+                writable: true,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert!(k.audit_total_wf().is_ok());
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Munmap {
+                va_base: 0x40_0000,
+                len: 16,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn cache_refill_and_audit_balance() {
+        let k = smp(1);
+        // Thread creation allocates kernel objects through the per-CPU
+        // cache; afterwards the cache holds the rest of the refill batch.
+        let init_proc = k.init_proc();
+        let ret = k.syscall(
+            0,
+            SyscallArgs::NewThread {
+                proc: init_proc,
+                cpu: 0,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert!(
+            k.cache_stats(0).refills > 0,
+            "thread creation should have refilled the cache"
+        );
+        // The audit drains the caches, so the closure equations balance.
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn domain_model_time_serializes_cross_cpu_syscalls() {
+        let k = smp(2);
+        let c0 = {
+            let r = k.syscall(0, SyscallArgs::Yield);
+            assert!(r.is_ok());
+            k.cycles(0)
+        };
+        // CPU 1 has no current thread (errors), but its dispatch still
+        // syncs to the pm domain's release time — modeled serialization.
+        // Its exit trampoline charges after the sync, so it lands at
+        // least at cpu 0's release stamp plus its own exit cost, which
+        // is >= c0 (cpu 0's exit also charged outside the lock).
+        let _ = k.syscall(1, SyscallArgs::Yield);
+        assert!(
+            k.cycles(1) >= c0,
+            "cpu 1 must observe pm's release timestamp plus its own costs"
+        );
+    }
+
+    #[test]
+    fn into_inner_roundtrip_preserves_wf() {
+        let k = smp(2);
+        let _ = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 4,
+                writable: true,
+            },
+        );
+        let flat = k.into_inner();
+        assert!(flat.wf().is_ok());
+    }
+}

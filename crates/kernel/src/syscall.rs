@@ -6,15 +6,30 @@
 //! changed exactly what the specification allows or fail having changed
 //! nothing (error paths roll back). Costs are charged to the calling
 //! CPU's cycle meter according to the calibrated [`atmo_hw::CostModel`].
+//!
+//! Since the lock-domain split, handlers run against an [`ExecCtx`]: a
+//! borrowed view of the pm domain plus a [`MemAccess`] that either
+//! points straight into the unified kernel's [`MemDomain`]
+//! (single-threaded callers, the big lock) or lazily acquires the
+//! sharded kernel's mem lock the first time a handler actually touches
+//! memory state. Handlers that never do — `yield`, plain IPC, thread
+//! creation served from the per-CPU page cache — therefore run under
+//! the pm lock alone, which is exactly the "acquire only the domains
+//! the syscall touches" dispatch rule of the sharded kernel.
 
 use atmo_hw::addr::{VAddr, VaRange4K};
+use atmo_hw::cycles::{CostModel, CycleMeter};
 use atmo_hw::paging::EntryFlags;
-use atmo_mem::{PagePtr, PageSize};
+use atmo_mem::alloc::AllocError;
+use atmo_mem::{PageCache, PagePermission, PagePtr, PageSize, PageSource};
 use atmo_pm::manager::{RecvOutcome, SendOutcome};
 use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
+use atmo_pm::ProcessManager;
 use atmo_ptable::MapError;
+use atmo_trace::{Snapshot, TraceHandle};
 
-use crate::kernel::Kernel;
+use crate::domain::{DomainGuard, DomainLock};
+use crate::kernel::{Kernel, MemDomain};
 
 /// System-call arguments (the union of all entry points).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -205,6 +220,13 @@ impl SyscallArgs {
             SyscallArgs::TraceSnapshot => K::TraceSnapshot,
         }
     }
+
+    /// `true` when the sharded kernel serves this call with the staged
+    /// two-phase locking protocol (pm for validation/quota, then mem
+    /// alone for the page work) instead of holding pm throughout.
+    pub fn staged_mem(&self) -> bool {
+        matches!(self, SyscallArgs::Mmap { .. } | SyscallArgs::Munmap { .. })
+    }
 }
 
 /// System-call error codes.
@@ -302,6 +324,193 @@ impl SyscallReturn {
     }
 }
 
+/// How a handler reaches the memory domain.
+///
+/// The unified kernel hands out a direct borrow; the sharded kernel
+/// hands out the mem [`DomainLock`] plus the calling CPU's page cache,
+/// and the lock is taken *lazily* — only if the handler actually
+/// dereferences the domain. Kernel-object page allocation and free go
+/// through the [`PageSource`] impl, which serves them from the per-CPU
+/// cache without the mem lock whenever possible (batch refill/drain
+/// under brief acquisitions otherwise).
+pub(crate) enum MemAccess<'a> {
+    /// The caller already owns the memory domain (unified kernel, or a
+    /// sharded stage that locked it itself).
+    Direct(&'a mut MemDomain),
+    /// Sharded dispatch: lock on demand, allocate through the cache.
+    Shard {
+        /// The calling CPU (lock-acquisition attribution).
+        cpu: usize,
+        /// The mem domain's lock.
+        lock: &'a DomainLock<Option<MemDomain>>,
+        /// The calling CPU's page cache (its lock is held by the caller).
+        cache: &'a mut PageCache,
+        /// The lazily acquired mem guard, once any handler touched it.
+        guard: Option<DomainGuard<'a, Option<MemDomain>>>,
+    },
+}
+
+impl MemAccess<'_> {
+    /// The memory domain, acquiring the mem lock first if this is a
+    /// sharded access that has not touched it yet.
+    pub(crate) fn domain(&mut self) -> &mut MemDomain {
+        match self {
+            MemAccess::Direct(m) => m,
+            MemAccess::Shard {
+                cpu, lock, guard, ..
+            } => {
+                if guard.is_none() {
+                    *guard = Some(lock.lock(*cpu));
+                }
+                guard
+                    .as_mut()
+                    .expect("just acquired")
+                    .as_mut()
+                    .expect("mem domain present under its lock")
+            }
+        }
+    }
+
+    /// `true` when the shared mem lock is (lazily) held.
+    pub(crate) fn holds_shared(&self) -> bool {
+        match self {
+            MemAccess::Direct(_) => false,
+            MemAccess::Shard { guard, .. } => guard.is_some(),
+        }
+    }
+}
+
+impl PageSource for MemAccess<'_> {
+    fn alloc_page_4k(&mut self) -> Result<(PagePtr, PagePermission), AllocError> {
+        match self {
+            MemAccess::Direct(m) => m.alloc.alloc_page_4k(),
+            MemAccess::Shard {
+                cpu,
+                lock,
+                cache,
+                guard,
+            } => {
+                if let Some(g) = guard {
+                    // Mem already locked: no point going through the cache.
+                    return g
+                        .as_mut()
+                        .expect("mem domain present under its lock")
+                        .alloc
+                        .alloc_page_4k();
+                }
+                if let Some(got) = cache.pop() {
+                    return Ok(got);
+                }
+                // Batch refill under a brief mem acquisition, then retry
+                // the cache (ascending order: Cache is held, Mem is above).
+                let mut g = lock.lock(*cpu);
+                cache.refill_from(&mut g.as_mut().expect("mem domain present").alloc)?;
+                drop(g);
+                cache.pop().ok_or(AllocError::OutOfMemory)
+            }
+        }
+    }
+
+    fn free_page_4k(&mut self, perm: PagePermission) {
+        match self {
+            MemAccess::Direct(m) => m.alloc.free_page_4k(perm),
+            MemAccess::Shard {
+                cpu,
+                lock,
+                cache,
+                guard,
+            } => {
+                if let Some(g) = guard {
+                    g.as_mut()
+                        .expect("mem domain present under its lock")
+                        .alloc
+                        .free_page_4k(perm);
+                    return;
+                }
+                let page = perm.addr();
+                cache.push(page, perm);
+                if cache.needs_drain() {
+                    let mut g = lock.lock(*cpu);
+                    cache.drain_excess_to(&mut g.as_mut().expect("mem domain present").alloc);
+                }
+            }
+        }
+    }
+
+    fn dec_map_ref(&mut self, p: PagePtr) -> bool {
+        match self {
+            MemAccess::Direct(m) => m.alloc.dec_map_ref(p),
+            MemAccess::Shard {
+                cpu, lock, guard, ..
+            } => {
+                if let Some(g) = guard {
+                    return g
+                        .as_mut()
+                        .expect("mem domain present under its lock")
+                        .alloc
+                        .dec_map_ref(p);
+                }
+                // Mapped frames are never cached: brief shared access.
+                lock.lock(*cpu)
+                    .as_mut()
+                    .expect("mem domain present")
+                    .alloc
+                    .dec_map_ref(p)
+            }
+        }
+    }
+}
+
+/// The execution context a system call runs against: the pm domain and
+/// the per-CPU meter borrowed mutably, the trace handle shared, and the
+/// memory domain reachable through [`MemAccess`].
+pub(crate) struct ExecCtx<'a> {
+    /// The machine's calibrated cost model (copied; it is plain data).
+    pub(crate) costs: CostModel,
+    /// The calling CPU's cycle meter.
+    pub(crate) meter: &'a mut CycleMeter,
+    /// The pm domain: scheduler, containers, processes, endpoints.
+    pub(crate) pm: &'a mut ProcessManager,
+    /// The (internally sharded) trace sink.
+    pub(crate) trace: &'a TraceHandle,
+    /// Where `TraceSnapshot` publishes its result, when the caller
+    /// provides the slot (the sharded kernel locks it only for that
+    /// call).
+    pub(crate) last_snapshot: Option<&'a mut Option<Snapshot>>,
+    /// The memory domain (direct or lazily locked).
+    pub(crate) mem: MemAccess<'a>,
+}
+
+/// Runs one system call against `ctx`: trace enter/exit, trampoline
+/// costs, thread resolution, dispatch. Shared by the unified kernel and
+/// the sharded wrapper.
+pub(crate) fn run_syscall(ctx: &mut ExecCtx<'_>, cpu: CpuId, args: SyscallArgs) -> SyscallReturn {
+    let kind = args.trace_kind();
+    let entered = ctx.meter.now();
+    ctx.trace.syscall_enter(cpu, kind);
+    ctx.charge(ctx.costs.syscall_entry);
+    let ret = dispatch_current(ctx, cpu, args);
+    ctx.charge(ctx.costs.syscall_exit);
+    ctx.trace
+        .syscall_exit(cpu, kind, ret.trace_class(), ctx.meter.now() - entered);
+    ret
+}
+
+/// Resolves the current thread on `cpu` and dispatches — the part of a
+/// system call that genuinely needs the pm domain. The sharded kernel
+/// calls this directly so the entry/exit trampolines (per-CPU work)
+/// stay outside the pm critical section.
+pub(crate) fn dispatch_current(
+    ctx: &mut ExecCtx<'_>,
+    cpu: CpuId,
+    args: SyscallArgs,
+) -> SyscallReturn {
+    match ctx.pm.sched.current(cpu) {
+        Some(t) => ctx.dispatch(cpu, t, args),
+        None => SyscallReturn::err(SyscallError::WrongState),
+    }
+}
+
 impl Kernel {
     /// The system-call trap handler for `cpu`.
     ///
@@ -309,18 +518,22 @@ impl Kernel {
     /// trampoline costs (the assembly of §5, item 8).
     pub fn syscall(&mut self, cpu: CpuId, args: SyscallArgs) -> SyscallReturn {
         let costs = self.machine.costs;
-        let kind = args.trace_kind();
-        let entered = self.cycles(cpu);
-        self.trace.syscall_enter(cpu, kind);
-        self.charge(cpu, costs.syscall_entry);
-        let ret = match self.pm.sched.current(cpu) {
-            Some(t) => self.dispatch(cpu, t, args),
-            None => SyscallReturn::err(SyscallError::WrongState),
+        let mut ctx = ExecCtx {
+            costs,
+            meter: self.machine.meter(cpu),
+            pm: &mut self.pm,
+            trace: &self.trace,
+            last_snapshot: Some(&mut self.last_trace_snapshot),
+            mem: MemAccess::Direct(&mut self.mem),
         };
-        self.charge(cpu, costs.syscall_exit);
-        self.trace
-            .syscall_exit(cpu, kind, ret.trace_class(), self.cycles(cpu) - entered);
-        ret
+        run_syscall(&mut ctx, cpu, args)
+    }
+}
+
+impl ExecCtx<'_> {
+    /// Charges `cost` cycles to the calling CPU's meter.
+    pub(crate) fn charge(&mut self, cost: u64) {
+        self.meter.charge(cost);
     }
 
     fn dispatch(&mut self, cpu: CpuId, t: ThrdPtr, args: SyscallArgs) -> SyscallReturn {
@@ -329,18 +542,16 @@ impl Kernel {
                 va_base,
                 len,
                 writable,
-            } => self.sys_mmap(cpu, t, va_base, len, writable),
-            SyscallArgs::Munmap { va_base, len } => self.sys_munmap(cpu, t, va_base, len),
-            SyscallArgs::NewContainer { quota, cpus } => {
-                self.sys_new_container(cpu, t, quota, &cpus)
-            }
-            SyscallArgs::TerminateContainer { cntr } => self.sys_terminate_container(cpu, t, cntr),
-            SyscallArgs::NewProcess { cntr } => self.sys_new_process(cpu, t, cntr),
-            SyscallArgs::NewChildProcess => self.sys_new_child_process(cpu, t),
+            } => self.sys_mmap(t, va_base, len, writable),
+            SyscallArgs::Munmap { va_base, len } => self.sys_munmap(t, va_base, len),
+            SyscallArgs::NewContainer { quota, cpus } => self.sys_new_container(t, quota, &cpus),
+            SyscallArgs::TerminateContainer { cntr } => self.sys_terminate_container(t, cntr),
+            SyscallArgs::NewProcess { cntr } => self.sys_new_process(t, cntr),
+            SyscallArgs::NewChildProcess => self.sys_new_child_process(t),
             SyscallArgs::Exit => self.sys_exit(cpu, t),
-            SyscallArgs::TerminateProcess { proc } => self.sys_terminate_process(cpu, t, proc),
-            SyscallArgs::NewThread { proc, cpu: home } => self.sys_new_thread(cpu, t, proc, home),
-            SyscallArgs::NewEndpoint { slot } => self.sys_new_endpoint(cpu, t, slot),
+            SyscallArgs::TerminateProcess { proc } => self.sys_terminate_process(t, proc),
+            SyscallArgs::NewThread { proc, cpu: home } => self.sys_new_thread(t, proc, home),
+            SyscallArgs::NewEndpoint { slot } => self.sys_new_endpoint(t, slot),
             SyscallArgs::Send {
                 slot,
                 scalars,
@@ -360,24 +571,20 @@ impl Kernel {
             SyscallArgs::Poll { slot } => self.sys_poll(cpu, t, slot),
             SyscallArgs::Call { slot, scalars } => self.sys_call(cpu, t, slot, scalars),
             SyscallArgs::Reply { scalars } => self.sys_reply(cpu, t, scalars),
-            SyscallArgs::TakeMsg => self.sys_take_msg(cpu, t),
-            SyscallArgs::MapGranted { va } => self.sys_map_granted(cpu, t, va),
-            SyscallArgs::DropGrant => self.sys_drop_grant(cpu, t),
+            SyscallArgs::TakeMsg => self.sys_take_msg(t),
+            SyscallArgs::MapGranted { va } => self.sys_map_granted(t, va),
+            SyscallArgs::DropGrant => self.sys_drop_grant(t),
             SyscallArgs::MmapHuge2M { va_base, writable } => {
-                self.sys_mmap_huge_2m(cpu, t, va_base, writable)
+                self.sys_mmap_huge_2m(t, va_base, writable)
             }
-            SyscallArgs::MunmapHuge2M { va_base } => self.sys_munmap_huge_2m(cpu, t, va_base),
-            SyscallArgs::IommuCreateDomain => self.sys_iommu_create_domain(cpu, t),
-            SyscallArgs::IommuAttach { domain, device } => {
-                self.sys_iommu_attach(cpu, t, domain, device)
-            }
-            SyscallArgs::IommuDetach { device } => self.sys_iommu_detach(cpu, t, device),
-            SyscallArgs::IommuMap { domain, iova, va } => {
-                self.sys_iommu_map(cpu, t, domain, iova, va)
-            }
-            SyscallArgs::IommuUnmap { domain, iova } => self.sys_iommu_unmap(cpu, t, domain, iova),
+            SyscallArgs::MunmapHuge2M { va_base } => self.sys_munmap_huge_2m(t, va_base),
+            SyscallArgs::IommuCreateDomain => self.sys_iommu_create_domain(t),
+            SyscallArgs::IommuAttach { domain, device } => self.sys_iommu_attach(t, domain, device),
+            SyscallArgs::IommuDetach { device } => self.sys_iommu_detach(t, device),
+            SyscallArgs::IommuMap { domain, iova, va } => self.sys_iommu_map(t, domain, iova, va),
+            SyscallArgs::IommuUnmap { domain, iova } => self.sys_iommu_unmap(t, domain, iova),
             SyscallArgs::Yield => self.sys_yield(cpu, t),
-            SyscallArgs::TraceSnapshot => self.sys_trace_snapshot(cpu, t),
+            SyscallArgs::TraceSnapshot => self.sys_trace_snapshot(t),
         }
     }
 
@@ -386,9 +593,8 @@ impl Kernel {
     /// the no-op specification). The scalars summarize; the full
     /// [`atmo_trace::Snapshot`] is stashed for
     /// [`Kernel::take_trace_snapshot`].
-    fn sys_trace_snapshot(&mut self, cpu: CpuId, _t: ThrdPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate);
+    fn sys_trace_snapshot(&mut self, _t: ThrdPtr) -> SyscallReturn {
+        self.charge(self.costs.syscall_validate);
         let snap = self.trace.snapshot();
         let ret = SyscallReturn::ok([
             snap.total_syscall_exits(),
@@ -396,7 +602,9 @@ impl Kernel {
             snap.total_dropped,
             snap.per_cpu.len() as u64,
         ]);
-        self.last_trace_snapshot = Some(snap);
+        if let Some(slot) = self.last_snapshot.as_mut() {
+            **slot = Some(snap);
+        }
         ret
     }
 
@@ -406,14 +614,13 @@ impl Kernel {
     /// them at `va_base..va_base+len*4K` in the caller's address space.
     fn sys_mmap(
         &mut self,
-        cpu: CpuId,
         t: ThrdPtr,
         va_base: usize,
         len: usize,
         writable: bool,
     ) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate);
+        let costs = self.costs;
+        self.charge(costs.syscall_validate);
         let Some(range) = VaRange4K::new(VAddr(va_base), len) else {
             return SyscallReturn::err(SyscallError::Invalid);
         };
@@ -428,7 +635,8 @@ impl Kernel {
         let as_id = self.pm.proc(proc_ptr).addr_space;
         // The whole range must be unmapped (otherwise nothing changes).
         {
-            let pt = self.vm.table(as_id).expect("process without address space");
+            let m = self.mem.domain();
+            let pt = m.vm.table(as_id).expect("process without address space");
             for va in range.iter() {
                 if pt.resolve(va).is_some() {
                     return SyscallReturn::err(SyscallError::Fault);
@@ -447,7 +655,6 @@ impl Kernel {
         let mut mapped: Vec<(VAddr, PagePtr)> = Vec::with_capacity(len);
         for va in range.iter() {
             self.charge(
-                cpu,
                 costs.page_alloc_4k
                     + costs.quota_account
                     + 3 * costs.pt_level_read
@@ -455,18 +662,19 @@ impl Kernel {
                     + costs.page_state_update
                     + costs.tlb_invalidate,
             );
-            let frame = match self.alloc.alloc_mapped(PageSize::Size4K) {
+            let m = self.mem.domain();
+            let frame = match m.alloc.alloc_mapped(PageSize::Size4K) {
                 Ok(f) => f,
                 Err(_) => {
                     self.rollback_mmap(cntr, as_id, len, &mapped);
                     return SyscallReturn::err(SyscallError::NoMem);
                 }
             };
-            let pt = self.vm.table_mut(as_id).expect("space exists");
-            match pt.map_4k_page(&mut self.alloc, va, frame, flags) {
+            let pt = m.vm.table_mut(as_id).expect("space exists");
+            match pt.map_4k_page(&mut m.alloc, va, frame, flags) {
                 Ok(()) => mapped.push((va, frame)),
                 Err(e) => {
-                    self.alloc.dec_map_ref(frame);
+                    m.alloc.dec_map_ref(frame);
                     self.rollback_mmap(cntr, as_id, len, &mapped);
                     return SyscallReturn::err(e.into());
                 }
@@ -482,19 +690,20 @@ impl Kernel {
         charged: usize,
         mapped: &[(VAddr, PagePtr)],
     ) {
+        let m = self.mem.domain();
         for (va, frame) in mapped {
-            let pt = self.vm.table_mut(as_id).expect("space exists");
+            let pt = m.vm.table_mut(as_id).expect("space exists");
             pt.unmap_4k_page(*va).expect("rollback of a fresh mapping");
-            self.alloc.dec_map_ref(*frame);
+            m.alloc.dec_map_ref(*frame);
         }
         self.pm.uncharge(cntr, charged);
     }
 
     /// `munmap`: remove `len` 4 KiB mappings, dropping the frames'
     /// references and releasing quota.
-    fn sys_munmap(&mut self, cpu: CpuId, t: ThrdPtr, va_base: usize, len: usize) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate);
+    fn sys_munmap(&mut self, t: ThrdPtr, va_base: usize, len: usize) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate);
         let Some(range) = VaRange4K::new(VAddr(va_base), len) else {
             return SyscallReturn::err(SyscallError::Invalid);
         };
@@ -508,7 +717,8 @@ impl Kernel {
         let as_id = self.pm.proc(proc_ptr).addr_space;
         // All pages must be mapped 4 KiB for the call to change anything.
         {
-            let pt = self.vm.table(as_id).expect("space exists");
+            let m = self.mem.domain();
+            let pt = m.vm.table(as_id).expect("space exists");
             for va in range.iter() {
                 if !pt.map_4k.contains_key(&va.as_usize()) {
                     return SyscallReturn::err(SyscallError::Fault);
@@ -516,13 +726,11 @@ impl Kernel {
             }
         }
         for va in range.iter() {
-            self.charge(
-                cpu,
-                costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate,
-            );
-            let pt = self.vm.table_mut(as_id).expect("space exists");
+            self.charge(costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate);
+            let m = self.mem.domain();
+            let pt = m.vm.table_mut(as_id).expect("space exists");
             let frame = pt.unmap_4k_page(va).expect("checked above");
-            self.alloc.dec_map_ref(frame);
+            m.alloc.dec_map_ref(frame);
         }
         self.pm.uncharge(cntr, len);
         SyscallReturn::ok([len as u64, 0, 0, 0])
@@ -530,28 +738,19 @@ impl Kernel {
 
     // ----- containers / processes / threads --------------------------------
 
-    fn sys_new_container(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        quota: usize,
-        cpus: &[CpuId],
-    ) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
-        );
+    fn sys_new_container(&mut self, t: ThrdPtr, quota: usize, cpus: &[CpuId]) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.page_alloc_4k + costs.quota_account);
         let parent = self.pm.thrd(t).owning_cntr;
-        match self.pm.new_container(&mut self.alloc, parent, quota, cpus) {
+        match self.pm.new_container(&mut self.mem, parent, quota, cpus) {
             Ok(c) => SyscallReturn::ok([c as u64, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
         }
     }
 
-    fn sys_terminate_container(&mut self, cpu: CpuId, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate);
+    fn sys_terminate_container(&mut self, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate);
         let caller_cntr = self.pm.thrd(t).owning_cntr;
         if !self.pm.cntr_perms.contains(cntr) {
             return SyscallReturn::err(SyscallError::NotFound);
@@ -570,11 +769,12 @@ impl Kernel {
         self.release_pending_grants(&dying_threads);
         self.cleanup_iommu_for(&dead_cntrs);
 
-        match self.pm.terminate_container(&mut self.alloc, cntr) {
+        match self.pm.terminate_container(&mut self.mem, cntr) {
             Ok(freed_spaces) => {
                 for as_id in freed_spaces {
-                    self.charge(cpu, costs.page_free_4k);
-                    self.vm.destroy_space(&mut self.alloc, as_id);
+                    self.charge(costs.page_free_4k);
+                    let m = self.mem.domain();
+                    m.vm.destroy_space(&mut m.alloc, as_id);
                 }
                 SyscallReturn::ok([0, 0, 0, 0])
             }
@@ -582,12 +782,9 @@ impl Kernel {
         }
     }
 
-    fn sys_new_process(&mut self, cpu: CpuId, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
-        );
+    fn sys_new_process(&mut self, t: ThrdPtr, cntr: CtnrPtr) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.page_alloc_4k + costs.quota_account);
         let caller_cntr = self.pm.thrd(t).owning_cntr;
         if !self.pm.cntr_perms.contains(cntr) {
             return SyscallReturn::err(SyscallError::NotFound);
@@ -595,14 +792,15 @@ impl Kernel {
         if cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
             return SyscallReturn::err(SyscallError::Denied);
         }
-        let p = match self.pm.new_process(&mut self.alloc, cntr, None) {
+        let p = match self.pm.new_process(&mut self.mem, cntr, None) {
             Ok(p) => p,
             Err(e) => return SyscallReturn::err(e.into()),
         };
         let as_id = self.pm.proc(p).addr_space;
-        if self.vm.create_space(&mut self.alloc, as_id).is_err() {
+        let m = self.mem.domain();
+        if m.vm.create_space(&mut m.alloc, as_id).is_err() {
             // Roll back the half-created process.
-            let _ = self.pm.terminate_process(&mut self.alloc, p);
+            let _ = self.pm.terminate_process(&mut self.mem, p);
             return SyscallReturn::err(SyscallError::NoMem);
         }
         SyscallReturn::ok([p as u64, 0, 0, 0])
@@ -611,26 +809,21 @@ impl Kernel {
     /// Creates a child process under the caller's process, in the same
     /// container (§3: per-container process trees with parent-child
     /// tracking).
-    fn sys_new_child_process(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
-        );
+    fn sys_new_child_process(&mut self, t: ThrdPtr) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.page_alloc_4k + costs.quota_account);
         let (parent_proc, cntr) = {
             let th = self.pm.thrd(t);
             (th.owning_proc, th.owning_cntr)
         };
-        let p = match self
-            .pm
-            .new_process(&mut self.alloc, cntr, Some(parent_proc))
-        {
+        let p = match self.pm.new_process(&mut self.mem, cntr, Some(parent_proc)) {
             Ok(p) => p,
             Err(e) => return SyscallReturn::err(e.into()),
         };
         let as_id = self.pm.proc(p).addr_space;
-        if self.vm.create_space(&mut self.alloc, as_id).is_err() {
-            let _ = self.pm.terminate_process(&mut self.alloc, p);
+        let m = self.mem.domain();
+        if m.vm.create_space(&mut m.alloc, as_id).is_err() {
+            let _ = self.pm.terminate_process(&mut self.mem, p);
             return SyscallReturn::err(SyscallError::NoMem);
         }
         SyscallReturn::ok([p as u64, 0, 0, 0])
@@ -640,10 +833,10 @@ impl Kernel {
     /// process, the process itself stays (an empty process a parent can
     /// reuse or terminate) — matching the paper's explicit lifecycle.
     fn sys_exit(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.thread_switch + costs.page_free_4k);
+        let costs = self.costs;
+        self.charge(costs.thread_switch + costs.page_free_4k);
         self.release_pending_grants(&[t]);
-        match self.pm.terminate_thread(&mut self.alloc, t) {
+        match self.pm.terminate_thread(&mut self.mem, t) {
             Ok(()) => {
                 // The CPU is idle now; pick up the next ready thread.
                 if self.pm.sched.current(cpu).is_none() {
@@ -660,9 +853,9 @@ impl Kernel {
         }
     }
 
-    fn sys_terminate_process(&mut self, cpu: CpuId, t: ThrdPtr, proc: ProcPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate);
+    fn sys_terminate_process(&mut self, t: ThrdPtr, proc: ProcPtr) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate);
         if !self.pm.proc_perms.contains(proc) {
             return SyscallReturn::err(SyscallError::NotFound);
         }
@@ -695,11 +888,12 @@ impl Kernel {
         }
         self.release_pending_grants(&dying_threads);
 
-        match self.pm.terminate_process(&mut self.alloc, proc) {
+        match self.pm.terminate_process(&mut self.mem, proc) {
             Ok(_freed) => {
                 for (cntr, as_id) in doomed {
-                    self.charge(cpu, costs.page_free_4k);
-                    let removed = self.vm.destroy_space(&mut self.alloc, as_id);
+                    self.charge(costs.page_free_4k);
+                    let m = self.mem.domain();
+                    let removed = m.vm.destroy_space(&mut m.alloc, as_id);
                     if self.pm.cntr_perms.contains(cntr) {
                         self.pm.uncharge(cntr, removed);
                     }
@@ -711,25 +905,17 @@ impl Kernel {
     }
 
     fn release_pending_grants(&mut self, threads: &[ThrdPtr]) {
+        let m = self.mem.domain();
         for t in threads {
-            if let Some(frame) = self.pending_grants.remove(t) {
-                self.alloc.dec_map_ref(frame);
+            if let Some(frame) = m.pending_grants.remove(t) {
+                m.alloc.dec_map_ref(frame);
             }
         }
     }
 
-    fn sys_new_thread(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        proc: ProcPtr,
-        home: CpuId,
-    ) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + costs.page_alloc_4k + costs.quota_account,
-        );
+    fn sys_new_thread(&mut self, t: ThrdPtr, proc: ProcPtr, home: CpuId) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.page_alloc_4k + costs.quota_account);
         if !self.pm.proc_perms.contains(proc) {
             return SyscallReturn::err(SyscallError::NotFound);
         }
@@ -738,7 +924,7 @@ impl Kernel {
         if target_cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&target_cntr) {
             return SyscallReturn::err(SyscallError::Denied);
         }
-        match self.pm.new_thread(&mut self.alloc, proc, home) {
+        match self.pm.new_thread(&mut self.mem, proc, home) {
             Ok(nt) => SyscallReturn::ok([nt as u64, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
         }
@@ -746,10 +932,10 @@ impl Kernel {
 
     // ----- endpoints and IPC ------------------------------------------------
 
-    fn sys_new_endpoint(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.page_alloc_4k + costs.quota_account);
-        match self.pm.new_endpoint(&mut self.alloc, t, slot) {
+    fn sys_new_endpoint(&mut self, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.page_alloc_4k + costs.quota_account);
+        match self.pm.new_endpoint(&mut self.mem, t, slot) {
             Ok(e) => SyscallReturn::ok([e as u64, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
         }
@@ -767,7 +953,7 @@ impl Kernel {
         if let Some(domain) = grant_iommu_domain {
             // Only domains the sender is authorized for may be granted.
             let cntr = self.pm.thrd(t).owning_cntr;
-            if !self.iommu_authorized(domain, cntr) {
+            if !self.mem.domain().iommu_authorized(domain, cntr) {
                 return Err(SyscallError::Denied);
             }
             payload.iommu_grant = Some(domain);
@@ -782,25 +968,23 @@ impl Kernel {
         }
         if let Some(va) = grant_page_va {
             let as_id = self.pm.proc(self.pm.thrd(t).owning_proc).addr_space;
-            let pt = self.vm.table(as_id).expect("space exists");
+            let m = self.mem.domain();
+            let pt = m.vm.table(as_id).expect("space exists");
             let frame = *pt
                 .map_4k
                 .index(&VAddr(va).align_down(atmo_hw::PAGE_SIZE_4K).as_usize())
                 .map(|e| &e.frame)
                 .ok_or(SyscallError::Fault)?;
             // The in-flight grant holds a mapping reference.
-            self.alloc.inc_map_ref(frame);
+            m.alloc.inc_map_ref(frame);
             payload.page_grant = Some(frame);
         }
         Ok(payload)
     }
 
-    fn charge_ipc(&mut self, cpu: CpuId) {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.endpoint_queue_op + costs.ipc_transfer + costs.thread_switch,
-        );
+    fn charge_ipc(&mut self) {
+        let costs = self.costs;
+        self.charge(costs.endpoint_queue_op + costs.ipc_transfer + costs.thread_switch);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -814,7 +998,7 @@ impl Kernel {
         grant_endpoint_slot: Option<EdptIdx>,
         grant_iommu_domain: Option<u32>,
     ) -> SyscallReturn {
-        self.charge_ipc(cpu);
+        self.charge_ipc();
         let payload = match self.build_payload(
             t,
             scalars,
@@ -826,7 +1010,7 @@ impl Kernel {
             Err(e) => return SyscallReturn::err(e),
         };
         if grant_page_va.is_some() {
-            self.charge(cpu, self.machine.costs.ipc_cap_transfer);
+            self.charge(self.costs.ipc_cap_transfer);
         }
         match self.pm.send(t, cpu, slot, payload) {
             Ok(SendOutcome::Delivered(r)) => SyscallReturn::ok([1, r as u64, 0, 0]),
@@ -834,7 +1018,7 @@ impl Kernel {
             Err(e) => {
                 // Roll back the in-flight grant reference.
                 if let Some(frame) = payload.page_grant {
-                    self.alloc.dec_map_ref(frame);
+                    self.mem.dec_map_ref(frame);
                 }
                 SyscallReturn::err(e.into())
             }
@@ -842,9 +1026,9 @@ impl Kernel {
     }
 
     fn sys_recv(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
-        self.charge_ipc(cpu);
+        self.charge_ipc();
         match self.pm.recv(t, cpu, slot) {
-            Ok(RecvOutcome::Received(_)) => self.sys_take_msg(cpu, t),
+            Ok(RecvOutcome::Received(_)) => self.sys_take_msg(t),
             Ok(RecvOutcome::Blocked) => SyscallReturn::ok([0, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
         }
@@ -853,11 +1037,11 @@ impl Kernel {
     /// Non-blocking receive: returns the message scalars when a sender
     /// was waiting, or `[0, 0, 0, u64::MAX]` when the endpoint was empty.
     fn sys_poll(&mut self, cpu: CpuId, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
-        self.charge(cpu, self.machine.costs.endpoint_queue_op);
+        self.charge(self.costs.endpoint_queue_op);
         match self.pm.try_recv(t, cpu, slot) {
             Ok(Some(_payload)) => {
-                self.charge(cpu, self.machine.costs.ipc_transfer);
-                self.sys_take_msg(cpu, t)
+                self.charge(self.costs.ipc_transfer);
+                self.sys_take_msg(t)
             }
             Ok(None) => SyscallReturn::ok([0, 0, 0, u64::MAX]),
             Err(e) => SyscallReturn::err(e.into()),
@@ -871,7 +1055,7 @@ impl Kernel {
         slot: EdptIdx,
         scalars: [u64; 4],
     ) -> SyscallReturn {
-        self.charge_ipc(cpu);
+        self.charge_ipc();
         let payload = IpcPayload::scalars(scalars);
         match self.pm.call(t, cpu, slot, payload) {
             Ok(_) => SyscallReturn::ok([0, 0, 0, 0]),
@@ -880,7 +1064,7 @@ impl Kernel {
     }
 
     fn sys_reply(&mut self, cpu: CpuId, t: ThrdPtr, scalars: [u64; 4]) -> SyscallReturn {
-        self.charge_ipc(cpu);
+        self.charge_ipc();
         match self.pm.reply(t, cpu, IpcPayload::scalars(scalars)) {
             Ok(caller) => SyscallReturn::ok([caller as u64, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
@@ -889,7 +1073,7 @@ impl Kernel {
 
     /// Takes the delivered message: returns its scalars, stashing a page
     /// grant (if any) as the thread's pending grant.
-    fn sys_take_msg(&mut self, _cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
+    fn sys_take_msg(&mut self, t: ThrdPtr) -> SyscallReturn {
         match self.pm.take_message(t) {
             Some(payload) => {
                 if let Some(domain) = payload.iommu_grant {
@@ -898,8 +1082,9 @@ impl Kernel {
                 if let Some(frame) = payload.page_grant {
                     // At most one pending grant per thread; a second grant
                     // replaces the first, whose reference is dropped.
-                    if let Some(old) = self.pending_grants.insert(t, frame) {
-                        self.alloc.dec_map_ref(old);
+                    let m = self.mem.domain();
+                    if let Some(old) = m.pending_grants.insert(t, frame) {
+                        m.alloc.dec_map_ref(old);
                     }
                 }
                 let e_grant = payload.endpoint_grant.map(|e| e as u64).unwrap_or(0);
@@ -913,13 +1098,10 @@ impl Kernel {
     /// Maps the pending granted frame at `va` in the caller's space,
     /// charging one page of quota (shared mappings are charged to every
     /// container that maps them — a conservative upper bound).
-    fn sys_map_granted(&mut self, cpu: CpuId, t: ThrdPtr, va: usize) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + costs.quota_account + costs.pt_level_write,
-        );
-        let Some(&frame) = self.pending_grants.get(&t) else {
+    fn sys_map_granted(&mut self, t: ThrdPtr, va: usize) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.quota_account + costs.pt_level_write);
+        let Some(&frame) = self.mem.domain().pending_grants.get(&t) else {
             return SyscallReturn::err(SyscallError::WrongState);
         };
         let va = VAddr(va);
@@ -934,11 +1116,12 @@ impl Kernel {
         if let Err(e) = self.pm.charge(cntr, 1) {
             return SyscallReturn::err(e.into());
         }
-        let pt = self.vm.table_mut(as_id).expect("space exists");
-        match pt.map_4k_page(&mut self.alloc, va, frame, EntryFlags::user_rw()) {
+        let m = self.mem.domain();
+        let pt = m.vm.table_mut(as_id).expect("space exists");
+        match pt.map_4k_page(&mut m.alloc, va, frame, EntryFlags::user_rw()) {
             Ok(()) => {
                 // The mapping consumes the grant's reference.
-                self.pending_grants.remove(&t);
+                m.pending_grants.remove(&t);
                 SyscallReturn::ok([va.as_usize() as u64, 0, 0, 0])
             }
             Err(e) => {
@@ -948,10 +1131,11 @@ impl Kernel {
         }
     }
 
-    fn sys_drop_grant(&mut self, _cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
-        match self.pending_grants.remove(&t) {
+    fn sys_drop_grant(&mut self, t: ThrdPtr) -> SyscallReturn {
+        let m = self.mem.domain();
+        match m.pending_grants.remove(&t) {
             Some(frame) => {
-                self.alloc.dec_map_ref(frame);
+                m.alloc.dec_map_ref(frame);
                 SyscallReturn::ok([0, 0, 0, 0])
             }
             None => SyscallReturn::err(SyscallError::WrongState),
@@ -959,10 +1143,214 @@ impl Kernel {
     }
 
     fn sys_yield(&mut self, cpu: CpuId, t: ThrdPtr) -> SyscallReturn {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.thread_switch);
+        let costs = self.costs;
+        self.charge(costs.thread_switch);
         let _ = t;
         let next = self.pm.timer_tick(cpu);
         SyscallReturn::ok([next.unwrap_or(0) as u64, 0, 0, 0])
+    }
+}
+
+// ----- staged two-phase mmap/munmap for the sharded kernel ----------------
+//
+// The sharded kernel does not hold the pm lock across an mmap's page
+// loop: stage 1 validates and charges quota under pm alone, stage 2 does
+// the allocator/page-table work under mem alone, and a failed stage 2
+// re-acquires pm just to release the quota. The abstract specs allow
+// this: `syscall_mmap_spec` constrains only the success shape and the
+// noop-on-error rule, and quota over-reservation between the stages errs
+// in the safe direction. Cycle charges are identical to the unified path.
+
+/// What stage 1 of a staged `mmap`/`munmap` resolved under the pm lock.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemStagePlan {
+    /// The charged container (uncharge target on stage-2 failure).
+    pub(crate) cntr: CtnrPtr,
+    /// The caller's address space.
+    pub(crate) as_id: crate::vm::AsId,
+    /// The validated page range.
+    pub(crate) range: VaRange4K,
+    /// Number of pages.
+    pub(crate) len: usize,
+    /// Writable mapping (mmap only)?
+    pub(crate) writable: bool,
+}
+
+/// Stage 0 of a staged `mmap`/`munmap`: the argument checks and the
+/// validation charge. Pure per-CPU work — the sharded kernel runs it
+/// *before* taking any shared lock, so bad arguments never serialize
+/// behind the pm domain. (Precedence nit: with no current thread *and*
+/// bad arguments this reports `Invalid` where the unified path reports
+/// `WrongState`; both are noop errors, which is all the spec pins.)
+pub(crate) fn stage_validate(
+    costs: &CostModel,
+    meter: &mut CycleMeter,
+    va_base: usize,
+    len: usize,
+) -> Result<VaRange4K, SyscallReturn> {
+    meter.charge(costs.syscall_validate);
+    let Some(range) = VaRange4K::new(VAddr(va_base), len) else {
+        return Err(SyscallReturn::err(SyscallError::Invalid));
+    };
+    if len == 0 {
+        return Err(SyscallReturn::err(SyscallError::Invalid));
+    }
+    Ok(range)
+}
+
+/// Stage 1 of a staged `mmap`: thread resolution and the quota charge —
+/// the only parts that need the pm domain. No cycles are charged here;
+/// the pm hold stays as short as the work it protects.
+pub(crate) fn mmap_stage_pm(
+    pm: &mut ProcessManager,
+    cpu: CpuId,
+    range: VaRange4K,
+    len: usize,
+    writable: bool,
+) -> Result<MemStagePlan, SyscallReturn> {
+    let Some(t) = pm.sched.current(cpu) else {
+        return Err(SyscallReturn::err(SyscallError::WrongState));
+    };
+    let (proc_ptr, cntr) = {
+        let thread = pm.thrd(t);
+        (thread.owning_proc, thread.owning_cntr)
+    };
+    let as_id = pm.proc(proc_ptr).addr_space;
+    if let Err(e) = pm.charge(cntr, len) {
+        return Err(SyscallReturn::err(e.into()));
+    }
+    Ok(MemStagePlan {
+        cntr,
+        as_id,
+        range,
+        len,
+        writable,
+    })
+}
+
+/// Stage 2 of a staged `mmap`: the allocator and page-table work, under
+/// the mem domain alone. On an error return the caller must release the
+/// stage-1 quota with [`uncharge_stage_pm`]. Degrades to `Fault` when
+/// the address space vanished between the stages (its container was
+/// terminated concurrently).
+pub(crate) fn mmap_stage_mem(
+    costs: &CostModel,
+    meter: &mut CycleMeter,
+    mem: &mut MemDomain,
+    plan: &MemStagePlan,
+) -> SyscallReturn {
+    if mem.vm.table(plan.as_id).is_none() {
+        return SyscallReturn::err(SyscallError::Fault);
+    }
+    for va in plan.range.iter() {
+        if mem
+            .vm
+            .table(plan.as_id)
+            .expect("checked above")
+            .resolve(va)
+            .is_some()
+        {
+            return SyscallReturn::err(SyscallError::Fault);
+        }
+    }
+    let flags = if plan.writable {
+        EntryFlags::user_rw()
+    } else {
+        EntryFlags::user_ro()
+    };
+    let mut mapped: Vec<(VAddr, PagePtr)> = Vec::with_capacity(plan.len);
+    let rollback = |mem: &mut MemDomain, mapped: &[(VAddr, PagePtr)]| {
+        for (va, frame) in mapped {
+            let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+            pt.unmap_4k_page(*va).expect("rollback of a fresh mapping");
+            mem.alloc.dec_map_ref(*frame);
+        }
+    };
+    for va in plan.range.iter() {
+        meter.charge(
+            costs.page_alloc_4k
+                + costs.quota_account
+                + 3 * costs.pt_level_read
+                + costs.pt_level_write
+                + costs.page_state_update
+                + costs.tlb_invalidate,
+        );
+        let frame = match mem.alloc.alloc_mapped(PageSize::Size4K) {
+            Ok(f) => f,
+            Err(_) => {
+                rollback(mem, &mapped);
+                return SyscallReturn::err(SyscallError::NoMem);
+            }
+        };
+        let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+        match pt.map_4k_page(&mut mem.alloc, va, frame, flags) {
+            Ok(()) => mapped.push((va, frame)),
+            Err(e) => {
+                mem.alloc.dec_map_ref(frame);
+                rollback(mem, &mapped);
+                return SyscallReturn::err(e.into());
+            }
+        }
+    }
+    SyscallReturn::ok([plan.range.base.as_usize() as u64, plan.len as u64, 0, 0])
+}
+
+/// Stage 1 of a staged `munmap`: thread resolution under the pm domain.
+/// No quota moves yet — `munmap` *releases* quota, which happens after
+/// a successful stage 2.
+pub(crate) fn munmap_stage_pm(
+    pm: &mut ProcessManager,
+    cpu: CpuId,
+    range: VaRange4K,
+    len: usize,
+) -> Result<MemStagePlan, SyscallReturn> {
+    let Some(t) = pm.sched.current(cpu) else {
+        return Err(SyscallReturn::err(SyscallError::WrongState));
+    };
+    let (proc_ptr, cntr) = {
+        let thread = pm.thrd(t);
+        (thread.owning_proc, thread.owning_cntr)
+    };
+    let as_id = pm.proc(proc_ptr).addr_space;
+    Ok(MemStagePlan {
+        cntr,
+        as_id,
+        range,
+        len,
+        writable: false,
+    })
+}
+
+/// Stage 2 of a staged `munmap`: unmapping under the mem domain. On
+/// success the caller re-acquires pm and releases `plan.len` pages of
+/// quota with [`uncharge_stage_pm`].
+pub(crate) fn munmap_stage_mem(
+    costs: &CostModel,
+    meter: &mut CycleMeter,
+    mem: &mut MemDomain,
+    plan: &MemStagePlan,
+) -> SyscallReturn {
+    let Some(pt) = mem.vm.table(plan.as_id) else {
+        return SyscallReturn::err(SyscallError::Fault);
+    };
+    for va in plan.range.iter() {
+        if !pt.map_4k.contains_key(&va.as_usize()) {
+            return SyscallReturn::err(SyscallError::Fault);
+        }
+    }
+    for va in plan.range.iter() {
+        meter.charge(costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate);
+        let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+        let frame = pt.unmap_4k_page(va).expect("checked above");
+        mem.alloc.dec_map_ref(frame);
+    }
+    SyscallReturn::ok([plan.len as u64, 0, 0, 0])
+}
+
+/// The pm-side epilogue of a staged call: releases `pages` of quota,
+/// guarded against the container having died between the stages.
+pub(crate) fn uncharge_stage_pm(pm: &mut ProcessManager, cntr: CtnrPtr, pages: usize) {
+    if pm.cntr_perms.contains(cntr) {
+        pm.uncharge(cntr, pages);
     }
 }

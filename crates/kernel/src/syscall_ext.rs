@@ -10,15 +10,19 @@
 //!   attach devices, map their own pages for DMA, and may pass domain
 //!   identifiers to other containers through endpoints
 //!   (`IpcPayload::iommu_grant`).
+//!
+//! Like the core handlers, these run against an
+//! [`ExecCtx`](crate::syscall::ExecCtx): every IOMMU table and the
+//! superpage allocator live in the mem domain, so the sharded kernel
+//! takes the mem lock lazily on first touch.
 
 use atmo_hw::paging::EntryFlags;
 use atmo_hw::VAddr;
 use atmo_mem::PageSize;
-use atmo_pm::types::{CpuId, ThrdPtr};
+use atmo_pm::types::ThrdPtr;
 use atmo_ptable::DeviceId;
 
-use crate::kernel::Kernel;
-use crate::syscall::{SyscallError, SyscallReturn};
+use crate::syscall::{ExecCtx, SyscallError, SyscallReturn};
 
 /// Internal result alias for the extension handlers.
 type Ret = SyscallReturn;
@@ -31,19 +35,12 @@ fn err(e: SyscallError) -> Ret {
     SyscallReturn { result: Err(e) }
 }
 
-impl Kernel {
+impl ExecCtx<'_> {
     /// Maps one 2 MiB superpage at `va_base` in the caller's space,
     /// charging 512 pages of quota.
-    pub(crate) fn sys_mmap_huge_2m(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        va_base: usize,
-        writable: bool,
-    ) -> Ret {
-        let costs = self.machine.costs;
+    pub(crate) fn sys_mmap_huge_2m(&mut self, t: ThrdPtr, va_base: usize, writable: bool) -> Ret {
+        let costs = self.costs;
         self.charge(
-            cpu,
             costs.syscall_validate
                 + costs.page_alloc_4k
                 + costs.quota_account
@@ -65,7 +62,8 @@ impl Kernel {
         if let Err(e) = self.pm.charge(cntr, frames) {
             return err(e.into());
         }
-        let frame = match self.alloc.alloc_mapped(PageSize::Size2M) {
+        let m = self.mem.domain();
+        let frame = match m.alloc.alloc_mapped(PageSize::Size2M) {
             Ok(f) => f,
             Err(_) => {
                 self.pm.uncharge(cntr, frames);
@@ -77,11 +75,11 @@ impl Kernel {
         } else {
             EntryFlags::user_ro()
         };
-        let pt = self.vm.table_mut(as_id).expect("space exists");
-        match pt.map_2m_page(&mut self.alloc, va, frame, flags) {
+        let pt = m.vm.table_mut(as_id).expect("space exists");
+        match pt.map_2m_page(&mut m.alloc, va, frame, flags) {
             Ok(()) => ok([va_base as u64, frames as u64, 0, 0]),
             Err(e) => {
-                self.alloc.dec_map_ref(frame);
+                m.alloc.dec_map_ref(frame);
                 self.pm.uncharge(cntr, frames);
                 err(e.into())
             }
@@ -89,10 +87,9 @@ impl Kernel {
     }
 
     /// Unmaps the 2 MiB superpage at `va_base`, releasing its quota.
-    pub(crate) fn sys_munmap_huge_2m(&mut self, cpu: CpuId, t: ThrdPtr, va_base: usize) -> Ret {
-        let costs = self.machine.costs;
+    pub(crate) fn sys_munmap_huge_2m(&mut self, t: ThrdPtr, va_base: usize) -> Ret {
+        let costs = self.costs;
         self.charge(
-            cpu,
             costs.syscall_validate
                 + costs.pt_level_write
                 + costs.page_state_update
@@ -103,10 +100,11 @@ impl Kernel {
             (th.owning_proc, th.owning_cntr)
         };
         let as_id = self.pm.proc(proc_ptr).addr_space;
-        let pt = self.vm.table_mut(as_id).expect("space exists");
+        let m = self.mem.domain();
+        let pt = m.vm.table_mut(as_id).expect("space exists");
         match pt.unmap_2m_page(VAddr(va_base)) {
             Ok(frame) => {
-                self.alloc.dec_map_ref(frame);
+                m.alloc.dec_map_ref(frame);
                 self.pm.uncharge(cntr, PageSize::Size2M.frames());
                 ok([PageSize::Size2M.frames() as u64, 0, 0, 0])
             }
@@ -116,16 +114,17 @@ impl Kernel {
 
     /// Creates an IOMMU protection domain owned by the caller's
     /// container (its translation root is a kernel page).
-    pub(crate) fn sys_iommu_create_domain(&mut self, cpu: CpuId, t: ThrdPtr) -> Ret {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.page_alloc_4k + costs.quota_account);
+    pub(crate) fn sys_iommu_create_domain(&mut self, t: ThrdPtr) -> Ret {
+        let costs = self.costs;
+        self.charge(costs.page_alloc_4k + costs.quota_account);
         let cntr = self.pm.thrd(t).owning_cntr;
         if let Err(e) = self.pm.charge(cntr, 1) {
             return err(e.into());
         }
-        match self.vm.iommu.create_domain(&mut self.alloc) {
+        let m = self.mem.domain();
+        match m.vm.iommu.create_domain(&mut m.alloc) {
             Ok(id) => {
-                self.iommu_owner.insert(id, cntr);
+                m.iommu_owner.insert(id, cntr);
                 ok([id as u64, 0, 0, 0])
             }
             Err(_) => {
@@ -136,22 +135,17 @@ impl Kernel {
     }
 
     /// Attaches `device` to `domain` (authorized containers only).
-    pub(crate) fn sys_iommu_attach(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        domain: u32,
-        device: DeviceId,
-    ) -> Ret {
-        self.charge(cpu, self.machine.costs.syscall_validate);
+    pub(crate) fn sys_iommu_attach(&mut self, t: ThrdPtr, domain: u32, device: DeviceId) -> Ret {
+        self.charge(self.costs.syscall_validate);
         let cntr = self.pm.thrd(t).owning_cntr;
-        if !self.iommu_owner.contains_key(&domain) {
+        let m = self.mem.domain();
+        if !m.iommu_owner.contains_key(&domain) {
             return err(SyscallError::NotFound);
         }
-        if !self.iommu_authorized(domain, cntr) {
+        if !m.iommu_authorized(domain, cntr) {
             return err(SyscallError::Denied);
         }
-        if self.vm.iommu.attach_device(domain, device) {
+        if m.vm.iommu.attach_device(domain, device) {
             ok([0, 0, 0, 0])
         } else {
             err(SyscallError::WrongState)
@@ -159,12 +153,13 @@ impl Kernel {
     }
 
     /// Detaches `device` from whatever domain it is attached to.
-    pub(crate) fn sys_iommu_detach(&mut self, cpu: CpuId, t: ThrdPtr, device: DeviceId) -> Ret {
-        self.charge(cpu, self.machine.costs.syscall_validate);
+    pub(crate) fn sys_iommu_detach(&mut self, t: ThrdPtr, device: DeviceId) -> Ret {
+        self.charge(self.costs.syscall_validate);
         let cntr = self.pm.thrd(t).owning_cntr;
-        match self.vm.iommu.domain_of(device) {
-            Some(domain) if self.iommu_authorized(domain, cntr) => {
-                self.vm.iommu.detach_device(device);
+        let m = self.mem.domain();
+        match m.vm.iommu.domain_of(device) {
+            Some(domain) if m.iommu_authorized(domain, cntr) => {
+                m.vm.iommu.detach_device(device);
                 ok([0, 0, 0, 0])
             }
             Some(_) => err(SyscallError::Denied),
@@ -175,34 +170,25 @@ impl Kernel {
     /// Maps the frame backing the caller's `va` at `iova` in `domain`,
     /// making it DMA-visible. The IOMMU mapping holds its own reference
     /// to the frame.
-    pub(crate) fn sys_iommu_map(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        domain: u32,
-        iova: usize,
-        va: usize,
-    ) -> Ret {
-        let costs = self.machine.costs;
-        self.charge(
-            cpu,
-            costs.syscall_validate + 3 * costs.pt_level_read + costs.pt_level_write,
-        );
+    pub(crate) fn sys_iommu_map(&mut self, t: ThrdPtr, domain: u32, iova: usize, va: usize) -> Ret {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + 3 * costs.pt_level_read + costs.pt_level_write);
         let (proc_ptr, cntr) = {
             let th = self.pm.thrd(t);
             (th.owning_proc, th.owning_cntr)
         };
-        if !self.iommu_owner.contains_key(&domain) {
+        let as_id = self.pm.proc(proc_ptr).addr_space;
+        let m = self.mem.domain();
+        if !m.iommu_owner.contains_key(&domain) {
             return err(SyscallError::NotFound);
         }
-        if !self.iommu_authorized(domain, cntr) {
+        if !m.iommu_authorized(domain, cntr) {
             return err(SyscallError::Denied);
         }
         // Resolve the caller's mapping (only your own memory can be made
         // DMA-visible — the isolation-preserving rule).
-        let as_id = self.pm.proc(proc_ptr).addr_space;
         let frame = {
-            let pt = self.vm.table(as_id).expect("space exists");
+            let pt = m.vm.table(as_id).expect("space exists");
             match pt
                 .map_4k
                 .index(&VAddr(va).align_down(atmo_hw::PAGE_SIZE_4K).as_usize())
@@ -211,9 +197,9 @@ impl Kernel {
                 None => return err(SyscallError::Fault),
             }
         };
-        self.alloc.inc_map_ref(frame);
-        match self.vm.iommu.map_4k(
-            &mut self.alloc,
+        m.alloc.inc_map_ref(frame);
+        match m.vm.iommu.map_4k(
+            &mut m.alloc,
             domain,
             VAddr(iova),
             frame,
@@ -221,32 +207,27 @@ impl Kernel {
         ) {
             Ok(()) => ok([iova as u64, 0, 0, 0]),
             Err(e) => {
-                self.alloc.dec_map_ref(frame);
+                m.alloc.dec_map_ref(frame);
                 err(e.into())
             }
         }
     }
 
     /// Unmaps `iova` from `domain`, dropping the DMA reference.
-    pub(crate) fn sys_iommu_unmap(
-        &mut self,
-        cpu: CpuId,
-        t: ThrdPtr,
-        domain: u32,
-        iova: usize,
-    ) -> Ret {
-        let costs = self.machine.costs;
-        self.charge(cpu, costs.syscall_validate + costs.pt_level_write);
+    pub(crate) fn sys_iommu_unmap(&mut self, t: ThrdPtr, domain: u32, iova: usize) -> Ret {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.pt_level_write);
         let cntr = self.pm.thrd(t).owning_cntr;
-        if !self.iommu_owner.contains_key(&domain) {
+        let m = self.mem.domain();
+        if !m.iommu_owner.contains_key(&domain) {
             return err(SyscallError::NotFound);
         }
-        if !self.iommu_authorized(domain, cntr) {
+        if !m.iommu_authorized(domain, cntr) {
             return err(SyscallError::Denied);
         }
-        match self.vm.iommu.unmap_4k(domain, VAddr(iova)) {
+        match m.vm.iommu.unmap_4k(domain, VAddr(iova)) {
             Ok(frame) => {
-                self.alloc.dec_map_ref(frame);
+                m.alloc.dec_map_ref(frame);
                 ok([0, 0, 0, 0])
             }
             Err(e) => err(e.into()),
@@ -257,34 +238,34 @@ impl Kernel {
     /// detaches devices, unmaps IOVAs (dropping frame references), frees
     /// the translation tables, and removes access entries.
     pub(crate) fn cleanup_iommu_for(&mut self, dead: &[usize]) {
-        let doomed: Vec<u32> = self
+        let m = self.mem.domain();
+        let doomed: Vec<u32> = m
             .iommu_owner
             .iter()
             .filter(|(_, owner)| dead.contains(owner))
             .map(|(id, _)| *id)
             .collect();
         for id in doomed {
-            for dev in self.vm.iommu.attached_devices(id).to_vec() {
-                self.vm.iommu.detach_device(dev);
+            for dev in m.vm.iommu.attached_devices(id).to_vec() {
+                m.vm.iommu.detach_device(dev);
             }
-            for iova in self.vm.iommu.domain_iovas(id) {
-                let frame = self
-                    .vm
-                    .iommu
-                    .unmap_4k(id, VAddr(iova))
-                    .expect("listed iova unmaps");
-                self.alloc.dec_map_ref(frame);
+            for iova in m.vm.iommu.domain_iovas(id) {
+                let frame =
+                    m.vm.iommu
+                        .unmap_4k(id, VAddr(iova))
+                        .expect("listed iova unmaps");
+                m.alloc.dec_map_ref(frame);
             }
-            self.vm.iommu.destroy_domain(&mut self.alloc, id);
-            let owner = self.iommu_owner.remove(&id).expect("owned domain");
+            m.vm.iommu.destroy_domain(&mut m.alloc, id);
+            let owner = m.iommu_owner.remove(&id).expect("owned domain");
             if self.pm.cntr_perms.contains(owner) {
                 self.pm.uncharge(owner, 1);
             }
-            self.iommu_access.remove(&id);
+            m.iommu_access.remove(&id);
         }
         // Dead containers also lose any granted access to surviving
         // domains.
-        for acl in self.iommu_access.values_mut() {
+        for acl in m.iommu_access.values_mut() {
             acl.retain(|c| !dead.contains(c));
         }
     }
@@ -292,12 +273,13 @@ impl Kernel {
     /// Grants the receiving thread's container access to `domain` (the
     /// delivery half of an `iommu_grant`). No-op for unknown domains.
     pub(crate) fn deliver_iommu_grant(&mut self, receiver: ThrdPtr, domain: u32) {
-        if !self.iommu_owner.contains_key(&domain) {
+        let cntr = self.pm.thrd(receiver).owning_cntr;
+        let m = self.mem.domain();
+        if !m.iommu_owner.contains_key(&domain) {
             return;
         }
-        let cntr = self.pm.thrd(receiver).owning_cntr;
-        let acl = self.iommu_access.entry(domain).or_default();
-        if !acl.contains(&cntr) && self.iommu_owner.get(&domain) != Some(&cntr) {
+        let acl = m.iommu_access.entry(domain).or_default();
+        if !acl.contains(&cntr) && m.iommu_owner.get(&domain) != Some(&cntr) {
             acl.push(cntr);
         }
     }

@@ -145,7 +145,7 @@ impl VService {
     /// previous one); records provenance.
     fn accept_page(&mut self, k: &mut Kernel, client: usize) {
         // Record provenance *before* mapping consumes the pending grant.
-        let frame = match k.pending_grants.get(&self.thread) {
+        let frame = match k.mem.pending_grants.get(&self.thread) {
             Some(f) => *f,
             None => return,
         };
@@ -233,7 +233,7 @@ impl VService {
             )?;
         }
         check(
-            !k.pending_grants.contains_key(&self.thread),
+            !k.mem.pending_grants.contains_key(&self.thread),
             "v_service",
             "V retains an unprocessed grant between events",
         )?;
@@ -393,12 +393,12 @@ mod tests {
         // dies; V still maps it, so the frame stays alive.
         let _ = k.syscall(0, SyscallArgs::TerminateContainer { cntr: sc.a });
         assert!(k.wf().is_ok(), "{:?}", k.wf());
-        assert!(k.alloc.map_refcnt(frame) >= 1);
+        assert!(k.mem.alloc.map_refcnt(frame) >= 1);
 
         // V's cleanup releases the last reference; the frame is free.
         v.cleanup_client(&mut k, 0);
         assert!(
-            k.alloc.page_is_free(frame),
+            k.mem.alloc.page_is_free(frame),
             "frame returned to the allocator"
         );
         assert!(v.spec_wf(&k).is_ok());

@@ -24,15 +24,23 @@
 //! Module map: [`meta`] page states and the page array, [`freelist`] the
 //! intrusive lists, [`alloc`] the allocator and its abstract views,
 //! [`perm`] linear page-ownership tokens and page→object conversion,
-//! [`closure`] the `page_closure()` machinery.
+//! [`closure`] the `page_closure()` machinery, [`source`] the page-
+//! supplier abstraction and [`cache`] the per-CPU free-page caches
+//! backing the sharded kernel's allocator fast path.
 
 pub mod alloc;
+pub mod cache;
 pub mod closure;
 pub mod freelist;
 pub mod meta;
 pub mod perm;
+pub mod source;
 
 pub use alloc::{AllocError, PageAllocator};
+pub use cache::{
+    CacheStats, CachedSource, PageCache, DEFAULT_CACHE_CAPACITY, DEFAULT_REFILL_BATCH,
+};
 pub use closure::{closure_partition_wf, PageClosure};
 pub use meta::{PagePtr, PageSize, PageState};
 pub use perm::PagePermission;
+pub use source::PageSource;

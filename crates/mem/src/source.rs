@@ -1,0 +1,44 @@
+//! The [`PageSource`] abstraction: where kernel-object pages come from.
+//!
+//! Verified clients of the allocator (the process manager, the page
+//! tables) only ever need two operations — allocate a 4 KiB page with
+//! its linear permission, and free one by consuming the permission.
+//! Abstracting those behind a trait lets the sharded kernel substitute a
+//! per-CPU [`PageCache`](crate::cache::PageCache)-backed source for the
+//! shared allocator without touching any client code or any client
+//! proof: the Listing 4 contract (page leaves the free set, permission
+//! is linear, free consumes it) is the trait's contract.
+
+use crate::alloc::{AllocError, PageAllocator};
+use crate::meta::PagePtr;
+use crate::perm::PagePermission;
+
+/// A supplier of 4 KiB kernel-object pages.
+pub trait PageSource {
+    /// Allocates a 4 KiB page, returning it with its linear permission.
+    fn alloc_page_4k(&mut self) -> Result<(PagePtr, PagePermission), AllocError>;
+
+    /// Frees a 4 KiB page, consuming its permission.
+    fn free_page_4k(&mut self, perm: PagePermission);
+
+    /// Drops one mapping reference on a mapped block head (in-flight
+    /// grant cleanup when a thread dies); frees the block at zero.
+    /// Returns `true` when the block became free. Mapped frames are
+    /// never cached, so every implementation routes this to the shared
+    /// allocator.
+    fn dec_map_ref(&mut self, p: PagePtr) -> bool;
+}
+
+impl PageSource for PageAllocator {
+    fn alloc_page_4k(&mut self) -> Result<(PagePtr, PagePermission), AllocError> {
+        PageAllocator::alloc_page_4k(self)
+    }
+
+    fn free_page_4k(&mut self, perm: PagePermission) {
+        PageAllocator::free_page_4k(self, perm)
+    }
+
+    fn dec_map_ref(&mut self, p: PagePtr) -> bool {
+        PageAllocator::dec_map_ref(self, p)
+    }
+}

@@ -1,7 +1,7 @@
 //! The `ProcessManager`: flat permission maps + all object lifecycle and
 //! IPC operations (Listing 2 of the paper).
 
-use atmo_mem::{PageAllocator, PageClosure, PagePermission, PagePtr};
+use atmo_mem::{PageClosure, PagePermission, PagePtr, PageSource};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, PPtr, PermMap, Set};
 use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
@@ -132,7 +132,7 @@ impl ProcessManager {
     /// Boots the process manager: root container (owning all CPUs and the
     /// whole `quota`), an init process and an init thread running on CPU 0.
     pub fn boot(
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         ncpus: usize,
         quota: usize,
     ) -> Result<(Self, CtnrPtr, ProcPtr, ThrdPtr), PmError> {
@@ -223,7 +223,7 @@ impl ProcessManager {
     /// container object's page).
     pub fn new_container(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         parent: CtnrPtr,
         quota: usize,
         cpus: &[CpuId],
@@ -289,7 +289,7 @@ impl ProcessManager {
     /// the kernel can tear down their page tables and mapped frames.
     pub fn terminate_container(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         c: CtnrPtr,
     ) -> Result<Vec<usize>, PmError> {
         if !self.cntr_perms.contains(c) {
@@ -370,7 +370,7 @@ impl ProcessManager {
     /// `parent_proc` (which must live in the same container).
     pub fn new_process(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         cntr: CtnrPtr,
         parent_proc: Option<ProcPtr>,
     ) -> Result<ProcPtr, PmError> {
@@ -424,7 +424,7 @@ impl ProcessManager {
     /// Returns the freed address-space identifiers.
     pub fn terminate_process(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         p: ProcPtr,
     ) -> Result<Vec<usize>, PmError> {
         if !self.proc_perms.contains(p) {
@@ -472,7 +472,7 @@ impl ProcessManager {
     /// container — or an ancestor — must own), initially Ready.
     pub fn new_thread(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         proc: ProcPtr,
         cpu: CpuId,
     ) -> Result<ThrdPtr, PmError> {
@@ -514,7 +514,7 @@ impl ProcessManager {
     /// endpoints whose refcount reaches zero), and frees its page.
     pub fn terminate_thread(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         t: ThrdPtr,
     ) -> Result<(), PmError> {
         if !self.thrd_perms.contains(t) {
@@ -581,7 +581,7 @@ impl ProcessManager {
         Ok(())
     }
 
-    fn remove_thread_object(&mut self, alloc: &mut PageAllocator, t: ThrdPtr) {
+    fn remove_thread_object(&mut self, alloc: &mut dyn PageSource, t: ThrdPtr) {
         let (proc, cntr) = {
             let th = self.thrd(t);
             (th.owning_proc, th.owning_cntr)
@@ -609,7 +609,7 @@ impl ProcessManager {
     /// in-flight payload is discarded (releasing any granted page's
     /// mapping reference), and it is woken with no message delivered —
     /// the error signal for an aborted IPC.
-    fn release_endpoint_ref(&mut self, alloc: &mut PageAllocator, e: EdptPtr) {
+    fn release_endpoint_ref(&mut self, alloc: &mut dyn PageSource, e: EdptPtr) {
         let (refcount, owner) = {
             let ep = self.edpt_mut(e);
             ep.refcount -= 1;
@@ -662,7 +662,7 @@ impl ProcessManager {
     /// `t` and charging `t`'s container for its page.
     pub fn new_endpoint(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         t: ThrdPtr,
         slot: EdptIdx,
     ) -> Result<EdptPtr, PmError> {
@@ -711,7 +711,7 @@ impl ProcessManager {
     /// Removes the descriptor in `slot` of `t`, releasing the reference.
     pub fn remove_descriptor(
         &mut self,
-        alloc: &mut PageAllocator,
+        alloc: &mut dyn PageSource,
         t: ThrdPtr,
         slot: EdptIdx,
     ) -> Result<(), PmError> {
@@ -1014,7 +1014,7 @@ impl ProcessManager {
     /// Wakes `t` if it is blocked on an endpoint (removing it from the
     /// queue) — the interrupt-notification path. Runnable or
     /// reply-blocked threads are left alone. Returns `true` when woken.
-    pub fn wake_if_blocked(&mut self, _alloc: &mut PageAllocator, t: ThrdPtr) -> bool {
+    pub fn wake_if_blocked(&mut self, _alloc: &mut dyn PageSource, t: ThrdPtr) -> bool {
         if !self.thrd_perms.contains(t) {
             return false;
         }

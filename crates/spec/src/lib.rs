@@ -36,6 +36,7 @@ pub mod ptr;
 pub mod rng;
 pub mod seq;
 pub mod set;
+pub mod sync;
 
 pub use ghost::{Ghost, Tracked};
 pub use harness::{InvariantViolation, VerifResult};
@@ -45,6 +46,7 @@ pub use ptr::{PPtr, PointsTo};
 pub use rng::XorShift64Star;
 pub use seq::Seq;
 pub use set::Set;
+pub use sync::{into_inner_recovering, lock_recovering};
 
 /// Asserts a verification condition.
 ///

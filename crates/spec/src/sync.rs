@@ -1,0 +1,42 @@
+//! Shared lock helpers.
+//!
+//! The kernel's concurrency story treats a poisoned mutex as recoverable:
+//! a panicking worker thread may leave a lock poisoned, but the protected
+//! state is either still well-formed (the panic happened outside a
+//! critical section mutation) or will be caught by the next `total_wf`
+//! audit. Every domain lock therefore strips the poison marker instead of
+//! propagating the panic, keeping fault-injection harnesses able to keep
+//! auditing after an induced panic.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Consumes `mutex`, recovering the value if a previous holder panicked.
+pub fn into_inner_recovering<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *lock_recovering(&m) += 1;
+        let m = Arc::try_unwrap(m).unwrap();
+        assert_eq!(into_inner_recovering(m), 8);
+    }
+}

@@ -59,6 +59,37 @@ pub struct DriverCounters {
     pub tx_items: u64,
 }
 
+/// One lock domain's acquisition statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockCounters {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held (slow path).
+    pub contended: u64,
+    /// Longest single hold, in modeled cycles. Only ever grows, so it
+    /// stays monotone under the low-water audit.
+    pub hold_max_cycles: u64,
+}
+
+impl LockCounters {
+    fn merge(&mut self, other: &LockCounters) {
+        self.acquisitions += other.acquisitions;
+        self.contended += other.contended;
+        self.hold_max_cycles = self.hold_max_cycles.max(other.hold_max_cycles);
+    }
+}
+
+/// Per-domain lock statistics (satellite of the lock-sharding refactor).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocksCounters {
+    /// Process-manager domain lock.
+    pub pm: LockCounters,
+    /// Memory domain lock.
+    pub mem: LockCounters,
+    /// Trace-shard locks.
+    pub trace: LockCounters,
+}
+
 /// All subsystem counter blocks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -70,6 +101,8 @@ pub struct Counters {
     pub ptable: PtableCounters,
     /// Drivers.
     pub drivers: DriverCounters,
+    /// Domain locks.
+    pub locks: LocksCounters,
 }
 
 impl Counters {
@@ -93,7 +126,44 @@ impl Counters {
             ("drivers.rx_items", self.drivers.rx_items),
             ("drivers.tx_batches", self.drivers.tx_batches),
             ("drivers.tx_items", self.drivers.tx_items),
+            ("locks.pm.acquisitions", self.locks.pm.acquisitions),
+            ("locks.pm.contended", self.locks.pm.contended),
+            ("locks.pm.hold_max_cycles", self.locks.pm.hold_max_cycles),
+            ("locks.mem.acquisitions", self.locks.mem.acquisitions),
+            ("locks.mem.contended", self.locks.mem.contended),
+            ("locks.mem.hold_max_cycles", self.locks.mem.hold_max_cycles),
+            ("locks.trace.acquisitions", self.locks.trace.acquisitions),
+            ("locks.trace.contended", self.locks.trace.contended),
+            (
+                "locks.trace.hold_max_cycles",
+                self.locks.trace.hold_max_cycles,
+            ),
         ]
+    }
+
+    /// Folds another counter block into this one: event counts sum, hold
+    /// maxima take the max. Used to merge per-CPU trace shards into one
+    /// snapshot view.
+    pub fn merge(&mut self, other: &Counters) {
+        self.pm.context_switches += other.pm.context_switches;
+        self.pm.ipc_sends += other.pm.ipc_sends;
+        self.pm.ipc_recvs += other.pm.ipc_recvs;
+        self.pm.rendezvous += other.pm.rendezvous;
+        self.mem.allocs += other.mem.allocs;
+        self.mem.frames_allocated += other.mem.frames_allocated;
+        self.mem.frees += other.mem.frees;
+        self.mem.frames_freed += other.mem.frames_freed;
+        self.ptable.maps += other.ptable.maps;
+        self.ptable.unmaps += other.ptable.unmaps;
+        self.ptable.frames_mapped += other.ptable.frames_mapped;
+        self.ptable.frames_unmapped += other.ptable.frames_unmapped;
+        self.drivers.rx_batches += other.drivers.rx_batches;
+        self.drivers.rx_items += other.drivers.rx_items;
+        self.drivers.tx_batches += other.drivers.tx_batches;
+        self.drivers.tx_items += other.drivers.tx_items;
+        self.locks.pm.merge(&other.locks.pm);
+        self.locks.mem.merge(&other.locks.mem);
+        self.locks.trace.merge(&other.locks.trace);
     }
 
     /// Checks that no counter has decreased relative to `older`.
@@ -131,5 +201,22 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("mem.")));
         assert!(names.iter().any(|n| n.starts_with("ptable.")));
         assert!(names.iter().any(|n| n.starts_with("drivers.")));
+        assert!(names.iter().any(|n| n.starts_with("locks.")));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_holds() {
+        let mut a = Counters::default();
+        a.pm.ipc_sends = 3;
+        a.locks.pm.acquisitions = 10;
+        a.locks.pm.hold_max_cycles = 500;
+        let mut b = Counters::default();
+        b.pm.ipc_sends = 4;
+        b.locks.pm.acquisitions = 1;
+        b.locks.pm.hold_max_cycles = 900;
+        a.merge(&b);
+        assert_eq!(a.pm.ipc_sends, 7);
+        assert_eq!(a.locks.pm.acquisitions, 11);
+        assert_eq!(a.locks.pm.hold_max_cycles, 900, "max, not sum");
     }
 }

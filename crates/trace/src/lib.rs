@@ -25,10 +25,12 @@
 //! * **Never blocks, never allocates after boot** — [`EventRing`] is a
 //!   fixed array; when full, the oldest event is overwritten and the
 //!   explicit `dropped` counter advances.
-//! * **Per-CPU attribution under the big lock** — the kernel runs
-//!   strictly serialized (§3), so [`TraceSink`] keeps a `current_cpu`
-//!   cell set at syscall entry; subsystem code deep in the call graph
-//!   emits without threading a CPU id through every signature.
+//! * **Per-CPU attribution without a global lock** — each OS thread
+//!   drives one simulated CPU at a time, so [`TraceSink`] keeps a
+//!   thread-local current-CPU cell set at syscall entry; subsystem code
+//!   deep in the call graph emits without threading a CPU id through
+//!   every signature, and the sink itself is sharded per CPU so distinct
+//!   CPUs never contend on emission.
 //! * **Shared, not global** — the sink is per kernel instance
 //!   ([`TraceHandle`] = `Arc<TraceSink>`), so concurrently running
 //!   kernels (the test harness runs many) never mix events.
@@ -40,11 +42,15 @@ pub mod ring;
 pub mod sink;
 pub mod snapshot;
 
-pub use counters::{Counters, DriverCounters, MemCounters, PmCounters, PtableCounters};
+pub use counters::{
+    Counters, DriverCounters, LockCounters, LocksCounters, MemCounters, PmCounters, PtableCounters,
+};
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
-pub use sink::{trace_wf, SyscallStats, TraceHandle, TraceShare, TraceSink};
+pub use sink::{
+    ns_to_cycles, trace_wf, LockDomain, SyscallStats, TraceHandle, TraceShare, TraceSink,
+};
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 
 /// Default per-CPU ring capacity (events retained before overwrite).

@@ -131,6 +131,26 @@ impl Snapshot {
                 })
                 .collect(),
         ));
+        out.push_str("\n== Trace snapshot: lock domains ==\n");
+        let locks = [
+            ("pm", &self.counters.locks.pm),
+            ("mem", &self.counters.locks.mem),
+            ("trace", &self.counters.locks.trace),
+        ];
+        out.push_str(&table(
+            &["Domain", "Acquisitions", "Contended", "MaxHoldCycles"],
+            locks
+                .iter()
+                .map(|(name, l)| {
+                    vec![
+                        name.to_string(),
+                        format!("{}", l.acquisitions),
+                        format!("{}", l.contended),
+                        format!("{}", l.hold_max_cycles),
+                    ]
+                })
+                .collect(),
+        ));
         out.push_str("\n== Trace snapshot: events and subsystem counters ==\n");
         let mut rows: Vec<Vec<String>> = EventKind::ALL
             .iter()

@@ -170,8 +170,8 @@ fn driver_process_survives_client_exit() {
     // reply. Kill the client (kernel-internal path, splitting the borrow
     // between the process manager and the allocator as the kernel does).
     {
-        let Kernel { pm, alloc, .. } = &mut k;
-        pm.terminate_thread(alloc, t_client).unwrap();
+        let Kernel { pm, mem, .. } = &mut k;
+        pm.terminate_thread(&mut mem.alloc, t_client).unwrap();
     }
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 

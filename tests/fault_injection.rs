@@ -119,7 +119,7 @@ fn detects_page_table_refinement_break() {
     // Corrupt the ghost abstract mapping so it disagrees with the MMU.
     let mut k = populated_kernel();
     let as_id = k.pm.proc(k.init_proc).addr_space;
-    let pt = k.vm.table_mut(as_id).unwrap();
+    let pt = k.mem.vm.table_mut(as_id).unwrap();
     let wrong = pt.map_4k.insert(
         0x7777_7000,
         atmosphere::ptable::MapEntry {
@@ -138,6 +138,7 @@ fn detects_leaked_mapped_frame() {
     // space is a leak; the kernel-wide equation must flag it.
     let mut k = populated_kernel();
     let _orphan = k
+        .mem
         .alloc
         .alloc_mapped(atmosphere::mem::PageSize::Size4K)
         .unwrap();
@@ -150,7 +151,7 @@ fn detects_closure_partition_break() {
     // Allocate a kernel page owned by no subsystem: the closure-partition
     // equation (closures == allocated) must fail.
     let mut k = populated_kernel();
-    let (_p, perm) = k.alloc.alloc_page_4k().unwrap();
+    let (_p, perm) = k.mem.alloc.alloc_page_4k().unwrap();
     Box::leak(Box::new(perm)); // deliberately leak the permission
     let e = k.wf().unwrap_err();
     assert_eq!(e.subsystem, "kernel_memory");

@@ -22,7 +22,7 @@ fn nested_containers_full_lifecycle() {
         ncpus: 4,
         root_quota: 2048,
     });
-    let free_before = k.alloc.free_pages_4k().len();
+    let free_before = k.mem.alloc.free_pages_4k().len();
 
     // Three-level container hierarchy with processes and threads.
     let c1 = ok(
@@ -64,7 +64,7 @@ fn nested_containers_full_lifecycle() {
 
     // Root terminates the whole tree; every page must come back.
     ok(&mut k, 0, SyscallArgs::TerminateContainer { cntr: c1 });
-    assert_eq!(k.alloc.free_pages_4k().len(), free_before);
+    assert_eq!(k.mem.alloc.free_pages_4k().len(), free_before);
     assert!(k.pm.cntr(k.root_container).subtree.is_empty());
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
@@ -111,9 +111,9 @@ fn kernel_wide_memory_equation_holds_under_load() {
         // The equation is re-checked by every audit; assert it explicitly
         // once more via the closures.
         let pm_c = k.pm.page_closure();
-        let vm_c = k.vm.page_closure();
+        let vm_c = k.mem.vm.page_closure();
         assert!(pm_c.disjoint(&vm_c));
-        assert_eq!(pm_c.union(&vm_c), k.alloc.allocated_pages());
+        assert_eq!(pm_c.union(&vm_c), k.mem.alloc.allocated_pages());
     }
     ok(&mut k, 0, SyscallArgs::TerminateContainer { cntr: c });
     assert!(k.wf().is_ok());
@@ -209,7 +209,9 @@ fn shared_memory_grant_end_to_end() {
     );
     let frame = {
         let as_id = k.pm.proc(k.init_proc).addr_space;
-        k.vm.table(as_id)
+        k.mem
+            .vm
+            .table(as_id)
             .unwrap()
             .map_4k
             .index(&0x4000_0000)
@@ -243,7 +245,11 @@ fn shared_memory_grant_end_to_end() {
     let (ret, audit) = audited_syscall(&mut k, 1, SyscallArgs::MapGranted { va: 0x7000_0000 });
     assert!(ret.is_ok());
     audit.unwrap();
-    assert_eq!(k.alloc.map_refcnt(frame), 2, "both threads map the frame");
+    assert_eq!(
+        k.mem.alloc.map_refcnt(frame),
+        2,
+        "both threads map the frame"
+    );
 
     // Note: both threads share the init process here, so this is
     // intra-process sharing; cross-container sharing is exercised by the
@@ -256,7 +262,7 @@ fn shared_memory_grant_end_to_end() {
             len: 1,
         },
     );
-    assert_eq!(k.alloc.map_refcnt(frame), 1);
+    assert_eq!(k.mem.alloc.map_refcnt(frame), 1);
     k.pm.timer_tick(0);
     ok(
         &mut k,
@@ -266,7 +272,7 @@ fn shared_memory_grant_end_to_end() {
             len: 1,
         },
     );
-    assert!(k.alloc.page_is_free(frame), "frame fully released");
+    assert!(k.mem.alloc.page_is_free(frame), "frame fully released");
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
 
@@ -298,6 +304,6 @@ fn terminate_process_releases_mapped_memory() {
 
     ok(&mut k, 0, SyscallArgs::TerminateProcess { proc: p });
     assert_eq!(k.pm.cntr(c).used, 0, "all charges released");
-    assert!(k.alloc.mapped_pages().is_empty());
+    assert!(k.mem.alloc.mapped_pages().is_empty());
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }

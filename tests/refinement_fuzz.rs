@@ -103,7 +103,7 @@ fn mmap_munmap_pairs_never_leak() {
             ncpus: 1,
             root_quota: 512,
         });
-        let free0 = k.alloc.free_pages_4k().len();
+        let free0 = k.mem.alloc.free_pages_4k().len();
         let mut live: Vec<(usize, usize)> = Vec::new();
         let pairs = rng.range(1, 20);
         for _ in 0..pairs {
@@ -131,11 +131,17 @@ fn mmap_munmap_pairs_never_leak() {
         // All user frames are back. Intermediate page-table levels are
         // retained by design (freed when the address space dies), so the
         // only frames still out are exactly the VM subsystem's growth.
-        assert!(k.alloc.mapped_pages().is_empty(), "user frames leaked");
-        let spent = free0 - k.alloc.free_pages_4k().len();
+        assert!(k.mem.alloc.mapped_pages().is_empty(), "user frames leaked");
+        let spent = free0 - k.mem.alloc.free_pages_4k().len();
         use atmosphere::mem::PageClosure;
         let as_id = k.pm.proc(k.init_proc).addr_space;
-        let pt_frames = k.vm.table(as_id).expect("init space").page_closure().len();
+        let pt_frames = k
+            .mem
+            .vm
+            .table(as_id)
+            .expect("init space")
+            .page_closure()
+            .len();
         assert!(
             spent == pt_frames - 1, // minus the boot-time root frame
             "seed {case}: leaked {spent} frames beyond the {} retained table levels",

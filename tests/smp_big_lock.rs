@@ -77,7 +77,7 @@ fn concurrent_syscalls_on_four_cpus() {
     let k = Arc::try_unwrap(smp).ok().unwrap().into_inner();
     assert!(k.wf().is_ok(), "{:?}", k.wf());
     assert!(
-        k.alloc.mapped_pages().is_empty(),
+        k.mem.alloc.mapped_pages().is_empty(),
         "all user frames released"
     );
     // Each CPU really did 50 map/unmap rounds worth of cycles.
@@ -298,4 +298,137 @@ fn cross_cpu_ipc_under_the_big_lock() {
     assert_eq!(got, (0..N).collect::<Vec<_>>());
     let k = Arc::try_unwrap(smp).ok().unwrap().into_inner();
     assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn sharded_domains_four_cpu_stress() {
+    // The sharded kernel's counterpart of the big-lock stress test: four
+    // OS threads drive `SmpKernel::syscall` directly (no stop-the-world
+    // bridge), each against its own container on its own CPU. Afterwards
+    // the stop-the-world `total_wf` audit must pass, the trace rings must
+    // reconcile exactly with the returns each worker observed, and
+    // draining the per-CPU page caches must balance the closure equations.
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 4,
+        root_quota: 4096,
+    });
+    for cpu in 1..4usize {
+        let c = k
+            .syscall(
+                0,
+                SyscallArgs::NewContainer {
+                    quota: 512,
+                    cpus: vec![cpu],
+                },
+            )
+            .val0() as usize;
+        let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+        let _ = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
+        k.pm.timer_tick(cpu);
+    }
+    let base = k.trace_snapshot();
+    let smp = Arc::new(SmpKernel::new(k));
+
+    const ROUNDS: u64 = 40;
+    let mut handles = Vec::new();
+    for cpu in 0..4usize {
+        let smp = Arc::clone(&smp);
+        handles.push(std::thread::spawn(move || {
+            // Even CPUs are mem-heavy (map/unmap their own ranges); odd
+            // CPUs are pm-heavy (yield). Disjoint containers → disjoint
+            // abstract state → every call must succeed.
+            let (mut ok_mmap, mut ok_munmap, mut ok_yield) = (0u64, 0u64, 0u64);
+            for round in 0..ROUNDS {
+                if cpu % 2 == 0 {
+                    let base_va = 0x4000_0000 + (round as usize) * 0x4000;
+                    let r = smp.syscall(
+                        cpu,
+                        SyscallArgs::Mmap {
+                            va_base: base_va,
+                            len: 2,
+                            writable: true,
+                        },
+                    );
+                    assert!(r.is_ok(), "cpu {cpu} round {round} mmap: {r:?}");
+                    ok_mmap += 1;
+                    let r = smp.syscall(
+                        cpu,
+                        SyscallArgs::Munmap {
+                            va_base: base_va,
+                            len: 2,
+                        },
+                    );
+                    assert!(r.is_ok(), "cpu {cpu} round {round} munmap: {r:?}");
+                    ok_munmap += 1;
+                } else {
+                    let r = smp.syscall(cpu, SyscallArgs::Yield);
+                    assert!(r.is_ok(), "cpu {cpu} round {round} yield: {r:?}");
+                    ok_yield += 1;
+                }
+                // Concurrent stop-the-world audits from worker threads:
+                // the audit must compose with in-flight dispatches.
+                if round % 16 == 0 {
+                    let audit = smp.audit_total_wf();
+                    assert!(audit.is_ok(), "cpu {cpu} round {round}: {audit:?}");
+                }
+            }
+            (cpu, ok_mmap, ok_munmap, ok_yield)
+        }));
+    }
+    let tallies: Vec<(usize, u64, u64, u64)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Stop-the-world audit with everything quiesced.
+    let audit = smp.audit_total_wf();
+    assert!(audit.is_ok(), "{audit:?}");
+
+    // Exact per-CPU ring reconciliation: each CPU's ring saw exactly the
+    // returns its worker observed — no event lost to a shard race, none
+    // double-counted, none attributed to the wrong CPU.
+    let snap = smp.trace_snapshot();
+    for &(cpu, ok_mmap, ok_munmap, ok_yield) in &tallies {
+        let exits = |s: &atmosphere::trace::Snapshot, kind: SyscallKind| {
+            s.per_cpu[cpu].per_kind_exits[kind.index()]
+        };
+        for (kind, expect) in [SyscallKind::Mmap, SyscallKind::Munmap, SyscallKind::Yield]
+            .iter()
+            .zip([ok_mmap, ok_munmap, ok_yield])
+        {
+            assert_eq!(
+                exits(&snap, *kind) - exits(&base, *kind),
+                expect,
+                "cpu {cpu} {}",
+                kind.name()
+            );
+        }
+    }
+
+    // The sharding itself is visible in the lock instrumentation: every
+    // syscall took the pm lock, and the odd (pm-only) CPUs' yields never
+    // touched mem — so mem acquisitions stay below pm acquisitions.
+    let locks = snap.counters.locks;
+    let total_calls: u64 = tallies.iter().map(|&(_, m, u, y)| m + u + y).sum();
+    assert!(
+        locks.pm.acquisitions >= total_calls,
+        "pm lock must serialize every dispatch: {} < {total_calls}",
+        locks.pm.acquisitions
+    );
+    assert!(
+        locks.mem.acquisitions < locks.pm.acquisitions,
+        "pm-only syscalls must not take the mem lock"
+    );
+
+    // Cache-drain closure balance: dissolving the sharding drains every
+    // per-CPU cache back into the allocator, after which no user frame is
+    // still mapped and the flat invariants hold.
+    let k = Arc::try_unwrap(smp).ok().unwrap().into_inner();
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    assert!(
+        k.mem.alloc.mapped_pages().is_empty(),
+        "all user frames released"
+    );
+    for cpu in 0..4 {
+        assert!(k.cycles(cpu) > 0, "cpu {cpu} advanced its modeled clock");
+    }
 }

@@ -39,11 +39,13 @@ fn mmap_huge_2m_roundtrip() {
 
     // The MMU resolves an address inside the superpage.
     let as_id = k.pm.proc(k.init_proc).addr_space;
-    let r =
-        k.vm.table(as_id)
-            .unwrap()
-            .resolve(VAddr(0x4000_5000))
-            .unwrap();
+    let r = k
+        .mem
+        .vm
+        .table(as_id)
+        .unwrap()
+        .resolve(VAddr(0x4000_5000))
+        .unwrap();
     assert_eq!(r.size, atmosphere::hw::PAGE_SIZE_2M);
 
     ok(
@@ -54,7 +56,7 @@ fn mmap_huge_2m_roundtrip() {
         },
     );
     assert_eq!(k.pm.cntr(k.root_container).used, used0);
-    assert!(k.alloc.mapped_pages().is_empty());
+    assert!(k.mem.alloc.mapped_pages().is_empty());
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
 
@@ -177,16 +179,22 @@ fn iommu_dma_visibility_lifecycle() {
 
     // The device resolves the IOVA to the process's frame.
     let as_id = k.pm.proc(k.init_proc).addr_space;
-    let frame =
-        k.vm.table(as_id)
-            .unwrap()
-            .map_4k
-            .index(&0x4000_0000)
-            .unwrap()
-            .frame;
-    let r = k.vm.iommu.translate(7, VAddr(0x10_0000)).unwrap();
+    let frame = k
+        .mem
+        .vm
+        .table(as_id)
+        .unwrap()
+        .map_4k
+        .index(&0x4000_0000)
+        .unwrap()
+        .frame;
+    let r = k.mem.vm.iommu.translate(7, VAddr(0x10_0000)).unwrap();
     assert_eq!(r.frame.as_usize(), frame);
-    assert_eq!(k.alloc.map_refcnt(frame), 2, "process + IOMMU references");
+    assert_eq!(
+        k.mem.alloc.map_refcnt(frame),
+        2,
+        "process + IOMMU references"
+    );
 
     // Unmapping from the process keeps the DMA mapping alive (the driver
     // still owns the buffer) — no dangling DMA.
@@ -198,8 +206,8 @@ fn iommu_dma_visibility_lifecycle() {
             len: 1,
         },
     );
-    assert_eq!(k.alloc.map_refcnt(frame), 1);
-    assert!(k.vm.iommu.translate(7, VAddr(0x10_0000)).is_some());
+    assert_eq!(k.mem.alloc.map_refcnt(frame), 1);
+    assert!(k.mem.vm.iommu.translate(7, VAddr(0x10_0000)).is_some());
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 
     // IOMMU unmap releases the last reference.
@@ -211,9 +219,9 @@ fn iommu_dma_visibility_lifecycle() {
             iova: 0x10_0000,
         },
     );
-    assert!(k.alloc.page_is_free(frame));
+    assert!(k.mem.alloc.page_is_free(frame));
     ok(&mut k, 0, SyscallArgs::IommuDetach { device: 7 });
-    assert_eq!(k.vm.iommu.translate(7, VAddr(0x10_0000)), None);
+    assert_eq!(k.mem.vm.iommu.translate(7, VAddr(0x10_0000)), None);
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
 
@@ -350,21 +358,21 @@ fn container_termination_tears_down_its_domains() {
             va: 0x4000_0000,
         },
     );
-    assert_eq!(k.vm.iommu.domain_count(), 1);
+    assert_eq!(k.mem.vm.iommu.domain_count(), 1);
 
     // Kill the container: the domain, its device binding, its DMA
     // mappings and its frames all disappear; nothing leaks.
     let free_expected = {
-        let before = k.alloc.free_pages_4k().len();
+        let before = k.mem.alloc.free_pages_4k().len();
         ok(&mut k, 0, SyscallArgs::TerminateContainer { cntr: c });
         before
     };
-    assert_eq!(k.vm.iommu.domain_count(), 0);
-    assert_eq!(k.vm.iommu.translate(9, VAddr(0x20_0000)), None);
+    assert_eq!(k.mem.vm.iommu.domain_count(), 0);
+    assert_eq!(k.mem.vm.iommu.translate(9, VAddr(0x20_0000)), None);
     assert!(
-        k.alloc.free_pages_4k().len() > free_expected,
+        k.mem.alloc.free_pages_4k().len() > free_expected,
         "frames returned"
     );
-    assert!(k.alloc.mapped_pages().is_empty());
+    assert!(k.mem.alloc.mapped_pages().is_empty());
     assert!(k.wf().is_ok(), "{:?}", k.wf());
 }

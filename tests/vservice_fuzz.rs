@@ -102,7 +102,7 @@ fn v_survives_arbitrary_client_behaviour() {
         assert!(v.spec_wf(&k).is_ok());
         assert!(k.wf().is_ok(), "{:?}", k.wf());
         assert!(
-            k.alloc.mapped_pages().is_empty(),
+            k.mem.alloc.mapped_pages().is_empty(),
             "seed {seed}: frames leaked"
         );
     }
