@@ -4,16 +4,25 @@
 //! are the published baselines.
 
 use atmo_baselines::{SEL4_CALL_REPLY_CYCLES, SEL4_MAP_PAGE_CYCLES};
-use atmo_bench::{measure_call_reply_cycles, measure_map_page_cycles, render_table};
+use atmo_bench::{
+    measure_call_reply_cycles, measure_call_reply_fastpath_cycles, measure_map_page_cycles,
+    render_table,
+};
 
 fn main() {
     let call_reply = measure_call_reply_cycles();
+    let call_reply_fast = measure_call_reply_fastpath_cycles();
     let map_page = measure_map_page_cycles();
     let rows = vec![
         vec![
             "Call/reply".to_string(),
             call_reply.to_string(),
             SEL4_CALL_REPLY_CYCLES.to_string(),
+        ],
+        vec![
+            "Call/reply (fastpath)".to_string(),
+            call_reply_fast.to_string(),
+            "-".to_string(),
         ],
         vec![
             "Map a page".to_string(),
@@ -31,5 +40,9 @@ fn main() {
     );
     println!(
         "\npaper: call/reply 1058 vs 1026; map a page 1984 vs 2650 (calls not strictly equivalent)"
+    );
+    println!(
+        "fastpath row: this reproduction's direct-handoff Call/ReplyRecv (not in the paper); \
+         see repro-ipc-fastpath for the full study"
     );
 }

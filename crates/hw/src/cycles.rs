@@ -132,6 +132,12 @@ pub struct CostModel {
     pub ipc_transfer: u64,
     /// Transferring a page or endpoint reference through IPC.
     pub ipc_cap_transfer: u64,
+    /// In-kernel body of a fastpath IPC handoff: payload move by
+    /// permission transfer plus the direct `current` switch, with no
+    /// endpoint queue traffic and no run-queue round trip. Strictly
+    /// smaller than `endpoint_queue_op + ipc_transfer + thread_switch`
+    /// (= 280), the slow rendezvous body it replaces.
+    pub ipc_fastpath: u64,
     /// 4 KiB page allocation (free-list pop + page-array state update).
     pub page_alloc_4k: u64,
     /// 4 KiB page free (free-list push + state update).
@@ -168,6 +174,7 @@ impl CostModel {
             endpoint_queue_op: 38,
             ipc_transfer: 52,
             ipc_cap_transfer: 150,
+            ipc_fastpath: 110,
             page_alloc_4k: 450,
             page_free_4k: 260,
             pt_level_read: 35,
@@ -192,6 +199,15 @@ impl CostModel {
             + self.ipc_transfer
             + self.thread_switch
             + self.syscall_exit
+    }
+
+    /// One-way fastpath IPC crossing: entry + direct handoff + exit.
+    ///
+    /// Two of these form the fastpath call/reply-recv round trip:
+    /// `2 × (140 + 110 + 109) = 718` cycles, 32% below the slow
+    /// rendezvous round trip of 1058.
+    pub const fn ipc_fastpath_one_way(&self) -> u64 {
+        self.syscall_entry + self.ipc_fastpath + self.syscall_exit
     }
 
     /// Cost of mapping one 4 KiB page into an existing address space
@@ -244,6 +260,25 @@ mod tests {
     fn calibration_ipc_call_reply_matches_table3() {
         let c = CostModel::c220g5();
         assert_eq!(2 * c.ipc_one_way(), 1058, "Table 3: Atmosphere call/reply");
+    }
+
+    #[test]
+    fn fastpath_body_is_strictly_cheaper_than_rendezvous_body() {
+        let c = CostModel::c220g5();
+        let slow_body = c.endpoint_queue_op + c.ipc_transfer + c.thread_switch;
+        assert!(
+            c.ipc_fastpath < slow_body,
+            "{} vs {slow_body}",
+            c.ipc_fastpath
+        );
+        // Acceptance target: the fastpath round trip saves >= 30% of the
+        // slow call/reply round trip.
+        let fast_rt = 2 * c.ipc_fastpath_one_way();
+        let slow_rt = 2 * c.ipc_one_way();
+        assert!(
+            fast_rt * 10 <= slow_rt * 7,
+            "fastpath round trip {fast_rt} must be <= 70% of {slow_rt}"
+        );
     }
 
     #[test]

@@ -19,10 +19,11 @@
 
 use atmo_hw::addr::{VAddr, VaRange4K};
 use atmo_mem::PageClosure;
-use atmo_pm::ProcessManager;
+use atmo_pm::{ProcessManager, ThreadState};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_trace::TraceHandle;
 
+use crate::abs::{threads_unchanged_except, AbstractKernel};
 use crate::kernel::{Kernel, MemDomain};
 use crate::spec;
 use crate::syscall::{SyscallArgs, SyscallReturn};
@@ -99,6 +100,38 @@ pub fn cross_domain_wf(pm: &ProcessManager, mem: &MemDomain) -> VerifResult {
     )
 }
 
+/// Fastpath refinement: a successful direct-handoff `Call`/`ReplyRecv`
+/// must land in a state the slow rendezvous also reaches — the shared
+/// IPC population spec holds, and additionally the fast path satisfies
+/// a *stronger* frame than the slow one: only the two rendezvous
+/// participants changed at all (the slow path may additionally dispatch
+/// a ready-queue thread; the scheduler has that liberty), the partner
+/// ends up running, and the caller ends up parked in a blocked IPC
+/// state. Together with [`pm_domain_wf`] after the transition, this is
+/// the executable form of "fast and slow paths map to the same abstract
+/// send/recv transitions".
+pub fn fastpath_refines_rendezvous(
+    pre: &AbstractKernel,
+    post: &AbstractKernel,
+    t: usize,
+    partner: usize,
+) -> bool {
+    if !spec::syscall_ipc_population_spec(pre, post) {
+        return false;
+    }
+    if !threads_unchanged_except(pre, post, &[t, partner]) {
+        return false;
+    }
+    let (Some(post_t), Some(post_p)) = (post.get_thread(t), post.get_thread(partner)) else {
+        return false;
+    };
+    matches!(post_p.state, ThreadState::Running(_))
+        && matches!(
+            post_t.state,
+            ThreadState::BlockedReply(_) | ThreadState::BlockedRecv(_)
+        )
+}
+
 /// `total_wf` over the assembled parts: per-domain invariants, the
 /// cross-domain memory equations, and the trace subsystem's coherence.
 /// This is what the sharded kernel's stop-the-world audit evaluates
@@ -163,7 +196,6 @@ pub fn audited_syscall(
             }
             SyscallArgs::Send { .. }
             | SyscallArgs::Recv { .. }
-            | SyscallArgs::Call { .. }
             | SyscallArgs::Reply { .. }
             | SyscallArgs::Poll { .. }
             | SyscallArgs::TakeMsg => {
@@ -171,6 +203,17 @@ pub fn audited_syscall(
                     spec::syscall_noop_spec(&pre, &post)
                 } else {
                     spec::syscall_ipc_population_spec(&pre, &post)
+                }
+            }
+            SyscallArgs::Call { .. } | SyscallArgs::ReplyRecv { .. } => {
+                match ret.result {
+                    Err(_) => spec::syscall_noop_spec(&pre, &post),
+                    // val0 == 1 flags a direct handoff; val1 carries the
+                    // partner. The fast path must refine the rendezvous.
+                    Ok(v) if v[0] == 1 && v[1] != 0 => {
+                        fastpath_refines_rendezvous(&pre, &post, t, v[1] as usize)
+                    }
+                    Ok(_) => spec::syscall_ipc_population_spec(&pre, &post),
                 }
             }
             // Reading the trace is not a transition of Ψ at all: the
@@ -298,5 +341,79 @@ mod tests {
         let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Yield);
         assert!(ret.is_ok());
         assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn audited_fastpath_call_and_reply_recv() {
+        // Drives a full client/server exchange through the audit: the
+        // direct-handoff Call and the combined ReplyRecv must both pass
+        // `total_wf` *and* `fastpath_refines_rendezvous`.
+        let mut k = Kernel::boot(KernelConfig::default());
+        let t1 = k.init_thread;
+        let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::NewEndpoint { slot: 0 });
+        assert!(audit.is_ok(), "{audit:?}");
+        let e = ret.val0() as usize;
+        let init_proc = k.init_proc;
+        let (ret, audit) = audited_syscall(
+            &mut k,
+            0,
+            SyscallArgs::NewThread {
+                proc: init_proc,
+                cpu: 0,
+            },
+        );
+        assert!(audit.is_ok(), "{audit:?}");
+        let t2 = ret.val0() as usize;
+        k.pm.install_descriptor(t2, 0, e).unwrap();
+
+        // Park t2 as the receiver: t1 recv-blocks (t2 dispatched), t2
+        // sends t1 awake, then t2 recv-blocks and t1 runs again.
+        let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Recv { slot: 0 });
+        assert!(ret.is_ok() && audit.is_ok(), "{audit:?}");
+        let (ret, audit) = audited_syscall(
+            &mut k,
+            0,
+            SyscallArgs::Send {
+                slot: 0,
+                scalars: [0; 4],
+                grant_page_va: None,
+                grant_endpoint_slot: None,
+                grant_iommu_domain: None,
+            },
+        );
+        assert!(ret.is_ok() && audit.is_ok(), "{audit:?}");
+        let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Recv { slot: 0 });
+        assert!(ret.is_ok() && audit.is_ok(), "{audit:?}");
+        assert_eq!(k.pm.sched.current(0), Some(t1));
+        let _ = k.syscall(0, SyscallArgs::TakeMsg);
+
+        // The audited fastpath Call: direct handoff to t2.
+        let (ret, audit) = audited_syscall(
+            &mut k,
+            0,
+            SyscallArgs::Call {
+                slot: 0,
+                scalars: [11, 0, 0, 0],
+            },
+        );
+        assert!(ret.is_ok());
+        assert_eq!(ret.val0(), 1, "expected the direct handoff");
+        assert!(audit.is_ok(), "{audit:?}");
+        assert_eq!(k.pm.sched.current(0), Some(t2));
+        let _ = k.syscall(0, SyscallArgs::TakeMsg);
+
+        // The audited fastpath ReplyRecv: CPU hands straight back to t1.
+        let (ret, audit) = audited_syscall(
+            &mut k,
+            0,
+            SyscallArgs::ReplyRecv {
+                slot: 0,
+                scalars: [22, 0, 0, 0],
+            },
+        );
+        assert!(ret.is_ok());
+        assert_eq!(ret.val0(), 1, "expected the direct handoff");
+        assert!(audit.is_ok(), "{audit:?}");
+        assert_eq!(k.pm.sched.current(0), Some(t1));
     }
 }

@@ -564,6 +564,73 @@ mod tests {
     }
 
     #[test]
+    fn fastpath_ipc_is_pm_only_and_audits_green() {
+        // The tentpole lock-order claim, asserted: direct-handoff Call
+        // and ReplyRecv acquire the pm domain only — the mem lock's
+        // acquisition counter must not move across either trap.
+        let k = smp(1);
+        let init_proc = k.init_proc();
+        let ret = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
+        assert!(ret.is_ok(), "{ret:?}");
+        let e = ret.val0() as usize;
+        let ret = k.syscall(
+            0,
+            SyscallArgs::NewThread {
+                proc: init_proc,
+                cpu: 0,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let t2 = ret.val0() as usize;
+        k.with_kernel(|flat| flat.pm.install_descriptor(t2, 0, e).unwrap());
+
+        // Park t2 as the endpoint's receiver (see the pm-level tests):
+        // t1 recv-blocks, t2 sends it awake, t2 recv-blocks.
+        assert!(k.syscall(0, SyscallArgs::Recv { slot: 0 }).is_ok());
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Send {
+                slot: 0,
+                scalars: [0; 4],
+                grant_page_va: None,
+                grant_endpoint_slot: None,
+                grant_iommu_domain: None,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert!(k.syscall(0, SyscallArgs::Recv { slot: 0 }).is_ok());
+        let _ = k.syscall(0, SyscallArgs::TakeMsg);
+
+        let before = k.trace_snapshot().counters.locks.mem.acquisitions;
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Call {
+                slot: 0,
+                scalars: [1; 4],
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert_eq!(ret.val0(), 1, "expected the direct handoff");
+        let _ = k.syscall(0, SyscallArgs::TakeMsg);
+        let ret = k.syscall(
+            0,
+            SyscallArgs::ReplyRecv {
+                slot: 0,
+                scalars: [2; 4],
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert_eq!(ret.val0(), 1, "expected the direct handoff");
+        let after = k.trace_snapshot().counters.locks.mem.acquisitions;
+        assert_eq!(before, after, "fastpath IPC must never take the mem lock");
+
+        let snap = k.trace_snapshot();
+        assert_eq!(snap.counters.pm.fastpath.hits, 2);
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
     fn staged_mmap_matches_unified_cycle_charges() {
         // The same call on the unified kernel and the sharded kernel
         // must charge identical cycles (the staged protocol reshuffles

@@ -22,7 +22,7 @@ use atmo_hw::cycles::{CostModel, CycleMeter};
 use atmo_hw::paging::EntryFlags;
 use atmo_mem::alloc::AllocError;
 use atmo_mem::{PageCache, PagePermission, PagePtr, PageSize, PageSource};
-use atmo_pm::manager::{RecvOutcome, SendOutcome};
+use atmo_pm::manager::{RecvOutcome, ReplyRecvOutcome, SendOutcome};
 use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
 use atmo_ptable::MapError;
@@ -125,6 +125,16 @@ pub enum SyscallArgs {
         /// Scalar payload.
         scalars: [u64; 4],
     },
+    /// Combined reply + receive in one trap: answer the pending caller
+    /// and re-open the endpoint in `slot` for the next request. The
+    /// server loop's steady-state syscall — eligible for the direct
+    /// handoff fast path.
+    ReplyRecv {
+        /// Descriptor slot to receive on after the reply.
+        slot: EdptIdx,
+        /// Scalar reply payload.
+        scalars: [u64; 4],
+    },
     /// Take the delivered message (scalars; stashes any page grant).
     TakeMsg,
     /// Map the pending granted page at `va`.
@@ -206,6 +216,7 @@ impl SyscallArgs {
             SyscallArgs::Poll { .. } => K::Poll,
             SyscallArgs::Call { .. } => K::Call,
             SyscallArgs::Reply { .. } => K::Reply,
+            SyscallArgs::ReplyRecv { .. } => K::ReplyRecv,
             SyscallArgs::TakeMsg => K::TakeMsg,
             SyscallArgs::MapGranted { .. } => K::MapGranted,
             SyscallArgs::DropGrant => K::DropGrant,
@@ -571,6 +582,7 @@ impl ExecCtx<'_> {
             SyscallArgs::Poll { slot } => self.sys_poll(cpu, t, slot),
             SyscallArgs::Call { slot, scalars } => self.sys_call(cpu, t, slot, scalars),
             SyscallArgs::Reply { scalars } => self.sys_reply(cpu, t, scalars),
+            SyscallArgs::ReplyRecv { slot, scalars } => self.sys_reply_recv(cpu, t, slot, scalars),
             SyscallArgs::TakeMsg => self.sys_take_msg(t),
             SyscallArgs::MapGranted { va } => self.sys_map_granted(t, va),
             SyscallArgs::DropGrant => self.sys_drop_grant(t),
@@ -1048,6 +1060,12 @@ impl ExecCtx<'_> {
         }
     }
 
+    /// `call`: send + block-for-reply in one trap. Attempts the direct
+    /// handoff first; the cycle charge depends on which path ran — the
+    /// fast path's `ipc_fastpath` body is strictly cheaper than the slow
+    /// rendezvous body (queue op + transfer + full context switch).
+    /// Scalar-only payloads by construction, so the handler is pm-pure:
+    /// the mem domain is never touched on either path.
     fn sys_call(
         &mut self,
         cpu: CpuId,
@@ -1055,11 +1073,24 @@ impl ExecCtx<'_> {
         slot: EdptIdx,
         scalars: [u64; 4],
     ) -> SyscallReturn {
-        self.charge_ipc();
         let payload = IpcPayload::scalars(scalars);
-        match self.pm.call(t, cpu, slot, payload) {
-            Ok(_) => SyscallReturn::ok([0, 0, 0, 0]),
-            Err(e) => SyscallReturn::err(e.into()),
+        match self.pm.call_fast(t, cpu, slot, payload) {
+            Ok((out, true)) => {
+                self.charge(self.costs.ipc_fastpath);
+                let r = match out {
+                    SendOutcome::Delivered(r) => r as u64,
+                    SendOutcome::Blocked => 0,
+                };
+                SyscallReturn::ok([1, r, 0, 0])
+            }
+            Ok((_, false)) => {
+                self.charge_ipc();
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            Err(e) => {
+                self.charge_ipc();
+                SyscallReturn::err(e.into())
+            }
         }
     }
 
@@ -1068,6 +1099,43 @@ impl ExecCtx<'_> {
         match self.pm.reply(t, cpu, IpcPayload::scalars(scalars)) {
             Ok(caller) => SyscallReturn::ok([caller as u64, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    /// `reply_recv`: answer the pending caller and re-open the endpoint
+    /// in `slot`, in one trap. The fast path hands the CPU straight back
+    /// to the caller and parks this thread as the endpoint's receiver;
+    /// misses decompose into the slow `reply` + `recv` pair (same
+    /// abstract transitions, full rendezvous cost). pm-pure like
+    /// `sys_call`.
+    fn sys_reply_recv(
+        &mut self,
+        cpu: CpuId,
+        t: ThrdPtr,
+        slot: EdptIdx,
+        scalars: [u64; 4],
+    ) -> SyscallReturn {
+        match self
+            .pm
+            .reply_recv(t, cpu, slot, IpcPayload::scalars(scalars))
+        {
+            Ok((ReplyRecvOutcome::Handoff(caller), _)) => {
+                self.charge(self.costs.ipc_fastpath);
+                SyscallReturn::ok([1, caller as u64, 0, 0])
+            }
+            Ok((ReplyRecvOutcome::Received(_), _)) => {
+                self.charge_ipc();
+                // The next request is already in the mailbox.
+                self.sys_take_msg(t)
+            }
+            Ok((ReplyRecvOutcome::Blocked, _)) => {
+                self.charge_ipc();
+                SyscallReturn::ok([0, 0, 0, 0])
+            }
+            Err(e) => {
+                self.charge_ipc();
+                SyscallReturn::err(e.into())
+            }
         }
     }
 

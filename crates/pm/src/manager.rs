@@ -4,7 +4,7 @@
 use atmo_mem::{PageClosure, PagePermission, PagePtr, PageSource};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, PPtr, PermMap, Set};
-use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
+use atmo_trace::{FastpathOutcome, KernelEvent, TraceHandle, TraceShare};
 
 use crate::container::{container_tree_wf, cpu_partition_wf, quota_wf, Container};
 use crate::endpoint::{endpoints_wf, Endpoint, QueueSide};
@@ -33,6 +33,24 @@ pub enum RecvOutcome {
     /// The receiver blocked waiting for a sender.
     Blocked,
 }
+
+/// Outcome of a combined `reply_recv` operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyRecvOutcome {
+    /// Direct handoff: the reply went straight to the caller, which now
+    /// runs on this CPU; the replier is parked on the endpoint.
+    Handoff(ThrdPtr),
+    /// Slow path: reply sent, and a queued sender's next request was
+    /// consumed immediately.
+    Received(IpcPayload),
+    /// Slow path: reply sent, replier blocked awaiting the next request.
+    Blocked,
+}
+
+/// Maximum consecutive direct handoffs on one CPU before the fast path
+/// yields to the ready queue (starvation guard: a ping-pong pair must
+/// not lock out other runnable threads on the same core).
+pub const HANDOFF_BUDGET: u32 = 8;
 
 /// The abstract view of the process manager (the Φ the `*_ensures`
 /// transition specifications quantify over).
@@ -68,6 +86,15 @@ pub struct ProcessManager {
     pub sched: Scheduler,
     /// Per-thread home CPU (chosen at creation; used to requeue on wake).
     home_cpu: std::collections::BTreeMap<ThrdPtr, CpuId>,
+    /// Descriptor-slot cache: `(thread, slot) → endpoint` for slots that
+    /// validated successfully, so repeated IPC on the same slot skips
+    /// the descriptor-table lookup. Not part of [`PmView`] — entries are
+    /// derivable from `edpt_descriptors` and invalidated on descriptor
+    /// removal, thread teardown and endpoint destruction.
+    slot_cache: std::collections::BTreeMap<(ThrdPtr, EdptIdx), EdptPtr>,
+    /// Consecutive direct handoffs per CPU since that CPU last went
+    /// through its ready queue (bounded by [`HANDOFF_BUDGET`]).
+    handoff_streak: Vec<u32>,
     next_addr_space: usize,
     /// IPC event sink (tracing is diagnostic: not part of the view).
     trace: TraceShare,
@@ -164,6 +191,8 @@ impl ProcessManager {
             edpt_perms: PermMap::new(),
             sched: Scheduler::new(ncpus),
             home_cpu: std::collections::BTreeMap::new(),
+            slot_cache: std::collections::BTreeMap::new(),
+            handoff_streak: vec![0; ncpus],
             next_addr_space: 1,
             trace: TraceShare::detached(),
         };
@@ -593,6 +622,7 @@ impl ProcessManager {
         let c = self.cntr_mut(cntr);
         c.owned_thrds.assign(c.owned_thrds.remove(&t));
         self.home_cpu.remove(&t);
+        self.slot_cache.retain(|(owner, _), _| *owner != t);
         let perm = self.thrd_perms.tracked_remove(t);
         let (page, _) = PagePermission::from_object(PPtr::<Thread>::from_usize(t), perm);
         alloc.free_page_4k(page);
@@ -637,6 +667,7 @@ impl ProcessManager {
             }
             let c = self.cntr_mut(owner);
             c.owned_edpts.assign(c.owned_edpts.remove(&e));
+            self.slot_cache.retain(|_, cached| *cached != e);
             let perm = self.edpt_perms.tracked_remove(e);
             let (page, _) = PagePermission::from_object(PPtr::<Endpoint>::from_usize(e), perm);
             alloc.free_page_4k(page);
@@ -723,8 +754,31 @@ impl ProcessManager {
             .descriptor(slot)
             .ok_or(PmError::InvalidArgument)?;
         self.thrd_mut(t).edpt_descriptors[slot] = None;
+        self.slot_cache.remove(&(t, slot));
         self.release_endpoint_ref(alloc, e);
         Ok(())
+    }
+
+    /// Resolves `slot` of thread `t` through the descriptor-slot cache;
+    /// a hit skips the descriptor-table walk entirely. Misses populate
+    /// the cache so the next IPC on the same slot is a hit.
+    fn cached_descriptor(&mut self, t: ThrdPtr, slot: EdptIdx) -> Result<EdptPtr, PmError> {
+        if let Some(&e) = self.slot_cache.get(&(t, slot)) {
+            debug_assert_eq!(
+                self.thrd(t).descriptor(slot),
+                Some(e),
+                "stale descriptor-slot cache entry"
+            );
+            self.trace.fastpath(FastpathOutcome::SlotCacheHit);
+            return Ok(e);
+        }
+        let e = self
+            .thrd(t)
+            .descriptor(slot)
+            .ok_or(PmError::InvalidArgument)?;
+        self.trace.fastpath(FastpathOutcome::SlotCacheMiss);
+        self.slot_cache.insert((t, slot), e);
+        Ok(e)
     }
 
     fn make_ready(&mut self, t: ThrdPtr) {
@@ -750,6 +804,9 @@ impl ProcessManager {
         if let Some(next) = self.sched.dispatch(cpu) {
             self.thrd_mut(next).state = ThreadState::Running(cpu);
         }
+        // The CPU went through its ready queue: the handoff starvation
+        // budget starts over.
+        self.handoff_streak[cpu] = 0;
     }
 
     /// Delivers `payload` into `receiver`'s buffer, installing any
@@ -781,10 +838,7 @@ impl ProcessManager {
         payload: IpcPayload,
     ) -> Result<SendOutcome, PmError> {
         self.check_running(t, cpu)?;
-        let e = self
-            .thrd(t)
-            .descriptor(slot)
-            .ok_or(PmError::InvalidArgument)?;
+        let e = self.cached_descriptor(t, slot)?;
         if self.edpt(e).side == QueueSide::Receivers {
             let r = {
                 let ep = self.edpt_mut(e);
@@ -872,10 +926,7 @@ impl ProcessManager {
         slot: EdptIdx,
     ) -> Result<Option<IpcPayload>, PmError> {
         self.check_running(t, cpu)?;
-        let e = self
-            .thrd(t)
-            .descriptor(slot)
-            .ok_or(PmError::InvalidArgument)?;
+        let e = self.cached_descriptor(t, slot)?;
         if self.edpt(e).side == QueueSide::Senders {
             Ok(Some(self.complete_recv_from_sender(t, e)))
         } else {
@@ -887,10 +938,12 @@ impl ProcessManager {
     /// endpoint in `slot`.
     pub fn recv(&mut self, t: ThrdPtr, cpu: CpuId, slot: EdptIdx) -> Result<RecvOutcome, PmError> {
         self.check_running(t, cpu)?;
-        let e = self
-            .thrd(t)
-            .descriptor(slot)
-            .ok_or(PmError::InvalidArgument)?;
+        let e = self.cached_descriptor(t, slot)?;
+        self.recv_with(t, cpu, e)
+    }
+
+    /// The `recv` body against a resolved endpoint `e`.
+    fn recv_with(&mut self, t: ThrdPtr, cpu: CpuId, e: EdptPtr) -> Result<RecvOutcome, PmError> {
         if self.edpt(e).side == QueueSide::Senders {
             let delivered = self.complete_recv_from_sender(t, e);
             Ok(RecvOutcome::Received(delivered))
@@ -918,10 +971,18 @@ impl ProcessManager {
         payload: IpcPayload,
     ) -> Result<SendOutcome, PmError> {
         self.check_running(t, cpu)?;
-        let e = self
-            .thrd(t)
-            .descriptor(slot)
-            .ok_or(PmError::InvalidArgument)?;
+        let e = self.cached_descriptor(t, slot)?;
+        self.call_with(t, cpu, e, payload)
+    }
+
+    /// The slow-rendezvous `call` body against a resolved endpoint `e`.
+    fn call_with(
+        &mut self,
+        t: ThrdPtr,
+        cpu: CpuId,
+        e: EdptPtr,
+        payload: IpcPayload,
+    ) -> Result<SendOutcome, PmError> {
         if self.edpt(e).side == QueueSide::Receivers {
             let r = {
                 let ep = self.edpt_mut(e);
@@ -995,9 +1056,191 @@ impl ProcessManager {
         Ok(caller)
     }
 
+    /// `true` when `payload` carries a capability grant — those paths
+    /// need mem-domain work at delivery time, so the pm-only fast path
+    /// refuses them.
+    fn payload_carries_grant(payload: &IpcPayload) -> bool {
+        payload.page_grant.is_some()
+            || payload.endpoint_grant.is_some()
+            || payload.iommu_grant.is_some()
+    }
+
+    /// Why a `call` on endpoint `e` from `cpu` cannot take the direct
+    /// handoff, or `None` when it can.
+    fn call_miss_reason(
+        &self,
+        e: EdptPtr,
+        cpu: CpuId,
+        payload: &IpcPayload,
+    ) -> Option<FastpathOutcome> {
+        if Self::payload_carries_grant(payload) {
+            return Some(FastpathOutcome::CapTransfer);
+        }
+        let ep = self.edpt(e);
+        if ep.side != QueueSide::Receivers {
+            return Some(if ep.queue.is_full() {
+                FastpathOutcome::QueueFull
+            } else {
+                FastpathOutcome::WrongSide
+            });
+        }
+        let r = ep.queue.get(0);
+        if self.home_cpu.get(&r) != Some(&cpu) {
+            return Some(FastpathOutcome::CrossCpu);
+        }
+        if self.handoff_streak[cpu] >= HANDOFF_BUDGET {
+            return Some(FastpathOutcome::Budget);
+        }
+        None
+    }
+
+    /// The `call` operation with the direct-handoff fast path: when a
+    /// receiver is already parked on the endpoint, homed on this CPU,
+    /// and the payload is scalar-only, the message moves by permission
+    /// transfer and the CPU switches straight to the receiver — no
+    /// ready-queue round trip. Any miss falls back to the slow
+    /// rendezvous in [`call`](Self::call), which reaches the same
+    /// abstract send/recv transition. Returns the outcome plus whether
+    /// the fast path was taken (for cycle charging).
+    pub fn call_fast(
+        &mut self,
+        t: ThrdPtr,
+        cpu: CpuId,
+        slot: EdptIdx,
+        payload: IpcPayload,
+    ) -> Result<(SendOutcome, bool), PmError> {
+        self.check_running(t, cpu)?;
+        let e = self.cached_descriptor(t, slot)?;
+        if let Some(reason) = self.call_miss_reason(e, cpu, &payload) {
+            self.trace.fastpath(reason);
+            return self.call_with(t, cpu, e, payload).map(|o| (o, false));
+        }
+        let r = {
+            let ep = self.edpt_mut(e);
+            let r = ep.queue.pop_front().expect("non-idle queue is nonempty");
+            if ep.queue.is_empty() {
+                ep.side = QueueSide::Idle;
+            }
+            r
+        };
+        // The payload moves through the receiver's permission (no copy,
+        // no intermediate buffer), exactly as `deliver` does on the slow
+        // path; the caller parks in its reply slot and the CPU is handed
+        // to the receiver without touching the ready queue.
+        self.deliver(r, payload);
+        self.thrd_mut(r).reply_partner = Some(t);
+        self.thrd_mut(t).state = ThreadState::BlockedReply(e);
+        self.sched.switch_current(cpu, t, r);
+        self.thrd_mut(r).state = ThreadState::Running(cpu);
+        self.handoff_streak[cpu] += 1;
+        self.trace.fastpath(FastpathOutcome::Hit);
+        // Same event pair as the slow rendezvous arm: the trace audit
+        // reconciles counters against events exactly, so fast and slow
+        // paths must be indistinguishable at the event level.
+        self.trace.emit(KernelEvent::EndpointSend {
+            endpoint: e,
+            rendezvous: true,
+        });
+        self.trace.emit(KernelEvent::EndpointRecv {
+            endpoint: e,
+            rendezvous: false,
+        });
+        Ok((SendOutcome::Delivered(r), true))
+    }
+
+    /// Why a `reply_recv` replying to `caller` and re-opening `e` from
+    /// `cpu` cannot take the direct handoff, or `None` when it can.
+    fn reply_recv_miss_reason(
+        &self,
+        e: EdptPtr,
+        cpu: CpuId,
+        caller: ThrdPtr,
+        payload: &IpcPayload,
+    ) -> Option<FastpathOutcome> {
+        if Self::payload_carries_grant(payload) {
+            return Some(FastpathOutcome::CapTransfer);
+        }
+        if self.home_cpu.get(&caller) != Some(&cpu) {
+            return Some(FastpathOutcome::CrossCpu);
+        }
+        if self.edpt(e).side == QueueSide::Senders {
+            // A request is already queued: the slow path consumes it
+            // instead of parking the replier.
+            return Some(FastpathOutcome::WrongSide);
+        }
+        if self.handoff_streak[cpu] >= HANDOFF_BUDGET {
+            return Some(FastpathOutcome::Budget);
+        }
+        None
+    }
+
+    /// The combined `reply_recv` operation: answer the caller this
+    /// thread owes a reply and re-open the endpoint in `slot` for the
+    /// next request, in one trap. On the fast path the CPU is handed
+    /// straight back to the caller and the replier parks as the
+    /// endpoint's receiver; on a miss the reply goes through
+    /// [`reply`](Self::reply) and the receive through the slow `recv`
+    /// body. Returns the outcome plus whether the fast path was taken.
+    pub fn reply_recv(
+        &mut self,
+        t: ThrdPtr,
+        cpu: CpuId,
+        slot: EdptIdx,
+        payload: IpcPayload,
+    ) -> Result<(ReplyRecvOutcome, bool), PmError> {
+        self.check_running(t, cpu)?;
+        let e = self.cached_descriptor(t, slot)?;
+        let caller = self.thrd(t).reply_partner.ok_or(PmError::WrongState)?;
+        let reply_e = match self.thrd(caller).state {
+            ThreadState::BlockedReply(re) => re,
+            _ => return Err(PmError::WrongState),
+        };
+        // Validate the receive half before any mutation: the combined
+        // syscall must be all-or-nothing so failed calls stay noops
+        // under the refinement audit.
+        if self.edpt(e).side != QueueSide::Senders && self.edpt(e).queue.is_full() {
+            return Err(PmError::EndpointFull);
+        }
+        if let Some(reason) = self.reply_recv_miss_reason(e, cpu, caller, &payload) {
+            self.trace.fastpath(reason);
+            self.reply(t, cpu, payload)?;
+            let out = match self.recv_with(t, cpu, e)? {
+                RecvOutcome::Received(p) => ReplyRecvOutcome::Received(p),
+                RecvOutcome::Blocked => ReplyRecvOutcome::Blocked,
+            };
+            return Ok((out, false));
+        }
+        // Fast path: park the replier as the endpoint's receiver, then
+        // hand the CPU straight back to the caller.
+        {
+            let ep = self.edpt_mut(e);
+            let pushed = ep.queue.push(t);
+            debug_assert!(pushed, "capacity checked above");
+            ep.side = QueueSide::Receivers;
+        }
+        self.deliver(caller, payload);
+        self.thrd_mut(t).reply_partner = None;
+        self.thrd_mut(t).state = ThreadState::BlockedRecv(e);
+        self.sched.switch_current(cpu, t, caller);
+        self.thrd_mut(caller).state = ThreadState::Running(cpu);
+        self.handoff_streak[cpu] += 1;
+        self.trace.fastpath(FastpathOutcome::Hit);
+        // Same event pair as the slow `reply`.
+        self.trace.emit(KernelEvent::EndpointSend {
+            endpoint: reply_e,
+            rendezvous: true,
+        });
+        self.trace.emit(KernelEvent::EndpointRecv {
+            endpoint: reply_e,
+            rendezvous: false,
+        });
+        Ok((ReplyRecvOutcome::Handoff(caller), true))
+    }
+
     /// Timer tick / `yield` on `cpu`: round-robin rotation with state
     /// bookkeeping.
     pub fn timer_tick(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
+        self.handoff_streak[cpu] = 0;
         if let Some(cur) = self.sched.current(cpu) {
             self.thrd_mut(cur).state = ThreadState::Ready;
         }

@@ -78,12 +78,15 @@ impl Scheduler {
         self.cpus.get(cpu).and_then(|c| c.current)
     }
 
-    /// Read-only view of `cpu`'s ready queue.
-    pub fn ready_queue(&self, cpu: CpuId) -> Vec<ThrdPtr> {
+    /// Read-only view of `cpu`'s ready queue. Borrows the queue's
+    /// backing storage — no per-call allocation (the `sched_wf` audit
+    /// walks every queue on every syscall, so a `Vec` clone here was a
+    /// hot allocation).
+    pub fn ready_queue(&self, cpu: CpuId) -> &[ThrdPtr] {
         self.cpus
             .get(cpu)
-            .map(|c| c.ready.to_vec())
-            .unwrap_or_default()
+            .map(|c| c.ready.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Enqueues a runnable thread on `cpu`. Returns `false` when the queue
@@ -146,6 +149,21 @@ impl Scheduler {
         self.note_switch(cpu, None, Some(t));
     }
 
+    /// Direct handoff: replaces `cpu`'s current thread `from` with `to`
+    /// without touching the ready queue — the fastpath IPC switch. The
+    /// displaced thread is the caller's responsibility (it blocks on the
+    /// endpoint or its reply slot, never lands in the ready queue).
+    pub fn switch_current(&mut self, cpu: CpuId, from: ThrdPtr, to: ThrdPtr) {
+        let c = &mut self.cpus[cpu];
+        debug_assert_eq!(c.current, Some(from), "handoff from a non-running thread");
+        debug_assert!(
+            !c.ready.contains(&to),
+            "handoff target must come from an endpoint, not the ready queue"
+        );
+        c.current = Some(to);
+        self.note_switch(cpu, Some(from), Some(to));
+    }
+
     /// Takes the current thread off `cpu` (it blocked or exited).
     pub fn clear_current(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
         let prev = self.cpus.get_mut(cpu).and_then(|c| c.current.take());
@@ -164,11 +182,8 @@ pub fn sched_wf(
 ) -> VerifResult {
     let mut seen: Vec<ThrdPtr> = Vec::new();
     for cpu in 0..sched.ncpus() {
-        let mut on_cpu: Vec<ThrdPtr> = sched.ready_queue(cpu);
-        if let Some(cur) = sched.current(cpu) {
-            on_cpu.push(cur);
-        }
-        for t in on_cpu {
+        let queued = sched.ready_queue(cpu).iter().copied();
+        for t in queued.chain(sched.current(cpu)) {
             check(
                 thrds.contains(t),
                 "scheduler",
@@ -251,7 +266,7 @@ mod tests {
         assert_eq!(s.rotate(0), Some(0xa));
         assert_eq!(s.rotate(0), Some(0xb));
         assert_eq!(s.rotate(0), Some(0xa), "wraps around");
-        assert_eq!(s.ready_queue(0), vec![0xb]);
+        assert_eq!(s.ready_queue(0), &[0xb]);
     }
 
     #[test]
@@ -279,6 +294,20 @@ mod tests {
     }
 
     #[test]
+    fn switch_current_bypasses_ready_queue() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 0xa);
+        s.enqueue(0, 0xc);
+        s.dispatch(0);
+        assert_eq!(s.current(0), Some(0xa));
+        // Direct handoff to 0xb (a thread parked on an endpoint, not in
+        // the queue): current changes, the queue is untouched.
+        s.switch_current(0, 0xa, 0xb);
+        assert_eq!(s.current(0), Some(0xb));
+        assert_eq!(s.ready_queue(0), &[0xc]);
+    }
+
+    #[test]
     fn rotate_on_empty_cpu_idles() {
         let mut s = Scheduler::new(1);
         assert_eq!(s.rotate(0), None);
@@ -290,6 +319,6 @@ mod tests {
         let mut s = Scheduler::new(2);
         s.enqueue(0, 0xa);
         assert!(s.ready_queue(1).is_empty());
-        assert_eq!(s.ready_queue(0), vec![0xa]);
+        assert_eq!(s.ready_queue(0), &[0xa]);
     }
 }

@@ -68,6 +68,11 @@ impl<T: Copy + Default, const N: usize> StaticList<T, N> {
         self.items[..self.len].iter().copied()
     }
 
+    /// The live elements as a borrowed slice (no allocation).
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len]
+    }
+
     /// The live elements as a vector (spec-level convenience).
     pub fn to_vec(&self) -> Vec<T> {
         self.items[..self.len].to_vec()
@@ -156,6 +161,16 @@ mod tests {
         assert_eq!(l.pop_front(), Some(1));
         assert_eq!(l.pop_front(), Some(2));
         assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn as_slice_views_live_elements() {
+        let mut l: StaticList<u32, 4> = StaticList::new();
+        l.push(7);
+        l.push(8);
+        assert_eq!(l.as_slice(), &[7, 8]);
+        l.pop_front();
+        assert_eq!(l.as_slice(), &[8]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use atmo_hw::boot::BootInfo;
 use atmo_mem::PageAllocator;
 use atmo_mem::PageClosure;
-use atmo_pm::manager::{RecvOutcome, SendOutcome};
+use atmo_pm::manager::{RecvOutcome, ReplyRecvOutcome, SendOutcome, HANDOFF_BUDGET};
 use atmo_pm::types::PmError;
 use atmo_pm::{IpcPayload, ProcessManager, ThreadState};
 use atmo_spec::harness::Invariant;
@@ -402,4 +402,202 @@ fn closing_last_descriptor_aborts_a_queued_call() {
     assert!(endpoints_wf(&pm.thrd_perms, &pm.edpt_perms).is_ok());
     assert!(pm.wf().is_ok(), "{:?}", pm.wf());
     assert_eq!(pm.page_closure(), a.allocated_pages());
+}
+
+/// Parks `server` as the receiver on its slot-0 endpoint so a subsequent
+/// `call_fast` from the client finds a waiting partner.
+fn park_receiver(pm: &mut ProcessManager, server: usize) {
+    assert_eq!(pm.recv(server, 0, 0).unwrap(), RecvOutcome::Blocked);
+}
+
+#[test]
+fn call_fast_hits_with_parked_receiver() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // t1 blocks in recv first so t2 runs, then t2 parks as receiver and
+    // t1 (dispatched) calls into it: direct handoff, no ready queue.
+    assert_eq!(pm.recv(t1, 0, 0).unwrap(), RecvOutcome::Blocked);
+    let got = pm.send(t2, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+    assert_eq!(got, SendOutcome::Delivered(t1));
+    // Now t2 is still current; park it as the receiver.
+    park_receiver(&mut pm, t2);
+    assert_eq!(pm.sched.current(0), Some(t1));
+    let _ = pm.take_message(t1);
+
+    let (out, fast) = pm
+        .call_fast(t1, 0, 0, IpcPayload::scalars([5, 6, 7, 8]))
+        .unwrap();
+    assert!(fast, "parked receiver on the same CPU must hit");
+    assert_eq!(out, SendOutcome::Delivered(t2));
+    // Direct switch: t2 runs, t1 awaits the reply, the ready queue was
+    // never touched.
+    assert_eq!(pm.sched.current(0), Some(t2));
+    assert!(pm.sched.ready_queue(0).is_empty());
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedReply(e));
+    assert_eq!(pm.thrd(t2).reply_partner, Some(t1));
+    assert_eq!(pm.take_message(t2).unwrap().scalars, [5, 6, 7, 8]);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn reply_recv_fast_hands_cpu_back_to_caller() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // Slow-path setup: t1 calls with no receiver, t2 receives the request.
+    pm.call(t1, 0, 0, IpcPayload::scalars([1, 0, 0, 0]))
+        .unwrap();
+    pm.recv(t2, 0, 0).unwrap();
+    assert_eq!(pm.thrd(t2).reply_partner, Some(t1));
+
+    // Combined reply+recv: the CPU goes straight back to the caller and
+    // the server is already parked for the next request.
+    let (out, fast) = pm
+        .reply_recv(t2, 0, 0, IpcPayload::scalars([2, 0, 0, 0]))
+        .unwrap();
+    assert!(fast);
+    assert_eq!(out, ReplyRecvOutcome::Handoff(t1));
+    assert_eq!(pm.sched.current(0), Some(t1));
+    assert_eq!(pm.thrd(t2).state, ThreadState::BlockedRecv(e));
+    assert_eq!(pm.thrd(t2).reply_partner, None);
+    assert_eq!(pm.take_message(t1).unwrap().scalars, [2, 0, 0, 0]);
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // The server is a waiting receiver again: the next call also hits.
+    let (out, fast) = pm
+        .call_fast(t1, 0, 0, IpcPayload::scalars([3, 0, 0, 0]))
+        .unwrap();
+    assert!(fast);
+    assert_eq!(out, SendOutcome::Delivered(t2));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn call_fast_misses_fall_back_to_rendezvous() {
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    let e2 = pm.new_endpoint(&mut a, t1, 1).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // No receiver parked → wrong-side miss → slow path blocks the caller.
+    let (out, fast) = pm.call_fast(t1, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+    assert!(!fast, "no parked receiver cannot hit");
+    assert_eq!(out, SendOutcome::Blocked);
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(e));
+    assert_eq!(pm.sched.current(0), Some(t2));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+
+    // Grant-carrying payloads also miss even with a parked receiver:
+    // t2 receives t1's pending call, replies, then parks as receiver.
+    pm.recv(t2, 0, 0).unwrap();
+    pm.reply(t2, 0, IpcPayload::scalars([0; 4])).unwrap();
+    park_receiver(&mut pm, t2);
+    let mut payload = IpcPayload::scalars([0; 4]);
+    payload.endpoint_grant = Some(e2);
+    let (out, fast) = pm.call_fast(t1, 0, 0, payload).unwrap();
+    assert!(!fast, "capability transfer must take the slow path");
+    // The slow rendezvous still delivers (and performs the grant).
+    assert_eq!(out, SendOutcome::Delivered(t2));
+    assert!(pm.thrd(t2).edpt_descriptors.contains(&Some(e2)));
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+}
+
+#[test]
+fn handoff_budget_yields_to_third_thread() {
+    // Starvation guard: a ping-pong pair must not monopolise the core
+    // while a third thread sits in the ready queue.
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let t3 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let e = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t2, 0, e).unwrap();
+
+    // Prime the pair: t1's call rendezvouses slowly, t3 stays ready.
+    pm.call(t1, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+    pm.recv(t2, 0, 0).unwrap();
+    // Current is t2 (dispatched when t1 blocked? No: t2 was dispatched
+    // first, consumed the call). t3 waits in the queue throughout.
+    assert!(pm.sched.ready_queue(0).contains(&t3));
+
+    let mut t3_ran = false;
+    let mut handoffs = 0u32;
+    for _round in 0..(2 * HANDOFF_BUDGET + 4) {
+        match pm.sched.current(0) {
+            Some(cur) if cur == t3 => {
+                t3_ran = true;
+                // t3 politely yields back.
+                pm.timer_tick(0);
+            }
+            Some(cur) if cur == t2 => {
+                let (_out, fast) = pm
+                    .reply_recv(t2, 0, 0, IpcPayload::scalars([0; 4]))
+                    .unwrap();
+                if fast {
+                    handoffs += 1;
+                    assert!(
+                        handoffs <= HANDOFF_BUDGET,
+                        "fast path exceeded its handoff budget"
+                    );
+                }
+                let _ = cur;
+            }
+            Some(cur) if cur == t1 => {
+                let _ = pm.take_message(t1);
+                let (_out, _fast) = pm.call_fast(t1, 0, 0, IpcPayload::scalars([0; 4])).unwrap();
+            }
+            other => panic!("unexpected current {other:?}"),
+        }
+        assert!(pm.wf().is_ok(), "{:?}", pm.wf());
+        if t3_ran {
+            break;
+        }
+    }
+    assert!(
+        t3_ran,
+        "third ready thread starved by the fastpath ping-pong"
+    );
+}
+
+#[test]
+fn slot_cache_survives_close_and_reinstall() {
+    // The descriptor-slot cache must be invalidated when a slot is
+    // closed; a different endpoint reinstalled in the same slot must be
+    // the one IPC resolves afterwards (a stale hit would panic the
+    // debug_assert in `cached_descriptor` and misroute the message).
+    let (mut a, mut pm, _root, init_p, t1) = boot(1, 100);
+    let t2 = pm.new_thread(&mut a, init_p, 0).unwrap();
+    let ea = pm.new_endpoint(&mut a, t1, 0).unwrap();
+    let eb = pm.new_endpoint(&mut a, t1, 1).unwrap();
+    pm.install_descriptor(t2, 0, ea).unwrap();
+    pm.install_descriptor(t2, 1, eb).unwrap();
+
+    // Warm the cache for (t1, slot 0) → ea.
+    pm.send(t1, 0, 0, IpcPayload::scalars([1, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(pm.thrd(t1).state, ThreadState::BlockedSend(ea));
+    // Drain the rendezvous so t1 can move on.
+    pm.recv(t2, 0, 0).unwrap();
+
+    // Close slot 0 and remount eb there: the cached (t1,0)→ea entry
+    // must not be consulted again.
+    pm.remove_descriptor(&mut a, t1, 0).unwrap();
+    pm.install_descriptor(t1, 0, eb).unwrap();
+    pm.timer_tick(0); // rotate back to t1
+    while pm.sched.current(0) != Some(t1) {
+        pm.timer_tick(0);
+    }
+    pm.send(t1, 0, 0, IpcPayload::scalars([2, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(
+        pm.thrd(t1).state,
+        ThreadState::BlockedSend(eb),
+        "send after reinstall must resolve the new endpoint"
+    );
+    assert!(pm.wf().is_ok(), "{:?}", pm.wf());
 }

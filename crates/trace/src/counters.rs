@@ -18,6 +18,53 @@ pub struct PmCounters {
     /// Send/recv operations completed by direct rendezvous with an
     /// already-waiting partner (the paper's IPC fast path).
     pub rendezvous: u64,
+    /// Direct-handoff fastpath statistics (Call/ReplyRecv).
+    pub fastpath: FastpathCounters,
+}
+
+/// IPC fastpath hit/miss statistics. Hits are direct handoffs that
+/// switched `current` straight to the partner; each `fallback_*` field
+/// counts one reason the fastpath bailed to the slow rendezvous.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastpathCounters {
+    /// Direct handoffs performed.
+    pub hits: u64,
+    /// Partner queue was absent or on the sending side.
+    pub fallback_wrong_side: u64,
+    /// Endpoint queue full — the slow path's capacity check fired.
+    pub fallback_queue_full: u64,
+    /// Partner's home CPU differs from the caller's.
+    pub fallback_cross_cpu: u64,
+    /// Payload carries a capability grant that needs the mem domain.
+    pub fallback_cap_transfer: u64,
+    /// Handoff budget exhausted — yielded to the run queue instead.
+    pub fallback_budget: u64,
+    /// Descriptor-slot cache lookups that skipped validation.
+    pub slot_cache_hits: u64,
+    /// Descriptor-slot cache lookups that fell through to the table.
+    pub slot_cache_misses: u64,
+}
+
+impl FastpathCounters {
+    fn merge(&mut self, other: &FastpathCounters) {
+        self.hits += other.hits;
+        self.fallback_wrong_side += other.fallback_wrong_side;
+        self.fallback_queue_full += other.fallback_queue_full;
+        self.fallback_cross_cpu += other.fallback_cross_cpu;
+        self.fallback_cap_transfer += other.fallback_cap_transfer;
+        self.fallback_budget += other.fallback_budget;
+        self.slot_cache_hits += other.slot_cache_hits;
+        self.slot_cache_misses += other.slot_cache_misses;
+    }
+
+    /// Total fastpath attempts that missed, across all reasons.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_wrong_side
+            + self.fallback_queue_full
+            + self.fallback_cross_cpu
+            + self.fallback_cap_transfer
+            + self.fallback_budget
+    }
 }
 
 /// Page-allocator counters.
@@ -114,6 +161,35 @@ impl Counters {
             ("pm.ipc_sends", self.pm.ipc_sends),
             ("pm.ipc_recvs", self.pm.ipc_recvs),
             ("pm.rendezvous", self.pm.rendezvous),
+            ("pm.fastpath.hits", self.pm.fastpath.hits),
+            (
+                "pm.fastpath.fallback_wrong_side",
+                self.pm.fastpath.fallback_wrong_side,
+            ),
+            (
+                "pm.fastpath.fallback_queue_full",
+                self.pm.fastpath.fallback_queue_full,
+            ),
+            (
+                "pm.fastpath.fallback_cross_cpu",
+                self.pm.fastpath.fallback_cross_cpu,
+            ),
+            (
+                "pm.fastpath.fallback_cap_transfer",
+                self.pm.fastpath.fallback_cap_transfer,
+            ),
+            (
+                "pm.fastpath.fallback_budget",
+                self.pm.fastpath.fallback_budget,
+            ),
+            (
+                "pm.fastpath.slot_cache_hits",
+                self.pm.fastpath.slot_cache_hits,
+            ),
+            (
+                "pm.fastpath.slot_cache_misses",
+                self.pm.fastpath.slot_cache_misses,
+            ),
             ("mem.allocs", self.mem.allocs),
             ("mem.frames_allocated", self.mem.frames_allocated),
             ("mem.frees", self.mem.frees),
@@ -149,6 +225,7 @@ impl Counters {
         self.pm.ipc_sends += other.pm.ipc_sends;
         self.pm.ipc_recvs += other.pm.ipc_recvs;
         self.pm.rendezvous += other.pm.rendezvous;
+        self.pm.fastpath.merge(&other.pm.fastpath);
         self.mem.allocs += other.mem.allocs;
         self.mem.frames_allocated += other.mem.frames_allocated;
         self.mem.frees += other.mem.frees;

@@ -35,10 +35,11 @@ pub enum SyscallKind {
     IommuUnmap,
     Yield,
     TraceSnapshot,
+    ReplyRecv,
 }
 
 /// Number of syscall kinds (array dimension for per-kind state).
-pub const NUM_SYSCALL_KINDS: usize = 27;
+pub const NUM_SYSCALL_KINDS: usize = 28;
 
 impl SyscallKind {
     /// All kinds, in discriminant order.
@@ -70,6 +71,7 @@ impl SyscallKind {
         SyscallKind::IommuUnmap,
         SyscallKind::Yield,
         SyscallKind::TraceSnapshot,
+        SyscallKind::ReplyRecv,
     ];
 
     /// Dense index for per-kind arrays.
@@ -107,6 +109,7 @@ impl SyscallKind {
             SyscallKind::IommuUnmap => "iommu_unmap",
             SyscallKind::Yield => "yield",
             SyscallKind::TraceSnapshot => "trace_snapshot",
+            SyscallKind::ReplyRecv => "reply_recv",
         }
     }
 }

@@ -43,13 +43,15 @@ pub mod sink;
 pub mod snapshot;
 
 pub use counters::{
-    Counters, DriverCounters, LockCounters, LocksCounters, MemCounters, PmCounters, PtableCounters,
+    Counters, DriverCounters, FastpathCounters, LockCounters, LocksCounters, MemCounters,
+    PmCounters, PtableCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
 pub use sink::{
-    ns_to_cycles, trace_wf, LockDomain, SyscallStats, TraceHandle, TraceShare, TraceSink,
+    ns_to_cycles, trace_wf, FastpathOutcome, LockDomain, SyscallStats, TraceHandle, TraceShare,
+    TraceSink,
 };
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 

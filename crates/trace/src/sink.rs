@@ -19,7 +19,7 @@ use std::time::Instant;
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
-use crate::counters::Counters;
+use crate::counters::{Counters, FastpathCounters};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
 };
@@ -46,6 +46,46 @@ impl LockDomain {
             LockDomain::Pm => "pm",
             LockDomain::Mem => "mem",
             LockDomain::Trace => "trace",
+        }
+    }
+}
+
+/// Outcome of one IPC fastpath attempt (or slot-cache probe), counted
+/// into [`FastpathCounters`] without a ring event — like lock
+/// acquisitions, these annotate operations that already have their own
+/// `EndpointSend`/`EndpointRecv` events, so pairing them with ring
+/// entries would double-count under the exact reconciliation audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FastpathOutcome {
+    /// Direct handoff performed.
+    Hit,
+    /// Endpoint idle or queued on the sending side.
+    WrongSide,
+    /// Endpoint queue full.
+    QueueFull,
+    /// Partner homed on a different CPU.
+    CrossCpu,
+    /// Payload carries a capability grant (needs the mem domain).
+    CapTransfer,
+    /// Consecutive-handoff budget exhausted; yielded to the run queue.
+    Budget,
+    /// Descriptor-slot cache hit (validation skipped).
+    SlotCacheHit,
+    /// Descriptor-slot cache miss (full table lookup).
+    SlotCacheMiss,
+}
+
+impl FastpathOutcome {
+    fn count_into(self, fp: &mut FastpathCounters) {
+        match self {
+            FastpathOutcome::Hit => fp.hits += 1,
+            FastpathOutcome::WrongSide => fp.fallback_wrong_side += 1,
+            FastpathOutcome::QueueFull => fp.fallback_queue_full += 1,
+            FastpathOutcome::CrossCpu => fp.fallback_cross_cpu += 1,
+            FastpathOutcome::CapTransfer => fp.fallback_cap_transfer += 1,
+            FastpathOutcome::Budget => fp.fallback_budget += 1,
+            FastpathOutcome::SlotCacheHit => fp.slot_cache_hits += 1,
+            FastpathOutcome::SlotCacheMiss => fp.slot_cache_misses += 1,
         }
     }
 }
@@ -217,6 +257,14 @@ impl TraceSink {
                 lc.contended += 1;
             }
             lc.hold_max_cycles = lc.hold_max_cycles.max(hold_cycles);
+        });
+    }
+
+    /// Counts an IPC fastpath outcome on the CPU attributed to this OS
+    /// thread. Counter-only, no ring event (see [`FastpathOutcome`]).
+    pub fn fastpath_event(&self, outcome: FastpathOutcome) {
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.pm.fastpath)
         });
     }
 
@@ -468,6 +516,14 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             "trace",
             format!("cpu {cpu}: more rendezvous than IPC operations"),
         )?;
+        // Every fastpath hit performs a rendezvous delivery (and emits
+        // the same EndpointSend/EndpointRecv pair as the slow path), so
+        // hits can never outnumber rendezvous completions on a shard.
+        check(
+            ctrs.pm.fastpath.hits <= ctrs.pm.rendezvous,
+            "trace",
+            format!("cpu {cpu}: more fastpath hits than rendezvous deliveries"),
+        )?;
         merged.merge(&ctrs);
     }
     check(
@@ -519,6 +575,13 @@ impl TraceShare {
     pub fn emit(&self, ev: KernelEvent) {
         if let Some(sink) = &self.0 {
             sink.emit(ev);
+        }
+    }
+
+    /// Counts an IPC fastpath outcome (no-op when detached).
+    pub fn fastpath(&self, outcome: FastpathOutcome) {
+        if let Some(sink) = &self.0 {
+            sink.fastpath_event(outcome);
         }
     }
 
@@ -632,6 +695,40 @@ mod tests {
             "shard locks self-instrument"
         );
         assert!(trace_wf(&sink).is_ok());
+    }
+
+    #[test]
+    fn fastpath_events_accumulate_without_ring_entries() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        // A hit performs a rendezvous delivery: the same event pair the
+        // slow path emits, plus the counter-only outcome.
+        sink.emit(KernelEvent::EndpointSend {
+            endpoint: 0x1000,
+            rendezvous: true,
+        });
+        sink.emit(KernelEvent::EndpointRecv {
+            endpoint: 0x1000,
+            rendezvous: false,
+        });
+        sink.fastpath_event(FastpathOutcome::Hit);
+        sink.fastpath_event(FastpathOutcome::CrossCpu);
+        sink.fastpath_event(FastpathOutcome::SlotCacheHit);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.pm.fastpath.hits, 1);
+        assert_eq!(snap.counters.pm.fastpath.fallback_cross_cpu, 1);
+        assert_eq!(snap.counters.pm.fastpath.slot_cache_hits, 1);
+        assert_eq!(snap.counters.pm.fastpath.fallbacks(), 1);
+        assert_eq!(snap.total_events, 2, "outcomes never enter the ring");
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+    }
+
+    #[test]
+    fn wf_rejects_hits_exceeding_rendezvous() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.fastpath_event(FastpathOutcome::Hit);
+        assert!(trace_wf(&sink).is_err(), "hit without rendezvous delivery");
     }
 
     #[test]

@@ -110,6 +110,25 @@ fn main() {
     );
     print!("{}", k.take_trace_snapshot().expect("stashed").render());
 
+    // IPC fastpath telemetry: direct handoffs vs rendezvous fallbacks,
+    // broken down by miss reason, plus the descriptor-slot cache.
+    let fp = k.trace_snapshot().counters.pm.fastpath;
+    println!("\n== IPC fastpath ==");
+    println!("direct handoffs (hits)   {}", fp.hits);
+    println!(
+        "fallbacks                {} (wrong-side {}, queue-full {}, cross-cpu {}, cap-transfer {}, budget {})",
+        fp.fallbacks(),
+        fp.fallback_wrong_side,
+        fp.fallback_queue_full,
+        fp.fallback_cross_cpu,
+        fp.fallback_cap_transfer,
+        fp.fallback_budget,
+    );
+    println!(
+        "slot cache               {} hits, {} misses",
+        fp.slot_cache_hits, fp.slot_cache_misses
+    );
+
     assert!(k.wf().is_ok(), "{:?}", k.wf());
     println!("\ntotal_wf (including trace_wf) holds over the final state.");
 

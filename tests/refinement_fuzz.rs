@@ -24,7 +24,7 @@ fn random_ptr(rng: &mut XorShift64Star) -> usize {
 }
 
 fn random_syscall(rng: &mut XorShift64Star) -> SyscallArgs {
-    match rng.below(14) {
+    match rng.below(16) {
         0 => SyscallArgs::Mmap {
             va_base: random_va(rng),
             len: rng.range(1, 5),
@@ -68,6 +68,14 @@ fn random_syscall(rng: &mut XorShift64Star) -> SyscallArgs {
         10 => SyscallArgs::TakeMsg,
         11 => SyscallArgs::MapGranted { va: random_va(rng) },
         12 => SyscallArgs::DropGrant,
+        13 => SyscallArgs::Call {
+            slot: rng.below(3),
+            scalars: [rng.next_u64(), 0, 0, 0],
+        },
+        14 => SyscallArgs::ReplyRecv {
+            slot: rng.below(3),
+            scalars: [rng.next_u64(), 0, 0, 0],
+        },
         _ => SyscallArgs::Yield,
     }
 }
@@ -92,6 +100,117 @@ fn every_transition_is_audited_green() {
             assert!(audit.is_ok(), "seed {case}, {args:?}: {audit:?}");
         }
     }
+}
+
+/// Drive one client/server exchange on `k`, either through the combined
+/// fastpath traps (Call + ReplyRecv) or through the equivalent slow
+/// Send/Recv rendezvous sequence, auditing every transition.
+fn run_exchange(k: &mut atmosphere::kernel::Kernel, fast: bool) {
+    let send = |scalars: [u64; 4]| SyscallArgs::Send {
+        slot: 0,
+        scalars,
+        grant_page_va: None,
+        grant_endpoint_slot: None,
+        grant_iommu_domain: None,
+    };
+    let ops: Vec<SyscallArgs> = if fast {
+        vec![
+            SyscallArgs::Call {
+                slot: 0,
+                scalars: [11, 0, 0, 0],
+            },
+            SyscallArgs::TakeMsg,
+            SyscallArgs::ReplyRecv {
+                slot: 0,
+                scalars: [22, 0, 0, 0],
+            },
+            SyscallArgs::TakeMsg,
+        ]
+    } else {
+        vec![
+            send([11, 0, 0, 0]),
+            SyscallArgs::Recv { slot: 0 },
+            SyscallArgs::TakeMsg,
+            send([22, 0, 0, 0]),
+            SyscallArgs::Recv { slot: 0 },
+            SyscallArgs::TakeMsg,
+        ]
+    };
+    for args in ops {
+        let (ret, audit) = audited_syscall(k, 0, args.clone());
+        assert!(ret.is_ok(), "{args:?}: {ret:?}");
+        assert!(audit.is_ok(), "{args:?}: {audit:?}");
+    }
+}
+
+#[test]
+fn fast_and_slow_interleavings_reach_identical_abstract_states() {
+    // Two kernels booted identically; one client/server pair each. The
+    // fastpath kernel round-trips via Call/ReplyRecv (direct handoff),
+    // the other via the slow Send/Recv rendezvous. The per-step concrete
+    // traces differ, but both must land on the *same* abstract Ψ — the
+    // dynamic form of `fastpath_refines_rendezvous`.
+    let mut kernels: Vec<_> = (0..2)
+        .map(|_| {
+            let mut k = Kernel::boot(KernelConfig {
+                mem_mib: 32,
+                ncpus: 1,
+                root_quota: 512,
+            });
+            let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::NewEndpoint { slot: 0 });
+            assert!(audit.is_ok(), "{audit:?}");
+            let e = ret.val0() as usize;
+            let init_proc = k.init_proc;
+            let (ret, audit) = audited_syscall(
+                &mut k,
+                0,
+                SyscallArgs::NewThread {
+                    proc: init_proc,
+                    cpu: 0,
+                },
+            );
+            assert!(audit.is_ok(), "{audit:?}");
+            let t2 = ret.val0() as usize;
+            k.pm.install_descriptor(t2, 0, e).unwrap();
+            // Park t2 as the endpoint's receiver (the state both the
+            // fast and the slow exchange start from).
+            for args in [
+                SyscallArgs::Recv { slot: 0 },
+                SyscallArgs::Send {
+                    slot: 0,
+                    scalars: [0; 4],
+                    grant_page_va: None,
+                    grant_endpoint_slot: None,
+                    grant_iommu_domain: None,
+                },
+                SyscallArgs::Recv { slot: 0 },
+                SyscallArgs::TakeMsg,
+            ] {
+                let (ret, audit) = audited_syscall(&mut k, 0, args);
+                assert!(ret.is_ok() && audit.is_ok(), "{audit:?}");
+            }
+            k
+        })
+        .collect();
+    let mut slow = kernels.pop().unwrap();
+    let mut fast = kernels.pop().unwrap();
+    assert_eq!(fast.view(), slow.view(), "setup must be identical");
+
+    for _ in 0..3 {
+        run_exchange(&mut fast, true);
+        run_exchange(&mut slow, false);
+        assert_eq!(
+            fast.view(),
+            slow.view(),
+            "fast and slow interleavings diverged in Ψ"
+        );
+    }
+    // The fastpath really took the direct handoff: every round trip is
+    // two rendezvous with zero ready-queue traffic in between.
+    let snap_fast = fast.trace_snapshot();
+    assert_eq!(snap_fast.counters.pm.fastpath.hits, 6);
+    let snap_slow = slow.trace_snapshot();
+    assert_eq!(snap_slow.counters.pm.fastpath.hits, 0);
 }
 
 #[test]
