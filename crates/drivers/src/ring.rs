@@ -75,13 +75,23 @@ impl<T> SpscRing<T> {
     /// Dequeues up to `n` entries.
     pub fn dequeue_batch(&mut self, n: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(n.min(self.len()));
-        for _ in 0..n {
-            match self.dequeue() {
-                Some(x) => out.push(x),
-                None => break,
-            }
-        }
+        self.dequeue_into(&mut out, n);
         out
+    }
+
+    /// Dequeues up to `n` entries, appending them to `out`; returns how
+    /// many were moved. `out` keeps its existing contents and capacity,
+    /// so a steady-state consumer (the driver RX poll loop) can recycle
+    /// one buffer across batches instead of allocating a fresh `Vec`
+    /// per call.
+    pub fn dequeue_into(&mut self, out: &mut Vec<T>, n: usize) -> usize {
+        let take = n.min(self.len());
+        out.reserve(take);
+        for _ in 0..take {
+            let x = self.dequeue().expect("len() promised an entry");
+            out.push(x);
+        }
+        take
     }
 }
 
@@ -136,5 +146,34 @@ mod tests {
         let mut r = SpscRing::new(8);
         r.enqueue(1).unwrap();
         assert_eq!(r.dequeue_batch(5), vec![1]);
+    }
+
+    #[test]
+    fn dequeue_into_appends_and_reports_count() {
+        let mut r = SpscRing::new(8);
+        for i in 0..5 {
+            r.enqueue(i).unwrap();
+        }
+        let mut buf = vec![100];
+        assert_eq!(r.dequeue_into(&mut buf, 3), 3);
+        assert_eq!(buf, vec![100, 0, 1, 2]);
+        assert_eq!(r.dequeue_into(&mut buf, 8), 2);
+        assert_eq!(buf, vec![100, 0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dequeue_into(&mut buf, 8), 0);
+    }
+
+    #[test]
+    fn dequeue_into_reuses_capacity_across_batches() {
+        let mut r = SpscRing::new(64);
+        let mut buf: Vec<u32> = Vec::with_capacity(32);
+        for _ in 0..10 {
+            for i in 0..32 {
+                r.enqueue(i).unwrap();
+            }
+            buf.clear();
+            assert_eq!(r.dequeue_into(&mut buf, 32), 32);
+            assert_eq!(buf.capacity(), 32, "steady state must not reallocate");
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! of every subsystem — the process manager's object maps, each process's
 //! abstract address space, and the allocator's page sets.
 
+use atmo_hw::addr::PAGE_SIZE_4K;
 use atmo_mem::{PagePtr, PageSize};
 use atmo_pm::manager::PmView;
 use atmo_pm::{Container, Endpoint, Process, Thread};
@@ -98,6 +99,44 @@ impl AbstractKernel {
         }
         s
     }
+}
+
+// ----- representation-independent space views --------------------------
+
+/// Looks up the entry covering the 4 KiB page at `va` in `space`,
+/// whatever the representation: an exact `Size4K` entry, or a superpage
+/// entry whose range contains `va`. Returns `(base va, entry, size)` of
+/// the covering entry.
+pub fn space_covering(space: &AbsSpace, va: usize) -> Option<(usize, MapEntry, PageSize)> {
+    space
+        .iter()
+        .find(|(base, (_e, sz))| va >= **base && va < **base + sz.bytes())
+        .map(|(base, (e, sz))| (*base, *e, *sz))
+}
+
+/// Expands every entry of `space` into its per-4 KiB coverage: a
+/// `Size2M`/`Size1G` entry becomes `frames()` consecutive 4 KiB entries
+/// with `frame = head + offset` and the huge bit cleared. Two spaces
+/// mapping the same frames with the same permissions normalize
+/// identically regardless of representation — this is the view the
+/// batched `Mmap`/`Munmap` specs and the promotion-equivalence fuzz
+/// compare (§4.3 adapted to superpages).
+pub fn normalize_space_4k(space: &AbsSpace) -> Map<usize, MapEntry> {
+    let mut items = Vec::new();
+    for (base, (e, sz)) in space.iter() {
+        for k in 0..sz.frames() {
+            let mut flags = e.flags;
+            flags.huge = false;
+            items.push((
+                *base + k * PAGE_SIZE_4K,
+                MapEntry {
+                    frame: e.frame + k * PAGE_SIZE_4K,
+                    flags,
+                },
+            ));
+        }
+    }
+    items.into_iter().collect()
 }
 
 // ----- frame-condition helpers used by every transition spec -----------

@@ -290,6 +290,62 @@ mod tests {
     }
 
     #[test]
+    fn single_page_calls_skip_the_batch_machinery() {
+        // Below BATCH_MIN_PAGES the per-page body runs even with
+        // batching on: the cycle charge matches the batch-off kernel
+        // exactly (the Table 3 anchor relies on this) and no batch
+        // telemetry is emitted. From the threshold on, the batched body
+        // kicks in and is strictly cheaper.
+        let run = |batch: bool, len: usize| {
+            let mut k = Kernel::boot(KernelConfig::default());
+            k.mem.vm.set_batch(batch);
+            let warm = k.syscall(
+                0,
+                SyscallArgs::Mmap {
+                    va_base: 0x40_0000,
+                    len: 1,
+                    writable: true,
+                },
+            );
+            assert!(warm.is_ok());
+            let start = k.cycles(0);
+            let r = k.syscall(
+                0,
+                SyscallArgs::Mmap {
+                    va_base: 0x50_0000,
+                    len,
+                    writable: true,
+                },
+            );
+            assert!(r.is_ok());
+            let mid = k.cycles(0);
+            let r = k.syscall(
+                0,
+                SyscallArgs::Munmap {
+                    va_base: 0x50_0000,
+                    len,
+                },
+            );
+            assert!(r.is_ok());
+            let vm = k.trace_snapshot().counters.vm;
+            (mid - start, k.cycles(0) - mid, vm)
+        };
+        let (map_off, unmap_off, _) = run(false, 1);
+        let (map_on, unmap_on, vm) = run(true, 1);
+        assert_eq!(map_on, map_off, "1-page mmap must take the per-page body");
+        assert_eq!(unmap_on, unmap_off, "1-page munmap too");
+        assert_eq!(vm.map_batch_hits, 0);
+        assert_eq!(vm.tlb_shootdowns_deferred, 0);
+
+        let (map_off2, unmap_off2, _) = run(false, crate::syscall::BATCH_MIN_PAGES);
+        let (map_on2, unmap_on2, vm2) = run(true, crate::syscall::BATCH_MIN_PAGES);
+        assert!(map_on2 < map_off2, "{map_on2} vs {map_off2}");
+        assert!(unmap_on2 < unmap_off2, "{unmap_on2} vs {unmap_off2}");
+        assert!(vm2.map_batch_hits > 0);
+        assert!(vm2.tlb_shootdowns_flushed == vm2.tlb_shootdowns_deferred);
+    }
+
+    #[test]
     fn big_lock_serializes_access() {
         use std::sync::Arc;
         let smp = Arc::new(BigLockKernel::new(Kernel::boot(KernelConfig::default())));

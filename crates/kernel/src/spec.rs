@@ -12,8 +12,9 @@ use atmo_hw::addr::VaRange4K;
 use atmo_hw::VAddr;
 
 use crate::abs::{
-    containers_unchanged_except, endpoints_unchanged_except, processes_unchanged_except,
-    spaces_unchanged_except, threads_unchanged, threads_unchanged_except, AbstractKernel,
+    containers_unchanged_except, endpoints_unchanged_except, normalize_space_4k,
+    processes_unchanged_except, space_covering, spaces_unchanged_except, threads_unchanged,
+    threads_unchanged_except, AbstractKernel,
 };
 use crate::syscall::SyscallReturn;
 
@@ -82,24 +83,39 @@ pub fn syscall_mmap_spec(
     }
 
     // Each virtual address in va_range maps a page that was free before
-    // (lines 19–22) and pages are pairwise distinct (lines 23–26).
+    // (lines 19–22) and pages are pairwise distinct (lines 23–26). The
+    // clauses are stated over the *covering* entry so the batched,
+    // promoted and per-page executions all satisfy the same transition: a
+    // `Size4K` entry covers exactly its va, while a promoted `Size2M`
+    // entry covers 512 of them with per-va frame `head + offset` (the
+    // promotion path assembles its run from the 4 KiB freelist, so each
+    // constituent frame individually satisfies `page_is_free`).
     let mut seen = std::collections::BTreeSet::new();
+    let range_start = va_range.base.as_usize();
+    let range_end = range_start + va_range.len * 0x1000;
     for va in va_range.iter() {
-        let Some((entry, _size)) = post_space.index(&va.as_usize()) else {
+        let Some((base, entry, size)) = space_covering(&post_space, va.as_usize()) else {
             return false;
         };
-        if !pre.page_is_free(entry.frame) {
+        // A covering superpage must lie entirely inside the requested
+        // range — promotion never maps beyond what was asked for.
+        if base < range_start || base + size.bytes() > range_end {
             return false;
         }
-        if !seen.insert(entry.frame) {
+        let frame = entry.frame + (va.as_usize() - base);
+        if !pre.page_is_free(frame) {
             return false;
         }
-        // The range was previously unmapped.
-        if pre_space.contains_key(&va.as_usize()) {
+        if !seen.insert(frame) {
             return false;
         }
-        // And the allocator now records the page as mapped, not free.
-        if post.free_4k.contains(&entry.frame) || !post.mapped.contains(&entry.frame) {
+        // The range was previously unmapped (at any page size).
+        if space_covering(&pre_space, va.as_usize()).is_some() {
+            return false;
+        }
+        // And the allocator now records the covering block as mapped,
+        // with none of its frames free.
+        if post.free_4k.contains(&frame) || !post.mapped.contains(&entry.frame) {
             return false;
         }
     }
@@ -145,15 +161,25 @@ pub fn syscall_munmap_spec(
     }
     let pre_space = pre.get_address_space(proc_ptr);
     let post_space = post.get_address_space(proc_ptr);
-    // Every page of the range was mapped and is gone; outside unchanged.
+    // Every page of the range was mapped (at any size) and is gone, and
+    // outside the range the per-4K coverage is unchanged. The comparison
+    // runs over the normalized (per-4K expanded) views so that demoting a
+    // promoted superpage to unmap part of it — a pure representation
+    // change for the surviving pages — satisfies the same transition as
+    // the per-page path.
+    let pre_n = normalize_space_4k(&pre_space);
+    let post_n = normalize_space_4k(&post_space);
     for va in va_range.iter() {
-        if !pre_space.contains_key(&va.as_usize()) || post_space.contains_key(&va.as_usize()) {
+        if !pre_n.contains_key(&va.as_usize()) || post_n.contains_key(&va.as_usize()) {
             return false;
         }
     }
-    pre_space
+    pre_n
         .iter()
-        .all(|(va, e)| va_range.contains(VAddr(*va)) || post_space.index(va) == Some(e))
+        .all(|(va, e)| va_range.contains(VAddr(*va)) || post_n.index(va) == Some(e))
+        && post_n
+            .iter()
+            .all(|(va, e)| va_range.contains(VAddr(*va)) || pre_n.index(va) == Some(e))
 }
 
 /// `new_container` (Listing 3's `new_container_ensures`, adapted to the

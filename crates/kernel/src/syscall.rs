@@ -17,7 +17,7 @@
 //! the pm lock alone, which is exactly the "acquire only the domains
 //! the syscall touches" dispatch rule of the sharded kernel.
 
-use atmo_hw::addr::{VAddr, VaRange4K};
+use atmo_hw::addr::{VAddr, VaRange4K, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use atmo_hw::cycles::{CostModel, CycleMeter};
 use atmo_hw::paging::EntryFlags;
 use atmo_mem::alloc::AllocError;
@@ -26,7 +26,7 @@ use atmo_pm::manager::{RecvOutcome, ReplyRecvOutcome, SendOutcome};
 use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
 use atmo_ptable::MapError;
-use atmo_trace::{Snapshot, TraceHandle};
+use atmo_trace::{Snapshot, TraceHandle, VmOutcome};
 
 use crate::domain::{DomainGuard, DomainLock};
 use crate::kernel::{Kernel, MemDomain};
@@ -624,6 +624,12 @@ impl ExecCtx<'_> {
 
     /// `mmap` (Listing 1): allocate `len` fresh physical pages and map
     /// them at `va_base..va_base+len*4K` in the caller's address space.
+    ///
+    /// The pm-side work (thread resolution, quota) happens here; the
+    /// allocator/page-table work is [`mmap_stage_mem`] — the *same*
+    /// function stage 2 of the sharded kernel runs, so the unified and
+    /// staged paths charge identical cycles and take the identical
+    /// batched/per-page datapath by construction.
     fn sys_mmap(
         &mut self,
         t: ThrdPtr,
@@ -659,60 +665,24 @@ impl ExecCtx<'_> {
         if let Err(e) = self.pm.charge(cntr, len) {
             return SyscallReturn::err(e.into());
         }
-        let flags = if writable {
-            EntryFlags::user_rw()
-        } else {
-            EntryFlags::user_ro()
+        let plan = MemStagePlan {
+            cntr,
+            as_id,
+            range,
+            len,
+            writable,
         };
-        let mut mapped: Vec<(VAddr, PagePtr)> = Vec::with_capacity(len);
-        for va in range.iter() {
-            self.charge(
-                costs.page_alloc_4k
-                    + costs.quota_account
-                    + 3 * costs.pt_level_read
-                    + costs.pt_level_write
-                    + costs.page_state_update
-                    + costs.tlb_invalidate,
-            );
-            let m = self.mem.domain();
-            let frame = match m.alloc.alloc_mapped(PageSize::Size4K) {
-                Ok(f) => f,
-                Err(_) => {
-                    self.rollback_mmap(cntr, as_id, len, &mapped);
-                    return SyscallReturn::err(SyscallError::NoMem);
-                }
-            };
-            let pt = m.vm.table_mut(as_id).expect("space exists");
-            match pt.map_4k_page(&mut m.alloc, va, frame, flags) {
-                Ok(()) => mapped.push((va, frame)),
-                Err(e) => {
-                    m.alloc.dec_map_ref(frame);
-                    self.rollback_mmap(cntr, as_id, len, &mapped);
-                    return SyscallReturn::err(e.into());
-                }
-            }
+        let meter = &mut *self.meter;
+        let ret = mmap_stage_mem(&costs, meter, self.mem.domain(), &plan);
+        if !ret.is_ok() {
+            self.pm.uncharge(cntr, len);
         }
-        SyscallReturn::ok([va_base as u64, len as u64, 0, 0])
-    }
-
-    fn rollback_mmap(
-        &mut self,
-        cntr: CtnrPtr,
-        as_id: crate::vm::AsId,
-        charged: usize,
-        mapped: &[(VAddr, PagePtr)],
-    ) {
-        let m = self.mem.domain();
-        for (va, frame) in mapped {
-            let pt = m.vm.table_mut(as_id).expect("space exists");
-            pt.unmap_4k_page(*va).expect("rollback of a fresh mapping");
-            m.alloc.dec_map_ref(*frame);
-        }
-        self.pm.uncharge(cntr, charged);
+        ret
     }
 
     /// `munmap`: remove `len` 4 KiB mappings, dropping the frames'
-    /// references and releasing quota.
+    /// references and releasing quota. Shares [`munmap_stage_mem`] with
+    /// the sharded kernel's stage 2 (see [`ExecCtx::sys_mmap`]).
     fn sys_munmap(&mut self, t: ThrdPtr, va_base: usize, len: usize) -> SyscallReturn {
         let costs = self.costs;
         self.charge(costs.syscall_validate);
@@ -727,25 +697,19 @@ impl ExecCtx<'_> {
             (thread.owning_proc, thread.owning_cntr)
         };
         let as_id = self.pm.proc(proc_ptr).addr_space;
-        // All pages must be mapped 4 KiB for the call to change anything.
-        {
-            let m = self.mem.domain();
-            let pt = m.vm.table(as_id).expect("space exists");
-            for va in range.iter() {
-                if !pt.map_4k.contains_key(&va.as_usize()) {
-                    return SyscallReturn::err(SyscallError::Fault);
-                }
-            }
+        let plan = MemStagePlan {
+            cntr,
+            as_id,
+            range,
+            len,
+            writable: false,
+        };
+        let meter = &mut *self.meter;
+        let ret = munmap_stage_mem(&costs, meter, self.mem.domain(), &plan);
+        if ret.is_ok() {
+            self.pm.uncharge(cntr, len);
         }
-        for va in range.iter() {
-            self.charge(costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate);
-            let m = self.mem.domain();
-            let pt = m.vm.table_mut(as_id).expect("space exists");
-            let frame = pt.unmap_4k_page(va).expect("checked above");
-            m.alloc.dec_map_ref(frame);
-        }
-        self.pm.uncharge(cntr, len);
-        SyscallReturn::ok([len as u64, 0, 0, 0])
+        ret
     }
 
     // ----- containers / processes / threads --------------------------------
@@ -1326,6 +1290,35 @@ pub(crate) fn mmap_stage_mem(
     } else {
         EntryFlags::user_ro()
     };
+    if mem.vm.batch_enabled() && plan.len >= BATCH_MIN_PAGES {
+        mmap_batched_mem(costs, meter, mem, plan, flags)
+    } else {
+        mmap_per_page_mem(costs, meter, mem, plan, flags)
+    }
+}
+
+/// Smallest request the batched datapath pays off for. A single-page
+/// call cannot amortize anything: it pays the full first-page walk plus
+/// one batched shootdown (`tlb_shootdown_batch`, 420) where the
+/// per-page body pays one plain `tlb_invalidate` (160) — 2244 vs 1984
+/// cycles end to end. From two pages on, every walk-cached fill saves
+/// `map_fill_first_page - map_fill_next_page` cycles and the batched
+/// path is strictly cheaper, so requests below this floor take the
+/// per-page body even with batching enabled (mirroring real kernels,
+/// which skip batch machinery for single-PTE faults).
+pub const BATCH_MIN_PAGES: usize = 2;
+
+/// The original per-page `mmap` datapath: full L3→L2→L1 walk, ledger
+/// update, and TLB invalidation for every page. Kept callable (batch
+/// toggle off) as the measured baseline and as the reference execution
+/// the batched path must refine to the same abstract state.
+fn mmap_per_page_mem(
+    costs: &CostModel,
+    meter: &mut CycleMeter,
+    mem: &mut MemDomain,
+    plan: &MemStagePlan,
+    flags: EntryFlags,
+) -> SyscallReturn {
     let mut mapped: Vec<(VAddr, PagePtr)> = Vec::with_capacity(plan.len);
     let rollback = |mem: &mut MemDomain, mapped: &[(VAddr, PagePtr)]| {
         for (va, frame) in mapped {
@@ -1360,6 +1353,172 @@ pub(crate) fn mmap_stage_mem(
             }
         }
     }
+    SyscallReturn::ok([plan.range.base.as_usize() as u64, plan.len as u64, 0, 0])
+}
+
+/// Undoes a partially executed batched `mmap`: promoted superpages are
+/// unmapped and their 2 MiB blocks split back into the exact 4 KiB free
+/// set they were merged from; batched 4 KiB segments are unmapped
+/// per page. The shootdown queue is drained so the mem domain is
+/// released quiescent even on the error path.
+fn mmap_batched_rollback(
+    mem: &mut MemDomain,
+    as_id: crate::vm::AsId,
+    promoted: &[(usize, PagePtr)],
+    mapped_4k: &[(usize, Vec<PagePtr>)],
+) {
+    for (va, head) in promoted {
+        let pt = mem.vm.table_mut(as_id).expect("space exists");
+        pt.unmap_2m_page(VAddr(*va))
+            .expect("rollback of a fresh superpage");
+        mem.vm.clear_promoted(as_id, *va);
+        mem.alloc.dec_map_ref(*head);
+        mem.alloc.split_2m(*head);
+    }
+    for (seg, frames) in mapped_4k {
+        for (i, frame) in frames.iter().enumerate() {
+            let pt = mem.vm.table_mut(as_id).expect("space exists");
+            pt.unmap_4k_page(VAddr(seg + i * PAGE_SIZE_4K))
+                .expect("rollback of a fresh mapping");
+            mem.alloc.dec_map_ref(*frame);
+        }
+    }
+    let flushed = {
+        let pt = mem.vm.table_mut(as_id).expect("space exists");
+        pt.flush_shootdowns()
+    };
+    mem.vm.trace_vm(VmOutcome::ShootdownFlushed, flushed);
+}
+
+/// The batched `mmap` datapath (the tentpole):
+///
+/// * 2 MiB-aligned, fully covered 512-page runs are **promoted**: one
+///   physically contiguous block (merged from the 4 KiB free list, so
+///   every constituent frame was free — exactly what the spec's
+///   `page_is_free` clause demands) mapped by a single L2 leaf write;
+/// * everything else is filled through the **walk cache**: the
+///   L3→L2→L1 chain is resolved once per L1 run, subsequent PTEs in the
+///   same table charge `pt_walk_cached_read + pt_fill_write` instead of
+///   the full walk, and page-state updates batch;
+/// * the quota ledger is touched **once** per call, not once per page;
+/// * TLB invalidations are **deferred** to one batched shootdown in the
+///   epilogue, still inside the same mem critical section (the queue is
+///   empty again before the mem lock is released, so the pm→mem lock
+///   order and the quiescence audit are untouched).
+fn mmap_batched_mem(
+    costs: &CostModel,
+    meter: &mut CycleMeter,
+    mem: &mut MemDomain,
+    plan: &MemStagePlan,
+    flags: EntryFlags,
+) -> SyscallReturn {
+    let base = plan.range.base.as_usize();
+    let end = base + plan.len * PAGE_SIZE_4K;
+    let frames_2m = PageSize::Size2M.frames() as u64;
+    // One ledger update for the whole call (stage 1 charged the quota in
+    // a single operation).
+    meter.charge(costs.quota_account);
+    let mut promoted: Vec<(usize, PagePtr)> = Vec::new();
+    let mut mapped_4k: Vec<(usize, Vec<PagePtr>)> = Vec::new();
+    let mut va = base;
+    while va < end {
+        // Promotion candidate: aligned and fully covered. Permissions
+        // are uniform across a single mmap call by construction.
+        if va.is_multiple_of(PAGE_SIZE_2M) && va + PAGE_SIZE_2M <= end {
+            if let Some(head) = mem.alloc.try_alloc_contiguous_2m() {
+                let promoted_ok = {
+                    let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+                    match pt.map_2m_page(&mut mem.alloc, VAddr(va), head, flags) {
+                        Ok(()) => {
+                            pt.defer_shootdown(VAddr(va), frames_2m);
+                            true
+                        }
+                        // A SizeConflict (an L1 table already hangs off
+                        // this L2 slot) or any other failure falls back
+                        // to the 4 KiB fill below.
+                        Err(_) => false,
+                    }
+                };
+                if promoted_ok {
+                    meter.charge(
+                        costs.page_alloc_4k
+                            + 2 * costs.pt_level_read
+                            + costs.pt_level_write
+                            + costs.page_state_update,
+                    );
+                    mem.vm.note_promoted(plan.as_id, va);
+                    mem.vm.trace_vm(VmOutcome::SuperpagePromotion, 1);
+                    mem.vm.trace_vm(VmOutcome::ShootdownDeferred, frames_2m);
+                    promoted.push((va, head));
+                    va += PAGE_SIZE_2M;
+                    continue;
+                }
+                mem.alloc.dec_map_ref(head);
+                mem.alloc.split_2m(head);
+            }
+        }
+        // 4 KiB segment: up to the next promotion-eligible boundary (or
+        // the end of the range).
+        let mut seg_end = va + PAGE_SIZE_4K;
+        while seg_end < end
+            && !(seg_end.is_multiple_of(PAGE_SIZE_2M) && seg_end + PAGE_SIZE_2M <= end)
+        {
+            seg_end += PAGE_SIZE_4K;
+        }
+        let npages = (seg_end - va) / PAGE_SIZE_4K;
+        let mut frames: Vec<PagePtr> = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            match mem.alloc.alloc_mapped(PageSize::Size4K) {
+                Ok(f) => frames.push(f),
+                Err(_) => {
+                    for f in &frames {
+                        mem.alloc.dec_map_ref(*f);
+                    }
+                    mmap_batched_rollback(mem, plan.as_id, &promoted, &mapped_4k);
+                    return SyscallReturn::err(SyscallError::NoMem);
+                }
+            }
+        }
+        let mapped = {
+            let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+            let r = pt.map_range(&mut mem.alloc, VAddr(va), &frames, flags);
+            if r.is_ok() {
+                pt.defer_shootdown(VAddr(va), npages as u64);
+            }
+            r
+        };
+        match mapped {
+            Ok(stats) => {
+                meter.charge(
+                    stats.first_walks as u64 * costs.map_fill_first_page()
+                        + stats.cached_fills as u64 * costs.map_fill_next_page(),
+                );
+                mem.vm
+                    .trace_vm(VmOutcome::MapBatchHit, stats.cached_fills as u64);
+                mem.vm.trace_vm(VmOutcome::ShootdownDeferred, npages as u64);
+                mapped_4k.push((va, frames));
+            }
+            Err(e) => {
+                // map_range already unmapped its own partial progress.
+                for f in &frames {
+                    mem.alloc.dec_map_ref(*f);
+                }
+                mmap_batched_rollback(mem, plan.as_id, &promoted, &mapped_4k);
+                return SyscallReturn::err(e.into());
+            }
+        }
+        va = seg_end;
+    }
+    // Epilogue: one batched shootdown covers every run this call queued,
+    // before the mem domain is released.
+    let flushed = {
+        let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+        pt.flush_shootdowns()
+    };
+    if flushed > 0 {
+        meter.charge(costs.tlb_shootdown_batch);
+    }
+    mem.vm.trace_vm(VmOutcome::ShootdownFlushed, flushed);
     SyscallReturn::ok([plan.range.base.as_usize() as u64, plan.len as u64, 0, 0])
 }
 
@@ -1401,17 +1560,101 @@ pub(crate) fn munmap_stage_mem(
     let Some(pt) = mem.vm.table(plan.as_id) else {
         return SyscallReturn::err(SyscallError::Fault);
     };
+    // A sub-threshold unmap takes the per-page body too — unless the
+    // range touches a transparently promoted superpage, which only the
+    // batched body knows how to demote.
+    let touches_promoted = plan.range.iter().any(|va| {
+        let head = va.as_usize() & !(PAGE_SIZE_2M - 1);
+        mem.vm.is_promoted(plan.as_id, head)
+    });
+    if !mem.vm.batch_enabled() || (plan.len < BATCH_MIN_PAGES && !touches_promoted) {
+        // Original per-page path: every page must be mapped 4 KiB, then
+        // each is unmapped with its own leaf write and TLB invalidation.
+        for va in plan.range.iter() {
+            if !pt.map_4k.contains_key(&va.as_usize()) {
+                return SyscallReturn::err(SyscallError::Fault);
+            }
+        }
+        for va in plan.range.iter() {
+            meter.charge(costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate);
+            let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+            let frame = pt.unmap_4k_page(va).expect("checked above");
+            mem.alloc.dec_map_ref(frame);
+        }
+        return SyscallReturn::ok([plan.len as u64, 0, 0, 0]);
+    }
+    // Batched path. Classify every page before touching anything
+    // (all-or-nothing): a page is either mapped 4 KiB, or covered by a
+    // *transparently promoted* 2 MiB entry — which will be demoted so
+    // the pages outside the requested range survive. Explicit
+    // `MmapHuge2M` superpages still fault, preserving their
+    // all-or-nothing contract.
+    let frames_2m = PageSize::Size2M.frames() as u64;
+    let mut demote_heads: Vec<usize> = Vec::new();
     for va in plan.range.iter() {
-        if !pt.map_4k.contains_key(&va.as_usize()) {
+        let v = va.as_usize();
+        if pt.map_4k.contains_key(&v) {
+            continue;
+        }
+        let head = v & !(PAGE_SIZE_2M - 1);
+        if mem.vm.is_promoted(plan.as_id, head) && pt.map_2m.contains_key(&head) {
+            if demote_heads.last() != Some(&head) {
+                demote_heads.push(head);
+            }
+        } else {
             return SyscallReturn::err(SyscallError::Fault);
         }
     }
-    for va in plan.range.iter() {
-        meter.charge(costs.pt_level_write + costs.page_state_update + costs.tlb_invalidate);
+    // Demote each promoted region the range touches: the single L2 leaf
+    // becomes a fresh L1 table with 512 PTEs over the same frames with
+    // the same permissions (a pure representation change — the
+    // normalized abstract space is untouched), and the allocator's
+    // 2 MiB block splits to match.
+    for head in demote_heads {
+        meter.charge(costs.pt_level_alloc + costs.pt_level_write + frames_2m * costs.pt_fill_write);
+        let frame_head = {
+            let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+            let fh = pt
+                .demote_2m(&mut mem.alloc, VAddr(head))
+                .expect("prechecked promoted 2 MiB entry");
+            pt.defer_shootdown(VAddr(head), frames_2m);
+            fh
+        };
+        mem.alloc.split_mapped_2m(frame_head);
+        mem.vm.clear_promoted(plan.as_id, head);
+        mem.vm.trace_vm(VmOutcome::SuperpageDemotion, 1);
+        mem.vm.trace_vm(VmOutcome::ShootdownDeferred, frames_2m);
+    }
+    // Walk-cached batched unmap of the (now uniformly 4 KiB) range.
+    let (frames, stats) = {
         let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
-        let frame = pt.unmap_4k_page(va).expect("checked above");
+        let r = pt
+            .unmap_range(plan.range.base, plan.len)
+            .expect("prechecked range");
+        pt.defer_shootdown(plan.range.base, plan.len as u64);
+        r
+    };
+    meter.charge(
+        stats.first_walks as u64
+            * (3 * costs.pt_level_read + costs.pt_level_write + costs.page_state_update)
+            + stats.cached_fills as u64 * costs.unmap_fill_page(),
+    );
+    mem.vm
+        .trace_vm(VmOutcome::MapBatchHit, stats.cached_fills as u64);
+    mem.vm
+        .trace_vm(VmOutcome::ShootdownDeferred, plan.len as u64);
+    for frame in frames {
         mem.alloc.dec_map_ref(frame);
     }
+    // Epilogue: one batched shootdown, inside the mem critical section.
+    let flushed = {
+        let pt = mem.vm.table_mut(plan.as_id).expect("space exists");
+        pt.flush_shootdowns()
+    };
+    if flushed > 0 {
+        meter.charge(costs.tlb_shootdown_batch);
+    }
+    mem.vm.trace_vm(VmOutcome::ShootdownFlushed, flushed);
     SyscallReturn::ok([plan.len as u64, 0, 0, 0])
 }
 

@@ -185,14 +185,40 @@ impl ExecCtx<'_> {
         if !m.iommu_authorized(domain, cntr) {
             return err(SyscallError::Denied);
         }
+        let va_page = VAddr(va).align_down(atmo_hw::PAGE_SIZE_4K).as_usize();
+        // DMA pinning inside a transparently promoted region demotes it
+        // back to 4 KiB entries first: the IOMMU maps (and references)
+        // individual frames, so the CPU-side view must expose the same
+        // granularity. The IOMMU view after the round trip is identical
+        // to what it would be had the region never been promoted.
+        let head = va_page & !(atmo_hw::PAGE_SIZE_2M - 1);
+        if m.vm.is_promoted(as_id, head) {
+            let frames_2m = PageSize::Size2M.frames() as u64;
+            self.meter.charge(
+                costs.pt_level_alloc + costs.pt_level_write + frames_2m * costs.pt_fill_write,
+            );
+            let frame_head = {
+                let pt = m.vm.table_mut(as_id).expect("space exists");
+                let fh = pt
+                    .demote_2m(&mut m.alloc, VAddr(head))
+                    .expect("promoted entries are live 2 MiB mappings");
+                pt.defer_shootdown(VAddr(head), frames_2m);
+                let flushed = pt.flush_shootdowns();
+                debug_assert!(flushed >= frames_2m);
+                fh
+            };
+            m.alloc.split_mapped_2m(frame_head);
+            m.vm.clear_promoted(as_id, head);
+            self.meter.charge(costs.tlb_shootdown_batch);
+            m.vm.trace_vm(atmo_trace::VmOutcome::SuperpageDemotion, 1);
+            m.vm.trace_vm(atmo_trace::VmOutcome::ShootdownDeferred, frames_2m);
+            m.vm.trace_vm(atmo_trace::VmOutcome::ShootdownFlushed, frames_2m);
+        }
         // Resolve the caller's mapping (only your own memory can be made
         // DMA-visible — the isolation-preserving rule).
         let frame = {
             let pt = m.vm.table(as_id).expect("space exists");
-            match pt
-                .map_4k
-                .index(&VAddr(va).align_down(atmo_hw::PAGE_SIZE_4K).as_usize())
-            {
+            match pt.map_4k.index(&va_page) {
                 Some(e) => e.frame,
                 None => return err(SyscallError::Fault),
             }

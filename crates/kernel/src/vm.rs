@@ -6,13 +6,13 @@
 //! `page_closure()` are pairwise disjoint, and their union is equal to the
 //! `page_closure()` of the virtual memory management subsystem" (§4.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use atmo_mem::{closure_partition_wf, AllocError, PageAllocator, PageClosure, PagePtr};
 use atmo_ptable::{refinement_wf, Iommu, PageTable};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, Set};
-use atmo_trace::{TraceHandle, TraceShare};
+use atmo_trace::{TraceHandle, TraceShare, VmOutcome};
 
 /// Address-space identifier (one per process; see
 /// [`atmo_pm::Process::addr_space`]).
@@ -27,6 +27,17 @@ pub struct VmSubsystem {
     /// Map/unmap event sink, propagated to every page table (existing and
     /// future).
     trace: TraceShare,
+    /// Batched datapath toggle: when set (the default), `Mmap`/`Munmap`
+    /// use the walk-cached range operations, promote eligible 512-page
+    /// runs to 2 MiB entries, and defer TLB shootdowns to the syscall
+    /// epilogue. When cleared they take the original per-page path —
+    /// both produce the same abstract address space.
+    batch: bool,
+    /// Base addresses of transparently promoted 2 MiB entries, per
+    /// space. Only these are demoted back to 4 KiB by a partial
+    /// `Munmap` or a DMA pin; explicitly requested superpages
+    /// (`MmapHuge2M`) keep their all-or-nothing semantics.
+    promoted: BTreeMap<AsId, BTreeSet<usize>>,
 }
 
 impl VmSubsystem {
@@ -36,7 +47,50 @@ impl VmSubsystem {
             tables: BTreeMap::new(),
             iommu: Iommu::new(),
             trace: TraceShare::detached(),
+            batch: true,
+            promoted: BTreeMap::new(),
         }
+    }
+
+    /// `true` when the batched VM datapath is enabled.
+    pub fn batch_enabled(&self) -> bool {
+        self.batch
+    }
+
+    /// Enables or disables the batched datapath (benchmarks measure the
+    /// per-page baseline with it off).
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Records that the 2 MiB entry at `va` in `as_id` was transparently
+    /// promoted from a 512-page run.
+    pub fn note_promoted(&mut self, as_id: AsId, va: usize) {
+        self.promoted.entry(as_id).or_default().insert(va);
+    }
+
+    /// Forgets a promotion (after demotion or unmap of the entry).
+    pub fn clear_promoted(&mut self, as_id: AsId, va: usize) {
+        if let Some(set) = self.promoted.get_mut(&as_id) {
+            set.remove(&va);
+            if set.is_empty() {
+                self.promoted.remove(&as_id);
+            }
+        }
+    }
+
+    /// `true` when the 2 MiB entry at `va` in `as_id` came from
+    /// transparent promotion.
+    pub fn is_promoted(&self, as_id: AsId, va: usize) -> bool {
+        self.promoted
+            .get(&as_id)
+            .is_some_and(|set| set.contains(&va))
+    }
+
+    /// Counts `n` batched-datapath observations into the trace sink
+    /// (no-op when detached).
+    pub fn trace_vm(&self, outcome: VmOutcome, n: u64) {
+        self.trace.vm(outcome, n);
     }
 
     /// Routes map/unmap events from every page table — current and
@@ -75,6 +129,7 @@ impl VmSubsystem {
     /// release by the caller).
     pub fn destroy_space(&mut self, alloc: &mut PageAllocator, as_id: AsId) -> usize {
         let mut pt = self.tables.remove(&as_id).expect("unknown address space");
+        self.promoted.remove(&as_id);
         let mut removed = 0;
         for (va, (_e, size)) in pt.address_space().iter() {
             let frame = match size {
@@ -143,7 +198,29 @@ impl Invariant for VmSubsystem {
                 "vm",
                 format!("space {id} lost its root table"),
             )?;
+            // Deferred-shootdown quiescence: the queue is drained by the
+            // issuing syscall's epilogue before the mem domain is
+            // released, so no audit point may observe a pending entry.
+            check(
+                pt.pending_shootdowns() == 0,
+                "vm",
+                format!(
+                    "space {id} released with {} pages of un-broadcast shootdowns",
+                    pt.pending_shootdowns()
+                ),
+            )?;
             closures.push(pt.page_closure());
+        }
+        // Every recorded promotion is a live 2 MiB entry of its space.
+        for (id, vas) in &self.promoted {
+            let pt = self.tables.get(id);
+            for va in vas {
+                check(
+                    pt.is_some_and(|pt| pt.map_2m.contains_key(va)),
+                    "vm",
+                    format!("promoted entry {va:#x} of space {id} has no 2 MiB mapping"),
+                )?;
+            }
         }
         self.iommu.wf()?;
         closures.push(self.iommu.page_closure());

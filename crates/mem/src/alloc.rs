@@ -386,6 +386,71 @@ impl PageAllocator {
         }
     }
 
+    /// Hands out a contiguous 2 MiB run assembled *from the 4 KiB
+    /// freelist* for superpage promotion, transitioning the head straight
+    /// to `Mapped { refcnt: 1 }`. Returns `None` without disturbing the
+    /// free lists when memory is too fragmented for an aligned run — the
+    /// caller falls back to batched 4 KiB fills.
+    ///
+    /// Unlike [`PageAllocator::alloc_mapped`]`(Size2M)` this never takes a
+    /// ready-made free 2 MiB block: every constituent frame comes out of
+    /// the 4 KiB freelist, so the abstract pre-state sees each of the 512
+    /// frames as a free 4 KiB page (the `page_is_free` clause of the
+    /// batched `Mmap` spec), and a rollback (`dec_map_ref` + `split_2m`)
+    /// restores the exact pre-state free set.
+    pub fn try_alloc_contiguous_2m(&mut self) -> Option<PagePtr> {
+        if !self.merge_2m() {
+            return None;
+        }
+        // `merge_2m` pushed the newly assembled block at the list head.
+        let p = self.free_2m.pop_front(&mut self.array)?;
+        debug_assert_eq!(self.array.state(p), PageState::Free(PageSize::Size2M));
+        self.array.set_state(
+            p,
+            PageState::Mapped {
+                size: PageSize::Size2M,
+                refcnt: 1,
+            },
+        );
+        self.trace.emit(KernelEvent::PageAlloc {
+            frames: PageSize::Size2M.frames() as u64,
+            closure_delta: 1,
+        });
+        Some(p)
+    }
+
+    /// Splits the *mapped* 2 MiB block at `head` into 512 individually
+    /// mapped 4 KiB pages (superpage demotion). Requires a reference count
+    /// of 1: page grants are 4 KiB-only, so a promoted superpage is never
+    /// shared. No frames change hands and no alloc/free events are
+    /// emitted — this is a pure representation change, audited by `wf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `head` is not a mapped 2 MiB block with `refcnt == 1`.
+    pub fn split_mapped_2m(&mut self, head: PagePtr) {
+        match self.array.state(head) {
+            PageState::Mapped {
+                size: PageSize::Size2M,
+                refcnt: 1,
+            } => {}
+            s => panic!("split_mapped_2m on {head:#x} ({s:?})"),
+        }
+        for k in 0..PageSize::Size2M.frames() {
+            let p = head + k * PAGE_SIZE_4K;
+            if k > 0 {
+                debug_assert_eq!(self.array.state(p), PageState::Merged { head });
+            }
+            self.array.set_state(
+                p,
+                PageState::Mapped {
+                    size: PageSize::Size4K,
+                    refcnt: 1,
+                },
+            );
+        }
+    }
+
     /// Forms a free 1 GiB superpage from a 1 GiB-aligned run of 512 free
     /// 2 MiB blocks, merging 2 MiB blocks first if needed. Returns `true`
     /// on success.

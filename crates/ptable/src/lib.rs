@@ -31,4 +31,4 @@ pub mod table;
 
 pub use iommu::{DeviceId, Iommu, IommuDomainId};
 pub use refine::{refinement_wf, step_preserves_other_mappings};
-pub use table::{MapEntry, MapError, PageTable, TableFrame};
+pub use table::{BatchStats, MapEntry, MapError, PageTable, TableFrame};

@@ -80,6 +80,15 @@ pub fn refinement_wf(pt: &PageTable) -> VerifResult {
         *pt.map_1g.view() == hw_1g,
         "pt_refinement",
         "abstract 1G entries differ from MMU resolution",
+    )?;
+
+    // The incrementally-maintained combined view (what `address_space()`
+    // hands out without a rebuild) is exactly the union of the per-size
+    // maps.
+    check(
+        pt.address_space() == pt.rebuild_address_space(),
+        "pt_refinement",
+        "cached address-space view diverged from the per-size ghost maps",
     )
 }
 

@@ -44,6 +44,19 @@ impl From<AllocError> for MapError {
     }
 }
 
+/// Statistics from a batched range operation: how many leaf writes paid
+/// the full L3→L2→L1 walk and how many hit the walk cache (same L1 table
+/// as the previous page). The caller charges cycles accordingly
+/// (`pt_walk_cached_read + pt_fill_write` per cached fill versus
+/// `3 × pt_level_read + pt_level_write` per first walk).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Pages that resolved the full L3→L2→L1 chain.
+    pub first_walks: usize,
+    /// Pages that reused the cached L1 frame.
+    pub cached_fills: usize,
+}
+
 /// The page table.
 ///
 /// Concrete state: the root frame (`cr3`) plus per-level flat permission
@@ -63,6 +76,22 @@ pub struct PageTable {
     pub map_2m: Ghost<Map<usize, MapEntry>>,
     /// Abstract 1 GiB mapping.
     pub map_1g: Ghost<Map<usize, MapEntry>>,
+    /// The combined `get_address_space()` view, maintained incrementally at
+    /// every leaf step so [`PageTable::address_space`] is an O(1) handle
+    /// clone instead of an O(n²) rebuild. Always equal to the union of the
+    /// three per-size ghost maps (their key sets are disjoint: a slot holds
+    /// either a leaf or a table, never both).
+    space: Map<usize, (MapEntry, PageSize)>,
+    /// Deferred TLB-shootdown queue: `(base va, pages)` runs whose
+    /// invalidation has been queued but not yet broadcast. Flushed once per
+    /// syscall epilogue (one `tlb_shootdown_batch` charge instead of one
+    /// `tlb_invalidate` per page); must be empty whenever the mem domain is
+    /// released (checked by `VmSubsystem::wf`).
+    shootdown_queue: Vec<(usize, u64)>,
+    /// Shootdown generation: bumped by every non-empty flush. A reader that
+    /// observed generation `g` is guaranteed every queue entry from
+    /// generations `< g` has been invalidated.
+    shootdown_gen: u64,
     /// Map/unmap event sink (always-equal share: tracing does not change
     /// table state).
     trace: TraceShare,
@@ -84,6 +113,9 @@ impl PageTable {
             map_4k: Ghost::new(Map::empty()),
             map_2m: Ghost::new(Map::empty()),
             map_1g: Ghost::new(Map::empty()),
+            space: Map::empty(),
+            shootdown_queue: Vec::new(),
+            shootdown_gen: 0,
             trace: TraceShare::detached(),
         })
     }
@@ -213,13 +245,12 @@ impl PageTable {
             va.l1_index(),
             PageEntry::encode(PAddr::new(frame), leaf_flags),
         );
-        self.map_4k.assign(self.map_4k.insert(
-            va.as_usize(),
-            MapEntry {
-                frame,
-                flags: leaf_flags,
-            },
-        ));
+        let entry = MapEntry {
+            frame,
+            flags: leaf_flags,
+        };
+        self.map_4k.assign(self.map_4k.insert(va.as_usize(), entry));
+        self.space = self.space.insert(va.as_usize(), (entry, PageSize::Size4K));
         self.trace.emit(KernelEvent::PtMap {
             va: va.as_usize(),
             frames: 1,
@@ -281,10 +312,9 @@ impl PageTable {
             va.l2_index(),
             PageEntry::encode(PAddr::new(frame), leaf),
         );
-        self.map_2m.assign(
-            self.map_2m
-                .insert(va.as_usize(), MapEntry { frame, flags: leaf }),
-        );
+        let entry = MapEntry { frame, flags: leaf };
+        self.map_2m.assign(self.map_2m.insert(va.as_usize(), entry));
+        self.space = self.space.insert(va.as_usize(), (entry, PageSize::Size2M));
         self.trace.emit(KernelEvent::PtMap {
             va: va.as_usize(),
             frames: PageSize::Size2M.frames() as u64,
@@ -324,10 +354,9 @@ impl PageTable {
             va.l3_index(),
             PageEntry::encode(PAddr::new(frame), leaf),
         );
-        self.map_1g.assign(
-            self.map_1g
-                .insert(va.as_usize(), MapEntry { frame, flags: leaf }),
-        );
+        let entry = MapEntry { frame, flags: leaf };
+        self.map_1g.assign(self.map_1g.insert(va.as_usize(), entry));
+        self.space = self.space.insert(va.as_usize(), (entry, PageSize::Size1G));
         self.trace.emit(KernelEvent::PtMap {
             va: va.as_usize(),
             frames: PageSize::Size1G.frames() as u64,
@@ -348,6 +377,7 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l1_tables, l1, va.l1_index(), PageEntry::zero());
         self.map_4k.assign(self.map_4k.remove(&va.as_usize()));
+        self.space = self.space.remove(&va.as_usize());
         self.trace.emit(KernelEvent::PtUnmap {
             va: va.as_usize(),
             frames: 1,
@@ -365,6 +395,7 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l2_tables, l2, va.l2_index(), PageEntry::zero());
         self.map_2m.assign(self.map_2m.remove(&va.as_usize()));
+        self.space = self.space.remove(&va.as_usize());
         self.trace.emit(KernelEvent::PtUnmap {
             va: va.as_usize(),
             frames: PageSize::Size2M.frames() as u64,
@@ -381,11 +412,213 @@ impl PageTable {
         }
         Self::write_entry(&mut self.l3_tables, l3, va.l3_index(), PageEntry::zero());
         self.map_1g.assign(self.map_1g.remove(&va.as_usize()));
+        self.space = self.space.remove(&va.as_usize());
         self.trace.emit(KernelEvent::PtUnmap {
             va: va.as_usize(),
             frames: PageSize::Size1G.frames() as u64,
         });
         Ok(e.frame().as_usize())
+    }
+
+    // ----- batched range operations (walk cache) -------------------------
+
+    /// Maps `frames[i]` at `base + i·4K` for every `i`, resolving the
+    /// L3→L2→L1 chain once per L1-table run and filling contiguous PTEs.
+    /// Ghost updates and trace events are identical to `frames.len()`
+    /// individual [`PageTable::map_4k_page`] calls, so the abstract address
+    /// space is bit-identical to the per-page path.
+    ///
+    /// On failure the pages already mapped by this call are unmapped again
+    /// (intermediate tables are retained, as on the per-page path) and the
+    /// error returned; the caller owns the frames throughout.
+    pub fn map_range(
+        &mut self,
+        alloc: &mut PageAllocator,
+        base: VAddr,
+        frames: &[PagePtr],
+        flags: EntryFlags,
+    ) -> Result<BatchStats, MapError> {
+        if !base.is_aligned(PAGE_SIZE_4K) {
+            return Err(MapError::Misaligned);
+        }
+        let mut stats = BatchStats::default();
+        // (l4, l3, l2 index triple) → resolved L1 frame for the run.
+        let mut cache: Option<((usize, usize, usize), PagePtr)> = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let va = VAddr(base.as_usize() + i * PAGE_SIZE_4K);
+            if !va.is_canonical() {
+                self.rollback_range(base, i);
+                return Err(MapError::NonCanonical);
+            }
+            let key = (va.l4_index(), va.l3_index(), va.l2_index());
+            let l1 = match cache {
+                Some((k, l1)) if k == key => {
+                    stats.cached_fills += 1;
+                    l1
+                }
+                _ => {
+                    stats.first_walks += 1;
+                    let chain = self
+                        .ensure_l3(alloc, va)
+                        .and_then(|l3| self.ensure_l2(alloc, l3, va))
+                        .and_then(|l2| self.ensure_l1(alloc, l2, va));
+                    match chain {
+                        Ok(l1) => l1,
+                        Err(e) => {
+                            self.rollback_range(base, i);
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            if let Err(e) = self.write_leaf_4k(l1, va, *frame, flags) {
+                self.rollback_range(base, i);
+                return Err(e);
+            }
+            cache = Some((key, l1));
+        }
+        Ok(stats)
+    }
+
+    /// Unmaps the already-mapped pages `base .. base + i·4K` (failure path
+    /// of [`PageTable::map_range`]).
+    fn rollback_range(&mut self, base: VAddr, n: usize) {
+        for k in 0..n {
+            let va = VAddr(base.as_usize() + k * PAGE_SIZE_4K);
+            let _ = self.unmap_4k_page(va);
+        }
+    }
+
+    /// Unmaps the `n` 4 KiB pages starting at `base` with the same walk
+    /// cache as [`PageTable::map_range`], returning the frames in order.
+    /// All-or-nothing: every page is verified mapped (at 4 KiB) before the
+    /// first entry is touched.
+    pub fn unmap_range(
+        &mut self,
+        base: VAddr,
+        n: usize,
+    ) -> Result<(Vec<PagePtr>, BatchStats), MapError> {
+        if !base.is_aligned(PAGE_SIZE_4K) {
+            return Err(MapError::Misaligned);
+        }
+        for k in 0..n {
+            let va = base.as_usize() + k * PAGE_SIZE_4K;
+            if !self.map_4k.contains_key(&va) {
+                return Err(MapError::NotMapped);
+            }
+        }
+        let mut stats = BatchStats::default();
+        let mut frames = Vec::with_capacity(n);
+        let mut cache: Option<((usize, usize, usize), PagePtr)> = None;
+        for k in 0..n {
+            let va = VAddr(base.as_usize() + k * PAGE_SIZE_4K);
+            let key = (va.l4_index(), va.l3_index(), va.l2_index());
+            let l1 = match cache {
+                Some((c, l1)) if c == key => {
+                    stats.cached_fills += 1;
+                    l1
+                }
+                _ => {
+                    stats.first_walks += 1;
+                    let l3 = self.walk_to_l3(va).ok_or(MapError::NotMapped)?;
+                    let l2 = self.walk_entry(&self.l3_tables, l3, va.l3_index())?;
+                    self.walk_entry(&self.l2_tables, l2, va.l2_index())?
+                }
+            };
+            let e = Self::read_entry(&self.l1_tables, l1, va.l1_index());
+            debug_assert!(e.is_present(), "precheck guarantees presence");
+            Self::write_entry(&mut self.l1_tables, l1, va.l1_index(), PageEntry::zero());
+            self.map_4k.assign(self.map_4k.remove(&va.as_usize()));
+            self.space = self.space.remove(&va.as_usize());
+            self.trace.emit(KernelEvent::PtUnmap {
+                va: va.as_usize(),
+                frames: 1,
+            });
+            frames.push(e.frame().as_usize());
+            cache = Some((key, l1));
+        }
+        Ok((frames, stats))
+    }
+
+    /// Demotes the 2 MiB superpage at `va` back to 512 individual 4 KiB
+    /// PTEs covering the same frames with the same permissions. The
+    /// abstract per-4K coverage is unchanged — only the representation
+    /// (one `Size2M` entry versus 512 `Size4K` entries) differs — so no
+    /// map/unmap trace events are emitted. Returns the head frame; the
+    /// caller splits the allocator's 2 MiB block to match
+    /// ([`PageAllocator::split_mapped_2m`]).
+    ///
+    /// Costs one intermediate-table allocation (the new L1) plus the fills,
+    /// charged by the caller.
+    pub fn demote_2m(&mut self, alloc: &mut PageAllocator, va: VAddr) -> Result<PagePtr, MapError> {
+        if !va.is_aligned(PAGE_SIZE_2M) {
+            return Err(MapError::Misaligned);
+        }
+        let entry = *self
+            .map_2m
+            .index(&va.as_usize())
+            .ok_or(MapError::NotMapped)?;
+        let l3 = self.walk_to_l3(va).ok_or(MapError::NotMapped)?;
+        let l2 = self.walk_entry(&self.l3_tables, l3, va.l3_index())?;
+        // Replace the huge L2 leaf with a fresh L1 table, then fill it.
+        let l1 = Self::alloc_level(
+            alloc,
+            (&mut self.l2_tables, l2, va.l2_index()),
+            &mut self.l1_tables,
+        )?;
+        self.map_2m.assign(self.map_2m.remove(&va.as_usize()));
+        self.space = self.space.remove(&va.as_usize());
+        let mut leaf_flags = entry.flags;
+        leaf_flags.huge = false;
+        for k in 0..ENTRIES_PER_TABLE {
+            let pva = va.as_usize() + k * PAGE_SIZE_4K;
+            let frame = entry.frame + k * PAGE_SIZE_4K;
+            Self::write_entry(
+                &mut self.l1_tables,
+                l1,
+                k,
+                PageEntry::encode(PAddr::new(frame), leaf_flags),
+            );
+            let e = MapEntry {
+                frame,
+                flags: leaf_flags,
+            };
+            self.map_4k.assign(self.map_4k.insert(pva, e));
+            self.space = self.space.insert(pva, (e, PageSize::Size4K));
+        }
+        Ok(entry.frame)
+    }
+
+    // ----- deferred TLB shootdown ---------------------------------------
+
+    /// Queues the invalidation of `pages` pages starting at `va` instead of
+    /// broadcasting per-page `invlpg`s. The queue must be flushed (one
+    /// `tlb_shootdown_batch` charge) before the mem domain is released;
+    /// `VmSubsystem::wf` checks quiescence.
+    pub fn defer_shootdown(&mut self, va: VAddr, pages: u64) {
+        self.shootdown_queue.push((va.as_usize(), pages));
+    }
+
+    /// Pages with a queued-but-unflushed invalidation.
+    pub fn pending_shootdowns(&self) -> u64 {
+        self.shootdown_queue.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Completed flush epochs.
+    pub fn shootdown_generation(&self) -> u64 {
+        self.shootdown_gen
+    }
+
+    /// Broadcasts one batched shootdown covering every queued run, bumping
+    /// the generation. Returns the number of pages invalidated (0 = no
+    /// flush was needed and no cycles should be charged).
+    pub fn flush_shootdowns(&mut self) -> u64 {
+        let n = self.pending_shootdowns();
+        if n > 0 {
+            self.shootdown_queue.clear();
+            self.shootdown_gen += 1;
+        }
+        n
     }
 
     fn walk_to_l3(&self, va: VAddr) -> Option<PagePtr> {
@@ -450,6 +683,16 @@ impl PageTable {
     /// the `get_address_space()` view the isolation invariants quantify
     /// over (§4.3).
     pub fn address_space(&self) -> Map<usize, (MapEntry, PageSize)> {
+        // Maintained incrementally at every leaf step; returning it is an
+        // O(1) persistent-handle clone. `space_rebuild_matches_cache` in
+        // the tests pins the equivalence with the per-size ghost maps.
+        self.space.clone()
+    }
+
+    /// The combined view rebuilt from scratch out of the three per-size
+    /// ghost maps (the pre-batching definition of `address_space()`); used
+    /// to audit the incrementally-maintained cache.
+    pub fn rebuild_address_space(&self) -> Map<usize, (MapEntry, PageSize)> {
         let mut m = Map::empty();
         for (va, e) in self.map_4k.iter() {
             m = m.insert(*va, (*e, PageSize::Size4K));

@@ -93,6 +93,39 @@ pub struct PtableCounters {
     pub frames_unmapped: u64,
 }
 
+/// Batched-VM-datapath counters (walk cache, superpage promotion, and
+/// deferred TLB shootdowns). Counter-only — like
+/// [`FastpathCounters`], these annotate work whose ring events are
+/// already emitted by the allocator and page table, so they never enter
+/// the per-kind event reconciliation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Batched leaf fills that reused the cached L1 walk instead of
+    /// resolving the L3→L2→L1 chain again.
+    pub map_batch_hits: u64,
+    /// 512-page runs promoted to a single 2 MiB entry.
+    pub superpage_promotions: u64,
+    /// Promoted entries split back into 512 4 KiB entries (partial
+    /// unmap or DMA pinning inside the region).
+    pub superpage_demotions: u64,
+    /// Pages whose TLB invalidation was queued for a batched shootdown.
+    pub tlb_shootdowns_deferred: u64,
+    /// Pages invalidated by batched shootdown flushes. Never exceeds
+    /// the deferred count on a shard: a flush only drains what the same
+    /// syscall queued (`trace_wf` checks this).
+    pub tlb_shootdowns_flushed: u64,
+}
+
+impl VmCounters {
+    fn merge(&mut self, other: &VmCounters) {
+        self.map_batch_hits += other.map_batch_hits;
+        self.superpage_promotions += other.superpage_promotions;
+        self.superpage_demotions += other.superpage_demotions;
+        self.tlb_shootdowns_deferred += other.tlb_shootdowns_deferred;
+        self.tlb_shootdowns_flushed += other.tlb_shootdowns_flushed;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -146,6 +179,8 @@ pub struct Counters {
     pub mem: MemCounters,
     /// Page tables.
     pub ptable: PtableCounters,
+    /// Batched VM datapath.
+    pub vm: VmCounters,
     /// Drivers.
     pub drivers: DriverCounters,
     /// Domain locks.
@@ -198,6 +233,14 @@ impl Counters {
             ("ptable.unmaps", self.ptable.unmaps),
             ("ptable.frames_mapped", self.ptable.frames_mapped),
             ("ptable.frames_unmapped", self.ptable.frames_unmapped),
+            ("vm.map_batch_hits", self.vm.map_batch_hits),
+            ("vm.superpage_promotions", self.vm.superpage_promotions),
+            ("vm.superpage_demotions", self.vm.superpage_demotions),
+            (
+                "vm.tlb_shootdowns_deferred",
+                self.vm.tlb_shootdowns_deferred,
+            ),
+            ("vm.tlb_shootdowns_flushed", self.vm.tlb_shootdowns_flushed),
             ("drivers.rx_batches", self.drivers.rx_batches),
             ("drivers.rx_items", self.drivers.rx_items),
             ("drivers.tx_batches", self.drivers.tx_batches),
@@ -234,6 +277,7 @@ impl Counters {
         self.ptable.unmaps += other.ptable.unmaps;
         self.ptable.frames_mapped += other.ptable.frames_mapped;
         self.ptable.frames_unmapped += other.ptable.frames_unmapped;
+        self.vm.merge(&other.vm);
         self.drivers.rx_batches += other.drivers.rx_batches;
         self.drivers.rx_items += other.drivers.rx_items;
         self.drivers.tx_batches += other.drivers.tx_batches;
@@ -277,6 +321,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("pm.")));
         assert!(names.iter().any(|n| n.starts_with("mem.")));
         assert!(names.iter().any(|n| n.starts_with("ptable.")));
+        assert!(names.iter().any(|n| n.starts_with("vm.")));
         assert!(names.iter().any(|n| n.starts_with("drivers.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }

@@ -44,14 +44,14 @@ pub mod snapshot;
 
 pub use counters::{
     Counters, DriverCounters, FastpathCounters, LockCounters, LocksCounters, MemCounters,
-    PmCounters, PtableCounters,
+    PmCounters, PtableCounters, VmCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
 pub use sink::{
     ns_to_cycles, trace_wf, FastpathOutcome, LockDomain, SyscallStats, TraceHandle, TraceShare,
-    TraceSink,
+    TraceSink, VmOutcome,
 };
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 

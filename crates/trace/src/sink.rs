@@ -19,7 +19,7 @@ use std::time::Instant;
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
-use crate::counters::{Counters, FastpathCounters};
+use crate::counters::{Counters, FastpathCounters, VmCounters};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
 };
@@ -86,6 +86,37 @@ impl FastpathOutcome {
             FastpathOutcome::Budget => fp.fallback_budget += 1,
             FastpathOutcome::SlotCacheHit => fp.slot_cache_hits += 1,
             FastpathOutcome::SlotCacheMiss => fp.slot_cache_misses += 1,
+        }
+    }
+}
+
+/// One batched-VM-datapath observation. Like [`FastpathOutcome`] these
+/// are counter-only annotations: the ring events for the underlying
+/// allocator/page-table work are already emitted by those subsystems, so
+/// an extra ring entry would break the exact per-kind reconciliation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmOutcome {
+    /// Batched leaf fills that hit the walk cache (count = fills).
+    MapBatchHit,
+    /// A 512-page run was promoted to one 2 MiB entry.
+    SuperpagePromotion,
+    /// A promoted entry was split back to 512 4 KiB entries.
+    SuperpageDemotion,
+    /// Page invalidations queued for a deferred shootdown (count =
+    /// pages).
+    ShootdownDeferred,
+    /// Page invalidations broadcast by a batched flush (count = pages).
+    ShootdownFlushed,
+}
+
+impl VmOutcome {
+    fn count_into(self, vm: &mut VmCounters, n: u64) {
+        match self {
+            VmOutcome::MapBatchHit => vm.map_batch_hits += n,
+            VmOutcome::SuperpagePromotion => vm.superpage_promotions += n,
+            VmOutcome::SuperpageDemotion => vm.superpage_demotions += n,
+            VmOutcome::ShootdownDeferred => vm.tlb_shootdowns_deferred += n,
+            VmOutcome::ShootdownFlushed => vm.tlb_shootdowns_flushed += n,
         }
     }
 }
@@ -265,6 +296,18 @@ impl TraceSink {
     pub fn fastpath_event(&self, outcome: FastpathOutcome) {
         self.with_shard(CURRENT_CPU.get(), |shard| {
             outcome.count_into(&mut shard.counters.pm.fastpath)
+        });
+    }
+
+    /// Counts `n` batched-VM-datapath observations on the CPU attributed
+    /// to this OS thread. Counter-only, no ring event (see
+    /// [`VmOutcome`]).
+    pub fn vm_event(&self, outcome: VmOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.vm, n)
         });
     }
 
@@ -524,6 +567,14 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             "trace",
             format!("cpu {cpu}: more fastpath hits than rendezvous deliveries"),
         )?;
+        // A batched shootdown flush only drains invalidations the same
+        // mem critical section queued, so on any shard the flushed pages
+        // can never outnumber the deferred ones.
+        check(
+            ctrs.vm.tlb_shootdowns_flushed <= ctrs.vm.tlb_shootdowns_deferred,
+            "trace",
+            format!("cpu {cpu}: more shootdown pages flushed than deferred"),
+        )?;
         merged.merge(&ctrs);
     }
     check(
@@ -582,6 +633,14 @@ impl TraceShare {
     pub fn fastpath(&self, outcome: FastpathOutcome) {
         if let Some(sink) = &self.0 {
             sink.fastpath_event(outcome);
+        }
+    }
+
+    /// Counts `n` batched-VM-datapath observations (no-op when
+    /// detached).
+    pub fn vm(&self, outcome: VmOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.vm_event(outcome, n);
         }
     }
 

@@ -84,6 +84,24 @@ fn main() {
         let _ = k.syscall(0, SyscallArgs::Recv { slot: 0 });
     }
 
+    // A 512-page run in a fresh 2 MiB region: the batched datapath
+    // promotes it to one superpage; the partial unmap demotes it back.
+    let _ = k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x6000_0000,
+            len: 512,
+            writable: true,
+        },
+    );
+    let _ = k.syscall(
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x6000_5000,
+            len: 1,
+        },
+    );
+
     // Scheduling churn, and a couple of deliberate failures so the error
     // column of the report is populated.
     for _ in 0..6 {
@@ -128,6 +146,23 @@ fn main() {
         "slot cache               {} hits, {} misses",
         fp.slot_cache_hits, fp.slot_cache_misses
     );
+
+    // Batched VM datapath telemetry: walk-cache amortization, superpage
+    // promotion/demotion, and the deferred-shootdown ledger (trace_wf
+    // enforces flushed <= deferred).
+    let vm = k.trace_snapshot().counters.vm;
+    println!("\n== Batched VM datapath ==");
+    println!("walk-cache fills (batch hits)  {}", vm.map_batch_hits);
+    println!(
+        "superpages               {} promoted, {} demoted",
+        vm.superpage_promotions, vm.superpage_demotions
+    );
+    println!(
+        "TLB shootdowns           {} deferred, {} flushed in batches",
+        vm.tlb_shootdowns_deferred, vm.tlb_shootdowns_flushed
+    );
+    assert!(vm.superpage_promotions >= 1, "512-page run promoted");
+    assert!(vm.tlb_shootdowns_flushed <= vm.tlb_shootdowns_deferred);
 
     assert!(k.wf().is_ok(), "{:?}", k.wf());
     println!("\ntotal_wf (including trace_wf) holds over the final state.");

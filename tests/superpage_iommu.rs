@@ -3,9 +3,10 @@
 //! device attachment, DMA-visibility of own memory only, grant of domain
 //! identifiers over IPC, and teardown on container termination.
 
-use atmosphere::hw::VAddr;
+use atmosphere::hw::{VAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use atmosphere::kernel::refine::audited_syscall;
 use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs, SyscallError};
+use atmosphere::mem::PageSize;
 use atmosphere::spec::harness::Invariant;
 
 fn ok(k: &mut Kernel, cpu: usize, args: SyscallArgs) -> u64 {
@@ -308,6 +309,359 @@ fn iommu_domain_access_is_container_scoped_until_granted() {
     );
     assert!(k.wf().is_ok(), "{:?}", k.wf());
     let _ = init_proc;
+}
+
+// ----- transparent 2 MiB promotion on the batched datapath --------------
+
+/// Scratch region for the freelist-aligning filler mapping.
+const FILLER_VA: usize = 0x7000_0000;
+
+fn boot_big() -> Kernel {
+    Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 2048,
+    })
+}
+
+/// Conditions `k` so its 4 KiB freelist head sits exactly on a fully-free
+/// 2 MiB boundary, then maps a 512-page run at `va`. With the batched
+/// datapath on, the run promotes to one `Size2M` entry whose frame is the
+/// returned head; with it off, the per-page path pops the exact same 512
+/// frames in order — which is what makes batched and per-page executions
+/// comparable frame-for-frame.
+///
+/// Returns `(head_frame, filler_pages)`.
+fn align_freelist_and_mmap_512(k: &mut Kernel, va: usize) -> (usize, usize) {
+    // Warm the upper table levels through a *sibling* 2 MiB region (same
+    // L3/L2, different L1): the target's L2 slot must stay empty or the
+    // superpage cannot be installed there.
+    for base in [va + PAGE_SIZE_2M, FILLER_VA] {
+        ok(
+            k,
+            0,
+            SyscallArgs::Mmap {
+                va_base: base,
+                len: 1,
+                writable: true,
+            },
+        );
+        ok(
+            k,
+            0,
+            SyscallArgs::Munmap {
+                va_base: base,
+                len: 1,
+            },
+        );
+    }
+    // First 2 MiB-aligned boundary whose entire run is free.
+    let free: std::collections::BTreeSet<usize> =
+        k.mem.alloc.free_pages_4k().iter().copied().collect();
+    let lowest = *free.iter().next().expect("free memory");
+    let mut head = lowest.next_multiple_of(PAGE_SIZE_2M);
+    while !(0..512).all(|i| free.contains(&(head + i * PAGE_SIZE_4K))) {
+        head += PAGE_SIZE_2M;
+    }
+    let filler = free.iter().filter(|&&p| p < head).count();
+    if filler > 0 {
+        ok(
+            k,
+            0,
+            SyscallArgs::Mmap {
+                va_base: FILLER_VA,
+                len: filler,
+                writable: true,
+            },
+        );
+    }
+    assert_eq!(
+        k.mem.alloc.free_pages_4k().iter().next().copied(),
+        Some(head),
+        "freelist head must sit on the 2 MiB boundary"
+    );
+    ok(
+        k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: va,
+            len: 512,
+            writable: true,
+        },
+    );
+    (head, filler)
+}
+
+#[test]
+fn aligned_512_run_promotes_and_full_unmap_returns_frames() {
+    let mut k = boot_big();
+    let used0 = k.pm.cntr(k.root_container).used;
+    let (head, filler) = align_freelist_and_mmap_512(&mut k, 0x4000_0000);
+
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let pt = k.mem.vm.table(as_id).unwrap();
+    let entry = pt.map_2m.index(&0x4000_0000).expect("run promoted to 2M");
+    assert_eq!(entry.frame, head, "promotion took the aligned freelist run");
+    assert_eq!(
+        pt.resolve(VAddr(0x4000_5000)).unwrap().size,
+        PAGE_SIZE_2M,
+        "MMU sees one superpage"
+    );
+    assert_eq!(
+        k.pm.cntr(k.root_container).used,
+        used0 + filler + 512,
+        "promotion charges the same 512-page quota as per-page"
+    );
+    let snap = k.trace_snapshot();
+    assert_eq!(snap.counters.vm.superpage_promotions, 1);
+    assert!(snap.counters.vm.tlb_shootdowns_deferred >= 512);
+    assert!(
+        snap.counters.vm.tlb_shootdowns_flushed <= snap.counters.vm.tlb_shootdowns_deferred,
+        "trace_wf inequality"
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // Full unmap demotes, returns all 512 frames and the quota.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_0000,
+            len: 512,
+        },
+    );
+    assert_eq!(k.trace_snapshot().counters.vm.superpage_demotions, 1);
+    assert_eq!(k.pm.cntr(k.root_container).used, used0 + filler);
+    if filler > 0 {
+        ok(
+            &mut k,
+            0,
+            SyscallArgs::Munmap {
+                va_base: FILLER_VA,
+                len: filler,
+            },
+        );
+    }
+    assert!(k.mem.alloc.mapped_pages().is_empty(), "no frames leaked");
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn audits_preserve_promoted_superpage_entries() {
+    // Satellite check: running the audit (total_wf, which rebuilds the
+    // abstract space from the radix tree) must not regress a promoted
+    // `Size2M` entry into 512 `Size4K` entries in the observed view.
+    let mut k = boot_big();
+    align_freelist_and_mmap_512(&mut k, 0x4000_0000);
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+
+    let view_before = k.mem.vm.view();
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+    let (ret, audit) = audited_syscall(&mut k, 0, SyscallArgs::Yield);
+    assert!(ret.is_ok() && audit.is_ok(), "{audit:?}");
+    let view_after = k.mem.vm.view();
+
+    assert_eq!(view_before, view_after, "audits must not mutate the view");
+    let space = view_after.index(&as_id).unwrap();
+    let (_, size) = space.index(&0x4000_0000).expect("entry survives audits");
+    assert_eq!(*size, PageSize::Size2M, "superpage not regressed to 4K");
+    assert_eq!(
+        space
+            .iter()
+            .filter(|&(va, _)| (0x4000_0000..0x4020_0000).contains(va))
+            .count(),
+        1,
+        "exactly one entry covers the promoted run"
+    );
+}
+
+#[test]
+fn unaligned_512_run_stays_4k() {
+    let mut k = boot_big();
+    // 512 pages starting one page past the 2 MiB boundary: no aligned
+    // fully-covered window exists, so nothing may promote.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_1000,
+            len: 512,
+            writable: true,
+        },
+    );
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let pt = k.mem.vm.table(as_id).unwrap();
+    assert!(pt.map_2m.is_empty(), "unaligned run must not promote");
+    assert_eq!(pt.resolve(VAddr(0x4000_1000)).unwrap().size, PAGE_SIZE_4K);
+    let snap = k.trace_snapshot();
+    assert_eq!(snap.counters.vm.superpage_promotions, 0);
+    assert!(
+        snap.counters.vm.map_batch_hits > 0,
+        "walk cache still amortizes the fills"
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_1000,
+            len: 512,
+        },
+    );
+    assert!(k.mem.alloc.mapped_pages().is_empty());
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn mixed_permission_runs_never_promote() {
+    let mut k = boot_big();
+    // Two mmaps with different permissions jointly cover an aligned
+    // 2 MiB window; promotion only ever applies within a single
+    // uniform-permission call, so the window stays 4 KiB.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4000_0000,
+            len: 256,
+            writable: true,
+        },
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Mmap {
+            va_base: 0x4010_0000,
+            len: 256,
+            writable: false,
+        },
+    );
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let pt = k.mem.vm.table(as_id).unwrap();
+    assert!(pt.map_2m.is_empty(), "mixed permissions must not promote");
+    assert_eq!(k.trace_snapshot().counters.vm.superpage_promotions, 0);
+    let rw = pt.map_4k.index(&0x4000_0000).unwrap().flags;
+    let ro = pt.map_4k.index(&0x4010_0000).unwrap().flags;
+    assert_ne!(rw, ro, "each half keeps its own permissions");
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn partial_unmap_demotes_and_preserves_the_other_511() {
+    let mut k = boot_big();
+    let (head, _filler) = align_freelist_and_mmap_512(&mut k, 0x4000_0000);
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+    let used_before = k.pm.cntr(k.root_container).used;
+
+    // Unmap one page in the middle of the promoted run.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_5000,
+            len: 1,
+        },
+    );
+    assert_eq!(k.trace_snapshot().counters.vm.superpage_demotions, 1);
+    assert_eq!(k.pm.cntr(k.root_container).used, used_before - 1);
+
+    let pt = k.mem.vm.table(as_id).unwrap();
+    assert!(pt.map_2m.is_empty(), "entry demoted");
+    assert!(pt.resolve(VAddr(0x4000_5000)).is_none(), "hole unmapped");
+    // The other 511 pages survive with the frames the superpage covered.
+    for i in 0..512usize {
+        let va = 0x4000_0000 + i * PAGE_SIZE_4K;
+        if i == 5 {
+            assert!(pt.map_4k.index(&va).is_none());
+            continue;
+        }
+        let e = pt.map_4k.index(&va).unwrap_or_else(|| panic!("page {i}"));
+        assert_eq!(e.frame, head + i * PAGE_SIZE_4K, "page {i} keeps its frame");
+    }
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // The remainder unmaps cleanly around the hole.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_0000,
+            len: 5,
+        },
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_6000,
+            len: 506,
+        },
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn iommu_view_is_stable_across_promotion_and_pin_demotion() {
+    let mut k = boot_big();
+    let (head, _filler) = align_freelist_and_mmap_512(&mut k, 0x4000_0000);
+    let as_id = k.pm.proc(k.init_proc).addr_space;
+
+    // Pin a page inside the promoted run for DMA: the superpage is
+    // transparently demoted (grants and IOMMU references are 4 KiB-only)
+    // and the device must see exactly the frame the superpage covered.
+    let dom = ok(&mut k, 0, SyscallArgs::IommuCreateDomain) as u32;
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuAttach {
+            domain: dom,
+            device: 7,
+        },
+    );
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuMap {
+            domain: dom,
+            iova: 0x10_0000,
+            va: 0x4000_5000,
+        },
+    );
+    assert_eq!(k.trace_snapshot().counters.vm.superpage_demotions, 1);
+
+    let pt = k.mem.vm.table(as_id).unwrap();
+    assert!(pt.map_2m.is_empty(), "pin demoted the superpage");
+    let frame = pt.map_4k.index(&0x4000_5000).unwrap().frame;
+    assert_eq!(frame, head + 5 * PAGE_SIZE_4K);
+    let r = k.mem.vm.iommu.translate(7, VAddr(0x10_0000)).unwrap();
+    assert_eq!(
+        r.frame.as_usize(),
+        frame,
+        "device view matches the never-promoted layout"
+    );
+    assert_eq!(k.mem.alloc.map_refcnt(frame), 2, "process + IOMMU");
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    // Process unmap keeps the DMA pin alive; the IOMMU unmap frees it.
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::Munmap {
+            va_base: 0x4000_0000,
+            len: 512,
+        },
+    );
+    assert_eq!(k.mem.alloc.map_refcnt(frame), 1);
+    assert!(k.mem.vm.iommu.translate(7, VAddr(0x10_0000)).is_some());
+    ok(
+        &mut k,
+        0,
+        SyscallArgs::IommuUnmap {
+            domain: dom,
+            iova: 0x10_0000,
+        },
+    );
+    assert!(k.mem.alloc.page_is_free(frame));
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
 
 #[test]
