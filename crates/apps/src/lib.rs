@@ -21,10 +21,21 @@ pub use httpd::{HttpRequest, HttpResponse, Httpd};
 pub use kvstore::{KvRequest, KvResponse, KvStore};
 pub use maglev::MaglevTable;
 
+/// FNV-1a 64-bit offset basis (the hash of the empty string).
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a 64-bit hash (the paper's kv-store hash function; also used for
 /// Maglev flow hashing).
 pub fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_fold(FNV1A_OFFSET, data)
+}
+
+/// Folds `data` into a running FNV-1a state `h`. Because FNV-1a consumes
+/// its input one byte at a time, `fnv1a_fold(fnv1a(a), b)` equals
+/// `fnv1a` of the concatenation `a ++ b` — callers can hash a composite
+/// key piecewise without materialising the concatenated string.
+pub fn fnv1a_fold(h: u64, data: &[u8]) -> u64 {
+    let mut h = h;
     for &b in data {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
@@ -42,6 +53,18 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_fold_matches_concatenation() {
+        // The incremental form must agree with hashing the concatenated
+        // bytes in one shot (this is what lets MaglevTable::new avoid a
+        // per-backend String allocation).
+        let name = "backend-3";
+        let concat = fnv1a(format!("{name}#skip").as_bytes());
+        let folded = fnv1a_fold(fnv1a(name.as_bytes()), b"#skip");
+        assert_eq!(folded, concat);
+        assert_eq!(fnv1a_fold(FNV1A_OFFSET, b"foobar"), fnv1a(b"foobar"));
     }
 
     #[test]

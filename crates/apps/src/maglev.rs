@@ -8,8 +8,8 @@
 //! construction yields near-perfect balance and minimal disruption when
 //! backends come and go.
 
-use crate::fnv1a;
-use atmo_drivers::pkt::Packet;
+use crate::{fnv1a, fnv1a_fold};
+use atmo_drivers::pkt::{self, Packet};
 
 /// Default lookup-table size (a prime, per the Maglev paper's small
 /// setting; production uses 65537).
@@ -38,8 +38,11 @@ impl MaglevTable {
         let params: Vec<(usize, usize)> = backends
             .iter()
             .map(|b| {
+                // The second hash is fnv1a("{b}#skip"); folding the static
+                // suffix into the first hash's state yields the identical
+                // value without a per-backend String allocation.
                 let h1 = fnv1a(b.as_bytes());
-                let h2 = fnv1a(format!("{b}#skip").as_bytes());
+                let h2 = fnv1a_fold(h1, b"#skip");
                 (h1 as usize % size, h2 as usize % (size - 1).max(1) + 1)
             })
             .collect();
@@ -95,13 +98,20 @@ impl MaglevTable {
     /// Figure 6 benchmark measures). Returns the backend index, or `None`
     /// for non-UDP frames (dropped).
     pub fn process_packet(&self, pkt: &mut Packet) -> Option<usize> {
-        let key = pkt.flow_key()?;
+        self.process_frame(&mut pkt.data)
+    }
+
+    /// [`Self::process_packet`] over a borrowed frame — the zero-copy
+    /// datapath hands the app a mutable view of the NIC buffer slot, so
+    /// the rewrite happens in place with no owned `Packet` in sight.
+    pub fn process_frame(&self, frame: &mut [u8]) -> Option<usize> {
+        let key = pkt::flow_key_of(frame)?;
         let backend = self.lookup(fnv1a(&key));
         // Rewrite destination MAC and IP to the backend's (derived here
         // from the backend index, as a real deployment would via ARP).
-        pkt.data[0..6].copy_from_slice(&[0x52, 0x54, 0, 0xbe, 0, backend as u8]);
+        frame[0..6].copy_from_slice(&[0x52, 0x54, 0, 0xbe, 0, backend as u8]);
         let ip = 0x0a00_0200u32 | (backend as u32 & 0xff);
-        pkt.data[30..34].copy_from_slice(&ip.to_be_bytes());
+        frame[30..34].copy_from_slice(&ip.to_be_bytes());
         Some(backend)
     }
 
@@ -187,6 +197,28 @@ mod tests {
         assert!(b < 4);
         assert_ne!(pkt.data[30..34].to_vec(), before_ip);
         assert_eq!(pkt.data[3], 0xbe, "backend MAC prefix installed");
+    }
+
+    #[test]
+    fn skip_hash_matches_former_string_allocation() {
+        // The folded second hash must be bit-identical to the old
+        // `fnv1a(format!("{b}#skip"))`, so table layouts are unchanged.
+        for b in backends(6) {
+            let old = fnv1a(format!("{b}#skip").as_bytes());
+            let new = fnv1a_fold(fnv1a(b.as_bytes()), b"#skip");
+            assert_eq!(new, old, "skip hash drifted for {b}");
+        }
+    }
+
+    #[test]
+    fn process_frame_matches_process_packet() {
+        let t = MaglevTable::new(&backends(4), 1031);
+        let mut pkt = Packet::udp64(7);
+        let mut frame = pkt.data.clone();
+        let b1 = t.process_packet(&mut pkt);
+        let b2 = t.process_frame(&mut frame);
+        assert_eq!(b1, b2);
+        assert_eq!(pkt.data, frame, "in-place rewrite must be identical");
     }
 
     #[test]

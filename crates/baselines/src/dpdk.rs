@@ -16,6 +16,9 @@ pub const DPDK_COSTS: DriverCosts = DriverCosts {
     doorbell: 90,
     nvme_io: 0,
     nvme_write_extra: 0,
+    rx_desc_zc: 22,
+    tx_desc_zc: 18,
+    refill_batch: 40,
 };
 
 /// Per-packet mbuf + ethdev framework overhead on the application side.

@@ -28,13 +28,17 @@ pub mod deploy;
 pub mod ixgbe;
 pub mod nvme;
 pub mod pkt;
+pub mod pool;
 pub mod ring;
+pub mod steer;
 
 pub use deploy::{run_nvme_scenario, run_rx_tx_scenario, Deployment, NetScenarioReport};
 pub use ixgbe::{IxgbeDevice, IxgbeDriver, IXGBE_LINE_RATE_64B_PPS};
 pub use nvme::{IoKind, NvmeDevice, NvmeDriver, NvmeSpec};
 pub use pkt::{Packet, PktGen};
+pub use pool::{PktBuf, PktPool, PKT_SLOT_SIZE, SLOTS_PER_PAGE};
 pub use ring::SpscRing;
+pub use steer::{RssSteer, RSS_FLOW_PERIOD};
 
 /// Per-operation driver costs (cycles on the c220g5), calibrated so the
 /// measured configurations land on the paper's Figure 4/5 numbers.
@@ -51,6 +55,19 @@ pub struct DriverCosts {
     /// Extra per-write driver work in the Atmosphere NVMe driver
     /// (per-write doorbell, §6.5.2's 10% write overhead).
     pub nvme_write_extra: u64,
+    /// Zero-copy RX descriptor processing per packet: the descriptor
+    /// names a pool slot, so there is no per-packet allocation or
+    /// payload copy — only the descriptor read and handle creation.
+    /// Strictly cheaper than [`DriverCosts::rx_desc`].
+    pub rx_desc_zc: u64,
+    /// Zero-copy TX descriptor processing per packet (descriptor write
+    /// naming the slot; no payload copy). Strictly cheaper than
+    /// [`DriverCosts::tx_desc`].
+    pub tx_desc_zc: u64,
+    /// Amortized descriptor-ring refill, once per zero-copy RX batch
+    /// (posting the freed slots back to the NIC in one pass — the
+    /// walk-cache treatment applied to the descriptor ring).
+    pub refill_batch: u64,
 }
 
 impl DriverCosts {
@@ -63,6 +80,9 @@ impl DriverCosts {
             doorbell: 90,
             nvme_io: 500,
             nvme_write_extra: 900,
+            rx_desc_zc: 22,
+            tx_desc_zc: 18,
+            refill_batch: 40,
         }
     }
 }

@@ -1,4 +1,84 @@
 //! Packets and the pktgen-style traffic source.
+//!
+//! Parsing and synthesis are exposed in two layers: borrow-based free
+//! functions ([`flow_key_of`], [`seq_of`], [`write_udp64`]) that operate
+//! on any `&[u8]` — including a packet-pool slot on the zero-copy
+//! datapath — and the owned [`Packet`] wrapper whose methods delegate to
+//! them.
+
+/// Byte length of the canonical 64-byte UDP test frame.
+pub const UDP64_LEN: usize = 64;
+
+/// Builds the canonical 64-byte UDP frame for `seq` directly into
+/// `frame` (Ethernet 14 + IPv4 20 + UDP 8 + payload 22) and returns the
+/// frame length. The zero-copy receive path uses this to synthesise
+/// frames in place inside a pool slot, with no allocation.
+///
+/// # Panics
+///
+/// Panics when `frame` is shorter than [`UDP64_LEN`].
+pub fn write_udp64(frame: &mut [u8], seq: u64) -> usize {
+    let data = &mut frame[..UDP64_LEN];
+    data.fill(0);
+    // Destination/source MAC (fixed), EtherType IPv4.
+    data[..6].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 1]);
+    data[6..12].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 2]);
+    data[12] = 0x08;
+    data[13] = 0x00;
+    // IPv4 header: version/IHL, protocol UDP, addresses derived from seq.
+    data[14] = 0x45;
+    data[23] = 17; // UDP
+    data[26..30].copy_from_slice(&(0x0a00_0001u32).to_be_bytes());
+    data[30..34].copy_from_slice(&(0x0a00_0100u32 | (seq as u32 & 0xff)).to_be_bytes());
+    // UDP ports derived from seq (flow identifier for the load
+    // balancer experiments).
+    let sport = 1024 + (seq % 4096) as u16;
+    data[34..36].copy_from_slice(&sport.to_be_bytes());
+    data[36..38].copy_from_slice(&80u16.to_be_bytes());
+    // Payload: the sequence number.
+    data[42..50].copy_from_slice(&seq.to_be_bytes());
+    UDP64_LEN
+}
+
+/// The flow 5-tuple hash input (source ip/port, dest ip/port, proto) of
+/// a borrowed frame, if it looks like a UDP/IPv4 frame: at least 42
+/// bytes (through the UDP header), EtherType 0x0800, IP proto 17.
+pub fn flow_key_of(frame: &[u8]) -> Option<[u8; 13]> {
+    if frame.len() < 42 || frame[12] != 0x08 || frame[13] != 0x00 || frame[23] != 17 {
+        return None;
+    }
+    let mut key = [0u8; 13];
+    key[..4].copy_from_slice(&frame[26..30]);
+    key[4..8].copy_from_slice(&frame[30..34]);
+    key[8..10].copy_from_slice(&frame[34..36]);
+    key[10..12].copy_from_slice(&frame[36..38]);
+    key[12] = frame[23];
+    Some(key)
+}
+
+/// The flow key [`write_udp64`] would give the frame for `seq`, computed
+/// without materialising the frame. Flow identity is periodic in `seq`
+/// with period 4096 (the source-port range; the dst-ip low byte is
+/// `seq & 0xff` and 256 divides 4096, so it adds no extra period).
+pub fn flow_key_for_seq(seq: u64) -> [u8; 13] {
+    let mut key = [0u8; 13];
+    key[..4].copy_from_slice(&(0x0a00_0001u32).to_be_bytes());
+    key[4..8].copy_from_slice(&(0x0a00_0100u32 | (seq as u32 & 0xff)).to_be_bytes());
+    let sport = 1024 + (seq % 4096) as u16;
+    key[8..10].copy_from_slice(&sport.to_be_bytes());
+    key[10..12].copy_from_slice(&80u16.to_be_bytes());
+    key[12] = 17;
+    key
+}
+
+/// The sequence number embedded by [`write_udp64`], or `None` for frames
+/// too short to carry the 8-byte payload field at offset 42.
+pub fn seq_of(frame: &[u8]) -> Option<u64> {
+    let bytes = frame.get(42..50)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Some(u64::from_be_bytes(b))
+}
 
 /// A network packet (Ethernet frame payload).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -11,24 +91,8 @@ impl Packet {
     /// A 64-byte UDP frame with a deterministic payload derived from
     /// `seq` (Ethernet 14 + IPv4 20 + UDP 8 + payload 22).
     pub fn udp64(seq: u64) -> Self {
-        let mut data = vec![0u8; 64];
-        // Destination/source MAC (fixed), EtherType IPv4.
-        data[..6].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 1]);
-        data[6..12].copy_from_slice(&[0x52, 0x54, 0, 0, 0, 2]);
-        data[12] = 0x08;
-        data[13] = 0x00;
-        // IPv4 header: version/IHL, protocol UDP, addresses derived from seq.
-        data[14] = 0x45;
-        data[23] = 17; // UDP
-        data[26..30].copy_from_slice(&(0x0a00_0001u32).to_be_bytes());
-        data[30..34].copy_from_slice(&(0x0a00_0100u32 | (seq as u32 & 0xff)).to_be_bytes());
-        // UDP ports derived from seq (flow identifier for the load
-        // balancer experiments).
-        let sport = 1024 + (seq % 4096) as u16;
-        data[34..36].copy_from_slice(&sport.to_be_bytes());
-        data[36..38].copy_from_slice(&80u16.to_be_bytes());
-        // Payload: the sequence number.
-        data[42..50].copy_from_slice(&seq.to_be_bytes());
+        let mut data = vec![0u8; UDP64_LEN];
+        write_udp64(&mut data, seq);
         Packet { data }
     }
 
@@ -45,48 +109,96 @@ impl Packet {
     /// The flow 5-tuple hash input (source ip/port, dest ip/port, proto),
     /// if this looks like a UDP/IPv4 frame.
     pub fn flow_key(&self) -> Option<[u8; 13]> {
-        if self.data.len() < 42 || self.data[12] != 0x08 || self.data[23] != 17 {
-            return None;
-        }
-        let mut key = [0u8; 13];
-        key[..4].copy_from_slice(&self.data[26..30]);
-        key[4..8].copy_from_slice(&self.data[30..34]);
-        key[8..10].copy_from_slice(&self.data[34..36]);
-        key[10..12].copy_from_slice(&self.data[36..38]);
-        key[12] = self.data[23];
-        Some(key)
+        flow_key_of(&self.data)
     }
 
     /// The sequence number embedded by [`Packet::udp64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for frames shorter than 50 bytes; use [`seq_of`] on
+    /// untrusted input.
     pub fn seq(&self) -> u64 {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&self.data[42..50]);
-        u64::from_be_bytes(b)
+        seq_of(&self.data).expect("frame too short for a sequence number")
     }
 }
 
 /// A pktgen-style source producing 64-byte UDP frames at line rate.
-#[derive(Debug, Default)]
+/// With `nqueues > 1` the generator models one RSS queue: it emits only
+/// the sequence numbers whose flow key steers to `queue`, skipping the
+/// rest (the NIC's receive-side scaling delivers each flow to exactly
+/// one queue).
+#[derive(Debug)]
 pub struct PktGen {
     next_seq: u64,
+    produced: u64,
+    nqueues: usize,
+    queue: usize,
+}
+
+impl Default for PktGen {
+    fn default() -> Self {
+        PktGen::new()
+    }
 }
 
 impl PktGen {
-    /// A fresh generator.
+    /// A fresh generator over all flows.
     pub fn new() -> Self {
-        PktGen::default()
+        PktGen {
+            next_seq: 0,
+            produced: 0,
+            nqueues: 1,
+            queue: 0,
+        }
+    }
+
+    /// A generator for one RSS queue of `nqueues`: only sequence numbers
+    /// whose flow key hashes to `queue` are emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue >= nqueues` or `nqueues == 0`.
+    pub fn steered(nqueues: usize, queue: usize) -> Self {
+        assert!(nqueues > 0, "need at least one queue");
+        assert!(queue < nqueues, "queue {queue} out of range 0..{nqueues}");
+        PktGen {
+            next_seq: 0,
+            produced: 0,
+            nqueues,
+            queue,
+        }
+    }
+
+    /// The next sequence number this queue will emit.
+    fn advance(&mut self) -> u64 {
+        loop {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if self.nqueues <= 1 || crate::steer::queue_for_seq(seq, self.nqueues) == self.queue {
+                return seq;
+            }
+        }
     }
 
     /// Produces the next frame.
     pub fn next_packet(&mut self) -> Packet {
-        let p = Packet::udp64(self.next_seq);
-        self.next_seq += 1;
+        let p = Packet::udp64(self.advance());
+        self.produced += 1;
         p
+    }
+
+    /// Produces the next frame in place inside `frame` (zero-copy RX
+    /// path) and returns the frame length.
+    pub fn fill_next(&mut self, frame: &mut [u8]) -> usize {
+        let len = write_udp64(frame, self.advance());
+        self.produced += 1;
+        len
     }
 
     /// Frames generated so far.
     pub fn generated(&self) -> u64 {
-        self.next_seq
+        self.produced
     }
 }
 
@@ -120,10 +232,87 @@ mod tests {
     }
 
     #[test]
+    fn short_frames_have_no_flow_key_or_seq() {
+        // Truncated runt frames must parse to None, never panic.
+        for len in [0usize, 1, 10, 14, 41] {
+            let frame = vec![0u8; len];
+            assert_eq!(flow_key_of(&frame), None, "len {len}");
+            assert_eq!(seq_of(&frame), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn flow_key_boundary_is_exactly_42_bytes() {
+        // A well-formed header truncated to 41 bytes parses to None; the
+        // same header at 42 bytes (through the UDP header) parses.
+        let full = Packet::udp64(5).data;
+        assert_eq!(flow_key_of(&full[..41]), None);
+        let key = flow_key_of(&full[..42]).expect("42 bytes suffice");
+        assert_eq!(key, flow_key_for_seq(5));
+        // The seq payload field needs 50 bytes.
+        assert_eq!(seq_of(&full[..49]), None);
+        assert_eq!(seq_of(&full[..50]), Some(5));
+    }
+
+    #[test]
+    fn non_ipv4_ethertype_has_no_flow_key() {
+        let mut p = Packet::udp64(3);
+        p.data[12] = 0x08;
+        p.data[13] = 0x06; // ARP (0x0806)
+        assert!(p.flow_key().is_none());
+        p.data[12] = 0x86;
+        p.data[13] = 0xdd; // IPv6
+        assert!(p.flow_key().is_none());
+    }
+
+    #[test]
+    fn flow_key_for_seq_matches_materialised_frame() {
+        for seq in [0u64, 1, 255, 256, 4095, 4096, 123_456] {
+            assert_eq!(
+                flow_key_for_seq(seq),
+                Packet::udp64(seq).flow_key().unwrap(),
+                "seq {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_udp64_matches_owned_constructor() {
+        let mut slot = [0xffu8; 128];
+        let len = write_udp64(&mut slot, 42);
+        assert_eq!(len, UDP64_LEN);
+        assert_eq!(&slot[..len], &Packet::udp64(42).data[..]);
+        assert!(slot[len..].iter().all(|&b| b == 0xff), "no overrun");
+    }
+
+    #[test]
     fn generator_is_sequential() {
         let mut g = PktGen::new();
         assert_eq!(g.next_packet().seq(), 0);
         assert_eq!(g.next_packet().seq(), 1);
         assert_eq!(g.generated(), 2);
+    }
+
+    #[test]
+    fn fill_next_matches_next_packet() {
+        let mut a = PktGen::new();
+        let mut b = PktGen::new();
+        let mut slot = [0u8; UDP64_LEN];
+        for _ in 0..8 {
+            let len = a.fill_next(&mut slot);
+            assert_eq!(&slot[..len], &b.next_packet().data[..]);
+        }
+        assert_eq!(a.generated(), b.generated());
+    }
+
+    #[test]
+    fn steered_generator_emits_only_its_queue() {
+        let mut g = PktGen::steered(4, 2);
+        for _ in 0..64 {
+            let p = g.next_packet();
+            let key = p.flow_key().unwrap();
+            assert_eq!(crate::steer::queue_for_key(&key, 4), 2);
+        }
+        assert_eq!(g.generated(), 64);
     }
 }

@@ -1,0 +1,121 @@
+//! RSS-style flow steering: hash the flow key, pick a queue/CPU.
+//!
+//! The ixgbe NIC's receive-side scaling hashes each frame's flow 5-tuple
+//! and delivers it to one RX queue; with one run-to-completion worker
+//! per queue, every flow is processed by exactly one CPU and the workers
+//! share no packet state. The generator's flow identity is periodic in
+//! the sequence number with period [`RSS_FLOW_PERIOD`] (see
+//! [`crate::pkt::flow_key_for_seq`]), so a queue's exact share of line
+//! rate is the fraction of the 4096 flow residues that hash to it.
+
+use crate::pkt::flow_key_for_seq;
+
+/// Period (in generator sequence numbers) after which flow keys repeat.
+pub const RSS_FLOW_PERIOD: u64 = 4096;
+
+/// FNV-1a 64-bit over the flow key (the same hash family the Maglev and
+/// kv-store apps use, implemented locally so the driver crate stays
+/// independent of the app crate).
+pub fn rss_hash(key: &[u8; 13]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The queue (of `nqueues`) a flow key steers to.
+pub fn queue_for_key(key: &[u8; 13], nqueues: usize) -> usize {
+    (rss_hash(key) % nqueues as u64) as usize
+}
+
+/// The queue the generator frame for `seq` steers to.
+pub fn queue_for_seq(seq: u64, nqueues: usize) -> usize {
+    queue_for_key(&flow_key_for_seq(seq), nqueues)
+}
+
+/// A fixed RSS indirection: `nqueues` queues, flow-hash modulo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RssSteer {
+    nqueues: usize,
+}
+
+impl RssSteer {
+    /// Steering across `nqueues` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nqueues == 0`.
+    pub fn new(nqueues: usize) -> Self {
+        assert!(nqueues > 0, "need at least one queue");
+        RssSteer { nqueues }
+    }
+
+    /// Number of queues.
+    pub fn nqueues(&self) -> usize {
+        self.nqueues
+    }
+
+    /// The queue a flow key steers to.
+    pub fn queue_of_key(&self, key: &[u8; 13]) -> usize {
+        queue_for_key(key, self.nqueues)
+    }
+
+    /// The queue the generator frame for `seq` steers to.
+    pub fn queue_of_seq(&self, seq: u64) -> usize {
+        queue_for_seq(seq, self.nqueues)
+    }
+
+    /// `queue`'s exact share of offered load: the fraction of the
+    /// [`RSS_FLOW_PERIOD`] flow residues that steer to it.
+    pub fn share(&self, queue: usize) -> f64 {
+        let hits = (0..RSS_FLOW_PERIOD)
+            .filter(|&seq| self.queue_of_seq(seq) == queue)
+            .count();
+        hits as f64 / RSS_FLOW_PERIOD as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_partition_the_flow_space() {
+        // Every flow residue steers to exactly one of the 4 queues, and
+        // the shares sum to 1 (the queues partition offered load).
+        let s = RssSteer::new(4);
+        let mut owned = [0usize; 4];
+        for seq in 0..RSS_FLOW_PERIOD {
+            owned[s.queue_of_seq(seq)] += 1;
+        }
+        assert_eq!(owned.iter().sum::<usize>(), RSS_FLOW_PERIOD as usize);
+        let total: f64 = (0..4).map(|q| s.share(q)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // And the hash spreads flows roughly evenly (within 20%).
+        for (q, &n) in owned.iter().enumerate() {
+            let expect = RSS_FLOW_PERIOD as f64 / 4.0;
+            assert!(
+                (n as f64 - expect).abs() < expect * 0.2,
+                "queue {q} owns {n} of {RSS_FLOW_PERIOD}"
+            );
+        }
+    }
+
+    #[test]
+    fn steering_is_stable_per_flow() {
+        let s = RssSteer::new(4);
+        for seq in 0..64u64 {
+            // A flow's queue never changes, and repeats with the period.
+            assert_eq!(s.queue_of_seq(seq), s.queue_of_seq(seq + RSS_FLOW_PERIOD));
+        }
+    }
+
+    #[test]
+    fn single_queue_owns_everything() {
+        let s = RssSteer::new(1);
+        assert_eq!(s.share(0), 1.0);
+        assert_eq!(s.queue_of_seq(12345), 0);
+    }
+}

@@ -178,6 +178,11 @@ pub struct CostModel {
     pub ring_op: u64,
     /// Copying one cache line (64 B) between buffers.
     pub copy_cacheline: u64,
+    /// Heap allocation of a packet-sized buffer (allocator fast path +
+    /// first-touch). Charged by the *cloning* network datapath for every
+    /// received frame; the zero-copy pool path never pays it — its slots
+    /// are preallocated once at pool construction.
+    pub heap_alloc: u64,
 }
 
 impl CostModel {
@@ -207,6 +212,7 @@ impl CostModel {
             syscall_validate: 250,
             ring_op: 35,
             copy_cacheline: 14,
+            heap_alloc: 120,
         }
     }
 
@@ -333,6 +339,21 @@ mod tests {
             1984,
             "Table 3: Atmosphere map a page"
         );
+    }
+
+    #[test]
+    fn calibration_cloning_datapath_overhead_dominates_copies() {
+        let c = CostModel::c220g5();
+        // The per-frame overhead the zero-copy pool eliminates: one heap
+        // allocation plus a 64-byte frame copy (one cache line). It must
+        // dwarf the ring descriptor transfer that replaces it, or the
+        // zero-copy claim would be hollow.
+        assert_eq!(c.heap_alloc, 120, "cloning-path allocation cost");
+        assert!(c.heap_alloc + c.copy_cacheline > 3 * c.ring_op);
+        // And the calibrated anchors must not drift when this field is
+        // added.
+        assert_eq!(2 * c.ipc_one_way(), 1058);
+        assert_eq!(c.map_page_existing_tables(), 1984);
     }
 
     #[test]

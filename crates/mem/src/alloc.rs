@@ -240,6 +240,26 @@ impl PageAllocator {
         Ok(p)
     }
 
+    /// Allocates `n` individually mapped 4 KiB frames in one call (the
+    /// packet-buffer pool's backing store). All-or-nothing: on
+    /// exhaustion every frame allocated so far is returned and the whole
+    /// call fails, so a partially built pool never leaks.
+    pub fn alloc_mapped_batch(&mut self, n: usize) -> Result<Vec<PagePtr>, AllocError> {
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.alloc_mapped(PageSize::Size4K) {
+                Ok(p) => frames.push(p),
+                Err(e) => {
+                    for p in frames {
+                        self.dec_map_ref(p);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(frames)
+    }
+
     /// Adds one mapping reference to block `p` (shared memory established
     /// through an endpoint grant).
     ///
@@ -826,6 +846,32 @@ mod tests {
         assert!(!a.dec_map_ref(p));
         assert!(a.dec_map_ref(p), "block frees when last reference drops");
         assert!(a.page_is_free(p));
+        assert!(a.is_wf());
+    }
+
+    #[test]
+    fn alloc_mapped_batch_is_all_or_nothing() {
+        // 1 MiB = 256 frames. A 200-frame batch fits; the next 100-frame
+        // batch must fail and roll back completely.
+        let mut a = PageAllocator::new(&BootInfo::simulated(1, 1, ""));
+        let frames = a.alloc_mapped_batch(200).unwrap();
+        assert_eq!(frames.len(), 200);
+        assert!(frames.iter().all(|&p| a.map_refcnt(p) == 1));
+        assert!(a.is_wf());
+        let free_before = a.free_pages_4k();
+        assert_eq!(
+            a.alloc_mapped_batch(100).unwrap_err(),
+            AllocError::OutOfMemory
+        );
+        assert_eq!(
+            a.free_pages_4k(),
+            free_before,
+            "failed batch must release its partial allocation"
+        );
+        assert!(a.is_wf());
+        for p in frames {
+            assert!(a.dec_map_ref(p));
+        }
         assert!(a.is_wf());
     }
 

@@ -126,6 +126,56 @@ impl VmCounters {
     }
 }
 
+/// Zero-copy network datapath counters (packet-buffer pool, batched
+/// zero-copy RX/TX, and RSS flow steering). Counter-only — like
+/// [`VmCounters`], they annotate datapath work whose ring events (if
+/// any) are emitted by the driver, so they never enter the per-kind
+/// event reconciliation. The pool gauge `acquired - released` is the
+/// number of `PktBuf` handles in flight; `trace_wf` checks it against
+/// the sink's in-flight gauge on the merged view (a handle may be
+/// released on a different CPU than it was acquired on, so the equation
+/// holds globally, not per shard).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Pool slots handed out (`PktBuf` handles created).
+    pub pool_acquired: u64,
+    /// Pool slots returned.
+    pub pool_released: u64,
+    /// Acquire attempts that found the pool empty (backpressure events,
+    /// not failures — the datapath retries after draining TX).
+    pub pool_exhausted: u64,
+    /// Zero-copy receive batches.
+    pub rx_zc_batches: u64,
+    /// Frames across all zero-copy receive batches.
+    pub rx_zc_frames: u64,
+    /// Zero-copy transmit batches.
+    pub tx_zc_batches: u64,
+    /// Frames across all zero-copy transmit batches.
+    pub tx_zc_frames: u64,
+    /// Frames whose flow key steered to the local queue's CPU.
+    pub steer_hits: u64,
+    /// Frames that arrived on the wrong queue for their flow.
+    pub steer_misses: u64,
+    /// Frames copied out of the pool into an owned buffer (the non-zero-
+    /// copy fallback, e.g. for consumers still wanting a `Packet`).
+    pub fallback_copies: u64,
+}
+
+impl NetCounters {
+    fn merge(&mut self, other: &NetCounters) {
+        self.pool_acquired += other.pool_acquired;
+        self.pool_released += other.pool_released;
+        self.pool_exhausted += other.pool_exhausted;
+        self.rx_zc_batches += other.rx_zc_batches;
+        self.rx_zc_frames += other.rx_zc_frames;
+        self.tx_zc_batches += other.tx_zc_batches;
+        self.tx_zc_frames += other.tx_zc_frames;
+        self.steer_hits += other.steer_hits;
+        self.steer_misses += other.steer_misses;
+        self.fallback_copies += other.fallback_copies;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -183,6 +233,8 @@ pub struct Counters {
     pub vm: VmCounters,
     /// Drivers.
     pub drivers: DriverCounters,
+    /// Zero-copy network datapath.
+    pub net: NetCounters,
     /// Domain locks.
     pub locks: LocksCounters,
 }
@@ -245,6 +297,16 @@ impl Counters {
             ("drivers.rx_items", self.drivers.rx_items),
             ("drivers.tx_batches", self.drivers.tx_batches),
             ("drivers.tx_items", self.drivers.tx_items),
+            ("net.pool_acquired", self.net.pool_acquired),
+            ("net.pool_released", self.net.pool_released),
+            ("net.pool_exhausted", self.net.pool_exhausted),
+            ("net.rx_zc_batches", self.net.rx_zc_batches),
+            ("net.rx_zc_frames", self.net.rx_zc_frames),
+            ("net.tx_zc_batches", self.net.tx_zc_batches),
+            ("net.tx_zc_frames", self.net.tx_zc_frames),
+            ("net.steer_hits", self.net.steer_hits),
+            ("net.steer_misses", self.net.steer_misses),
+            ("net.fallback_copies", self.net.fallback_copies),
             ("locks.pm.acquisitions", self.locks.pm.acquisitions),
             ("locks.pm.contended", self.locks.pm.contended),
             ("locks.pm.hold_max_cycles", self.locks.pm.hold_max_cycles),
@@ -282,6 +344,7 @@ impl Counters {
         self.drivers.rx_items += other.drivers.rx_items;
         self.drivers.tx_batches += other.drivers.tx_batches;
         self.drivers.tx_items += other.drivers.tx_items;
+        self.net.merge(&other.net);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
         self.locks.trace.merge(&other.locks.trace);
@@ -323,6 +386,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("ptable.")));
         assert!(names.iter().any(|n| n.starts_with("vm.")));
         assert!(names.iter().any(|n| n.starts_with("drivers.")));
+        assert!(names.iter().any(|n| n.starts_with("net.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }
 

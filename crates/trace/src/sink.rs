@@ -19,7 +19,7 @@ use std::time::Instant;
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
-use crate::counters::{Counters, FastpathCounters, VmCounters};
+use crate::counters::{Counters, FastpathCounters, NetCounters, VmCounters};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
 };
@@ -121,6 +121,55 @@ impl VmOutcome {
     }
 }
 
+/// One zero-copy-network-datapath observation. Like [`VmOutcome`] these
+/// are counter-only annotations: the batched RX/TX work already emits
+/// `DriverRx`/`DriverTx` ring events, so an extra ring entry would break
+/// the exact per-kind reconciliation. `PoolAcquire`/`PoolRelease`
+/// additionally move the sink's in-flight gauge, which `trace_wf` checks
+/// against the merged counters (`acquired == released + in_flight`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetOutcome {
+    /// Pool slots handed out (count = slots).
+    PoolAcquire,
+    /// Pool slots returned (count = slots).
+    PoolRelease,
+    /// Acquire attempts that found the pool empty (count = attempts).
+    PoolExhausted,
+    /// One zero-copy receive batch (count = frames).
+    RxBatch,
+    /// One zero-copy transmit batch (count = frames).
+    TxBatch,
+    /// Frames steered to the local queue's CPU (count = frames).
+    SteerHit,
+    /// Frames delivered to the wrong queue for their flow (count =
+    /// frames).
+    SteerMiss,
+    /// Frames copied out of the pool into owned buffers (count =
+    /// frames).
+    Fallback,
+}
+
+impl NetOutcome {
+    fn count_into(self, net: &mut NetCounters, n: u64) {
+        match self {
+            NetOutcome::PoolAcquire => net.pool_acquired += n,
+            NetOutcome::PoolRelease => net.pool_released += n,
+            NetOutcome::PoolExhausted => net.pool_exhausted += n,
+            NetOutcome::RxBatch => {
+                net.rx_zc_batches += 1;
+                net.rx_zc_frames += n;
+            }
+            NetOutcome::TxBatch => {
+                net.tx_zc_batches += 1;
+                net.tx_zc_frames += n;
+            }
+            NetOutcome::SteerHit => net.steer_hits += n,
+            NetOutcome::SteerMiss => net.steer_misses += n,
+            NetOutcome::Fallback => net.fallback_copies += n,
+        }
+    }
+}
+
 /// Converts wall-clock nanoseconds into modeled cycles at the c220g5
 /// profile's 2.2 GHz, for lock hold times (the only place real time
 /// leaks into the modeled-cycle world).
@@ -183,6 +232,13 @@ pub struct TraceSink {
     /// Merged counter values at the previous `trace_wf` audit
     /// (monotonicity low-water mark).
     low_water: Mutex<Counters>,
+    /// Packet-pool slots currently in flight (acquired − released). A
+    /// gauge, not a counter: it moves both ways, so it lives outside the
+    /// monotone [`Counters`] block. Kept sink-global (not per shard)
+    /// because a `PktBuf` may be released on a different CPU than it was
+    /// acquired on; `trace_wf` balances it against the *merged* pool
+    /// counters.
+    net_in_flight: Mutex<i64>,
 }
 
 /// A shared reference to a kernel's trace sink.
@@ -197,6 +253,7 @@ impl TraceSink {
                 .map(|_| Mutex::new(PerCpuTrace::new(ring_capacity)))
                 .collect(),
             low_water: Mutex::new(Counters::default()),
+            net_in_flight: Mutex::new(0),
         })
     }
 
@@ -311,6 +368,30 @@ impl TraceSink {
         });
     }
 
+    /// Counts `n` zero-copy-network-datapath observations on the CPU
+    /// attributed to this OS thread. Counter-only, no ring event (see
+    /// [`NetOutcome`]); pool acquire/release additionally move the
+    /// in-flight gauge.
+    pub fn net_event(&self, outcome: NetOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match outcome {
+            NetOutcome::PoolAcquire => *lock_recovering(&self.net_in_flight) += n as i64,
+            NetOutcome::PoolRelease => *lock_recovering(&self.net_in_flight) -= n as i64,
+            _ => {}
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.net, n)
+        });
+    }
+
+    /// Packet-pool slots currently in flight (acquired − released across
+    /// all CPUs).
+    pub fn net_in_flight(&self) -> i64 {
+        *lock_recovering(&self.net_in_flight)
+    }
+
     /// Builds the merged snapshot: per-CPU ring summaries, merged
     /// per-kind syscall statistics and the merged subsystem counters.
     ///
@@ -374,6 +455,7 @@ impl TraceSink {
             syscalls,
             kinds: merged_kinds,
             counters,
+            net_in_flight: self.net_in_flight(),
             total_events,
             total_dropped,
         }
@@ -577,6 +659,24 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
         )?;
         merged.merge(&ctrs);
     }
+    // Pool ledger: slots in flight are exactly the acquired-but-not-yet-
+    // released ones. Checked on the merged view only — a PktBuf may be
+    // released on a different CPU than it was acquired on, so per-shard
+    // released can legitimately exceed per-shard acquired.
+    let in_flight = *lock_recovering(&sink.net_in_flight);
+    check(
+        in_flight >= 0,
+        "trace",
+        format!("net pool gauge negative: {in_flight} slots in flight"),
+    )?;
+    check(
+        merged.net.pool_acquired == merged.net.pool_released + in_flight as u64,
+        "trace",
+        format!(
+            "net pool ledger: {} acquired != {} released + {in_flight} in flight",
+            merged.net.pool_acquired, merged.net.pool_released
+        ),
+    )?;
     check(
         kind_totals[EventKind::SyscallEnter.index()] == enter_total
             && kind_totals[EventKind::SyscallExit.index()] == exit_total,
@@ -641,6 +741,14 @@ impl TraceShare {
     pub fn vm(&self, outcome: VmOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.vm_event(outcome, n);
+        }
+    }
+
+    /// Counts `n` zero-copy-network-datapath observations (no-op when
+    /// detached).
+    pub fn net(&self, outcome: NetOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.net_event(outcome, n);
         }
     }
 
@@ -780,6 +888,46 @@ mod tests {
         assert_eq!(snap.counters.pm.fastpath.fallbacks(), 1);
         assert_eq!(snap.total_events, 2, "outcomes never enter the ring");
         assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+    }
+
+    #[test]
+    fn net_events_accumulate_and_balance_the_pool_ledger() {
+        let sink = TraceSink::new(2, 16);
+        sink.set_cpu(0);
+        sink.net_event(NetOutcome::PoolAcquire, 32);
+        sink.net_event(NetOutcome::RxBatch, 32);
+        sink.net_event(NetOutcome::SteerHit, 32);
+        // The batch is transmitted — and released — on the other CPU:
+        // the ledger must still balance on the merged view.
+        sink.set_cpu(1);
+        sink.net_event(NetOutcome::TxBatch, 32);
+        sink.net_event(NetOutcome::PoolRelease, 24);
+        assert_eq!(sink.net_in_flight(), 8);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.net.pool_acquired, 32);
+        assert_eq!(snap.counters.net.pool_released, 24);
+        assert_eq!(snap.net_in_flight, 8);
+        assert_eq!(snap.counters.net.rx_zc_batches, 1);
+        assert_eq!(snap.counters.net.rx_zc_frames, 32);
+        assert_eq!(snap.counters.net.tx_zc_frames, 32);
+        assert_eq!(snap.counters.net.steer_hits, 32);
+        assert_eq!(snap.total_events, 0, "outcomes never enter the ring");
+        sink.net_event(NetOutcome::PoolRelease, 8);
+        assert_eq!(sink.net_in_flight(), 0);
+        assert!(trace_wf(&sink).is_ok());
+    }
+
+    #[test]
+    fn wf_rejects_unbalanced_pool_ledger() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.net_event(NetOutcome::PoolAcquire, 4);
+        assert!(trace_wf(&sink).is_ok(), "in-flight slots are accounted");
+        // Forge a leak: the counter says released but the gauge did not
+        // move (a slot dropped on the floor without a release event).
+        lock_recovering(&sink.shards[0]).counters.net.pool_released += 1;
+        assert!(trace_wf(&sink).is_err(), "ledger imbalance must fail wf");
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct Snapshot {
     pub kinds: [u64; NUM_EVENT_KINDS],
     /// Subsystem counters.
     pub counters: Counters,
+    /// Packet-pool slots in flight (acquired − released) at snapshot
+    /// time — a gauge, kept apart from the monotone counters.
+    pub net_in_flight: i64,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -164,6 +167,10 @@ impl Snapshot {
         for (name, v) in self.counters.flat() {
             rows.push(vec![name.to_string(), format!("{v}")]);
         }
+        rows.push(vec![
+            "net.in_flight (gauge)".to_string(),
+            format!("{}", self.net_in_flight),
+        ]);
         out.push_str(&table(&["Counter", "Value"], rows));
         out.push_str(&format!(
             "\n{} events on {} CPUs, {} dropped, {} syscalls completed.\n",

@@ -164,6 +164,55 @@ fn main() {
     assert!(vm.superpage_promotions >= 1, "512-page run promoted");
     assert!(vm.tlb_shootdowns_flushed <= vm.tlb_shootdowns_deferred);
 
+    // Zero-copy network datapath telemetry: a short RX → app → TX pass
+    // over a traced pool, then the counters plus the in-flight gauge
+    // (trace_wf enforces acquired == released + in_flight).
+    {
+        use atmosphere::drivers::{DriverCosts, IxgbeDevice, IxgbeDriver, PktPool};
+        use atmosphere::hw::cycles::CycleMeter;
+        let sink = k.trace.clone();
+        let mut drv = IxgbeDriver::new(IxgbeDevice::new(2_200_000_000), DriverCosts::atmosphere());
+        drv.attach_trace(sink.clone());
+        let mut pool = PktPool::anonymous(8);
+        pool.attach_trace(sink);
+        let mut meter = CycleMeter::new();
+        let mut bufs = Vec::with_capacity(32);
+        for _ in 0..4 {
+            drv.rx_batch_zc(&mut meter, &mut pool, &mut bufs, 32);
+            drv.tx_batch_zc(&mut meter, &mut pool, &mut bufs);
+        }
+        // One deliberate exhaustion and one counted fallback copy.
+        let held: Vec<_> = (0..8).filter_map(|_| pool.try_acquire()).collect();
+        assert!(pool.try_acquire().is_none(), "exhaustion is backpressure");
+        let mut held = held;
+        let last = held.pop().expect("held handles");
+        let _pkt = pool.copy_out(last);
+        for b in held {
+            pool.release(b);
+        }
+    }
+    let snap = k.trace_snapshot();
+    let net = snap.counters.net;
+    println!("\n== Zero-copy network datapath ==");
+    println!(
+        "pool ledger              {} acquired, {} released, {} in flight (gauge)",
+        net.pool_acquired, net.pool_released, snap.net_in_flight
+    );
+    println!(
+        "zc batches               rx {} ({} frames), tx {} ({} frames)",
+        net.rx_zc_batches, net.rx_zc_frames, net.tx_zc_batches, net.tx_zc_frames
+    );
+    println!(
+        "exhaustion / fallbacks   {} exhausted acquires, {} fallback copies",
+        net.pool_exhausted, net.fallback_copies
+    );
+    assert_eq!(
+        net.pool_acquired,
+        net.pool_released + snap.net_in_flight as u64,
+        "pool ledger balances"
+    );
+    assert!(net.pool_exhausted >= 1 && net.fallback_copies == 1);
+
     assert!(k.wf().is_ok(), "{:?}", k.wf());
     println!("\ntotal_wf (including trace_wf) holds over the final state.");
 
