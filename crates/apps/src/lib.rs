@@ -18,7 +18,7 @@ pub mod kvstore;
 pub mod maglev;
 
 pub use httpd::{HttpRequest, HttpResponse, Httpd};
-pub use kvstore::{KvRequest, KvResponse, KvStore};
+pub use kvstore::{KvRequest, KvResponse, KvStore, LogKv, MAX_KV_LEN};
 pub use maglev::MaglevTable;
 
 /// FNV-1a 64-bit offset basis (the hash of the empty string).

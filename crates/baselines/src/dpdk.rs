@@ -19,6 +19,8 @@ pub const DPDK_COSTS: DriverCosts = DriverCosts {
     rx_desc_zc: 22,
     tx_desc_zc: 18,
     refill_batch: 40,
+    sq_desc_zc: 0,
+    cq_desc_zc: 0,
 };
 
 /// Per-packet mbuf + ethdev framework overhead on the application side.

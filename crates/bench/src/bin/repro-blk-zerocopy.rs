@@ -1,0 +1,505 @@
+//! Reproduces the **zero-copy block datapath** experiment: io_uring-style
+//! batched submission/completion rings over the NVMe model
+//! ([`NvmeZcQueue`] + [`BlkPool`]) versus the per-I/O copying baseline
+//! ([`NvmeDriver`]), plus the crash-consistent log-structured kv-store.
+//!
+//! Both modes drive the identical closed-loop workload against the same
+//! P3700-class device model; only the host-side datapath differs:
+//!
+//! * **copying** — each I/O pays the full per-command driver cost
+//!   (`nvme_io`) plus an allocation and a 4 KiB payload copy
+//!   (`heap_alloc` + 64 × `copy_cacheline`), one doorbell per command;
+//! * **zero-copy batched** — DMA happens in grant-pinned pool slots;
+//!   [`BlkBuf`] handles move to the device on submit and back on reap by
+//!   permission transfer; the host writes one SQ descriptor and reads
+//!   one CQ descriptor per I/O (`sq_desc_zc`/`cq_desc_zc`) with a single
+//!   doorbell per batch in each direction. Nothing is copied, nothing is
+//!   allocated on the steady path (asserted from the pool counters).
+//!
+//! At QD1 both modes are latency-bound near 13 K IOPS (Figure 5's left
+//! regime: host software cannot matter when one 76 µs flash read is in
+//! flight); at QD32 both sit on the device-bound closed-loop curve
+//! `qd / max(latency, qd * service)` (~420 K reads / ~232 K writes with
+//! the per-write penalty) — the zero-copy win shows up as *host busy
+//! cycles per I/O* (CPU left for the application), measured by
+//! separating wait cycles from work cycles in the loops below.
+//!
+//! A kernel-backed section pins the pool through the IOMMU grant path
+//! (device 7) and drives the real `BlkSubmitBatch`/`BlkReapBatch`
+//! syscalls on the sharded SMP kernel, auditing `total_wf` (which now
+//! folds the blk queue-pair and ledger invariants) stop-the-world via
+//! `with_kernel`/`audit_total_wf`. A power-cut section then cuts the
+//! log-structured kv-store's segment log at every record boundary and at
+//! random mid-record offsets and checks `recovery_refines` at each cut.
+//!
+//! The run fails if zero-copy does not save at least 40% host
+//! cycles/I/O at QD32, if the QD1/QD32 IOPS leave the Figure-5 regimes
+//! by more than 5%, or if any power-cut point fails the refinement
+//! check.
+
+use atmo_apps::{LogKv, MAX_KV_LEN};
+use atmo_bench::{fmt_kiops, render_table};
+use atmo_drivers::nvme::{
+    run_closed_loop_zc, IoKind, NvmeDevice, NvmeDriver, NvmeSpec, NvmeZcQueue,
+};
+use atmo_drivers::{BlkBuf, BlkPool, DriverCosts, BLK_SLOT_SIZE};
+use atmo_hw::cycles::{CostModel, CycleMeter};
+use atmo_kernel::refine::recovery_refines;
+use atmo_kernel::{
+    BlkOp, Kernel, KernelConfig, SmpKernel, SyscallArgs, BLK_DEVICE_ID, BLK_SQ_CAPACITY,
+};
+use atmo_mem::DmaWindow;
+use atmo_spec::harness::Invariant;
+use atmo_spec::storage::AbstractKv;
+use atmo_spec::XorShift64Star;
+use atmo_trace::{trace_wf, TraceSink};
+
+const FREQ: u64 = 2_200_000_000;
+const QD: usize = 32;
+const POOL_SLOTS: usize = 64;
+
+/// One measured closed-loop configuration.
+struct RunStats {
+    ios: u64,
+    /// Host busy cycles: total minus cycles spent waiting on the device.
+    host_cycles: u64,
+    iops: f64,
+}
+
+impl RunStats {
+    fn host_per_io(&self) -> f64 {
+        self.host_cycles as f64 / self.ios as f64
+    }
+}
+
+fn device() -> NvmeDevice {
+    NvmeDevice::new(NvmeSpec::p3700(FREQ))
+}
+
+/// The copying baseline at queue depth `qd`: per-I/O driver cost plus an
+/// allocation and a full 4 KiB payload copy, tracking device-wait cycles
+/// separately so the host share is measurable.
+fn run_copying(kind: IoKind, qd: usize, total: u64, costs: &CostModel) -> RunStats {
+    let mut drv = NvmeDriver::new(device(), DriverCosts::atmosphere());
+    let mut meter = CycleMeter::new();
+    let extra = costs.heap_alloc + (BLK_SLOT_SIZE as u64 / 64) * costs.copy_cacheline;
+    let mut waited = 0u64;
+    let mut completed = 0u64;
+    drv.submit_batch(&mut meter, kind, qd);
+    meter.charge(extra * qd as u64);
+    while completed < total {
+        meter.charge(extra / 4); // polling loop body
+        waited += drv.device.cycles_until_completion(meter.now()).unwrap_or(0);
+        let done = drv.wait_completions(&mut meter);
+        completed += done;
+        if done > 0 {
+            drv.submit_batch(&mut meter, kind, done as usize);
+            meter.charge(extra * done);
+        }
+    }
+    RunStats {
+        ios: completed,
+        host_cycles: meter.now() - waited,
+        iops: completed as f64 * FREQ as f64 / meter.now() as f64,
+    }
+}
+
+/// The zero-copy batched ring at queue depth `qd`: handles cycle
+/// acquire → submit → reap → resubmit with the payload refilled in
+/// place; wait cycles tracked separately.
+fn run_zerocopy(kind: IoKind, qd: usize, total: u64) -> RunStats {
+    let mut q = NvmeZcQueue::new(device(), DriverCosts::atmosphere());
+    let mut pool = BlkPool::anonymous(POOL_SLOTS);
+    let mut meter = CycleMeter::new();
+    let mut waited = 0u64;
+    let mut completed = 0u64;
+    let first: Vec<BlkBuf> = (0..qd)
+        .map(|_| pool.try_acquire().expect("pool sized above QD"))
+        .collect();
+    q.submit_batch_zc(&mut meter, kind, first);
+    let mut reaped: Vec<BlkBuf> = Vec::with_capacity(qd);
+    while completed < total {
+        waited += q.device.cycles_until_completion(meter.now()).unwrap_or(0);
+        let done = q.wait_reap_zc(&mut meter, &mut reaped);
+        completed += done;
+        if done > 0 {
+            let resubmit = std::mem::take(&mut reaped);
+            q.submit_batch_zc(&mut meter, kind, resubmit);
+        }
+    }
+    while q.queue_depth() > 0 {
+        waited += q.device.cycles_until_completion(meter.now()).unwrap_or(0);
+        q.wait_reap_zc(&mut meter, &mut reaped);
+    }
+    for buf in reaped {
+        pool.release(buf);
+    }
+    assert_eq!(pool.in_flight(), 0, "every handle returned");
+    assert_eq!(pool.exhausted(), 0, "pool sized for the queue depth");
+    assert!(pool.is_wf(), "{:?}", pool.wf());
+    RunStats {
+        ios: completed,
+        host_cycles: meter.now() - waited,
+        iops: completed as f64 * FREQ as f64 / meter.now() as f64,
+    }
+}
+
+/// Kernel-backed ring audit: `NPAGES` frames are mmapped, DMA-pinned
+/// through the IOMMU for the block device, unmapped from the process
+/// (the pin keeps them live), wrapped into a [`BlkPool`] — then the
+/// real `BlkSubmitBatch`/`BlkReapBatch` syscalls drive the in-kernel
+/// queue pair on the sharded SMP kernel with blocking reaps (completion
+/// wakeups ride the Call/ReplyRecv fast-path cost). `audit_total_wf`
+/// (stop-the-world, under `with_kernel`) checks the whole invariant
+/// stack — including the blk queue-pair ordering/ledger equations now
+/// folded into `mem_domain_wf` — at pin, in service, and at teardown.
+fn kernel_backed_ring_audit(rounds: usize) {
+    const VA: usize = 0x4000_0000;
+    const IOVA: usize = 0x10_0000;
+    const NPAGES: usize = POOL_SLOTS;
+    let smp = SmpKernel::new(Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 2,
+        root_quota: 2048,
+    }));
+    let ok = |args: SyscallArgs| {
+        let r = smp.syscall(0, args.clone());
+        assert!(r.is_ok(), "{args:?} failed: {r:?}");
+        r.val0()
+    };
+    ok(SyscallArgs::Mmap {
+        va_base: VA,
+        len: NPAGES,
+        writable: true,
+    });
+    let dom = ok(SyscallArgs::IommuCreateDomain) as u32;
+    ok(SyscallArgs::IommuAttach {
+        domain: dom,
+        device: BLK_DEVICE_ID,
+    });
+    for i in 0..NPAGES {
+        ok(SyscallArgs::IommuMap {
+            domain: dom,
+            iova: IOVA + i * 0x1000,
+            va: VA + i * 0x1000,
+        });
+    }
+    let frames: Vec<usize> = smp.with_kernel(|k| {
+        let as_id = k.pm.proc(k.init_proc).addr_space;
+        (0..NPAGES)
+            .map(|i| {
+                k.mem
+                    .vm
+                    .table(as_id)
+                    .unwrap()
+                    .map_4k
+                    .index(&(VA + i * 0x1000))
+                    .unwrap()
+                    .frame
+            })
+            .collect()
+    });
+    // The process unmaps its window; the DMA pin alone keeps every
+    // frame alive and inside the leak-freedom closure.
+    ok(SyscallArgs::Munmap {
+        va_base: VA,
+        len: NPAGES,
+    });
+    let audit = smp.audit_total_wf();
+    assert!(audit.is_ok(), "pinned ring pages break total_wf: {audit:?}");
+
+    let mut pool = BlkPool::from_window(DmaWindow::new(IOVA, frames));
+    let mut in_flight: Vec<BlkBuf> = Vec::new();
+    let (mut submitted, mut reaped_total) = (0u64, 0u64);
+    for round in 0..rounds {
+        let batch = (round % (BLK_SQ_CAPACITY / 2)) + 1;
+        let bufs: Vec<BlkBuf> = (0..batch).filter_map(|_| pool.try_acquire()).collect();
+        let ops: Vec<BlkOp> = bufs
+            .iter()
+            .map(|b| BlkOp {
+                cookie: b.slot() as u64,
+                iova: pool.iova_of(b),
+                lba: (submitted + b.slot() as u64) % 4096,
+                write: round % 3 == 0,
+            })
+            .collect();
+        let n = ops.len() as u64;
+        let r = smp.syscall(0, SyscallArgs::BlkSubmitBatch { queue: 0, ops });
+        assert!(r.is_ok(), "submit failed: {r:?}");
+        assert_eq!(r.val0(), n, "every op accepted");
+        submitted += n;
+        in_flight.extend(bufs);
+
+        // Blocking reap: the kernel parks the thread and charges the
+        // fast-path wakeup when nothing has completed yet.
+        while !in_flight.is_empty() {
+            let r = smp.syscall(
+                0,
+                SyscallArgs::BlkReapBatch {
+                    queue: 0,
+                    max: BLK_SQ_CAPACITY,
+                    wait: true,
+                },
+            );
+            assert!(r.is_ok(), "reap failed: {r:?}");
+            let cookies = smp.with_kernel(|k| k.mem.blk.queues[0].drain_reaped());
+            assert_eq!(
+                cookies.len() as u64,
+                r.val0(),
+                "CQ ring drains what reap returned"
+            );
+            reaped_total += cookies.len() as u64;
+            for cookie in cookies {
+                let pos = in_flight
+                    .iter()
+                    .position(|b| b.slot() as u64 == cookie)
+                    .expect("reaped cookie matches an in-flight handle");
+                pool.release(in_flight.swap_remove(pos));
+            }
+        }
+    }
+    assert_eq!(submitted, reaped_total, "ring drained");
+    assert_eq!(pool.in_flight(), 0);
+    assert_eq!(pool.acquired(), submitted);
+    assert!(pool.is_wf(), "{:?}", pool.wf());
+
+    // The blk ledger balances under the stop-the-world audit and in the
+    // merged trace: acquired == released + in_flight, reaps ≤ submits.
+    let audit = smp.audit_total_wf();
+    assert!(audit.is_ok(), "ring in service: {audit:?}");
+    let snap = smp.trace_snapshot();
+    assert_eq!(snap.counters.blk.submit_ios, submitted);
+    assert_eq!(snap.counters.blk.reap_ios, submitted);
+    assert_eq!(snap.blk_in_flight, 0, "trace gauge balanced");
+    assert!(
+        snap.counters.blk.wakeups > 0,
+        "blocking reaps parked at least once"
+    );
+    let (qp_submitted, qp_reaped) = smp.with_kernel(|k| {
+        let q = &k.mem.blk.queues[0];
+        (q.submitted(), q.reaped())
+    });
+    assert_eq!(qp_submitted, submitted);
+    assert_eq!(qp_reaped, submitted);
+
+    // Teardown: reclaim the frames, unpin each from the IOMMU (the last
+    // reference), and audit that nothing leaked.
+    let window = pool.into_window().expect("kernel-backed pool has a window");
+    let frames = window.into_frames();
+    for i in 0..NPAGES {
+        ok(SyscallArgs::IommuUnmap {
+            domain: dom,
+            iova: IOVA + i * 0x1000,
+        });
+    }
+    smp.with_kernel(|k| {
+        for &f in &frames {
+            assert!(k.mem.alloc.page_is_free(f), "frame returned on unpin");
+        }
+    });
+    ok(SyscallArgs::IommuDetach {
+        device: BLK_DEVICE_ID,
+    });
+    let audit = smp.audit_total_wf();
+    assert!(audit.is_ok(), "teardown: {audit:?}");
+    smp.with_kernel(|k| assert!(k.mem.alloc.mapped_pages().is_empty(), "no frames leaked"));
+    println!(
+        "kernel-backed ring: {NPAGES} DMA-pinned slots, {submitted} I/Os through \
+         BlkSubmitBatch/BlkReapBatch ({} wakeups), blk ledger balanced, \
+         audit_total_wf green at pin, in service, and after teardown.",
+        snap.counters.blk.wakeups
+    );
+}
+
+/// Power-cut the log-structured kv-store at every record boundary and at
+/// random mid-record offsets; every cut must recover to a state that
+/// refines the abstract map of the committed prefix.
+fn power_cut_recovery() -> (usize, usize) {
+    let mut rng = XorShift64Star::new(0x5eed_b10c);
+    let mut kv = LogKv::new(256, 1024);
+    let mut shadow = AbstractKv::new();
+    use atmo_spec::storage::KvOp;
+    for i in 0..300u32 {
+        let mut key = vec![b'b'];
+        key.extend_from_slice(&(rng.below(32) as u32).to_le_bytes());
+        if rng.chance(1, 5) {
+            if kv.delete(&key) {
+                shadow.apply(&KvOp::Delete(key));
+            }
+        } else {
+            let value = vec![(i % 251) as u8; rng.below(MAX_KV_LEN + 1)];
+            if kv.set(&key, &value) {
+                shadow.apply(&KvOp::Set(key, value));
+            }
+        }
+    }
+    let image = kv.log_image();
+    let ends = LogKv::record_ends(&image);
+    assert_eq!(*ends.last().unwrap(), image.len(), "log parses to its end");
+
+    let mut cuts = 0usize;
+    let mut check = |cut: usize| {
+        let truncated = &image[..cut];
+        let committed = AbstractKv::from_ops(&LogKv::committed_prefix(truncated));
+        let (recovered, _) = LogKv::recover(truncated, 256, 1024);
+        recovery_refines(&committed, &recovered.entries())
+            .unwrap_or_else(|e| panic!("power cut at byte {cut}: {e}"));
+        cuts += 1;
+    };
+    for &cut in &ends {
+        check(cut);
+    }
+    for _ in 0..256 {
+        check(rng.below(image.len() + 1));
+    }
+    // The untruncated log recovers to the independently-tracked shadow.
+    let (recovered, _) = LogKv::recover(&image, 256, 1024);
+    recovery_refines(&shadow, &recovered.entries()).expect("full-image recovery");
+    assert!(kv.compactions() > 0, "workload exercised segment GC");
+    (cuts, ends.len() - 1)
+}
+
+fn main() {
+    let total: u64 = std::env::var("BLK_ZC_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let costs = CostModel::c220g5();
+    let spec = NvmeSpec::p3700(FREQ);
+
+    // One traced zero-copy pass first: the sink's blk ledger
+    // (`acquired == released + in_flight`, `reap_ios <= submit_ios`)
+    // must balance under trace_wf.
+    let sink = TraceSink::new(4, 4096);
+    {
+        let mut q = NvmeZcQueue::new(device(), DriverCosts::atmosphere());
+        let mut pool = BlkPool::anonymous(POOL_SLOTS);
+        q.attach_trace(sink.clone());
+        pool.attach_trace(sink.clone());
+        let mut meter = CycleMeter::new();
+        let traced = total.min(2_000);
+        run_closed_loop_zc(&mut q, &mut pool, &mut meter, IoKind::Read, QD, traced);
+        trace_wf(&sink).expect("blk ledger balances");
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.blk.pool_acquired, QD as u64);
+        assert_eq!(snap.counters.blk.pool_released, QD as u64);
+        assert_eq!(snap.blk_in_flight, 0);
+        assert!(snap.counters.blk.submit_ios >= traced);
+        assert_eq!(snap.counters.blk.pool_exhausted, 0);
+    }
+
+    let copy_qd1 = run_copying(IoKind::Read, 1, total / 8, &costs);
+    let copy_qd32 = run_copying(IoKind::Read, QD, total, &costs);
+    let copy_w32 = run_copying(IoKind::Write, QD, total, &costs);
+    let zc_qd1 = run_zerocopy(IoKind::Read, 1, total / 8);
+    let zc_qd32 = run_zerocopy(IoKind::Read, QD, total);
+    let zc_w32 = run_zerocopy(IoKind::Write, QD, total);
+
+    let savings = 1.0 - zc_qd32.host_per_io() / copy_qd32.host_per_io();
+    let row = |qd: &str, kind: &str, mode: &str, s: &RunStats, save: String| {
+        vec![
+            qd.into(),
+            kind.into(),
+            mode.into(),
+            format!("{:.0}", s.host_per_io()),
+            fmt_kiops(s.iops),
+            save,
+        ]
+    };
+    let rows = vec![
+        row("1", "read", "copying", &copy_qd1, String::new()),
+        row("1", "read", "zero-copy", &zc_qd1, String::new()),
+        row("32", "read", "copying", &copy_qd32, String::new()),
+        row(
+            "32",
+            "read",
+            "zero-copy",
+            &zc_qd32,
+            format!("{:.1}%", savings * 100.0),
+        ),
+        row("32", "write", "copying", &copy_w32, String::new()),
+        row("32", "write", "zero-copy", &zc_w32, String::new()),
+    ];
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Zero-copy block datapath, P3700 model \
+                 ({total} I/Os closed-loop, modeled c220g5 cycles)"
+            ),
+            &["QD", "Kind", "Mode", "Host cyc/IO", "KIOPS", "Savings"],
+            &rows,
+        )
+    );
+    println!();
+    println!(
+        "steady path: 0 heap allocations, 0 payload copies; trace_wf ok on \
+         the traced pass (pool ledger acquired == released, exhausted == 0)"
+    );
+    println!();
+    kernel_backed_ring_audit((total / 400).clamp(8, 200) as usize);
+    println!();
+    let (cuts, records) = power_cut_recovery();
+    println!(
+        "crash consistency: {records} committed records, {cuts} power-cut points \
+         (every record boundary + 256 random mid-record cuts) all recover \
+         refined against the committed prefix."
+    );
+    println!();
+    println!(
+        "zero-copy batched rings save {:.1}% host cycles/I/O at QD32 \
+         (acceptance: >= 40%); QD1 {} vs QD32 {} KIOPS reproduce the \
+         latency-bound/service-rate-bound regimes.",
+        savings * 100.0,
+        fmt_kiops(zc_qd1.iops),
+        fmt_kiops(zc_qd32.iops),
+    );
+
+    // Acceptance: the zero-copy rework must be a >= 40% host-cycle win
+    // at QD32, and both paths must sit on the Figure-5 closed-loop
+    // curve within 5%: `qd * freq / max(latency, qd * service)` — QD1
+    // latency-bound (~13K), QD32 bound by whichever of the latency
+    // pipe and the device service chain saturates first.
+    assert!(
+        savings >= 0.40,
+        "zero-copy must save >= 40% host cycles/I/O, got {:.1}%",
+        savings * 100.0
+    );
+    let curve =
+        |qd: u64, lat: u64, service: u64| qd as f64 * FREQ as f64 / lat.max(qd * service) as f64;
+    let qd1_bound = curve(1, spec.read_latency, spec.read_service);
+    let qd32_bound = curve(QD as u64, spec.read_latency, spec.read_service);
+    for (name, s, bound) in [
+        ("zc QD1", &zc_qd1, qd1_bound),
+        ("copying QD1", &copy_qd1, qd1_bound),
+        ("zc QD32", &zc_qd32, qd32_bound),
+        ("copying QD32", &copy_qd32, qd32_bound),
+    ] {
+        assert!(
+            (s.iops - bound).abs() / bound < 0.05,
+            "{name} off the Figure-5 curve: {:.0} vs bound {:.0}",
+            s.iops,
+            bound
+        );
+    }
+    assert!(
+        (12_000.0..14_000.0).contains(&zc_qd1.iops),
+        "QD1 must land near 13K IOPS: {:.0}",
+        zc_qd1.iops
+    );
+    let w_bound = curve(
+        QD as u64,
+        spec.write_latency,
+        spec.write_service + DriverCosts::atmosphere().nvme_write_extra,
+    );
+    assert!(
+        (zc_w32.iops - w_bound).abs() / w_bound < 0.05,
+        "QD32 writes off the penalty-bound curve: {:.0} vs {:.0}",
+        zc_w32.iops,
+        w_bound
+    );
+    assert!(
+        zc_w32.iops < zc_qd32.iops,
+        "writes must trail reads at QD32"
+    );
+}

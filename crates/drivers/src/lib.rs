@@ -24,6 +24,7 @@
 //! models, charging the calibrated per-operation cycle costs, so
 //! throughput emerges from execution rather than being asserted.
 
+pub mod blkpool;
 pub mod deploy;
 pub mod ixgbe;
 pub mod nvme;
@@ -32,9 +33,10 @@ pub mod pool;
 pub mod ring;
 pub mod steer;
 
+pub use blkpool::{BlkBuf, BlkPool, BLK_SLOT_SIZE};
 pub use deploy::{run_nvme_scenario, run_rx_tx_scenario, Deployment, NetScenarioReport};
 pub use ixgbe::{IxgbeDevice, IxgbeDriver, IXGBE_LINE_RATE_64B_PPS};
-pub use nvme::{IoKind, NvmeDevice, NvmeDriver, NvmeSpec};
+pub use nvme::{IoKind, NvmeDevice, NvmeDriver, NvmeSpec, NvmeZcQueue};
 pub use pkt::{Packet, PktGen};
 pub use pool::{PktBuf, PktPool, PKT_SLOT_SIZE, SLOTS_PER_PAGE};
 pub use ring::SpscRing;
@@ -68,6 +70,15 @@ pub struct DriverCosts {
     /// (posting the freed slots back to the NIC in one pass — the
     /// walk-cache treatment applied to the descriptor ring).
     pub refill_batch: u64,
+    /// Zero-copy NVMe submission-queue entry per I/O: the SQE names a
+    /// pinned pool slot's IOVA, so there is no bounce-buffer allocation
+    /// or payload copy — only the 64-byte descriptor write. Strictly
+    /// cheaper than [`DriverCosts::nvme_io`].
+    pub sq_desc_zc: u64,
+    /// Zero-copy NVMe completion-queue entry per I/O (CQE read + handle
+    /// return; no payload copy back). Strictly cheaper than
+    /// [`DriverCosts::nvme_io`].
+    pub cq_desc_zc: u64,
 }
 
 impl DriverCosts {
@@ -83,6 +94,8 @@ impl DriverCosts {
             rx_desc_zc: 22,
             tx_desc_zc: 18,
             refill_batch: 40,
+            sq_desc_zc: 120,
+            cq_desc_zc: 80,
         }
     }
 }

@@ -183,6 +183,19 @@ pub struct CostModel {
     /// received frame; the zero-copy pool path never pays it — its slots
     /// are preallocated once at pool construction.
     pub heap_alloc: u64,
+    /// Kernel-side handling of one block-I/O submission-queue entry on
+    /// the batched path: read the SQE, translate the pinned buffer's
+    /// IOVA through the IOMMU tables, post the NVMe command. Strictly
+    /// cheaper than the per-I/O syscall-per-command baseline, which
+    /// re-enters the kernel and re-validates for every command.
+    pub blk_sqe: u64,
+    /// Kernel-side handling of one completion-queue entry on the
+    /// batched reap path: read the CQE, match the cookie, retire the
+    /// command.
+    pub blk_cqe: u64,
+    /// One SQ-tail (or CQ-head) doorbell write to the device, charged
+    /// once per batch rather than once per command.
+    pub blk_doorbell: u64,
 }
 
 impl CostModel {
@@ -213,6 +226,9 @@ impl CostModel {
             ring_op: 35,
             copy_cacheline: 14,
             heap_alloc: 120,
+            blk_sqe: 95,
+            blk_cqe: 70,
+            blk_doorbell: 90,
         }
     }
 
@@ -394,6 +410,21 @@ mod tests {
         );
         // And the per-page body itself is untouched: Table 3 anchors hold.
         assert_eq!(wrap + per_page_body, 1984);
+    }
+
+    #[test]
+    fn calibration_blk_ring_costs_amortize_the_doorbell() {
+        let c = CostModel::c220g5();
+        // A batched SQE/CQE crossing must be strictly cheaper than the
+        // per-command syscall wrap it replaces (entry + validate + exit),
+        // and the doorbell must be worth amortizing: at batch 32 the
+        // per-command doorbell share collapses below one ring op.
+        assert!(c.blk_sqe + c.blk_cqe < c.syscall_entry + c.syscall_validate + c.syscall_exit);
+        assert!(c.blk_doorbell / 32 < c.ring_op);
+        // The calibrated anchors must not drift when these fields are
+        // added.
+        assert_eq!(2 * c.ipc_one_way(), 1058);
+        assert_eq!(c.map_page_existing_tables(), 1984);
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct MemDomain {
     pub(crate) iommu_owner: BTreeMap<u32, CtnrPtr>,
     /// Containers granted access to a domain via IPC (`iommu_grant`).
     pub(crate) iommu_access: BTreeMap<u32, Vec<CtnrPtr>>,
+    /// The block submission/completion queue pairs (§6.5.2's datapath as
+    /// a syscall surface); their entries reference frames only through
+    /// IOMMU translations, so they live next to the tables that validate
+    /// them.
+    pub blk: crate::blk::BlkState,
 }
 
 impl MemDomain {
@@ -137,6 +142,7 @@ impl Kernel {
         // the boot-time allocations so post-boot counts reconcile with
         // issued syscalls, then shared with every emitting subsystem.
         let trace = TraceSink::new(cfg.ncpus, DEFAULT_RING_CAPACITY);
+        let freq_hz = machine.profile.freq_hz;
         alloc.attach_trace(trace.clone());
         let mut pm = pm;
         pm.attach_trace(trace.clone());
@@ -150,6 +156,7 @@ impl Kernel {
                 pending_grants: BTreeMap::new(),
                 iommu_owner: BTreeMap::new(),
                 iommu_access: BTreeMap::new(),
+                blk: crate::blk::BlkState::new(freq_hz),
             },
             root_container: root,
             init_proc,

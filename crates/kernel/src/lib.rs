@@ -33,6 +33,7 @@
 //!   event-driven state machine with its own functional-correctness spec.
 
 pub mod abs;
+pub mod blk;
 pub mod domain;
 pub mod interrupt;
 pub mod iso;
@@ -43,14 +44,16 @@ pub mod runner;
 pub mod smp;
 pub mod spec;
 pub mod syscall;
+pub mod syscall_blk;
 pub mod syscall_ext;
 pub mod vm;
 pub mod vservice;
 
 pub use abs::AbstractKernel;
+pub use blk::{BlkOp, BlkQueuePair, BlkState, BlkTiming, BLK_DEVICE_ID, BLK_SQ_CAPACITY};
 pub use domain::{DomainGuard, DomainLock, LockLevel};
 pub use kernel::{BigLockKernel, Kernel, KernelConfig, MemDomain};
-pub use refine::{cross_domain_wf, mem_domain_wf, pm_domain_wf, total_wf_parts};
+pub use refine::{cross_domain_wf, mem_domain_wf, pm_domain_wf, recovery_refines, total_wf_parts};
 pub use smp::{PmShard, SmpKernel};
 pub use syscall::{SyscallArgs, SyscallError, SyscallReturn};
 pub use vm::VmSubsystem;

@@ -39,7 +39,11 @@ pub fn pm_domain_wf(pm: &ProcessManager) -> VerifResult {
 /// mem lock alone.
 pub fn mem_domain_wf(mem: &MemDomain) -> VerifResult {
     mem.vm.wf()?;
-    mem.alloc.wf()
+    mem.alloc.wf()?;
+    // The block queue pairs live in the mem domain (their entries are
+    // validated against the IOMMU tables): completion order, capacity,
+    // cookie distinctness and the submit/reap ledger audit with it.
+    mem.blk.wf()
 }
 
 /// The cross-domain equations of §4.2 — these quantify over *both*
@@ -130,6 +134,37 @@ pub fn fastpath_refines_rendezvous(
             post_t.state,
             ThreadState::BlockedReply(_) | ThreadState::BlockedRecv(_)
         )
+}
+
+/// Crash-recovery refinement for the log-structured store (§4.3's
+/// refinement discipline applied to persistence): the entries a store
+/// reports after replaying a (possibly torn) crash image must be
+/// exactly the abstract map over the *committed prefix* of operations —
+/// every committed operation survives, and no torn record surfaces.
+///
+/// The kernel sees only the abstract shapes (`atmo-spec`'s
+/// [`atmo_spec::storage::AbstractKv`]); the concrete store under test
+/// supplies its recovered entries, the workload harness supplies the
+/// committed-prefix ops.
+pub fn recovery_refines(
+    committed: &atmo_spec::storage::AbstractKv,
+    recovered: &[(Vec<u8>, Vec<u8>)],
+) -> VerifResult {
+    let rebuilt = atmo_spec::storage::AbstractKv::from_entries(recovered);
+    check(
+        rebuilt.len() == recovered.len(),
+        "recovery",
+        "recovered entries contain a duplicate key",
+    )?;
+    check(
+        &rebuilt == committed,
+        "recovery",
+        format!(
+            "recovered state ({} entries) diverges from the committed abstract map ({} entries)",
+            rebuilt.len(),
+            committed.len()
+        ),
+    )
 }
 
 /// `total_wf` over the assembled parts: per-domain invariants, the

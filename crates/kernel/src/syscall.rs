@@ -186,6 +186,25 @@ pub enum SyscallArgs {
         /// Device-visible address.
         iova: usize,
     },
+    /// Post a batch of block-I/O submission entries on a queue pair and
+    /// ring the doorbell once (the io_uring-shaped zero-copy submit).
+    BlkSubmitBatch {
+        /// Target queue pair.
+        queue: usize,
+        /// Submission entries (each names a DMA-pinned buffer by IOVA).
+        ops: Vec<crate::blk::BlkOp>,
+    },
+    /// Harvest up to `max` finished block completions from a queue pair
+    /// into the caller's completion ring.
+    BlkReapBatch {
+        /// Target queue pair.
+        queue: usize,
+        /// Completion-ring capacity this reap may fill.
+        max: usize,
+        /// Block until at least one completion is ready (delivered via
+        /// the IPC fast-path wakeup) instead of returning 0.
+        wait: bool,
+    },
     /// Yield the CPU (round-robin rotation).
     Yield,
     /// Read-only: publish a merged trace snapshot (per-CPU rings,
@@ -227,6 +246,8 @@ impl SyscallArgs {
             SyscallArgs::IommuDetach { .. } => K::IommuDetach,
             SyscallArgs::IommuMap { .. } => K::IommuMap,
             SyscallArgs::IommuUnmap { .. } => K::IommuUnmap,
+            SyscallArgs::BlkSubmitBatch { .. } => K::BlkSubmitBatch,
+            SyscallArgs::BlkReapBatch { .. } => K::BlkReapBatch,
             SyscallArgs::Yield => K::Yield,
             SyscallArgs::TraceSnapshot => K::TraceSnapshot,
         }
@@ -595,6 +616,10 @@ impl ExecCtx<'_> {
             SyscallArgs::IommuDetach { device } => self.sys_iommu_detach(t, device),
             SyscallArgs::IommuMap { domain, iova, va } => self.sys_iommu_map(t, domain, iova, va),
             SyscallArgs::IommuUnmap { domain, iova } => self.sys_iommu_unmap(t, domain, iova),
+            SyscallArgs::BlkSubmitBatch { queue, ops } => self.sys_blk_submit(t, queue, &ops),
+            SyscallArgs::BlkReapBatch { queue, max, wait } => {
+                self.sys_blk_reap(t, queue, max, wait)
+            }
             SyscallArgs::Yield => self.sys_yield(cpu, t),
             SyscallArgs::TraceSnapshot => self.sys_trace_snapshot(t),
         }

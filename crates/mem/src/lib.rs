@@ -31,6 +31,7 @@
 pub mod alloc;
 pub mod cache;
 pub mod closure;
+pub mod dma;
 pub mod freelist;
 pub mod meta;
 pub mod perm;
@@ -41,6 +42,7 @@ pub use cache::{
     CacheStats, CachedSource, PageCache, DEFAULT_CACHE_CAPACITY, DEFAULT_REFILL_BATCH,
 };
 pub use closure::{closure_partition_wf, PageClosure};
+pub use dma::{DmaWindow, DMA_FRAME_BYTES};
 pub use meta::{PagePtr, PageSize, PageState};
 pub use perm::PagePermission;
 pub use source::PageSource;

@@ -36,6 +36,7 @@ pub mod ptr;
 pub mod rng;
 pub mod seq;
 pub mod set;
+pub mod storage;
 pub mod sync;
 
 pub use ghost::{Ghost, Tracked};
@@ -46,6 +47,7 @@ pub use ptr::{PPtr, PointsTo};
 pub use rng::XorShift64Star;
 pub use seq::Seq;
 pub use set::Set;
+pub use storage::{AbstractKv, KvOp};
 pub use sync::{into_inner_recovering, lock_recovering};
 
 /// Asserts a verification condition.

@@ -1,0 +1,143 @@
+//! The abstract storage specification: a key-value map driven by a
+//! sequence of operations.
+//!
+//! The crash-consistency story of the log-structured store is stated
+//! against this model: a write-ahead log *commits* an operation when its
+//! record is fully durable, and recovery from any crash image must
+//! rebuild exactly [`AbstractKv::from_ops`] over the committed prefix —
+//! nothing more (no torn record surfaces), nothing less (no committed
+//! operation is lost). The refinement harness
+//! (`atmo_kernel::refine::recovery_refines`) checks that equality after
+//! every injected power cut.
+
+use std::collections::BTreeMap;
+
+/// One abstract key-value operation, in commit order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Bind `key` to `value` (inserting or overwriting).
+    Set(Vec<u8>, Vec<u8>),
+    /// Remove `key` (a no-op when absent).
+    Delete(Vec<u8>),
+}
+
+/// The abstract key-value state: a mathematical map from keys to
+/// values, with no representation detail (no slots, no segments, no
+/// checksums).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbstractKv {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl AbstractKv {
+    /// The empty map.
+    pub fn new() -> Self {
+        AbstractKv::default()
+    }
+
+    /// Applies one operation.
+    pub fn apply(&mut self, op: &KvOp) {
+        match op {
+            KvOp::Set(k, v) => {
+                self.map.insert(k.clone(), v.clone());
+            }
+            KvOp::Delete(k) => {
+                self.map.remove(k);
+            }
+        }
+    }
+
+    /// The map after applying `ops` in order to the empty state.
+    pub fn from_ops(ops: &[KvOp]) -> Self {
+        let mut kv = AbstractKv::new();
+        for op in ops {
+            kv.apply(op);
+        }
+        kv
+    }
+
+    /// The map holding exactly `entries` (the shape a recovered concrete
+    /// store reports for the refinement check).
+    pub fn from_entries(entries: &[(Vec<u8>, Vec<u8>)]) -> Self {
+        AbstractKv {
+            map: entries.iter().cloned().collect(),
+        }
+    }
+
+    /// The value bound to `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no key is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The bindings in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_apply_in_order() {
+        let ops = vec![
+            KvOp::Set(b"a".to_vec(), b"1".to_vec()),
+            KvOp::Set(b"b".to_vec(), b"2".to_vec()),
+            KvOp::Set(b"a".to_vec(), b"3".to_vec()),
+            KvOp::Delete(b"b".to_vec()),
+        ];
+        let kv = AbstractKv::from_ops(&ops);
+        assert_eq!(kv.get(b"a"), Some(&b"3"[..]));
+        assert_eq!(kv.get(b"b"), None);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn delete_of_absent_key_is_a_noop() {
+        let kv = AbstractKv::from_ops(&[KvOp::Delete(b"ghost".to_vec())]);
+        assert!(kv.is_empty());
+        assert_eq!(kv, AbstractKv::new());
+    }
+
+    #[test]
+    fn prefixes_are_monotone_histories() {
+        // The committed-prefix discipline: every prefix of an op
+        // sequence is itself a legal abstract history.
+        let ops = [
+            KvOp::Set(b"k".to_vec(), b"v1".to_vec()),
+            KvOp::Delete(b"k".to_vec()),
+            KvOp::Set(b"k".to_vec(), b"v2".to_vec()),
+        ];
+        let states: Vec<AbstractKv> = (0..=ops.len())
+            .map(|n| AbstractKv::from_ops(&ops[..n]))
+            .collect();
+        assert_eq!(states[0].get(b"k"), None);
+        assert_eq!(states[1].get(b"k"), Some(&b"v1"[..]));
+        assert_eq!(states[2].get(b"k"), None);
+        assert_eq!(states[3].get(b"k"), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn from_entries_round_trips() {
+        let kv = AbstractKv::from_ops(&[
+            KvOp::Set(b"x".to_vec(), b"1".to_vec()),
+            KvOp::Set(b"y".to_vec(), b"2".to_vec()),
+        ]);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = kv
+            .entries()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        assert_eq!(AbstractKv::from_entries(&entries), kv);
+    }
+}

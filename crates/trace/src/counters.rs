@@ -176,6 +176,54 @@ impl NetCounters {
     }
 }
 
+/// Zero-copy block datapath counters (block-buffer pool, batched SQ
+/// submission and CQ reaping, and completion wakeups). Counter-only —
+/// like [`NetCounters`], they annotate datapath work whose ring events
+/// (if any) are emitted by the driver or dispatcher, so they never
+/// enter the per-kind event reconciliation. The pool gauge
+/// `acquired - released` is the number of `BlkBuf` handles in flight;
+/// `trace_wf` checks it against the sink's blk in-flight gauge on the
+/// merged view, and additionally that reaped I/Os never exceed
+/// submitted I/Os globally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlkCounters {
+    /// Pool slots handed out (`BlkBuf` handles created).
+    pub pool_acquired: u64,
+    /// Pool slots returned.
+    pub pool_released: u64,
+    /// Acquire attempts that found the pool empty (backpressure events,
+    /// not failures — the datapath reaps completions and retries).
+    pub pool_exhausted: u64,
+    /// Batched SQ doorbell rings.
+    pub submit_batches: u64,
+    /// I/O commands across all submission batches.
+    pub submit_ios: u64,
+    /// Batched CQ reap passes that returned at least one completion.
+    pub reap_batches: u64,
+    /// Completions across all reap batches.
+    pub reap_ios: u64,
+    /// Parked reapers woken by a completion (modeled on the Call/
+    /// ReplyRecv direct-handoff fast path).
+    pub wakeups: u64,
+    /// Blocks copied out of the pool into an owned buffer (the non-
+    /// zero-copy fallback).
+    pub fallback_copies: u64,
+}
+
+impl BlkCounters {
+    fn merge(&mut self, other: &BlkCounters) {
+        self.pool_acquired += other.pool_acquired;
+        self.pool_released += other.pool_released;
+        self.pool_exhausted += other.pool_exhausted;
+        self.submit_batches += other.submit_batches;
+        self.submit_ios += other.submit_ios;
+        self.reap_batches += other.reap_batches;
+        self.reap_ios += other.reap_ios;
+        self.wakeups += other.wakeups;
+        self.fallback_copies += other.fallback_copies;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -235,6 +283,8 @@ pub struct Counters {
     pub drivers: DriverCounters,
     /// Zero-copy network datapath.
     pub net: NetCounters,
+    /// Zero-copy block datapath.
+    pub blk: BlkCounters,
     /// Domain locks.
     pub locks: LocksCounters,
 }
@@ -307,6 +357,15 @@ impl Counters {
             ("net.steer_hits", self.net.steer_hits),
             ("net.steer_misses", self.net.steer_misses),
             ("net.fallback_copies", self.net.fallback_copies),
+            ("blk.pool_acquired", self.blk.pool_acquired),
+            ("blk.pool_released", self.blk.pool_released),
+            ("blk.pool_exhausted", self.blk.pool_exhausted),
+            ("blk.submit_batches", self.blk.submit_batches),
+            ("blk.submit_ios", self.blk.submit_ios),
+            ("blk.reap_batches", self.blk.reap_batches),
+            ("blk.reap_ios", self.blk.reap_ios),
+            ("blk.wakeups", self.blk.wakeups),
+            ("blk.fallback_copies", self.blk.fallback_copies),
             ("locks.pm.acquisitions", self.locks.pm.acquisitions),
             ("locks.pm.contended", self.locks.pm.contended),
             ("locks.pm.hold_max_cycles", self.locks.pm.hold_max_cycles),
@@ -345,6 +404,7 @@ impl Counters {
         self.drivers.tx_batches += other.drivers.tx_batches;
         self.drivers.tx_items += other.drivers.tx_items;
         self.net.merge(&other.net);
+        self.blk.merge(&other.blk);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
         self.locks.trace.merge(&other.locks.trace);
@@ -387,6 +447,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("vm.")));
         assert!(names.iter().any(|n| n.starts_with("drivers.")));
         assert!(names.iter().any(|n| n.starts_with("net.")));
+        assert!(names.iter().any(|n| n.starts_with("blk.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }
 

@@ -36,10 +36,12 @@ pub enum SyscallKind {
     Yield,
     TraceSnapshot,
     ReplyRecv,
+    BlkSubmitBatch,
+    BlkReapBatch,
 }
 
 /// Number of syscall kinds (array dimension for per-kind state).
-pub const NUM_SYSCALL_KINDS: usize = 28;
+pub const NUM_SYSCALL_KINDS: usize = 30;
 
 impl SyscallKind {
     /// All kinds, in discriminant order.
@@ -72,6 +74,8 @@ impl SyscallKind {
         SyscallKind::Yield,
         SyscallKind::TraceSnapshot,
         SyscallKind::ReplyRecv,
+        SyscallKind::BlkSubmitBatch,
+        SyscallKind::BlkReapBatch,
     ];
 
     /// Dense index for per-kind arrays.
@@ -110,6 +114,8 @@ impl SyscallKind {
             SyscallKind::Yield => "yield",
             SyscallKind::TraceSnapshot => "trace_snapshot",
             SyscallKind::ReplyRecv => "reply_recv",
+            SyscallKind::BlkSubmitBatch => "blk_submit_batch",
+            SyscallKind::BlkReapBatch => "blk_reap_batch",
         }
     }
 }

@@ -43,15 +43,15 @@ pub mod sink;
 pub mod snapshot;
 
 pub use counters::{
-    Counters, DriverCounters, FastpathCounters, LockCounters, LocksCounters, MemCounters,
-    NetCounters, PmCounters, PtableCounters, VmCounters,
+    BlkCounters, Counters, DriverCounters, FastpathCounters, LockCounters, LocksCounters,
+    MemCounters, NetCounters, PmCounters, PtableCounters, VmCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
 pub use sink::{
-    ns_to_cycles, trace_wf, FastpathOutcome, LockDomain, NetOutcome, SyscallStats, TraceHandle,
-    TraceShare, TraceSink, VmOutcome,
+    ns_to_cycles, trace_wf, BlkOutcome, FastpathOutcome, LockDomain, NetOutcome, SyscallStats,
+    TraceHandle, TraceShare, TraceSink, VmOutcome,
 };
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 

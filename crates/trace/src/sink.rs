@@ -19,7 +19,7 @@ use std::time::Instant;
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
-use crate::counters::{Counters, FastpathCounters, NetCounters, VmCounters};
+use crate::counters::{BlkCounters, Counters, FastpathCounters, NetCounters, VmCounters};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
 };
@@ -170,6 +170,54 @@ impl NetOutcome {
     }
 }
 
+/// One zero-copy-block-datapath observation. Like [`NetOutcome`] these
+/// are counter-only annotations: batched SQ/CQ work already emits
+/// `DriverTx`/`DriverRx` ring events (device = NVMe), so an extra ring
+/// entry would break the exact per-kind reconciliation.
+/// `PoolAcquire`/`PoolRelease` additionally move the sink's blk
+/// in-flight gauge, which `trace_wf` checks against the merged counters
+/// (`acquired == released + in_flight`), alongside the global
+/// `reap_ios <= submit_ios` completion bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlkOutcome {
+    /// Pool slots handed out (count = slots).
+    PoolAcquire,
+    /// Pool slots returned (count = slots).
+    PoolRelease,
+    /// Acquire attempts that found the pool empty (count = attempts).
+    PoolExhausted,
+    /// One batched SQ doorbell ring (count = I/O commands).
+    SubmitBatch,
+    /// One batched CQ reap pass (count = completions).
+    ReapBatch,
+    /// Parked reapers woken by a completion over the direct-handoff
+    /// fast path (count = wakeups).
+    Wakeup,
+    /// Blocks copied out of the pool into owned buffers (count =
+    /// blocks).
+    Fallback,
+}
+
+impl BlkOutcome {
+    fn count_into(self, blk: &mut BlkCounters, n: u64) {
+        match self {
+            BlkOutcome::PoolAcquire => blk.pool_acquired += n,
+            BlkOutcome::PoolRelease => blk.pool_released += n,
+            BlkOutcome::PoolExhausted => blk.pool_exhausted += n,
+            BlkOutcome::SubmitBatch => {
+                blk.submit_batches += 1;
+                blk.submit_ios += n;
+            }
+            BlkOutcome::ReapBatch => {
+                blk.reap_batches += 1;
+                blk.reap_ios += n;
+            }
+            BlkOutcome::Wakeup => blk.wakeups += n,
+            BlkOutcome::Fallback => blk.fallback_copies += n,
+        }
+    }
+}
+
 /// Converts wall-clock nanoseconds into modeled cycles at the c220g5
 /// profile's 2.2 GHz, for lock hold times (the only place real time
 /// leaks into the modeled-cycle world).
@@ -239,6 +287,9 @@ pub struct TraceSink {
     /// acquired on; `trace_wf` balances it against the *merged* pool
     /// counters.
     net_in_flight: Mutex<i64>,
+    /// Block-pool slots currently in flight (acquired − released); same
+    /// gauge discipline as `net_in_flight`, for `BlkBuf` handles.
+    blk_in_flight: Mutex<i64>,
 }
 
 /// A shared reference to a kernel's trace sink.
@@ -254,6 +305,7 @@ impl TraceSink {
                 .collect(),
             low_water: Mutex::new(Counters::default()),
             net_in_flight: Mutex::new(0),
+            blk_in_flight: Mutex::new(0),
         })
     }
 
@@ -392,6 +444,30 @@ impl TraceSink {
         *lock_recovering(&self.net_in_flight)
     }
 
+    /// Counts `n` zero-copy-block-datapath observations on the CPU
+    /// attributed to this OS thread. Counter-only, no ring event (see
+    /// [`BlkOutcome`]); pool acquire/release additionally move the blk
+    /// in-flight gauge.
+    pub fn blk_event(&self, outcome: BlkOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match outcome {
+            BlkOutcome::PoolAcquire => *lock_recovering(&self.blk_in_flight) += n as i64,
+            BlkOutcome::PoolRelease => *lock_recovering(&self.blk_in_flight) -= n as i64,
+            _ => {}
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.blk, n)
+        });
+    }
+
+    /// Block-pool slots currently in flight (acquired − released across
+    /// all CPUs).
+    pub fn blk_in_flight(&self) -> i64 {
+        *lock_recovering(&self.blk_in_flight)
+    }
+
     /// Builds the merged snapshot: per-CPU ring summaries, merged
     /// per-kind syscall statistics and the merged subsystem counters.
     ///
@@ -456,6 +532,7 @@ impl TraceSink {
             kinds: merged_kinds,
             counters,
             net_in_flight: self.net_in_flight(),
+            blk_in_flight: self.blk_in_flight(),
             total_events,
             total_dropped,
         }
@@ -677,6 +754,33 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             merged.net.pool_acquired, merged.net.pool_released
         ),
     )?;
+    // Block-pool ledger: same merged-view discipline as the net pool —
+    // a BlkBuf may be reaped and released on a different CPU than it
+    // was acquired on.
+    let blk_in_flight = *lock_recovering(&sink.blk_in_flight);
+    check(
+        blk_in_flight >= 0,
+        "trace",
+        format!("blk pool gauge negative: {blk_in_flight} slots in flight"),
+    )?;
+    check(
+        merged.blk.pool_acquired == merged.blk.pool_released + blk_in_flight as u64,
+        "trace",
+        format!(
+            "blk pool ledger: {} acquired != {} released + {blk_in_flight} in flight",
+            merged.blk.pool_acquired, merged.blk.pool_released
+        ),
+    )?;
+    // Completions are reaped from prior submissions; globally the CQ can
+    // never return more I/Os than the SQ accepted.
+    check(
+        merged.blk.reap_ios <= merged.blk.submit_ios,
+        "trace",
+        format!(
+            "blk queues reaped {} I/Os but only {} were submitted",
+            merged.blk.reap_ios, merged.blk.submit_ios
+        ),
+    )?;
     check(
         kind_totals[EventKind::SyscallEnter.index()] == enter_total
             && kind_totals[EventKind::SyscallExit.index()] == exit_total,
@@ -749,6 +853,14 @@ impl TraceShare {
     pub fn net(&self, outcome: NetOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.net_event(outcome, n);
+        }
+    }
+
+    /// Counts `n` zero-copy-block-datapath observations (no-op when
+    /// detached).
+    pub fn blk(&self, outcome: BlkOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.blk_event(outcome, n);
         }
     }
 
@@ -916,6 +1028,59 @@ mod tests {
         sink.net_event(NetOutcome::PoolRelease, 8);
         assert_eq!(sink.net_in_flight(), 0);
         assert!(trace_wf(&sink).is_ok());
+    }
+
+    #[test]
+    fn blk_events_accumulate_and_balance_the_pool_ledger() {
+        let sink = TraceSink::new(2, 16);
+        sink.set_cpu(0);
+        sink.blk_event(BlkOutcome::PoolAcquire, 32);
+        sink.blk_event(BlkOutcome::SubmitBatch, 32);
+        // Completions are reaped — and buffers released — on the other
+        // CPU: the ledger must still balance on the merged view.
+        sink.set_cpu(1);
+        sink.blk_event(BlkOutcome::ReapBatch, 32);
+        sink.blk_event(BlkOutcome::Wakeup, 1);
+        sink.blk_event(BlkOutcome::PoolRelease, 24);
+        assert_eq!(sink.blk_in_flight(), 8);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.blk.pool_acquired, 32);
+        assert_eq!(snap.counters.blk.pool_released, 24);
+        assert_eq!(snap.blk_in_flight, 8);
+        assert_eq!(snap.counters.blk.submit_batches, 1);
+        assert_eq!(snap.counters.blk.submit_ios, 32);
+        assert_eq!(snap.counters.blk.reap_batches, 1);
+        assert_eq!(snap.counters.blk.reap_ios, 32);
+        assert_eq!(snap.counters.blk.wakeups, 1);
+        assert_eq!(snap.total_events, 0, "outcomes never enter the ring");
+        sink.blk_event(BlkOutcome::PoolRelease, 8);
+        assert_eq!(sink.blk_in_flight(), 0);
+        assert!(trace_wf(&sink).is_ok());
+    }
+
+    #[test]
+    fn wf_rejects_blk_reaps_exceeding_submissions() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.blk_event(BlkOutcome::SubmitBatch, 4);
+        sink.blk_event(BlkOutcome::ReapBatch, 4);
+        assert!(trace_wf(&sink).is_ok());
+        sink.blk_event(BlkOutcome::ReapBatch, 1);
+        assert!(
+            trace_wf(&sink).is_err(),
+            "reaping more I/Os than were submitted must fail wf"
+        );
+    }
+
+    #[test]
+    fn wf_rejects_unbalanced_blk_pool_ledger() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.blk_event(BlkOutcome::PoolAcquire, 4);
+        assert!(trace_wf(&sink).is_ok(), "in-flight slots are accounted");
+        lock_recovering(&sink.shards[0]).counters.blk.pool_released += 1;
+        assert!(trace_wf(&sink).is_err(), "ledger imbalance must fail wf");
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct Snapshot {
     /// Packet-pool slots in flight (acquired − released) at snapshot
     /// time — a gauge, kept apart from the monotone counters.
     pub net_in_flight: i64,
+    /// Block-pool slots in flight (acquired − released) at snapshot
+    /// time — the blk datapath's gauge, same discipline.
+    pub blk_in_flight: i64,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -170,6 +173,10 @@ impl Snapshot {
         rows.push(vec![
             "net.in_flight (gauge)".to_string(),
             format!("{}", self.net_in_flight),
+        ]);
+        rows.push(vec![
+            "blk.in_flight (gauge)".to_string(),
+            format!("{}", self.blk_in_flight),
         ]);
         out.push_str(&table(&["Counter", "Value"], rows));
         out.push_str(&format!(
