@@ -33,6 +33,7 @@
 //!   event-driven state machine with its own functional-correctness spec.
 
 pub mod abs;
+pub mod audit;
 pub mod blk;
 pub mod domain;
 pub mod interrupt;
@@ -50,6 +51,7 @@ pub mod vm;
 pub mod vservice;
 
 pub use abs::AbstractKernel;
+pub use audit::{AuditState, Auditor};
 pub use blk::{BlkOp, BlkQueuePair, BlkState, BlkTiming, BLK_DEVICE_ID, BLK_SQ_CAPACITY};
 pub use domain::{DomainGuard, DomainLock, LockLevel};
 pub use kernel::{BigLockKernel, Kernel, KernelConfig, MemDomain};

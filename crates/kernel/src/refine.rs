@@ -20,7 +20,7 @@
 use atmo_hw::addr::{VAddr, VaRange4K};
 use atmo_mem::PageClosure;
 use atmo_pm::{ProcessManager, ThreadState};
-use atmo_spec::harness::{check, Invariant, VerifResult};
+use atmo_spec::harness::{check, check_eqn, Invariant, VerifResult};
 use atmo_trace::TraceHandle;
 
 use crate::abs::{threads_unchanged_except, AbstractKernel};
@@ -54,15 +54,22 @@ pub fn cross_domain_wf(pm: &ProcessManager, mem: &MemDomain) -> VerifResult {
     // Safety: kernel objects and table frames partition `allocated`.
     let pm_closure = pm.page_closure();
     let vm_closure = mem.vm.page_closure();
-    check(
+    check_eqn(
         pm_closure.disjoint(&vm_closure),
         "kernel_memory",
-        "process-manager and VM closures overlap",
+        "pm+mem",
+        "closure-partition",
+        || "process-manager and VM closures overlap".to_string(),
     )?;
-    check(
+    check_eqn(
         pm_closure.union(&vm_closure) == mem.alloc.allocated_pages(),
         "kernel_memory",
-        "subsystem closures do not cover exactly the allocated pages (leak or corruption)",
+        "pm+mem",
+        "closure-partition",
+        || {
+            "subsystem closures do not cover exactly the allocated pages (leak or corruption)"
+                .to_string()
+        },
     )?;
 
     // Every live process has exactly its own address space.
@@ -71,10 +78,12 @@ pub fn cross_domain_wf(pm: &ProcessManager, mem: &MemDomain) -> VerifResult {
         .iter()
         .map(|(_, p)| p.value().addr_space)
         .collect();
-    check(
+    check_eqn(
         proc_spaces == mem.vm.spaces(),
         "kernel_memory",
-        "process address spaces and VM spaces diverge",
+        "pm+mem",
+        "space-bijection",
+        || "process address spaces and VM spaces diverge".to_string(),
     )?;
 
     // Leak freedom for user frames: the allocator's mapped heads are
@@ -97,10 +106,12 @@ pub fn cross_domain_wf(pm: &ProcessManager, mem: &MemDomain) -> VerifResult {
             }
         }
     }
-    check(
+    check_eqn(
         referenced == mem.alloc.mapped_pages(),
         "kernel_memory",
-        "mapped frames and address-space references diverge (leak)",
+        "pm+mem",
+        "leak-freedom",
+        || "mapped frames and address-space references diverge (leak)".to_string(),
     )
 }
 

@@ -66,8 +66,10 @@ use atmo_mem::{CacheStats, PageCache};
 use atmo_pm::types::{CpuId, CtnrPtr, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
 use atmo_spec::harness::{Invariant, VerifResult};
+use atmo_spec::lock_recovering;
 use atmo_trace::{LockDomain, Snapshot, TraceHandle};
 
+use crate::audit::{AuditState, Auditor};
 use crate::domain::{DomainLock, LockLevel};
 use crate::kernel::{Kernel, MemDomain};
 use crate::syscall::{
@@ -116,6 +118,13 @@ pub struct SmpKernel {
     mem: DomainLock<Option<MemDomain>>,
     /// The concurrent trace sink (leaf; internally sharded).
     trace: TraceHandle,
+    /// The incremental auditor: folded cross-domain state plus its
+    /// reusable ledger-drain scratch. `None` until
+    /// [`enable_incremental_audit`](Self::enable_incremental_audit)
+    /// baselines it. Ordered *above* every domain lock: it is always
+    /// taken first and never while a domain lock is held, so the audit
+    /// path cannot deadlock against dispatch.
+    auditor: std::sync::Mutex<Option<Auditor>>,
 }
 
 impl SmpKernel {
@@ -140,7 +149,14 @@ impl SmpKernel {
             .map(|c| DomainLock::new(c.meter.clone(), LockLevel::Meter, None, trace.clone()))
             .collect();
         let caches = (0..ncpus)
-            .map(|c| DomainLock::new(PageCache::new(c), LockLevel::Cache, None, trace.clone()))
+            .map(|c| {
+                let mut cache = PageCache::new(c);
+                // Cache fills/drains move frames in and out of the
+                // closure equations; the incremental auditor needs them
+                // in the ledger.
+                cache.attach_trace(trace.clone());
+                DomainLock::new(cache, LockLevel::Cache, None, trace.clone())
+            })
             .collect();
         SmpKernel {
             costs,
@@ -170,6 +186,7 @@ impl SmpKernel {
                 trace.clone(),
             ),
             trace,
+            auditor: std::sync::Mutex::new(None),
         }
     }
 
@@ -459,11 +476,104 @@ impl SmpKernel {
         r
     }
 
+    /// Baselines (or re-baselines) the incremental auditor and turns
+    /// ledger recording on: a stop-the-world full scan captures the
+    /// folded image of every audited set, stale ledger entries are
+    /// discarded, and from here on every mutation's delta lands in its
+    /// CPU's ledger for [`audit_incremental`](Self::audit_incremental)
+    /// to fold.
+    pub fn enable_incremental_audit(&self) {
+        let mut aud = lock_recovering(&self.auditor);
+        *aud = Some(self.with_kernel(|k| {
+            // Stop recording while baselining and discard anything
+            // recorded since the last baseline (including the deltas
+            // this very stop-the-world's cache drain just emitted) —
+            // the full scan already accounts for all of it.
+            k.trace.set_audit_recording(false);
+            let mut stale = Vec::new();
+            k.trace.drain_audit_ledgers(&mut stale);
+            let a = Auditor::baselined(k);
+            k.trace.set_audit_recording(true);
+            a
+        }));
+    }
+
+    /// The incremental well-formedness audit: drains the per-CPU
+    /// ledgers into the auditor's reusable scratch, folds each delta in
+    /// O(1), and re-checks the cross-domain equations in O(1) — total
+    /// cost O(touched ledger entries), with **no domain lock taken and
+    /// no cache drained**. A failure names the lock domain, the refuted
+    /// equation, and the ledger tail that was folded into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`enable_incremental_audit`](Self::enable_incremental_audit)
+    /// has not baselined the auditor.
+    pub fn audit_incremental(&self) -> VerifResult {
+        let mut aud = lock_recovering(&self.auditor);
+        let a = aud
+            .as_mut()
+            .expect("enable_incremental_audit() must run before audit_incremental()");
+        Self::fold_and_check(&self.trace, a)
+    }
+
+    /// Drains, folds and checks under an already-held auditor lock;
+    /// records the audit in the trace counters/histograms.
+    fn fold_and_check(trace: &TraceHandle, a: &mut Auditor) -> VerifResult {
+        let start = std::time::Instant::now();
+        a.scratch.clear();
+        trace.drain_audit_ledgers(&mut a.scratch);
+        let touched = a.fold_scratch();
+        let r = a
+            .state
+            .check(trace.net_in_flight(), trace.blk_in_flight())
+            .map_err(|e| match a.scratch.last() {
+                Some(d) => e.with_ledger_entry(format!("last of {touched} folded entries: {d:?}")),
+                None => e,
+            });
+        trace.audit_event(true, touched, start.elapsed().as_nanos() as u64);
+        r
+    }
+
     /// The stop-the-world `total_wf` audit: all locks held, caches
     /// drained, flat invariants checked (per-domain wf, cross-domain
-    /// memory equations, trace coherence).
+    /// memory equations, trace coherence). When the incremental auditor
+    /// is live, the flat audit additionally reconciles the ledger folds
+    /// against a fresh full scan bit-for-bit
+    /// ([`AuditState::cross_check`]) — the epoch boundary that bounds
+    /// how long a missed delta or fingerprint collision could survive.
+    ///
+    /// Every epoch audit is also an incremental audit point (the
+    /// pending ledger is folded first), so the `incremental ≥ full`
+    /// counter invariant holds by construction.
     pub fn audit_total_wf(&self) -> VerifResult {
-        self.with_kernel(|k| k.wf())
+        let mut aud = lock_recovering(&self.auditor);
+        match aud.as_mut() {
+            Some(a) => Self::fold_and_check(&self.trace, a)?,
+            None => {
+                // No ledger machinery: still count the paired
+                // incremental audit point (zero entries touched).
+                self.trace.audit_event(true, 0, 0);
+            }
+        }
+        let start = std::time::Instant::now();
+        let r = self.with_kernel(|k| {
+            k.wf()?;
+            if let Some(a) = aud.as_mut() {
+                // The stop-the-world entry drained every cache,
+                // emitting deltas after the incremental fold above;
+                // fold them too before comparing against the flat scan.
+                a.scratch.clear();
+                k.trace.drain_audit_ledgers(&mut a.scratch);
+                a.fold_scratch();
+                let flat = AuditState::from_kernel(k);
+                a.state.cross_check(&flat)?;
+            }
+            Ok(())
+        });
+        self.trace
+            .audit_event(false, 0, start.elapsed().as_nanos() as u64);
+        r
     }
 
     /// Drains every per-CPU page cache back into the shared allocator
@@ -510,6 +620,7 @@ impl SmpKernel {
             caches,
             mem,
             trace,
+            auditor: _,
         } = self;
         let shard = pm.into_inner().expect("pm domain present");
         let mut machine = hw.into_inner().expect("machine present");
@@ -747,6 +858,98 @@ mod tests {
             k.cycles(1) >= c0,
             "cpu 1 must observe pm's release timestamp plus its own costs"
         );
+    }
+
+    #[test]
+    fn incremental_audit_tracks_syscalls_without_domain_locks() {
+        let k = smp(2);
+        k.enable_incremental_audit();
+        let pm_before = k.trace_snapshot().counters.locks.pm.acquisitions;
+        let mem_before = k.trace_snapshot().counters.locks.mem.acquisitions;
+        let audit = k.audit_incremental();
+        assert!(audit.is_ok(), "{audit:?}");
+        let snap = k.trace_snapshot();
+        assert_eq!(
+            snap.counters.locks.pm.acquisitions, pm_before,
+            "incremental audit must not take the pm lock"
+        );
+        assert_eq!(
+            snap.counters.locks.mem.acquisitions, mem_before,
+            "incremental audit must not take the mem lock"
+        );
+
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 8,
+                writable: true,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let audit = k.audit_incremental();
+        assert!(audit.is_ok(), "{audit:?}");
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Munmap {
+                va_base: 0x40_0000,
+                len: 8,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let audit = k.audit_incremental();
+        assert!(audit.is_ok(), "{audit:?}");
+
+        // The epoch boundary reconciles folds against the full rescan.
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+        let snap = k.trace_snapshot();
+        assert!(snap.counters.audit.incremental >= snap.counters.audit.full);
+        assert!(snap.counters.audit.touched_entries > 0);
+    }
+
+    #[test]
+    fn incremental_audit_survives_cache_resident_frames() {
+        // Thread creation leaves refill-batch frames in the per-CPU
+        // cache; the incremental equations must hold *through* the
+        // cache (closure-partition's `cached` term), with no drain.
+        let k = smp(1);
+        k.enable_incremental_audit();
+        let init_proc = k.init_proc();
+        let ret = k.syscall(
+            0,
+            SyscallArgs::NewThread {
+                proc: init_proc,
+                cpu: 0,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        assert!(k.cache_stats(0).refills > 0);
+        let audit = k.audit_incremental();
+        assert!(audit.is_ok(), "{audit:?}");
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn rebaseline_discards_stale_ledger() {
+        let k = smp(1);
+        k.enable_incremental_audit();
+        let _ = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x40_0000,
+                len: 4,
+                writable: true,
+            },
+        );
+        // Re-baselining must absorb the un-folded deltas into the new
+        // baseline instead of double-folding them later.
+        k.enable_incremental_audit();
+        let audit = k.audit_incremental();
+        assert!(audit.is_ok(), "{audit:?}");
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
     }
 
     #[test]

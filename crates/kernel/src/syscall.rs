@@ -26,7 +26,7 @@ use atmo_pm::manager::{RecvOutcome, ReplyRecvOutcome, SendOutcome};
 use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
 use atmo_ptable::MapError;
-use atmo_trace::{Snapshot, TraceHandle, VmOutcome};
+use atmo_trace::{AuditDelta, Snapshot, TraceHandle, VmOutcome};
 
 use crate::domain::{DomainGuard, DomainLock};
 use crate::kernel::{Kernel, MemDomain};
@@ -906,9 +906,11 @@ impl ExecCtx<'_> {
     }
 
     fn release_pending_grants(&mut self, threads: &[ThrdPtr]) {
+        let trace = self.trace;
         let m = self.mem.domain();
         for t in threads {
             if let Some(frame) = m.pending_grants.remove(t) {
+                trace.audit_delta(AuditDelta::RefDec(frame));
                 m.alloc.dec_map_ref(frame);
             }
         }
@@ -978,6 +980,7 @@ impl ExecCtx<'_> {
                 .ok_or(SyscallError::Fault)?;
             // The in-flight grant holds a mapping reference.
             m.alloc.inc_map_ref(frame);
+            self.trace.audit_delta(AuditDelta::RefInc(frame));
             payload.page_grant = Some(frame);
         }
         Ok(payload)
@@ -1019,6 +1022,7 @@ impl ExecCtx<'_> {
             Err(e) => {
                 // Roll back the in-flight grant reference.
                 if let Some(frame) = payload.page_grant {
+                    self.trace.audit_delta(AuditDelta::RefDec(frame));
                     self.mem.dec_map_ref(frame);
                 }
                 SyscallReturn::err(e.into())
@@ -1139,8 +1143,10 @@ impl ExecCtx<'_> {
                 if let Some(frame) = payload.page_grant {
                     // At most one pending grant per thread; a second grant
                     // replaces the first, whose reference is dropped.
+                    let trace = self.trace;
                     let m = self.mem.domain();
                     if let Some(old) = m.pending_grants.insert(t, frame) {
+                        trace.audit_delta(AuditDelta::RefDec(old));
                         m.alloc.dec_map_ref(old);
                     }
                 }
@@ -1177,8 +1183,11 @@ impl ExecCtx<'_> {
         let pt = m.vm.table_mut(as_id).expect("space exists");
         match pt.map_4k_page(&mut m.alloc, va, frame, EntryFlags::user_rw()) {
             Ok(()) => {
-                // The mapping consumes the grant's reference.
+                // The mapping consumes the grant's reference: the pending-
+                // grant site disappears, the new leaf site (RefInc'd by the
+                // page table) takes over.
                 m.pending_grants.remove(&t);
+                self.trace.audit_delta(AuditDelta::RefDec(frame));
                 SyscallReturn::ok([va.as_usize() as u64, 0, 0, 0])
             }
             Err(e) => {
@@ -1189,9 +1198,11 @@ impl ExecCtx<'_> {
     }
 
     fn sys_drop_grant(&mut self, t: ThrdPtr) -> SyscallReturn {
+        let trace = self.trace;
         let m = self.mem.domain();
         match m.pending_grants.remove(&t) {
             Some(frame) => {
+                trace.audit_delta(AuditDelta::RefDec(frame));
                 m.alloc.dec_map_ref(frame);
                 SyscallReturn::ok([0, 0, 0, 0])
             }

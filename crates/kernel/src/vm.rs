@@ -12,7 +12,7 @@ use atmo_mem::{closure_partition_wf, AllocError, PageAllocator, PageClosure, Pag
 use atmo_ptable::{refinement_wf, Iommu, PageTable};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, Set};
-use atmo_trace::{TraceHandle, TraceShare, VmOutcome};
+use atmo_trace::{AuditDelta, TraceHandle, TraceShare, VmOutcome};
 
 /// Address-space identifier (one per process; see
 /// [`atmo_pm::Process::addr_space`]).
@@ -99,6 +99,7 @@ impl VmSubsystem {
         for pt in self.tables.values_mut() {
             pt.attach_trace(sink.clone());
         }
+        self.iommu.attach_trace(sink.clone());
         self.trace.attach(sink);
     }
 
@@ -118,6 +119,10 @@ impl VmSubsystem {
         if let Some(sink) = self.trace.handle() {
             pt.attach_trace(sink.clone());
         }
+        // The root frame was allocated before the table could observe the
+        // sink; account for it here.
+        self.trace.audit(AuditDelta::VmAcquire(pt.cr3));
+        self.trace.audit(AuditDelta::SpaceCreate(as_id));
         self.tables.insert(as_id, pt);
         Ok(())
     }
@@ -141,6 +146,7 @@ impl VmSubsystem {
             removed += 1;
         }
         pt.release(alloc);
+        self.trace.audit(AuditDelta::SpaceDestroy(as_id));
         removed
     }
 

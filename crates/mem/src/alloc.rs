@@ -19,7 +19,7 @@
 
 use atmo_spec::harness::{check, check_all, Invariant, VerifResult};
 use atmo_spec::Set;
-use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
+use atmo_trace::{AuditDelta, KernelEvent, TraceHandle, TraceShare};
 
 use atmo_hw::addr::PAGE_SIZE_4K;
 use atmo_hw::boot::BootInfo;
@@ -173,6 +173,7 @@ impl PageAllocator {
             frames: 1,
             closure_delta: 1,
         });
+        self.trace.audit(AuditDelta::Allocated(p));
         Ok((p, PagePermission::new(p, PageSize::Size4K)))
     }
 
@@ -196,6 +197,7 @@ impl PageAllocator {
             frames: 1,
             closure_delta: -1,
         });
+        self.trace.audit(AuditDelta::Freed(p));
     }
 
     // ----- allocation of user-mapped frames -----------------------------
@@ -237,6 +239,7 @@ impl PageAllocator {
             frames: size.frames() as u64,
             closure_delta: 1,
         });
+        self.trace.audit(AuditDelta::MapInsert(p));
         Ok(p)
     }
 
@@ -310,6 +313,7 @@ impl PageAllocator {
                         frames: size.frames() as u64,
                         closure_delta: -1,
                     });
+                    self.trace.audit(AuditDelta::MapRemove(p));
                     true
                 }
             }
@@ -436,6 +440,7 @@ impl PageAllocator {
             frames: PageSize::Size2M.frames() as u64,
             closure_delta: 1,
         });
+        self.trace.audit(AuditDelta::MapInsert(p));
         Some(p)
     }
 
@@ -468,6 +473,11 @@ impl PageAllocator {
                     refcnt: 1,
                 },
             );
+            if k > 0 {
+                // The head stays a mapped head; every former constituent
+                // becomes a new mapped head in its own right.
+                self.trace.audit(AuditDelta::MapInsert(p));
+            }
         }
     }
 

@@ -19,6 +19,7 @@
 //! coexist with the paper's quantifier-free leak-freedom story.
 
 use atmo_spec::Set;
+use atmo_trace::{AuditDelta, TraceHandle, TraceShare};
 
 use crate::alloc::{AllocError, PageAllocator};
 use crate::meta::PagePtr;
@@ -51,6 +52,9 @@ pub struct PageCache {
     capacity: usize,
     refill_batch: usize,
     stats: CacheStats,
+    /// Audit-ledger sink (always-equal share: tracing does not change
+    /// cache state).
+    trace: TraceShare,
 }
 
 impl PageCache {
@@ -72,7 +76,13 @@ impl PageCache {
             capacity,
             refill_batch,
             stats: CacheStats::default(),
+            trace: TraceShare::detached(),
         }
+    }
+
+    /// Routes cache fill/drain audit deltas into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        self.trace.attach(sink);
     }
 
     /// The CPU this cache belongs to.
@@ -105,8 +115,9 @@ impl PageCache {
     /// is needed.
     pub fn pop(&mut self) -> Option<(PagePtr, PagePermission)> {
         let got = self.pages.pop();
-        if got.is_some() {
+        if let Some((p, _)) = &got {
             self.stats.fast_allocs += 1;
+            self.trace.audit(AuditDelta::CacheDrain(*p));
         }
         got
     }
@@ -118,6 +129,7 @@ impl PageCache {
         debug_assert_eq!(perm.addr(), page);
         self.pages.push((page, perm));
         self.stats.fast_frees += 1;
+        self.trace.audit(AuditDelta::CacheFill(page));
     }
 
     /// `true` when the cache has reached capacity and excess pages
@@ -133,6 +145,7 @@ impl PageCache {
         while got < self.refill_batch {
             match alloc.alloc_page_4k() {
                 Ok((p, perm)) => {
+                    self.trace.audit(AuditDelta::CacheFill(p));
                     self.pages.push((p, perm));
                     got += 1;
                 }
@@ -149,7 +162,10 @@ impl PageCache {
     pub fn drain_excess_to(&mut self, alloc: &mut PageAllocator) {
         for _ in 0..self.refill_batch {
             match self.pages.pop() {
-                Some((_, perm)) => alloc.free_page_4k(perm),
+                Some((p, perm)) => {
+                    self.trace.audit(AuditDelta::CacheDrain(p));
+                    alloc.free_page_4k(perm);
+                }
                 None => break,
             }
         }
@@ -163,7 +179,8 @@ impl PageCache {
         if self.pages.is_empty() {
             return;
         }
-        while let Some((_, perm)) = self.pages.pop() {
+        while let Some((p, perm)) = self.pages.pop() {
+            self.trace.audit(AuditDelta::CacheDrain(p));
             alloc.free_page_4k(perm);
         }
         self.stats.drains += 1;

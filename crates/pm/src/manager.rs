@@ -4,7 +4,7 @@
 use atmo_mem::{PageClosure, PagePermission, PagePtr, PageSource};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Map, PPtr, PermMap, Set};
-use atmo_trace::{FastpathOutcome, KernelEvent, TraceHandle, TraceShare};
+use atmo_trace::{AuditDelta, FastpathOutcome, KernelEvent, TraceHandle, TraceShare};
 
 use crate::container::{container_tree_wf, cpu_partition_wf, quota_wf, Container};
 use crate::endpoint::{endpoints_wf, Endpoint, QueueSide};
@@ -280,6 +280,7 @@ impl ProcessManager {
                 return Err(e.into());
             }
         };
+        self.trace.audit(AuditDelta::PmAcquire(c_ptr));
         let (parent_path, parent_depth) = {
             let p = self.cntr(parent);
             (p.path.view().clone(), p.depth)
@@ -368,6 +369,7 @@ impl ProcessManager {
         for &dc in &dead {
             let perm = self.cntr_perms.tracked_remove(dc);
             let (page, _) = PagePermission::from_object(PPtr::<Container>::from_usize(dc), perm);
+            self.trace.audit(AuditDelta::PmRelease(dc));
             alloc.free_page_4k(page);
         }
 
@@ -427,11 +429,13 @@ impl ProcessManager {
                 return Err(e.into());
             }
         };
+        self.trace.audit(AuditDelta::PmAcquire(p_ptr));
         let parent_path = parent_proc
             .map(|pp| self.proc(pp).path.view().clone())
             .unwrap_or_default();
         let addr_space = self.next_addr_space;
         self.next_addr_space += 1;
+        self.trace.audit(AuditDelta::ProcSpace(addr_space));
         let proc = Process::new(cntr, parent_proc, parent_path, addr_space);
         let (_, perm) = page.into_object(proc);
         self.proc_perms.tracked_insert(p_ptr, perm);
@@ -487,8 +491,11 @@ impl ProcessManager {
                 }
             }
             freed.push(self.proc(q).addr_space);
+            self.trace
+                .audit(AuditDelta::ProcSpaceGone(self.proc(q).addr_space));
             let perm = self.proc_perms.tracked_remove(q);
             let (page, _) = PagePermission::from_object(PPtr::<Process>::from_usize(q), perm);
+            self.trace.audit(AuditDelta::PmRelease(q));
             alloc.free_page_4k(page);
             let c = self.cntr_mut(cntr);
             c.owned_procs.assign(c.owned_procs.remove(&q));
@@ -523,6 +530,7 @@ impl ProcessManager {
                 return Err(e.into());
             }
         };
+        self.trace.audit(AuditDelta::PmAcquire(t_ptr));
         let thread = Thread::new(proc, cntr);
         let (_, perm) = page.into_object(thread);
         self.thrd_perms.tracked_insert(t_ptr, perm);
@@ -557,6 +565,7 @@ impl ProcessManager {
         // not leaked (§4.2 leak freedom).
         if let Some(payload) = self.thrd(t).ipc_buf {
             if let Some(frame) = payload.page_grant {
+                self.trace.audit(AuditDelta::RefDec(frame));
                 alloc.dec_map_ref(frame);
             }
         }
@@ -625,6 +634,7 @@ impl ProcessManager {
         self.slot_cache.retain(|(owner, _), _| *owner != t);
         let perm = self.thrd_perms.tracked_remove(t);
         let (page, _) = PagePermission::from_object(PPtr::<Thread>::from_usize(t), perm);
+        self.trace.audit(AuditDelta::PmRelease(t));
         alloc.free_page_4k(page);
         self.uncharge(cntr, 1);
     }
@@ -659,6 +669,7 @@ impl ProcessManager {
                 // An aborted send abandons its in-flight payload.
                 if let Some(p) = self.thrd_mut(t).ipc_buf.take() {
                     if let Some(frame) = p.page_grant {
+                        self.trace.audit(AuditDelta::RefDec(frame));
                         alloc.dec_map_ref(frame);
                     }
                 }
@@ -670,6 +681,8 @@ impl ProcessManager {
             self.slot_cache.retain(|_, cached| *cached != e);
             let perm = self.edpt_perms.tracked_remove(e);
             let (page, _) = PagePermission::from_object(PPtr::<Endpoint>::from_usize(e), perm);
+            self.trace.audit(AuditDelta::PmRelease(e));
+            self.trace.audit(AuditDelta::CapDestroy(e));
             alloc.free_page_4k(page);
             self.uncharge(owner, 1);
         }
@@ -712,6 +725,8 @@ impl ProcessManager {
                 return Err(e.into());
             }
         };
+        self.trace.audit(AuditDelta::PmAcquire(e_ptr));
+        self.trace.audit(AuditDelta::CapCreate(e_ptr));
         let (_, perm) = page.into_object(Endpoint::new(cntr));
         self.edpt_perms.tracked_insert(e_ptr, perm);
         self.thrd_mut(t).edpt_descriptors[slot] = Some(e_ptr);
@@ -1271,6 +1286,7 @@ impl ProcessManager {
                 // An aborted send abandons its in-flight payload.
                 if let Some(p) = self.thrd_mut(t).ipc_buf.take() {
                     if let Some(frame) = p.page_grant {
+                        self.trace.audit(AuditDelta::RefDec(frame));
                         _alloc.dec_map_ref(frame);
                     }
                 }

@@ -17,6 +17,7 @@ use atmo_mem::{AllocError, PageAllocator, PageClosure, PagePtr};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::set::pairwise_disjoint;
 use atmo_spec::{Map, Set};
+use atmo_trace::{AuditDelta, TraceHandle, TraceShare};
 
 use crate::table::{MapError, PageTable};
 
@@ -34,16 +35,38 @@ struct Domain {
 }
 
 /// The IOMMU: a set of protection domains and the device→domain binding.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Iommu {
     domains: std::collections::BTreeMap<IommuDomainId, Domain>,
     next_id: IommuDomainId,
+    /// Audit-delta sink, propagated to every domain table (always-equal
+    /// share: tracing does not change IOMMU state).
+    trace: TraceShare,
+}
+
+impl Default for Iommu {
+    fn default() -> Self {
+        Iommu::new()
+    }
 }
 
 impl Iommu {
     /// An IOMMU with no domains.
     pub fn new() -> Self {
-        Iommu::default()
+        Iommu {
+            domains: std::collections::BTreeMap::new(),
+            next_id: 0,
+            trace: TraceShare::detached(),
+        }
+    }
+
+    /// Routes map/unmap events and audit deltas of every domain table
+    /// (current and future) into `sink`.
+    pub fn attach_trace(&mut self, sink: TraceHandle) {
+        for d in self.domains.values_mut() {
+            d.table.attach_trace(sink.clone());
+        }
+        self.trace.attach(sink);
     }
 
     /// Creates an empty protection domain, returning its id.
@@ -51,7 +74,13 @@ impl Iommu {
         &mut self,
         alloc: &mut PageAllocator,
     ) -> Result<IommuDomainId, AllocError> {
-        let table = PageTable::new(alloc)?;
+        let mut table = PageTable::new(alloc)?;
+        if let Some(sink) = self.trace.handle() {
+            table.attach_trace(sink.clone());
+        }
+        // The root frame was allocated before the table could observe the
+        // sink; account for it here.
+        self.trace.audit(AuditDelta::VmAcquire(table.cr3));
         let id = self.next_id;
         self.next_id += 1;
         self.domains.insert(
@@ -162,6 +191,15 @@ impl Iommu {
             s = s.union(&d.table.mapped_frames());
         }
         s
+    }
+
+    /// Visits every leaf reference *site* across all domains (see
+    /// [`PageTable::visit_leaf_sites`]); multiplicity preserved for the
+    /// incremental auditor's reference fold.
+    pub fn visit_leaf_sites(&self, mut f: impl FnMut(PagePtr)) {
+        for d in self.domains.values() {
+            d.table.visit_leaf_sites(&mut f);
+        }
     }
 
     /// The IOVAs currently mapped in `domain`.

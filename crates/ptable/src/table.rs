@@ -5,7 +5,7 @@ use atmo_hw::paging::{EntryFlags, PageEntry, PhysFrameSource, ResolvedMapping};
 use atmo_mem::{AllocError, PageAllocator, PageClosure, PagePtr, PageSize};
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::{Ghost, Map, PPtr, PermMap, PointsTo, Set};
-use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
+use atmo_trace::{AuditDelta, KernelEvent, TraceHandle, TraceShare};
 
 /// One 512-entry table frame, stored in simulated physical memory.
 pub type TableFrame = [u64; ENTRIES_PER_TABLE];
@@ -144,8 +144,10 @@ impl PageTable {
         alloc: &mut PageAllocator,
         parent: (&mut PermMap<TableFrame>, PagePtr, usize),
         level_map: &mut PermMap<TableFrame>,
+        trace: &TraceShare,
     ) -> Result<PagePtr, MapError> {
         let (page, perm) = alloc.alloc_page_4k()?;
+        trace.audit(AuditDelta::VmAcquire(page));
         let (_ptr, points_to): (PPtr<TableFrame>, PointsTo<TableFrame>) =
             perm.into_object([0u64; ENTRIES_PER_TABLE]);
         level_map.tracked_insert(page, points_to);
@@ -175,6 +177,7 @@ impl PageTable {
             alloc,
             (&mut self.l4_table, self.cr3, va.l4_index()),
             &mut self.l3_tables,
+            &self.trace,
         )
     }
 
@@ -198,6 +201,7 @@ impl PageTable {
             alloc,
             (&mut self.l3_tables, l3, va.l3_index()),
             &mut self.l2_tables,
+            &self.trace,
         )
     }
 
@@ -220,6 +224,7 @@ impl PageTable {
             alloc,
             (&mut self.l2_tables, l2, va.l2_index()),
             &mut self.l1_tables,
+            &self.trace,
         )
     }
 
@@ -255,6 +260,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: 1,
         });
+        self.trace.audit(AuditDelta::RefInc(frame));
         Ok(())
     }
 
@@ -319,6 +325,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: PageSize::Size2M.frames() as u64,
         });
+        self.trace.audit(AuditDelta::RefInc(frame));
         Ok(())
     }
 
@@ -361,6 +368,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: PageSize::Size1G.frames() as u64,
         });
+        self.trace.audit(AuditDelta::RefInc(frame));
         Ok(())
     }
 
@@ -382,6 +390,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: 1,
         });
+        self.trace.audit(AuditDelta::RefDec(e.frame().as_usize()));
         Ok(e.frame().as_usize())
     }
 
@@ -400,6 +409,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: PageSize::Size2M.frames() as u64,
         });
+        self.trace.audit(AuditDelta::RefDec(e.frame().as_usize()));
         Ok(e.frame().as_usize())
     }
 
@@ -417,6 +427,7 @@ impl PageTable {
             va: va.as_usize(),
             frames: PageSize::Size1G.frames() as u64,
         });
+        self.trace.audit(AuditDelta::RefDec(e.frame().as_usize()));
         Ok(e.frame().as_usize())
     }
 
@@ -534,6 +545,7 @@ impl PageTable {
                 va: va.as_usize(),
                 frames: 1,
             });
+            self.trace.audit(AuditDelta::RefDec(e.frame().as_usize()));
             frames.push(e.frame().as_usize());
             cache = Some((key, l1));
         }
@@ -565,9 +577,13 @@ impl PageTable {
             alloc,
             (&mut self.l2_tables, l2, va.l2_index()),
             &mut self.l1_tables,
+            &self.trace,
         )?;
         self.map_2m.assign(self.map_2m.remove(&va.as_usize()));
         self.space = self.space.remove(&va.as_usize());
+        // The 2 MiB leaf site disappears; 512 4 KiB leaf sites replace it
+        // (the head frame's site count is net-unchanged: −2M leaf, +k=0).
+        self.trace.audit(AuditDelta::RefDec(entry.frame));
         let mut leaf_flags = entry.flags;
         leaf_flags.huge = false;
         for k in 0..ENTRIES_PER_TABLE {
@@ -585,6 +601,7 @@ impl PageTable {
             };
             self.map_4k.assign(self.map_4k.insert(pva, e));
             self.space = self.space.insert(pva, (e, PageSize::Size4K));
+            self.trace.audit(AuditDelta::RefInc(frame));
         }
         Ok(entry.frame)
     }
@@ -673,6 +690,7 @@ impl PageTable {
                     PPtr::<TableFrame>::from_usize(frame),
                     perm,
                 );
+                self.trace.audit(AuditDelta::VmRelease(frame));
                 alloc.free_page_4k(page);
             }
         }
@@ -704,6 +722,24 @@ impl PageTable {
             m = m.insert(*va, (*e, PageSize::Size1G));
         }
         m
+    }
+
+    /// Visits every leaf reference *site* of this address space — one
+    /// call per present 4 KiB PTE / 2 MiB / 1 GiB leaf — passing the
+    /// referenced head frame. Unlike [`PageTable::mapped_frames`] this
+    /// preserves multiplicity: a frame mapped at two virtual addresses is
+    /// visited twice, which is exactly what the incremental auditor's
+    /// reference fold counts.
+    pub fn visit_leaf_sites(&self, mut f: impl FnMut(PagePtr)) {
+        for e in self.map_4k.values() {
+            f(e.frame);
+        }
+        for e in self.map_2m.values() {
+            f(e.frame);
+        }
+        for e in self.map_1g.values() {
+            f(e.frame);
+        }
     }
 
     /// The set of user frames this address space maps (head frames for

@@ -1,0 +1,248 @@
+//! Commutative set/multiset folds for incremental audit ledgers.
+//!
+//! The incremental well-formedness audit cannot afford to rebuild the
+//! kernel's page-closure sets on every check — that is exactly the
+//! O(kernel) scan it exists to avoid. Instead each audited set is
+//! represented by a [`SetFold`]: an element count plus an XOR of
+//! per-element fingerprints. Insertion and removal are O(1) and
+//! *commutative*, so per-CPU delta ledgers can be folded in any order
+//! and still converge to the same value, and two folds compare in O(1).
+//!
+//! Two folds with equal `(count, fp)` represent the same set with
+//! overwhelming probability (the fingerprint is a 64-bit mix of the
+//! element), and the kernel's stop-the-world cross-check audits the
+//! folds against freshly scanned state bit-for-bit, so a fingerprint
+//! collision cannot silently persist across an epoch boundary.
+//!
+//! [`RefFold`] layers per-element reference counts on top: the kernel's
+//! leak-freedom equation quantifies over the *set* of referenced frames,
+//! but a frame may be referenced from several sites at once (two address
+//! spaces, a pending grant, an IOMMU table). The fold keeps exact
+//! per-element counts and maintains the support set — elements with a
+//! positive count — as a `SetFold`, handling the transient negative
+//! counts that arise when per-CPU ledgers are folded out of program
+//! order.
+
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer: the per-element fingerprint mix.
+///
+/// Bijective on `u64`, so distinct elements never collide to the same
+/// fingerprint — collisions can only arise from XOR cancellation across
+/// *sets* of three or more elements.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An order-insensitive summary of a set: element count plus XOR of
+/// element fingerprints. O(1) insert/remove/compare.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetFold {
+    /// Signed element count (negative only transiently, while folding
+    /// removals ahead of their insertions).
+    pub count: i64,
+    /// XOR of [`splitmix64`] fingerprints of the elements.
+    pub fp: u64,
+}
+
+impl SetFold {
+    /// The empty fold.
+    pub fn new() -> Self {
+        SetFold::default()
+    }
+
+    /// Folds an insertion of `x`.
+    pub fn insert(&mut self, x: u64) {
+        self.count += 1;
+        self.fp ^= splitmix64(x);
+    }
+
+    /// Folds a removal of `x`.
+    pub fn remove(&mut self, x: u64) {
+        self.count -= 1;
+        self.fp ^= splitmix64(x);
+    }
+
+    /// `true` when the fold summarizes the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.fp == 0
+    }
+
+    /// The fold of the disjoint union with `other` (counts add,
+    /// fingerprints XOR).
+    pub fn disjoint_union(&self, other: &SetFold) -> SetFold {
+        SetFold {
+            count: self.count + other.count,
+            fp: self.fp ^ other.fp,
+        }
+    }
+}
+
+/// A multiset of reference sites over elements, maintaining the support
+/// set (elements with a positive count) as a [`SetFold`].
+///
+/// Increments and decrements commute: folding a decrement before the
+/// increment it undoes leaves a transient negative per-element count,
+/// and the support updates only on the 0→1 / 1→0 edges, so any
+/// interleaving of a ledger converges to the same support fold.
+#[derive(Clone, Debug, Default)]
+pub struct RefFold {
+    counts: HashMap<u64, i64>,
+    support: SetFold,
+    total: i64,
+}
+
+impl RefFold {
+    /// The empty fold.
+    pub fn new() -> Self {
+        RefFold::default()
+    }
+
+    /// Folds one new reference site for `x`.
+    pub fn inc(&mut self, x: u64) {
+        let c = self.counts.entry(x).or_insert(0);
+        if *c == 0 {
+            self.support.insert(x);
+        }
+        *c += 1;
+        self.total += 1;
+        if *c == 0 {
+            self.counts.remove(&x);
+        }
+    }
+
+    /// Folds one dropped reference site for `x`.
+    pub fn dec(&mut self, x: u64) {
+        let c = self.counts.entry(x).or_insert(0);
+        if *c == 1 {
+            self.support.remove(x);
+        }
+        *c -= 1;
+        self.total -= 1;
+        if *c == 0 {
+            self.counts.remove(&x);
+        }
+    }
+
+    /// The fold of the support set (elements with a positive count).
+    pub fn support(&self) -> SetFold {
+        self.support
+    }
+
+    /// Total reference sites across all elements.
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Reference sites currently held by `x`.
+    pub fn count_of(&self, x: u64) -> i64 {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    /// `true` when no element holds a reference (and no transient
+    /// negative is outstanding).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.total == 0 && self.support.is_empty()
+    }
+}
+
+impl PartialEq for RefFold {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.support == other.support
+    }
+}
+
+impl Eq for RefFold {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_fold_insert_remove_cancels() {
+        let mut f = SetFold::new();
+        f.insert(7);
+        f.insert(42);
+        f.remove(7);
+        let mut g = SetFold::new();
+        g.insert(42);
+        assert_eq!(f, g);
+        f.remove(42);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn set_fold_commutes() {
+        let mut a = SetFold::new();
+        a.insert(1);
+        a.remove(2);
+        a.insert(2);
+        a.insert(3);
+        let mut b = SetFold::new();
+        b.insert(3);
+        b.insert(2);
+        b.insert(1);
+        b.remove(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjoint_union_matches_merged_inserts() {
+        let mut a = SetFold::new();
+        a.insert(10);
+        let mut b = SetFold::new();
+        b.insert(20);
+        b.insert(30);
+        let mut m = SetFold::new();
+        for x in [10, 20, 30] {
+            m.insert(x);
+        }
+        assert_eq!(a.disjoint_union(&b), m);
+    }
+
+    #[test]
+    fn ref_fold_support_tracks_positive_counts() {
+        let mut r = RefFold::new();
+        r.inc(5);
+        r.inc(5);
+        let mut s = SetFold::new();
+        s.insert(5);
+        assert_eq!(r.support(), s, "two sites, one supported element");
+        r.dec(5);
+        assert_eq!(r.support(), s, "still referenced once");
+        r.dec(5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ref_fold_handles_out_of_order_deltas() {
+        // A remap folded dec-before-inc (cross-shard ledger order) must
+        // converge to the same support as the in-order fold.
+        let mut r = RefFold::new();
+        r.inc(9); // established reference
+        r.dec(9); // ...the unmap half of the remap arrives first
+        r.inc(9); // ...then the map half
+        let mut s = SetFold::new();
+        s.insert(9);
+        assert_eq!(r.support(), s);
+        assert_eq!(r.total(), 1);
+
+        // A fresh reference folded dec-first dips negative transiently
+        // and must not pollute the support set.
+        let mut q = RefFold::new();
+        q.dec(4);
+        assert_eq!(q.count_of(4), -1);
+        assert_eq!(q.total(), -1);
+        q.inc(4);
+        assert!(q.is_empty(), "support never saw the transient negative");
+    }
+
+    #[test]
+    fn splitmix64_is_nontrivial() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

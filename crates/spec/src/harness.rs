@@ -21,13 +21,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// A refuted proof obligation.
 ///
 /// Carries the subsystem that owns the invariant and a human-readable
-/// description of which conjunct failed.
+/// description of which conjunct failed. Audit-producing call sites
+/// additionally attach *structured* diagnostics — which lock domain the
+/// failing state lives in, which global equation was refuted, and (for
+/// the incremental ledger audit) the ledger entry whose fold broke the
+/// equation — so a failing fuzz run names the culprit instead of a bare
+/// boolean.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvariantViolation {
     /// Subsystem owning the violated invariant (e.g. `"container_tree"`).
     pub subsystem: &'static str,
     /// Which conjunct failed and for which object.
     pub detail: String,
+    /// Lock domain owning the failing state (`"pm"`, `"mem"`, …).
+    pub domain: Option<&'static str>,
+    /// Which global equation was refuted (e.g. `"closure-partition"`).
+    pub equation: Option<&'static str>,
+    /// The ledger entry (rendered delta) whose fold broke the equation.
+    pub ledger_entry: Option<String>,
 }
 
 impl InvariantViolation {
@@ -36,7 +47,28 @@ impl InvariantViolation {
         InvariantViolation {
             subsystem,
             detail: detail.into(),
+            domain: None,
+            equation: None,
+            ledger_entry: None,
         }
+    }
+
+    /// Attributes the violation to a lock domain.
+    pub fn in_domain(mut self, domain: &'static str) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Names the refuted global equation.
+    pub fn on_equation(mut self, equation: &'static str) -> Self {
+        self.equation = Some(equation);
+        self
+    }
+
+    /// Attaches the ledger entry that broke the fold.
+    pub fn with_ledger_entry(mut self, entry: impl Into<String>) -> Self {
+        self.ledger_entry = Some(entry.into());
+        self
     }
 }
 
@@ -46,7 +78,17 @@ impl fmt::Display for InvariantViolation {
             f,
             "[{}] invariant violated: {}",
             self.subsystem, self.detail
-        )
+        )?;
+        if let Some(d) = self.domain {
+            write!(f, " [domain: {d}]")?;
+        }
+        if let Some(e) = self.equation {
+            write!(f, " [equation: {e}]")?;
+        }
+        if let Some(l) = &self.ledger_entry {
+            write!(f, " [ledger entry: {l}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -65,6 +107,26 @@ pub fn check(cond: bool, subsystem: &'static str, detail: impl Into<String>) -> 
         Ok(())
     } else {
         Err(InvariantViolation::new(subsystem, detail))
+    }
+}
+
+/// Discharges one obligation of a named global equation, attributing
+/// the failure to a lock domain. The detail is built lazily so passing
+/// checks on the audit hot path never format.
+pub fn check_eqn(
+    cond: bool,
+    subsystem: &'static str,
+    domain: &'static str,
+    equation: &'static str,
+    detail: impl FnOnce() -> String,
+) -> VerifResult {
+    Obligations::record();
+    if cond {
+        Ok(())
+    } else {
+        Err(InvariantViolation::new(subsystem, detail())
+            .in_domain(domain)
+            .on_equation(equation))
     }
 }
 

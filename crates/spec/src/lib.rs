@@ -28,6 +28,7 @@
 //!
 //! [Verus]: https://github.com/verus-lang/verus
 
+pub mod fold;
 pub mod ghost;
 pub mod harness;
 pub mod map;
@@ -39,6 +40,7 @@ pub mod set;
 pub mod storage;
 pub mod sync;
 
+pub use fold::{splitmix64, RefFold, SetFold};
 pub use ghost::{Ghost, Tracked};
 pub use harness::{InvariantViolation, VerifResult};
 pub use map::Map;

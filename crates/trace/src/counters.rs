@@ -224,6 +224,30 @@ impl BlkCounters {
     }
 }
 
+/// Well-formedness audit counters. `incremental` counts O(touched)
+/// ledger-fold audits, `full` counts stop-the-world flat audits, and
+/// `touched_entries` accumulates the ledger entries folded by
+/// incremental audits. Every full audit folds the pending ledger first
+/// (that fold *is* an incremental audit), so `incremental >= full`
+/// always — `trace_wf` checks this on the merged view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditCounters {
+    /// Incremental (ledger-fold) audits performed.
+    pub incremental: u64,
+    /// Full stop-the-world audits performed.
+    pub full: u64,
+    /// Ledger entries folded across all incremental audits.
+    pub touched_entries: u64,
+}
+
+impl AuditCounters {
+    fn merge(&mut self, other: &AuditCounters) {
+        self.incremental += other.incremental;
+        self.full += other.full;
+        self.touched_entries += other.touched_entries;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -285,6 +309,8 @@ pub struct Counters {
     pub net: NetCounters,
     /// Zero-copy block datapath.
     pub blk: BlkCounters,
+    /// Well-formedness audits.
+    pub audit: AuditCounters,
     /// Domain locks.
     pub locks: LocksCounters,
 }
@@ -366,6 +392,9 @@ impl Counters {
             ("blk.reap_ios", self.blk.reap_ios),
             ("blk.wakeups", self.blk.wakeups),
             ("blk.fallback_copies", self.blk.fallback_copies),
+            ("audit.incremental", self.audit.incremental),
+            ("audit.full", self.audit.full),
+            ("audit.touched_entries", self.audit.touched_entries),
             ("locks.pm.acquisitions", self.locks.pm.acquisitions),
             ("locks.pm.contended", self.locks.pm.contended),
             ("locks.pm.hold_max_cycles", self.locks.pm.hold_max_cycles),
@@ -405,6 +434,7 @@ impl Counters {
         self.drivers.tx_items += other.drivers.tx_items;
         self.net.merge(&other.net);
         self.blk.merge(&other.blk);
+        self.audit.merge(&other.audit);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
         self.locks.trace.merge(&other.locks.trace);

@@ -35,6 +35,7 @@
 //!   ([`TraceHandle`] = `Arc<TraceSink>`), so concurrently running
 //!   kernels (the test harness runs many) never mix events.
 
+pub mod audit;
 pub mod counters;
 pub mod event;
 pub mod hist;
@@ -42,9 +43,10 @@ pub mod ring;
 pub mod sink;
 pub mod snapshot;
 
+pub use audit::AuditDelta;
 pub use counters::{
-    BlkCounters, Counters, DriverCounters, FastpathCounters, LockCounters, LocksCounters,
-    MemCounters, NetCounters, PmCounters, PtableCounters, VmCounters,
+    AuditCounters, BlkCounters, Counters, DriverCounters, FastpathCounters, LockCounters,
+    LocksCounters, MemCounters, NetCounters, PmCounters, PtableCounters, VmCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;

@@ -13,12 +13,14 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
 use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
+use crate::audit::AuditDelta;
 use crate::counters::{BlkCounters, Counters, FastpathCounters, NetCounters, VmCounters};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
@@ -251,6 +253,11 @@ struct PerCpuTrace {
     syscalls: Vec<SyscallStats>,
     /// This shard's counter block; the snapshot merges all shards.
     counters: Counters,
+    /// This shard's pending audit-ledger entries (drained by the
+    /// incremental auditor; empty whenever recording is off). Lives
+    /// outside the event ring: ledger entries must never be dropped to
+    /// overwrite or double-counted by the per-kind reconciliation.
+    ledger: Vec<AuditDelta>,
 }
 
 impl PerCpuTrace {
@@ -260,8 +267,19 @@ impl PerCpuTrace {
             kinds: [0; NUM_EVENT_KINDS],
             syscalls: vec![SyscallStats::default(); NUM_SYSCALL_KINDS],
             counters: Counters::default(),
+            ledger: Vec::new(),
         }
     }
+}
+
+/// The sink-global audit latency/size histograms (modeled cycles for
+/// audit latencies, entry counts for the touched histogram). Sink-global
+/// like the pool gauges: audits run on one thread at a time.
+#[derive(Clone, Debug, Default)]
+struct AuditHists {
+    incremental: LatencyHist,
+    full: LatencyHist,
+    touched: LatencyHist,
 }
 
 thread_local! {
@@ -290,6 +308,12 @@ pub struct TraceSink {
     /// Block-pool slots currently in flight (acquired − released); same
     /// gauge discipline as `net_in_flight`, for `BlkBuf` handles.
     blk_in_flight: Mutex<i64>,
+    /// Whether mutations should emit [`AuditDelta`]s into the per-CPU
+    /// ledgers. Off by default so kernels that never audit incrementally
+    /// pay one relaxed atomic load per choke point and store nothing.
+    audit_recording: AtomicBool,
+    /// Audit latency and touched-set histograms.
+    audit_hists: Mutex<AuditHists>,
 }
 
 /// A shared reference to a kernel's trace sink.
@@ -306,6 +330,8 @@ impl TraceSink {
             low_water: Mutex::new(Counters::default()),
             net_in_flight: Mutex::new(0),
             blk_in_flight: Mutex::new(0),
+            audit_recording: AtomicBool::new(false),
+            audit_hists: Mutex::new(AuditHists::default()),
         })
     }
 
@@ -433,7 +459,21 @@ impl TraceSink {
             NetOutcome::PoolRelease => *lock_recovering(&self.net_in_flight) -= n as i64,
             _ => {}
         }
+        let audit = self.audit_recording();
         self.with_shard(CURRENT_CPU.get(), |shard| {
+            // Handle movements double as audit-ledger entries, so pool
+            // users need no extra instrumentation.
+            if audit {
+                match outcome {
+                    NetOutcome::PoolAcquire => {
+                        shard.ledger.push(AuditDelta::HandleNet(n as i64));
+                    }
+                    NetOutcome::PoolRelease => {
+                        shard.ledger.push(AuditDelta::HandleNet(-(n as i64)));
+                    }
+                    _ => {}
+                }
+            }
             outcome.count_into(&mut shard.counters.net, n)
         });
     }
@@ -442,6 +482,70 @@ impl TraceSink {
     /// all CPUs).
     pub fn net_in_flight(&self) -> i64 {
         *lock_recovering(&self.net_in_flight)
+    }
+
+    /// Turns audit-delta recording on or off. Turning it off leaves any
+    /// pending ledger entries in place; the auditor discards them before
+    /// rebaselining.
+    pub fn set_audit_recording(&self, on: bool) {
+        self.audit_recording.store(on, Ordering::Relaxed);
+    }
+
+    /// `true` when mutations are recording audit deltas.
+    pub fn audit_recording(&self) -> bool {
+        self.audit_recording.load(Ordering::Relaxed)
+    }
+
+    /// Appends one audit delta to the ledger of the CPU attributed to
+    /// this OS thread. No-op unless recording is enabled.
+    pub fn audit_delta(&self, d: AuditDelta) {
+        if !self.audit_recording() {
+            return;
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| shard.ledger.push(d));
+    }
+
+    /// Moves every pending ledger entry (all CPUs) into `into`,
+    /// preserving per-shard order. The caller's buffer keeps its
+    /// capacity across audits, so steady-state folding allocates
+    /// nothing.
+    pub fn drain_audit_ledgers(&self, into: &mut Vec<AuditDelta>) {
+        for mutex in self.shards.iter() {
+            let mut shard = lock_recovering(mutex);
+            into.append(&mut shard.ledger);
+        }
+    }
+
+    /// Pending ledger entries across all CPUs (diagnostic).
+    pub fn audit_ledger_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|m| lock_recovering(m).ledger.len())
+            .sum()
+    }
+
+    /// Records one completed audit on the CPU attributed to this OS
+    /// thread: an incremental audit that folded `touched` ledger
+    /// entries, or a full stop-the-world audit (`touched` ignored).
+    /// `cycles` is the audit's wall-clock cost converted to modeled
+    /// cycles (like lock hold times).
+    pub fn audit_event(&self, incremental: bool, touched: u64, cycles: u64) {
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            let a = &mut shard.counters.audit;
+            if incremental {
+                a.incremental += 1;
+                a.touched_entries += touched;
+            } else {
+                a.full += 1;
+            }
+        });
+        let mut h = lock_recovering(&self.audit_hists);
+        if incremental {
+            h.incremental.record(cycles);
+            h.touched.record(touched);
+        } else {
+            h.full.record(cycles);
+        }
     }
 
     /// Counts `n` zero-copy-block-datapath observations on the CPU
@@ -457,7 +561,19 @@ impl TraceSink {
             BlkOutcome::PoolRelease => *lock_recovering(&self.blk_in_flight) -= n as i64,
             _ => {}
         }
+        let audit = self.audit_recording();
         self.with_shard(CURRENT_CPU.get(), |shard| {
+            if audit {
+                match outcome {
+                    BlkOutcome::PoolAcquire => {
+                        shard.ledger.push(AuditDelta::HandleBlk(n as i64));
+                    }
+                    BlkOutcome::PoolRelease => {
+                        shard.ledger.push(AuditDelta::HandleBlk(-(n as i64)));
+                    }
+                    _ => {}
+                }
+            }
             outcome.count_into(&mut shard.counters.blk, n)
         });
     }
@@ -526,6 +642,7 @@ impl TraceSink {
                 }
             })
             .collect();
+        let hists = lock_recovering(&self.audit_hists);
         Snapshot {
             per_cpu,
             syscalls,
@@ -533,6 +650,9 @@ impl TraceSink {
             counters,
             net_in_flight: self.net_in_flight(),
             blk_in_flight: self.blk_in_flight(),
+            audit_incremental_hist: hists.incremental.clone(),
+            audit_full_hist: hists.full.clone(),
+            audit_touched_hist: hists.touched.clone(),
             total_events,
             total_dropped,
         }
@@ -781,6 +901,44 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             merged.blk.reap_ios, merged.blk.submit_ios
         ),
     )?;
+    // Every full audit folds the pending ledger first (that fold is
+    // counted as an incremental audit), so incremental audits can never
+    // trail full ones.
+    check(
+        merged.audit.incremental >= merged.audit.full,
+        "trace",
+        format!(
+            "audit ledger: {} incremental audits but {} full audits",
+            merged.audit.incremental, merged.audit.full
+        ),
+    )?;
+    {
+        let hists = lock_recovering(&sink.audit_hists);
+        hists.incremental.wf()?;
+        hists.full.wf()?;
+        hists.touched.wf()?;
+        check(
+            hists.incremental.count() == merged.audit.incremental
+                && hists.full.count() == merged.audit.full,
+            "trace",
+            format!(
+                "audit histograms hold {}/{} samples for {}/{} audits",
+                hists.incremental.count(),
+                hists.full.count(),
+                merged.audit.incremental,
+                merged.audit.full
+            ),
+        )?;
+        check(
+            hists.touched.total_cycles() == merged.audit.touched_entries,
+            "trace",
+            format!(
+                "touched-entry histogram sums {} entries but counters saw {}",
+                hists.touched.total_cycles(),
+                merged.audit.touched_entries
+            ),
+        )?;
+    }
     check(
         kind_totals[EventKind::SyscallEnter.index()] == enter_total
             && kind_totals[EventKind::SyscallExit.index()] == exit_total,
@@ -861,6 +1019,14 @@ impl TraceShare {
     pub fn blk(&self, outcome: BlkOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.blk_event(outcome, n);
+        }
+    }
+
+    /// Appends one audit-ledger delta (no-op when detached or when
+    /// recording is off).
+    pub fn audit(&self, d: AuditDelta) {
+        if let Some(sink) = &self.0 {
+            sink.audit_delta(d);
         }
     }
 

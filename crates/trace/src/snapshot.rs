@@ -2,6 +2,7 @@
 
 use crate::counters::Counters;
 use crate::event::{EventKind, SyscallKind, NUM_EVENT_KINDS};
+use crate::hist::LatencyHist;
 
 /// One CPU's ring summary at snapshot time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,6 +74,14 @@ pub struct Snapshot {
     /// Block-pool slots in flight (acquired − released) at snapshot
     /// time — the blk datapath's gauge, same discipline.
     pub blk_in_flight: i64,
+    /// Latency distribution of incremental (ledger-fold) audits, in
+    /// modeled cycles.
+    pub audit_incremental_hist: LatencyHist,
+    /// Latency distribution of full stop-the-world audits.
+    pub audit_full_hist: LatencyHist,
+    /// Distribution of ledger entries folded per incremental audit (the
+    /// touched-set size each O(touched) audit actually paid for).
+    pub audit_touched_hist: LatencyHist,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -153,6 +162,29 @@ impl Snapshot {
                         format!("{}", l.acquisitions),
                         format!("{}", l.contended),
                         format!("{}", l.hold_max_cycles),
+                    ]
+                })
+                .collect(),
+        ));
+        out.push_str("\n== Trace snapshot: wf audits ==\n");
+        let audits = [
+            ("audit.incremental", &self.audit_incremental_hist),
+            ("audit.full", &self.audit_full_hist),
+            ("audit.touched_entries", &self.audit_touched_hist),
+        ];
+        out.push_str(&table(
+            &["Audit", "Count", "Mean", "p50", "p90", "p99", "Max"],
+            audits
+                .iter()
+                .map(|(name, h)| {
+                    vec![
+                        name.to_string(),
+                        format!("{}", h.count()),
+                        format!("{}", h.mean()),
+                        format!("{}", h.p50()),
+                        format!("{}", h.p90()),
+                        format!("{}", h.p99()),
+                        format!("{}", h.max()),
                     ]
                 })
                 .collect(),
