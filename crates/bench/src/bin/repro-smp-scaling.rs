@@ -1,6 +1,6 @@
 //! Reproduces the **SMP scaling** experiment: aggregate syscall
 //! throughput of the big-lock kernel vs the sharded lock-domain kernel
-//! at 1, 2 and 4 CPUs.
+//! at 1, 2, 4, 8 and 16 CPUs.
 //!
 //! The workload is per-CPU-disjoint (each CPU owns its container,
 //! process, thread and address-space range): even CPUs are mem-heavy
@@ -70,7 +70,7 @@ fn boot(ncpus: usize) -> Kernel {
     let mut k = Kernel::boot(KernelConfig {
         mem_mib: 64,
         ncpus,
-        root_quota: 4096,
+        root_quota: 16384,
     });
     for cpu in 1..ncpus {
         let c = k
@@ -154,7 +154,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedup_at_4 = 0.0;
-    for ncpus in [1usize, 2, 4] {
+    for ncpus in [1usize, 2, 4, 8, 16] {
         // Baselines boot identically; only the lock structure differs.
         let big = BigLockKernel::new(boot(ncpus));
         let big_stats = run(&big, ncpus, rounds);

@@ -73,6 +73,15 @@ pub struct AuditState {
     pub net_handles: i64,
     /// Blk-pool handles in flight.
     pub blk_handles: i64,
+    /// Ops appended to the node-replication logs since recording began.
+    /// A running sum, not a fold: the epoch audit balances it against
+    /// the logs' published tails (minus the tails at baseline), so a
+    /// mutation that skipped the log is named. Zero when node
+    /// replication is off; [`from_kernel`](AuditState::from_kernel)
+    /// leaves it zero (the flat kernel has no logs), so
+    /// [`cross_check`](AuditState::cross_check) does not compare it —
+    /// the replica audit in `audit_total_wf` owns that equation.
+    pub nr_appended: u64,
 }
 
 impl AuditState {
@@ -105,6 +114,7 @@ impl AuditState {
             AuditDelta::CapDestroy(e) => self.caps.remove(e as u64),
             AuditDelta::HandleNet(n) => self.net_handles += n,
             AuditDelta::HandleBlk(n) => self.blk_handles += n,
+            AuditDelta::NrAppended(n) => self.nr_appended += n,
         }
     }
 
@@ -313,6 +323,13 @@ pub struct Auditor {
     /// Reusable ledger-drain scratch; grows to the high-water mark of
     /// deltas per audit interval and is then reused forever.
     pub scratch: Vec<AuditDelta>,
+    /// The node-replication logs' (pm, mem) published tails at baseline
+    /// time. `audit_total_wf` balances `state.nr_appended` — the sum of
+    /// [`AuditDelta::NrAppended`] entries folded since the baseline —
+    /// against the tails' growth past this point. `(0, 0)` when node
+    /// replication is off (the tails also sit at their creation value,
+    /// so the equation degenerates to `0 == growth`).
+    pub nr_base: (u64, u64),
 }
 
 impl Auditor {
@@ -321,6 +338,7 @@ impl Auditor {
         Auditor {
             state: AuditState::from_kernel(k),
             scratch: Vec::new(),
+            nr_base: (0, 0),
         }
     }
 

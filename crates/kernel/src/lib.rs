@@ -40,6 +40,7 @@ pub mod interrupt;
 pub mod iso;
 pub mod kernel;
 pub mod noninterf;
+pub mod nr;
 pub mod refine;
 pub mod runner;
 pub mod smp;
@@ -55,6 +56,7 @@ pub use audit::{AuditState, Auditor};
 pub use blk::{BlkOp, BlkQueuePair, BlkState, BlkTiming, BLK_DEVICE_ID, BLK_SQ_CAPACITY};
 pub use domain::{DomainGuard, DomainLock, LockLevel};
 pub use kernel::{BigLockKernel, Kernel, KernelConfig, MemDomain};
+pub use nr::{KernelNr, MemOp, MemView, PmOp, PmView};
 pub use refine::{cross_domain_wf, mem_domain_wf, pm_domain_wf, recovery_refines, total_wf_parts};
 pub use smp::{PmShard, SmpKernel};
 pub use syscall::{SyscallArgs, SyscallError, SyscallReturn};

@@ -265,6 +265,11 @@ pub fn audited_syscall(
             // Reading the trace is not a transition of Ψ at all: the
             // snapshot lives outside the abstract state.
             SyscallArgs::TraceSnapshot => spec::syscall_noop_spec(&pre, &post),
+            // Pure lookups: success or failure, Ψ must be untouched.
+            SyscallArgs::Getpid
+            | SyscallArgs::ThreadLookup { .. }
+            | SyscallArgs::DescriptorResolve { .. }
+            | SyscallArgs::VmResolve { .. } => spec::syscall_noop_spec(&pre, &post),
             // The remaining calls are audited against well-formedness and
             // the no-op-on-error rule; their positive frame conditions are
             // exercised by dedicated tests.

@@ -63,18 +63,21 @@ use std::collections::BTreeMap;
 use atmo_hw::cycles::{CostModel, CycleMeter};
 use atmo_hw::machine::Machine;
 use atmo_mem::{CacheStats, PageCache};
+use atmo_nr::AppendStats;
 use atmo_pm::types::{CpuId, CtnrPtr, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
-use atmo_spec::harness::{Invariant, VerifResult};
+use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
-use atmo_trace::{LockDomain, Snapshot, TraceHandle};
+use atmo_trace::{LockDomain, NrOutcome, Snapshot, TraceHandle};
 
 use crate::audit::{AuditState, Auditor};
 use crate::domain::{DomainLock, LockLevel};
 use crate::kernel::{Kernel, MemDomain};
+use crate::nr::{pm_update_class, KernelNr, MemOp, MemView, PmOp, PmUpdateClass, PmView};
 use crate::syscall::{
     dispatch_current, mmap_stage_mem, mmap_stage_pm, munmap_stage_mem, munmap_stage_pm,
-    stage_validate, uncharge_stage_pm, ExecCtx, MemAccess, SyscallArgs, SyscallReturn,
+    stage_validate, uncharge_stage_pm, ExecCtx, MemAccess, SyscallArgs, SyscallError,
+    SyscallReturn,
 };
 
 /// The pm lock domain's contents: the process manager and the IRQ
@@ -125,6 +128,13 @@ pub struct SmpKernel {
     /// taken first and never while a domain lock is held, so the audit
     /// path cannot deadlock against dispatch.
     auditor: std::sync::Mutex<Option<Auditor>>,
+    /// The node-replicated read layer: per-CPU [`PmView`]/[`MemView`]
+    /// replicas over per-domain op logs (see [`crate::nr`]). `None`
+    /// until [`enable_nr`](Self::enable_nr) baselines it — and with it
+    /// unset, every dispatch is cycle-for-cycle identical to the plain
+    /// sharded kernel (no appends, no replica charges). All replica
+    /// internals are leaf mutexes, orderable under any domain lock.
+    nr: std::sync::OnceLock<KernelNr>,
 }
 
 impl SmpKernel {
@@ -187,7 +197,38 @@ impl SmpKernel {
             ),
             trace,
             auditor: std::sync::Mutex::new(None),
+            nr: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Turns on node-replicated reads: projects the authoritative pm
+    /// and mem state (under both domain locks, so the baselines are a
+    /// consistent cut) into per-CPU replicas. From here on the
+    /// replicated read syscalls (`getpid`, `thread_lookup`,
+    /// `descriptor_resolve`, `vm_resolve`) are served from the calling
+    /// CPU's replica without touching any domain lock or model clock,
+    /// and every locked mutation appends its summary op to the logs.
+    ///
+    /// Idempotent: a second call is a no-op (the live logs already
+    /// carry the history; re-baselining would fork it).
+    pub fn enable_nr(&self) {
+        let mut pm_g = self.pm.lock(0);
+        let mut mem_g = self.mem.lock(0);
+        let shard = pm_g.as_mut().expect("pm domain present under its lock");
+        let pm_view = PmView::project(&shard.pm, self.ncpus);
+        let mem_view = MemView::project(
+            &mem_g
+                .as_mut()
+                .expect("mem domain present under its lock")
+                .vm,
+        );
+        let _ = self.nr.set(KernelNr::new(self.ncpus, pm_view, mem_view));
+    }
+
+    /// The node-replication layer, when [`enable_nr`](Self::enable_nr)
+    /// has baselined it.
+    pub fn nr(&self) -> Option<&KernelNr> {
+        self.nr.get()
     }
 
     /// Number of CPUs.
@@ -227,6 +268,14 @@ impl SmpKernel {
         if args.staged_mem() {
             return self.syscall_staged(cpu, &mut meter_g, args);
         }
+        // Node-replicated reads bypass every domain lock *and clock*:
+        // the answer comes from the calling CPU's replica, so sixteen
+        // readers never serialize through the pm domain's model time.
+        if args.nr_read() {
+            if let Some(nr) = self.nr.get() {
+                return self.syscall_nr_read(cpu, &mut meter_g, nr, args);
+            }
+        }
 
         // The entry trampoline is per-CPU work — trap, save state,
         // decode — so it runs before any shared lock is taken.
@@ -234,11 +283,15 @@ impl SmpKernel {
         let entered = meter_g.now();
         self.trace.syscall_enter(cpu, kind);
         meter_g.charge(self.costs.syscall_entry);
+        // How this call's pm-side effects will be summarized into the
+        // replication log (computed up front; `args` moves into the
+        // dispatcher).
+        let nr_class = pm_update_class(&args);
 
         let mut pm_g = self.pm.lock(cpu);
         // Lock serialization in modeled time: a CPU entering the domain
         // observes at least the clock of the CPU that left it last.
-        meter_g.sync_to(self.pm.model_time());
+        self.sync_meter(&mut meter_g, self.pm.model_time(), LockDomain::Pm);
         // The snapshot slot is its own domain, locked only by the one
         // call that writes it.
         let mut snap_g = if matches!(args, SyscallArgs::TraceSnapshot) {
@@ -247,6 +300,16 @@ impl SmpKernel {
             None
         };
         let mut cache_g = self.caches[cpu].lock(cpu);
+        // Pre-dispatch scheduler snapshot: lets the append below elide
+        // the `CurrentAll` op when the call turns out not to have moved
+        // any CPU's `current` (the common single-runnable-thread yield).
+        let nr_pre_current = match (self.nr.get(), nr_class) {
+            (Some(_), PmUpdateClass::Current) | (Some(_), PmUpdateClass::Structural) => {
+                let shard = pm_g.as_ref().expect("pm domain present under its lock");
+                Some(PmView::current_all(&shard.pm, self.ncpus))
+            }
+            _ => None,
+        };
         let shard = pm_g.as_mut().expect("pm domain present under its lock");
         let mut ctx = ExecCtx {
             costs: self.costs,
@@ -262,13 +325,42 @@ impl SmpKernel {
             },
         };
         let ret = dispatch_current(&mut ctx, cpu, args);
-        let now = ctx.meter.now();
         let touched_mem = ctx.mem.holds_shared();
+        // Mem-side replication append, under the still-held (lazily
+        // acquired) mem guard — log order equals mem-lock order.
+        if touched_mem {
+            if let Some(nr) = self.nr.get() {
+                let view = MemView::project(&ctx.mem.domain().vm);
+                let stats = nr.mem.append(cpu, vec![MemOp::Reset(view)]);
+                self.nr_append_charge(ctx.meter, stats);
+            }
+        }
+        let now = ctx.meter.now();
         drop(ctx);
         if touched_mem {
             self.mem.set_model_time(now);
         }
-        self.pm.set_model_time(now);
+        // Pm-side replication append, still under the pm lock.
+        if let Some(nr) = self.nr.get() {
+            if let Some(pre) = nr_pre_current {
+                let shard = pm_g.as_ref().expect("pm domain present under its lock");
+                let op = if nr_class == PmUpdateClass::Structural && ret.is_ok() {
+                    Some(PmOp::Reset(PmView::project(&shard.pm, self.ncpus)))
+                } else {
+                    // Cheap class, or an error return (noop on the
+                    // object tables by spec — only the scheduler's
+                    // `current` may have moved, and when it did not,
+                    // there is nothing to replicate).
+                    let now = PmView::current_all(&shard.pm, self.ncpus);
+                    (now != pre).then_some(PmOp::CurrentAll(now))
+                };
+                if let Some(op) = op {
+                    let stats = nr.pm.append(cpu, vec![op]);
+                    self.nr_append_charge(&mut meter_g, stats);
+                }
+            }
+        }
+        self.pm.set_model_time(meter_g.now());
         drop(cache_g);
         drop(snap_g);
         drop(pm_g);
@@ -279,6 +371,121 @@ impl SmpKernel {
         meter_g.charge(self.costs.syscall_exit);
         self.trace
             .syscall_exit(cpu, kind, ret.trace_class(), meter_g.now() - entered);
+        ret
+    }
+
+    /// Syncs `meter` to a domain lock's release timestamp, recording
+    /// the modeled wait — how far the acquirer's clock had to jump to
+    /// observe the domain — into the per-domain `lock.wait_cycles`
+    /// histogram (zero-wait acquisitions are recorded too; they are the
+    /// uncontended baseline the percentiles are measured against).
+    fn sync_meter(&self, meter: &mut CycleMeter, lock_model_time: u64, domain: LockDomain) {
+        self.trace
+            .lock_wait(domain, lock_model_time.saturating_sub(meter.now()));
+        meter.sync_to(lock_model_time);
+    }
+
+    /// Charges and counts one replication-log append batch: a modeled
+    /// cacheline copy per op appended and replayed, one ring doorbell
+    /// per flat-combining flush. Ledger recording (for the incremental
+    /// auditor's `NrAppended` balance) rides on the `Append` event.
+    fn nr_append_charge(&self, meter: &mut CycleMeter, stats: AppendStats) {
+        meter.charge(
+            self.costs.copy_cacheline * (stats.appended + stats.replayed)
+                + self.costs.ring_op * stats.combine_batches,
+        );
+        self.trace.nr_event(NrOutcome::Append, stats.appended);
+        self.trace
+            .nr_event(NrOutcome::CombineBatch, stats.combine_batches);
+        self.trace.nr_event(NrOutcome::Replay, stats.replayed);
+    }
+
+    /// Charges and counts a read-side replica catch-up (a modeled
+    /// cacheline copy per op replayed).
+    fn nr_read_charge(&self, meter: &mut CycleMeter, replayed: u64) {
+        meter.charge(self.costs.copy_cacheline * replayed);
+        self.trace.nr_event(NrOutcome::Replay, replayed);
+    }
+
+    /// Serves a replicated read from `cpu`'s local replicas: replay to
+    /// the published tail, answer from local state. No domain lock is
+    /// taken and — the scaling point — the meter never syncs to a
+    /// domain's model time, so concurrent readers advance only their
+    /// own clocks. Error mapping matches the locked handlers exactly
+    /// (the epoch cross-check keeps the states bit-identical, so the
+    /// answers can only lag the authoritative state, never disagree
+    /// with the tail they linearize at).
+    fn syscall_nr_read(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        nr: &KernelNr,
+        args: SyscallArgs,
+    ) -> SyscallReturn {
+        let kind = args.trace_kind();
+        let entered = meter.now();
+        self.trace.syscall_enter(cpu, kind);
+        meter.charge(self.costs.syscall_entry + self.costs.syscall_validate);
+        let ret = match args {
+            SyscallArgs::Getpid => {
+                let (ans, rs) = nr.pm.execute_ro(cpu, |v| v.getpid(cpu));
+                self.nr_read_charge(meter, rs.replayed);
+                match ans {
+                    Some((p, c)) => SyscallReturn::ok([p as u64, c as u64, 0, 0]),
+                    None => SyscallReturn::err(SyscallError::WrongState),
+                }
+            }
+            SyscallArgs::ThreadLookup { thread } => {
+                let (ans, rs) = nr.pm.execute_ro(cpu, |v| {
+                    (v.current_thread(cpu).is_some(), v.thread_lookup(thread))
+                });
+                self.nr_read_charge(meter, rs.replayed);
+                match ans {
+                    (false, _) => SyscallReturn::err(SyscallError::WrongState),
+                    (true, Some((p, c))) => SyscallReturn::ok([p as u64, c as u64, 0, 0]),
+                    (true, None) => SyscallReturn::err(SyscallError::NotFound),
+                }
+            }
+            SyscallArgs::DescriptorResolve { slot } => {
+                let (ans, rs) = nr.pm.execute_ro(cpu, |v| {
+                    (
+                        v.current_thread(cpu).is_some(),
+                        v.descriptor_resolve(cpu, slot),
+                    )
+                });
+                self.nr_read_charge(meter, rs.replayed);
+                match ans {
+                    (false, _) => SyscallReturn::err(SyscallError::WrongState),
+                    (true, Some(e)) => SyscallReturn::ok([e as u64, 0, 0, 0]),
+                    (true, None) => SyscallReturn::err(SyscallError::NotFound),
+                }
+            }
+            SyscallArgs::VmResolve { va } => {
+                meter.charge(self.costs.pt_walk_cached_read);
+                let (space, rs) = nr.pm.execute_ro(cpu, |v| v.current_addr_space(cpu));
+                self.nr_read_charge(meter, rs.replayed);
+                match space {
+                    None => SyscallReturn::err(SyscallError::WrongState),
+                    Some(as_id) => {
+                        // Cross-domain read: the mapping answer comes
+                        // from the mem replica, no staler than *its*
+                        // log's tail.
+                        let (w, rs) = nr.mem.execute_ro(cpu, |m| m.resolve(as_id, va));
+                        self.nr_read_charge(meter, rs.replayed);
+                        match w {
+                            Some(w) => SyscallReturn::ok([1, w as u64, 0, 0]),
+                            // An unmapped address is a successful "no".
+                            None => SyscallReturn::ok([0, 0, 0, 0]),
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("nr_read() admits only replica-served reads"),
+        };
+        self.trace.nr_event(NrOutcome::ReadLocal, 1);
+        meter.charge(self.costs.syscall_exit);
+        self.trace
+            .syscall_exit(cpu, kind, ret.trace_class(), meter.now() - entered);
         ret
     }
 
@@ -328,9 +535,15 @@ impl SmpKernel {
         };
         let plan = {
             let mut pm_g = self.pm.lock(cpu);
-            meter.sync_to(self.pm.model_time());
+            self.sync_meter(meter, self.pm.model_time(), LockDomain::Pm);
             let shard = pm_g.as_mut().expect("pm domain present");
             let r = mmap_stage_pm(&mut shard.pm, cpu, range, len, writable);
+            if let Ok(plan) = &r {
+                // The quota charge is the stage's only pm mutation:
+                // append its absolute gauge while the lock still
+                // serializes us.
+                self.nr_append_quota(cpu, meter, &shard.pm, plan.cntr);
+            }
             drop(pm_g);
             self.pm.set_model_time(meter.now());
             r
@@ -341,9 +554,12 @@ impl SmpKernel {
         };
         let ret = {
             let mut mem_g = self.mem.lock(cpu);
-            meter.sync_to(self.mem.model_time());
+            self.sync_meter(meter, self.mem.model_time(), LockDomain::Mem);
             let m = mem_g.as_mut().expect("mem domain present");
             let r = mmap_stage_mem(&self.costs, meter, m, &plan);
+            if r.is_ok() {
+                self.nr_append_range(cpu, meter, m, &plan);
+            }
             drop(mem_g);
             self.mem.set_model_time(meter.now());
             r
@@ -371,7 +587,7 @@ impl SmpKernel {
         };
         let plan = {
             let mut pm_g = self.pm.lock(cpu);
-            meter.sync_to(self.pm.model_time());
+            self.sync_meter(meter, self.pm.model_time(), LockDomain::Pm);
             let shard = pm_g.as_mut().expect("pm domain present");
             let r = munmap_stage_pm(&mut shard.pm, cpu, range, len);
             drop(pm_g);
@@ -384,9 +600,12 @@ impl SmpKernel {
         };
         let ret = {
             let mut mem_g = self.mem.lock(cpu);
-            meter.sync_to(self.mem.model_time());
+            self.sync_meter(meter, self.mem.model_time(), LockDomain::Mem);
             let m = mem_g.as_mut().expect("mem domain present");
             let r = munmap_stage_mem(&self.costs, meter, m, &plan);
+            if r.is_ok() {
+                self.nr_append_range(cpu, meter, m, &plan);
+            }
             drop(mem_g);
             self.mem.set_model_time(meter.now());
             r
@@ -401,11 +620,70 @@ impl SmpKernel {
     /// The pm-side quota epilogue of a staged call.
     fn staged_uncharge(&self, cpu: CpuId, meter: &mut CycleMeter, cntr: CtnrPtr, pages: usize) {
         let mut pm_g = self.pm.lock(cpu);
-        meter.sync_to(self.pm.model_time());
+        self.sync_meter(meter, self.pm.model_time(), LockDomain::Pm);
         let shard = pm_g.as_mut().expect("pm domain present");
         uncharge_stage_pm(&mut shard.pm, cntr, pages);
+        self.nr_append_quota(cpu, meter, &shard.pm, cntr);
         drop(pm_g);
         self.pm.set_model_time(meter.now());
+    }
+
+    /// Appends one container's post-mutation quota gauge to the pm log
+    /// (no-op with replication off). Caller holds the pm lock.
+    fn nr_append_quota(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        pm: &ProcessManager,
+        cntr: CtnrPtr,
+    ) {
+        if let Some(nr) = self.nr.get() {
+            let c = pm.cntr(cntr);
+            let stats = nr.pm.append(
+                cpu,
+                vec![PmOp::QuotaSet {
+                    cntr,
+                    used: c.used,
+                    quota: c.quota,
+                }],
+            );
+            self.nr_append_charge(meter, stats);
+        }
+    }
+
+    /// Appends the staged range's post-commit mapping summaries — read
+    /// back from the authoritative page table, so the op states exactly
+    /// what the locked mutation produced — to the mem log (no-op with
+    /// replication off). Caller holds the mem lock. Serves both staged
+    /// calls: after an mmap every page reads back `Some`, after a
+    /// munmap `None`.
+    fn nr_append_range(
+        &self,
+        cpu: CpuId,
+        meter: &mut CycleMeter,
+        m: &MemDomain,
+        plan: &crate::syscall::MemStagePlan,
+    ) {
+        if let Some(nr) = self.nr.get() {
+            let pages = plan
+                .range
+                .iter()
+                .map(|va| {
+                    let w =
+                        m.vm.table(plan.as_id)
+                            .and_then(|t| t.map_4k.index(&va.as_usize()).map(|e| e.flags.writable));
+                    (va.as_usize(), w)
+                })
+                .collect();
+            let stats = nr.mem.append(
+                cpu,
+                vec![MemOp::MapRange {
+                    space: plan.as_id,
+                    pages,
+                }],
+            );
+            self.nr_append_charge(meter, stats);
+        }
     }
 
     /// Stops the world: takes *every* lock in order, drains the per-CPU
@@ -453,6 +731,29 @@ impl SmpKernel {
         };
         let r = f(&mut k);
 
+        // The bridge's `f` may mutate anything — interrupt dispatch,
+        // test plumbing, the verified services all come through here —
+        // so with replication on, re-baseline both logs with absolute
+        // `Reset` ops before the locks release. Bookkeeping, not a
+        // modeled serialization point: events are counted (and the
+        // ledger keeps its `NrAppended` balance) but no cycles charge.
+        if let Some(nr) = self.nr.get() {
+            let s1 = nr
+                .pm
+                .append(0, vec![PmOp::Reset(PmView::project(&k.pm, self.ncpus))]);
+            let s2 = nr
+                .mem
+                .append(0, vec![MemOp::Reset(MemView::project(&k.mem.vm))]);
+            self.trace
+                .nr_event(NrOutcome::Append, s1.appended + s2.appended);
+            self.trace.nr_event(
+                NrOutcome::CombineBatch,
+                s1.combine_batches + s2.combine_batches,
+            );
+            self.trace
+                .nr_event(NrOutcome::Replay, s1.replayed + s2.replayed);
+        }
+
         // Disassemble back into the domains.
         let Kernel {
             machine,
@@ -492,7 +793,13 @@ impl SmpKernel {
             k.trace.set_audit_recording(false);
             let mut stale = Vec::new();
             k.trace.drain_audit_ledgers(&mut stale);
-            let a = Auditor::baselined(k);
+            let mut a = Auditor::baselined(k);
+            // All locks are held here: the replication logs' tails are
+            // quiescent, so this is a consistent zero for the
+            // `NrAppended` balance. (The bridge's own trailing `Reset`
+            // appends land *after* this capture, with recording back
+            // on — ledger and tails grow together.)
+            a.nr_base = self.nr.get().map(KernelNr::tails).unwrap_or((0, 0));
             k.trace.set_audit_recording(true);
             a
         }));
@@ -569,6 +876,52 @@ impl SmpKernel {
                 let flat = AuditState::from_kernel(k);
                 a.state.cross_check(&flat)?;
             }
+            // Replica linearization at the epoch boundary: every
+            // replica, synced to its log's tail, must be bit-for-bit
+            // the projection of the authoritative locked state — and
+            // the ledger's `NrAppended` running sum must balance the
+            // tails' growth since the audit baseline.
+            if let Some(nr) = self.nr.get() {
+                nr.sync_all();
+                nr.nr_wf()?;
+                let pm_view = PmView::project(&k.pm, self.ncpus);
+                let mem_view = MemView::project(&k.mem.vm);
+                for cpu in 0..self.ncpus {
+                    nr.pm.peek(cpu, |s, tail| {
+                        check(
+                            s == &pm_view,
+                            "nr_epoch",
+                            format!(
+                                "pm replica {cpu} at tail {tail} diverges from the \
+                                 authoritative projection"
+                            ),
+                        )
+                    })?;
+                    nr.mem.peek(cpu, |s, tail| {
+                        check(
+                            s == &mem_view,
+                            "nr_epoch",
+                            format!(
+                                "mem replica {cpu} at tail {tail} diverges from the \
+                                 authoritative projection"
+                            ),
+                        )
+                    })?;
+                }
+                if let Some(a) = aud.as_ref() {
+                    let (pt, mt) = nr.tails();
+                    let grown = (pt - a.nr_base.0) + (mt - a.nr_base.1);
+                    check(
+                        a.state.nr_appended == grown,
+                        "nr_epoch",
+                        format!(
+                            "ledger NrAppended sum {} != log-tail growth {grown} \
+                             (pm {pt}, mem {mt}, base {:?})",
+                            a.state.nr_appended, a.nr_base
+                        ),
+                    )?;
+                }
+            }
             Ok(())
         });
         self.trace
@@ -621,6 +974,7 @@ impl SmpKernel {
             mem,
             trace,
             auditor: _,
+            nr: _,
         } = self;
         let shard = pm.into_inner().expect("pm domain present");
         let mut machine = hw.into_inner().expect("machine present");
@@ -950,6 +1304,159 @@ mod tests {
         assert!(audit.is_ok(), "{audit:?}");
         let audit = k.audit_total_wf();
         assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn nr_reads_serve_from_replicas_without_pm_lock() {
+        let k = smp(2);
+        k.enable_nr();
+        k.enable_incremental_audit();
+        let pm_before = k.trace_snapshot().counters.locks.pm.acquisitions;
+        let ret = k.syscall(0, SyscallArgs::Getpid);
+        assert!(ret.is_ok(), "{ret:?}");
+        assert_eq!(ret.val0() as usize, k.init_proc());
+        let ret = k.syscall(
+            0,
+            SyscallArgs::ThreadLookup {
+                thread: k.init_thread(),
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let ret = k.syscall(0, SyscallArgs::ThreadLookup { thread: 9999 });
+        assert_eq!(ret.result, Err(SyscallError::NotFound));
+        let snap = k.trace_snapshot();
+        assert_eq!(
+            snap.counters.locks.pm.acquisitions, pm_before,
+            "replica reads must not take the pm lock"
+        );
+        assert_eq!(snap.counters.nr.read_local, 3);
+        assert_eq!(snap.counters.nr.fallback_locked, 0);
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn nr_off_reads_fall_back_to_locked_path() {
+        let k = smp(1);
+        let ret = k.syscall(0, SyscallArgs::Getpid);
+        assert!(ret.is_ok(), "{ret:?}");
+        let snap = k.trace_snapshot();
+        assert_eq!(snap.counters.nr.read_local, 0);
+        assert_eq!(snap.counters.nr.fallback_locked, 1);
+        assert_eq!(snap.counters.nr.appended, 0, "no log without enable_nr");
+    }
+
+    #[test]
+    fn nr_read_skips_the_pm_model_clock() {
+        // The scaling mechanism itself: a replica read on CPU 1 never
+        // syncs to the pm domain's release timestamp, so its clock
+        // stays far below CPU 0's after CPU 0 ran the write traffic.
+        let k = smp(2);
+        k.enable_nr();
+        let ret = k.syscall(
+            0,
+            SyscallArgs::NewThread {
+                proc: k.init_proc(),
+                cpu: 1,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        // Schedule it on CPU 1 through the bridge (whose trailing Reset
+        // carries the new `current` into the replicas).
+        k.with_kernel(|flat| {
+            flat.pm.timer_tick(1);
+        });
+        for _ in 0..10 {
+            assert!(k.syscall(0, SyscallArgs::Yield).is_ok());
+        }
+        let ret = k.syscall(1, SyscallArgs::Getpid);
+        assert!(ret.is_ok(), "{ret:?}");
+        assert!(
+            k.cycles(1) < k.cycles(0),
+            "replica read serialized behind the pm clock: cpu1 {} >= cpu0 {}",
+            k.cycles(1),
+            k.cycles(0)
+        );
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn nr_vm_resolve_tracks_staged_mmap_and_munmap() {
+        let k = smp(1);
+        k.enable_nr();
+        k.enable_incremental_audit();
+        let va = 0x40_0000usize;
+        let ret = k.syscall(0, SyscallArgs::VmResolve { va });
+        assert!(ret.is_ok());
+        assert_eq!(ret.val0(), 0, "nothing mapped yet");
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: va,
+                len: 4,
+                writable: true,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let ret = k.syscall(0, SyscallArgs::VmResolve { va: va + 0x1234 });
+        assert!(ret.is_ok());
+        assert_eq!(ret.result, Ok([1, 1, 0, 0]), "mapped and writable");
+        assert!(k.audit_incremental().is_ok());
+        let ret = k.syscall(
+            0,
+            SyscallArgs::Munmap {
+                va_base: va,
+                len: 4,
+            },
+        );
+        assert!(ret.is_ok(), "{ret:?}");
+        let ret = k.syscall(0, SyscallArgs::VmResolve { va });
+        assert_eq!(ret.result, Ok([0, 0, 0, 0]), "unmapped again");
+        let snap = k.trace_snapshot();
+        assert!(snap.counters.nr.appended > 0, "staged ops must append");
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn nr_epoch_cross_check_survives_with_kernel_mutations() {
+        // `with_kernel` mutations bypass the per-syscall appends; the
+        // bridge's trailing Reset must keep the replicas convergent.
+        let k = smp(2);
+        k.enable_nr();
+        k.enable_incremental_audit();
+        let ret = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
+        assert!(ret.is_ok(), "{ret:?}");
+        let e = ret.val0() as usize;
+        // Install a descriptor through the flat bridge (slot 1), past
+        // the per-syscall append path.
+        k.with_kernel(|flat| {
+            let t = flat.init_thread;
+            flat.pm.install_descriptor(t, 1, e).unwrap()
+        });
+        let ret = k.syscall(0, SyscallArgs::DescriptorResolve { slot: 1 });
+        assert!(
+            ret.is_ok(),
+            "replicas must see the bridged mutation: {ret:?}"
+        );
+        assert_eq!(ret.val0() as usize, e);
+        let audit = k.audit_total_wf();
+        assert!(audit.is_ok(), "{audit:?}");
+    }
+
+    #[test]
+    fn lock_wait_histograms_record_cross_cpu_contention() {
+        let k = smp(2);
+        let _ = k.syscall(0, SyscallArgs::Yield);
+        let _ = k.syscall(1, SyscallArgs::Yield);
+        let snap = k.trace_snapshot();
+        assert!(
+            snap.lock_wait_pm_hist.count() >= 2,
+            "every pm acquisition records its modeled wait"
+        );
+        // CPU 1 entered behind CPU 0's release stamp: a nonzero wait.
+        assert!(snap.lock_wait_pm_hist.max() > 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use atmo_pm::manager::{RecvOutcome, ReplyRecvOutcome, SendOutcome};
 use atmo_pm::types::{CpuId, CtnrPtr, EdptIdx, IpcPayload, PmError, ProcPtr, ThrdPtr};
 use atmo_pm::ProcessManager;
 use atmo_ptable::MapError;
-use atmo_trace::{AuditDelta, Snapshot, TraceHandle, VmOutcome};
+use atmo_trace::{AuditDelta, NrOutcome, Snapshot, TraceHandle, VmOutcome};
 
 use crate::domain::{DomainGuard, DomainLock};
 use crate::kernel::{Kernel, MemDomain};
@@ -212,6 +212,28 @@ pub enum SyscallArgs {
     /// retrieve via [`Kernel::take_trace_snapshot`]. Changes no
     /// abstract kernel state.
     TraceSnapshot,
+    /// Read-only: the calling thread's owning process and container.
+    /// Node-replicated on the sharded kernel (served from the local
+    /// pm replica when enabled).
+    Getpid,
+    /// Read-only: a thread's owning process and container.
+    ThreadLookup {
+        /// The thread to look up.
+        thread: ThrdPtr,
+    },
+    /// Read-only: the endpoint in descriptor `slot` of the calling
+    /// thread.
+    DescriptorResolve {
+        /// Descriptor slot to resolve.
+        slot: EdptIdx,
+    },
+    /// Read-only: whether `va` is mapped in the caller's address space
+    /// (and writable). Node-replicated on the sharded kernel (served
+    /// from the local mem replica when enabled).
+    VmResolve {
+        /// The virtual address to translate.
+        va: usize,
+    },
 }
 
 impl SyscallArgs {
@@ -250,7 +272,23 @@ impl SyscallArgs {
             SyscallArgs::BlkReapBatch { .. } => K::BlkReapBatch,
             SyscallArgs::Yield => K::Yield,
             SyscallArgs::TraceSnapshot => K::TraceSnapshot,
+            SyscallArgs::Getpid => K::Getpid,
+            SyscallArgs::ThreadLookup { .. } => K::ThreadLookup,
+            SyscallArgs::DescriptorResolve { .. } => K::DescriptorResolve,
+            SyscallArgs::VmResolve { .. } => K::VmResolve,
         }
+    }
+
+    /// `true` for the read-only calls the sharded kernel may serve from
+    /// a per-CPU node replica instead of the locked domain path.
+    pub fn nr_read(&self) -> bool {
+        matches!(
+            self,
+            SyscallArgs::Getpid
+                | SyscallArgs::ThreadLookup { .. }
+                | SyscallArgs::DescriptorResolve { .. }
+                | SyscallArgs::VmResolve { .. }
+        )
     }
 
     /// `true` when the sharded kernel serves this call with the staged
@@ -317,11 +355,11 @@ pub struct SyscallReturn {
 }
 
 impl SyscallReturn {
-    fn ok(vals: [u64; 4]) -> Self {
+    pub(crate) fn ok(vals: [u64; 4]) -> Self {
         SyscallReturn { result: Ok(vals) }
     }
 
-    fn err(e: SyscallError) -> Self {
+    pub(crate) fn err(e: SyscallError) -> Self {
         SyscallReturn { result: Err(e) }
     }
 
@@ -622,6 +660,75 @@ impl ExecCtx<'_> {
             }
             SyscallArgs::Yield => self.sys_yield(cpu, t),
             SyscallArgs::TraceSnapshot => self.sys_trace_snapshot(t),
+            SyscallArgs::Getpid => self.sys_getpid(t),
+            SyscallArgs::ThreadLookup { thread } => self.sys_thread_lookup(thread),
+            SyscallArgs::DescriptorResolve { slot } => self.sys_descriptor_resolve(t, slot),
+            SyscallArgs::VmResolve { va } => self.sys_vm_resolve(t, va),
+        }
+    }
+
+    // ----- read-only lookups (node-replicated on the sharded kernel) ------
+
+    /// `getpid`: the calling thread's owning process and container.
+    /// This is the *locked* path — the semantic anchor the per-CPU
+    /// replicas are cross-checked against; the sharded kernel routes
+    /// here only when node replication is off (counted as a fallback).
+    fn sys_getpid(&mut self, t: ThrdPtr) -> SyscallReturn {
+        self.charge(self.costs.syscall_validate);
+        self.trace.nr_event(NrOutcome::FallbackLocked, 1);
+        let th = self.pm.thrd(t);
+        SyscallReturn::ok([th.owning_proc as u64, th.owning_cntr as u64, 0, 0])
+    }
+
+    /// `thread_lookup`: a thread's owning process and container.
+    fn sys_thread_lookup(&mut self, thread: ThrdPtr) -> SyscallReturn {
+        self.charge(self.costs.syscall_validate);
+        self.trace.nr_event(NrOutcome::FallbackLocked, 1);
+        if !self.pm.thrd_perms.contains(thread) {
+            return SyscallReturn::err(SyscallError::NotFound);
+        }
+        let th = self.pm.thrd(thread);
+        SyscallReturn::ok([th.owning_proc as u64, th.owning_cntr as u64, 0, 0])
+    }
+
+    /// `descriptor_resolve`: the endpoint in `slot` of the caller's
+    /// descriptor table.
+    fn sys_descriptor_resolve(&mut self, t: ThrdPtr, slot: EdptIdx) -> SyscallReturn {
+        self.charge(self.costs.syscall_validate);
+        self.trace.nr_event(NrOutcome::FallbackLocked, 1);
+        match self
+            .pm
+            .thrd(t)
+            .edpt_descriptors
+            .get(slot)
+            .copied()
+            .flatten()
+        {
+            Some(e) => SyscallReturn::ok([e as u64, 0, 0, 0]),
+            None => SyscallReturn::err(SyscallError::NotFound),
+        }
+    }
+
+    /// `vm_resolve`: whether `va` is mapped in the caller's address
+    /// space. Returns `[mapped, writable, 0, 0]` — an unmapped address
+    /// is a successful "no", not a fault. On the sharded kernel this
+    /// locked path takes the mem lock (the fallback the replica path
+    /// avoids).
+    fn sys_vm_resolve(&mut self, t: ThrdPtr, va: usize) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.pt_walk_cached_read);
+        self.trace.nr_event(NrOutcome::FallbackLocked, 1);
+        let proc_ptr = self.pm.thrd(t).owning_proc;
+        let as_id = self.pm.proc(proc_ptr).addr_space;
+        let writable = self
+            .mem
+            .domain()
+            .vm
+            .table(as_id)
+            .and_then(|table| table.map_4k.index(&(va & !0xFFF)).map(|e| e.flags.writable));
+        match writable {
+            Some(w) => SyscallReturn::ok([1, w as u64, 0, 0]),
+            None => SyscallReturn::ok([0, 0, 0, 0]),
         }
     }
 

@@ -63,4 +63,9 @@ pub enum AuditDelta {
     HandleNet(i64),
     /// Blk-pool handles moved in (+) or out (−) of flight.
     HandleBlk(i64),
+    /// Ops appended to a node-replication operation log. The auditor
+    /// balances the running sum against the logs' published tails, so a
+    /// mutation that bypassed the log (or an append that bypassed the
+    /// serializing domain lock) shows up as a ledger imbalance.
+    NrAppended(u64),
 }

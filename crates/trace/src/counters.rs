@@ -224,6 +224,41 @@ impl BlkCounters {
     }
 }
 
+/// Node-replication counters (per-CPU replicas over the shared op
+/// log). Counter-only — like [`VmCounters`], they annotate datapath
+/// work and never enter the per-kind event reconciliation. `trace_wf`
+/// checks `combine_batches <= appended` (every flat-combining flush
+/// carries at least one op) and
+/// `replayed <= appended * (replicas + 1)` (each appended op is
+/// replayed at most once per replica plus the auditor's shadow
+/// replica) on the merged view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NrCounters {
+    /// Ops appended to the shared operation log.
+    pub appended: u64,
+    /// Flat-combining flushes performed (each drains every CPU's
+    /// pending slot into the log; only non-empty drains count).
+    pub combine_batches: u64,
+    /// Ops replayed onto replicas (local post-update replay, read-path
+    /// catch-up, and epoch synchronization).
+    pub replayed: u64,
+    /// Read syscalls answered from the local replica, lock-free.
+    pub read_local: u64,
+    /// Read syscalls served by the locked domain path instead (node
+    /// replication disabled, or a unified/big-lock dispatch).
+    pub fallback_locked: u64,
+}
+
+impl NrCounters {
+    fn merge(&mut self, other: &NrCounters) {
+        self.appended += other.appended;
+        self.combine_batches += other.combine_batches;
+        self.replayed += other.replayed;
+        self.read_local += other.read_local;
+        self.fallback_locked += other.fallback_locked;
+    }
+}
+
 /// Well-formedness audit counters. `incremental` counts O(touched)
 /// ledger-fold audits, `full` counts stop-the-world flat audits, and
 /// `touched_entries` accumulates the ledger entries folded by
@@ -309,6 +344,8 @@ pub struct Counters {
     pub net: NetCounters,
     /// Zero-copy block datapath.
     pub blk: BlkCounters,
+    /// Node-replicated read paths.
+    pub nr: NrCounters,
     /// Well-formedness audits.
     pub audit: AuditCounters,
     /// Domain locks.
@@ -392,6 +429,11 @@ impl Counters {
             ("blk.reap_ios", self.blk.reap_ios),
             ("blk.wakeups", self.blk.wakeups),
             ("blk.fallback_copies", self.blk.fallback_copies),
+            ("nr.appended", self.nr.appended),
+            ("nr.combine_batch", self.nr.combine_batches),
+            ("nr.replay", self.nr.replayed),
+            ("nr.read_local", self.nr.read_local),
+            ("nr.fallback_locked", self.nr.fallback_locked),
             ("audit.incremental", self.audit.incremental),
             ("audit.full", self.audit.full),
             ("audit.touched_entries", self.audit.touched_entries),
@@ -434,6 +476,7 @@ impl Counters {
         self.drivers.tx_items += other.drivers.tx_items;
         self.net.merge(&other.net);
         self.blk.merge(&other.blk);
+        self.nr.merge(&other.nr);
         self.audit.merge(&other.audit);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
@@ -478,6 +521,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("drivers.")));
         assert!(names.iter().any(|n| n.starts_with("net.")));
         assert!(names.iter().any(|n| n.starts_with("blk.")));
+        assert!(names.iter().any(|n| n.starts_with("nr.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }
 

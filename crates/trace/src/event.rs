@@ -38,10 +38,14 @@ pub enum SyscallKind {
     ReplyRecv,
     BlkSubmitBatch,
     BlkReapBatch,
+    Getpid,
+    ThreadLookup,
+    DescriptorResolve,
+    VmResolve,
 }
 
 /// Number of syscall kinds (array dimension for per-kind state).
-pub const NUM_SYSCALL_KINDS: usize = 30;
+pub const NUM_SYSCALL_KINDS: usize = 34;
 
 impl SyscallKind {
     /// All kinds, in discriminant order.
@@ -76,6 +80,10 @@ impl SyscallKind {
         SyscallKind::ReplyRecv,
         SyscallKind::BlkSubmitBatch,
         SyscallKind::BlkReapBatch,
+        SyscallKind::Getpid,
+        SyscallKind::ThreadLookup,
+        SyscallKind::DescriptorResolve,
+        SyscallKind::VmResolve,
     ];
 
     /// Dense index for per-kind arrays.
@@ -116,6 +124,10 @@ impl SyscallKind {
             SyscallKind::ReplyRecv => "reply_recv",
             SyscallKind::BlkSubmitBatch => "blk_submit_batch",
             SyscallKind::BlkReapBatch => "blk_reap_batch",
+            SyscallKind::Getpid => "getpid",
+            SyscallKind::ThreadLookup => "thread_lookup",
+            SyscallKind::DescriptorResolve => "descriptor_resolve",
+            SyscallKind::VmResolve => "vm_resolve",
         }
     }
 }

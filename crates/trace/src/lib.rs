@@ -46,14 +46,14 @@ pub mod snapshot;
 pub use audit::AuditDelta;
 pub use counters::{
     AuditCounters, BlkCounters, Counters, DriverCounters, FastpathCounters, LockCounters,
-    LocksCounters, MemCounters, NetCounters, PmCounters, PtableCounters, VmCounters,
+    LocksCounters, MemCounters, NetCounters, NrCounters, PmCounters, PtableCounters, VmCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
 pub use sink::{
-    ns_to_cycles, trace_wf, BlkOutcome, FastpathOutcome, LockDomain, NetOutcome, SyscallStats,
-    TraceHandle, TraceShare, TraceSink, VmOutcome,
+    ns_to_cycles, trace_wf, BlkOutcome, FastpathOutcome, LockDomain, NetOutcome, NrOutcome,
+    SyscallStats, TraceHandle, TraceShare, TraceSink, VmOutcome,
 };
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 

@@ -21,7 +21,9 @@ use atmo_spec::harness::{check, Invariant, VerifResult};
 use atmo_spec::lock_recovering;
 
 use crate::audit::AuditDelta;
-use crate::counters::{BlkCounters, Counters, FastpathCounters, NetCounters, VmCounters};
+use crate::counters::{
+    BlkCounters, Counters, FastpathCounters, NetCounters, NrCounters, VmCounters,
+};
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
 };
@@ -220,6 +222,43 @@ impl BlkOutcome {
     }
 }
 
+/// One node-replication observation. Like [`VmOutcome`] these are
+/// counter-only annotations: replica reads and log appends decorate
+/// syscalls that already emit their own enter/exit ring events, so an
+/// extra ring entry would break the exact per-kind reconciliation.
+/// `Append` additionally lands an [`AuditDelta::NrAppended`] ledger
+/// entry when audit recording is on, so the incremental auditor can
+/// balance the ledger sum against the logs' published tails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NrOutcome {
+    /// Ops appended to a shared operation log (count = ops).
+    Append,
+    /// Flat-combining flushes this CPU performed, draining every CPU's
+    /// pending slot (count = non-empty flushes).
+    CombineBatch,
+    /// Ops replayed into a replica to bring it to the tail (count =
+    /// ops).
+    Replay,
+    /// Read syscalls served lock-free from the local replica (count =
+    /// reads).
+    ReadLocal,
+    /// Read syscalls served by the locked domain path instead (count =
+    /// reads).
+    FallbackLocked,
+}
+
+impl NrOutcome {
+    fn count_into(self, nr: &mut NrCounters, n: u64) {
+        match self {
+            NrOutcome::Append => nr.appended += n,
+            NrOutcome::CombineBatch => nr.combine_batches += n,
+            NrOutcome::Replay => nr.replayed += n,
+            NrOutcome::ReadLocal => nr.read_local += n,
+            NrOutcome::FallbackLocked => nr.fallback_locked += n,
+        }
+    }
+}
+
 /// Converts wall-clock nanoseconds into modeled cycles at the c220g5
 /// profile's 2.2 GHz, for lock hold times (the only place real time
 /// leaks into the modeled-cycle world).
@@ -282,6 +321,18 @@ struct AuditHists {
     touched: LatencyHist,
 }
 
+/// The sink-global lock acquisition-*wait* histograms (modeled cycles a
+/// syscall spent catching its meter up to a domain lock's published
+/// model time — the DES analogue of spinning on a contended lock). Kept
+/// apart from the per-shard `LockCounters`, which track real hold times:
+/// waits are modeled-time and recorded at the few serialization points,
+/// so one global mutex'd pair is cheap and merges exactly.
+#[derive(Clone, Debug, Default)]
+struct LockWaitHists {
+    pm: LatencyHist,
+    mem: LatencyHist,
+}
+
 thread_local! {
     /// CPU attributed to subsystem emissions on this OS thread: set at
     /// syscall entry. Thread-local (not sink-global) so concurrent
@@ -314,6 +365,8 @@ pub struct TraceSink {
     audit_recording: AtomicBool,
     /// Audit latency and touched-set histograms.
     audit_hists: Mutex<AuditHists>,
+    /// Per-domain lock acquisition-wait histograms.
+    lock_wait_hists: Mutex<LockWaitHists>,
 }
 
 /// A shared reference to a kernel's trace sink.
@@ -332,6 +385,7 @@ impl TraceSink {
             blk_in_flight: Mutex::new(0),
             audit_recording: AtomicBool::new(false),
             audit_hists: Mutex::new(AuditHists::default()),
+            lock_wait_hists: Mutex::new(LockWaitHists::default()),
         })
     }
 
@@ -423,6 +477,40 @@ impl TraceSink {
                 lc.contended += 1;
             }
             lc.hold_max_cycles = lc.hold_max_cycles.max(hold_cycles);
+        });
+    }
+
+    /// Records the modeled cycles one acquisition of `domain` spent
+    /// waiting (catching its meter up to the lock's published model
+    /// time). Zero waits are recorded too — uncontended acquisitions
+    /// belong in the distribution. The trace domain has no modeled
+    /// serialization, so its waits are ignored.
+    pub fn lock_wait(&self, domain: LockDomain, cycles: u64) {
+        let mut h = lock_recovering(&self.lock_wait_hists);
+        match domain {
+            LockDomain::Pm => h.pm.record(cycles),
+            LockDomain::Mem => h.mem.record(cycles),
+            LockDomain::Trace => {}
+        }
+    }
+
+    /// Counts `n` node-replication observations on the CPU attributed
+    /// to this OS thread. Counter-only, no ring event (see
+    /// [`NrOutcome`]); appends additionally land an audit-ledger entry
+    /// when recording is on, so the auditor can balance appended ops
+    /// against the logs' published tails.
+    pub fn nr_event(&self, outcome: NrOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let audit = self.audit_recording();
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            if audit {
+                if let NrOutcome::Append = outcome {
+                    shard.ledger.push(AuditDelta::NrAppended(n));
+                }
+            }
+            outcome.count_into(&mut shard.counters.nr, n)
         });
     }
 
@@ -643,6 +731,7 @@ impl TraceSink {
             })
             .collect();
         let hists = lock_recovering(&self.audit_hists);
+        let waits = lock_recovering(&self.lock_wait_hists);
         Snapshot {
             per_cpu,
             syscalls,
@@ -653,6 +742,8 @@ impl TraceSink {
             audit_incremental_hist: hists.incremental.clone(),
             audit_full_hist: hists.full.clone(),
             audit_touched_hist: hists.touched.clone(),
+            lock_wait_pm_hist: waits.pm.clone(),
+            lock_wait_mem_hist: waits.mem.clone(),
             total_events,
             total_dropped,
         }
@@ -901,6 +992,50 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             merged.blk.reap_ios, merged.blk.submit_ios
         ),
     )?;
+    // Node-replication accounting: every flat-combining flush drains at
+    // least one op (empty drains are not counted), so flushes can never
+    // outnumber appended ops; and each appended op is replayed at most
+    // once per replica plus once by the auditor's shadow fold. The
+    // replica count is bounded by the shard count, since replicas are
+    // per-CPU.
+    check(
+        merged.nr.combine_batches <= merged.nr.appended,
+        "trace",
+        format!(
+            "nr log: {} combine batches but only {} appended ops",
+            merged.nr.combine_batches, merged.nr.appended
+        ),
+    )?;
+    check(
+        merged.nr.replayed <= merged.nr.appended * (sink.shards.len() as u64 + 1),
+        "trace",
+        format!(
+            "nr log: {} replayed ops exceeds {} appended × ({} replicas + 1)",
+            merged.nr.replayed,
+            merged.nr.appended,
+            sink.shards.len()
+        ),
+    )?;
+    // Lock-wait histograms: internally coherent, and each recorded wait
+    // annotates one domain-lock acquisition, so samples can never
+    // outnumber acquisitions.
+    {
+        let waits = lock_recovering(&sink.lock_wait_hists);
+        waits.pm.wf()?;
+        waits.mem.wf()?;
+        check(
+            waits.pm.count() <= merged.locks.pm.acquisitions
+                && waits.mem.count() <= merged.locks.mem.acquisitions,
+            "trace",
+            format!(
+                "lock-wait histograms hold {}/{} samples for {}/{} pm/mem acquisitions",
+                waits.pm.count(),
+                waits.mem.count(),
+                merged.locks.pm.acquisitions,
+                merged.locks.mem.acquisitions
+            ),
+        )?;
+    }
     // Every full audit folds the pending ledger first (that fold is
     // counted as an incremental audit), so incremental audits can never
     // trail full ones.
@@ -1019,6 +1154,13 @@ impl TraceShare {
     pub fn blk(&self, outcome: BlkOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.blk_event(outcome, n);
+        }
+    }
+
+    /// Counts `n` node-replication observations (no-op when detached).
+    pub fn nr(&self, outcome: NrOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.nr_event(outcome, n);
         }
     }
 
@@ -1223,6 +1365,75 @@ mod tests {
         sink.blk_event(BlkOutcome::PoolRelease, 8);
         assert_eq!(sink.blk_in_flight(), 0);
         assert!(trace_wf(&sink).is_ok());
+    }
+
+    #[test]
+    fn nr_events_accumulate_and_ledger_appends_when_recording() {
+        let sink = TraceSink::new(2, 8);
+        sink.set_cpu(0);
+        sink.nr_event(NrOutcome::Append, 3);
+        sink.nr_event(NrOutcome::CombineBatch, 1);
+        sink.nr_event(NrOutcome::Replay, 3);
+        sink.set_cpu(1);
+        sink.nr_event(NrOutcome::Replay, 3);
+        sink.nr_event(NrOutcome::ReadLocal, 10);
+        sink.nr_event(NrOutcome::FallbackLocked, 2);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.nr.appended, 3);
+        assert_eq!(snap.counters.nr.combine_batches, 1);
+        assert_eq!(snap.counters.nr.replayed, 6);
+        assert_eq!(snap.counters.nr.read_local, 10);
+        assert_eq!(snap.counters.nr.fallback_locked, 2);
+        assert_eq!(snap.total_events, 0, "outcomes never enter the ring");
+        assert_eq!(sink.audit_ledger_len(), 0, "no ledger while recording off");
+        sink.set_audit_recording(true);
+        sink.nr_event(NrOutcome::Append, 2);
+        sink.nr_event(NrOutcome::ReadLocal, 1);
+        assert_eq!(sink.audit_ledger_len(), 1, "only appends enter the ledger");
+        let mut drained = Vec::new();
+        sink.drain_audit_ledgers(&mut drained);
+        assert_eq!(drained, vec![AuditDelta::NrAppended(2)]);
+    }
+
+    #[test]
+    fn wf_rejects_more_combine_batches_than_appends() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.nr_event(NrOutcome::Append, 1);
+        sink.nr_event(NrOutcome::CombineBatch, 1);
+        assert!(trace_wf(&sink).is_ok());
+        sink.nr_event(NrOutcome::CombineBatch, 1);
+        assert!(
+            trace_wf(&sink).is_err(),
+            "a combine batch with no appended op must fail wf"
+        );
+    }
+
+    #[test]
+    fn lock_waits_land_in_per_domain_histograms() {
+        let sink = TraceSink::new(2, 8);
+        sink.lock_event(0, LockDomain::Pm, false, 10);
+        sink.lock_event(0, LockDomain::Mem, false, 10);
+        sink.lock_wait(LockDomain::Pm, 0);
+        sink.lock_wait(LockDomain::Mem, 4200);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.lock_wait_pm_hist.count(), 1);
+        assert_eq!(snap.lock_wait_pm_hist.max(), 0, "zero waits are recorded");
+        assert_eq!(snap.lock_wait_mem_hist.count(), 1);
+        assert_eq!(snap.lock_wait_mem_hist.max(), 4200);
+        assert!(snap.render().contains("lock.wait_cycles.mem"));
+    }
+
+    #[test]
+    fn wf_rejects_more_waits_than_acquisitions() {
+        let sink = TraceSink::new(1, 8);
+        sink.lock_wait(LockDomain::Pm, 100);
+        assert!(
+            trace_wf(&sink).is_err(),
+            "a wait sample with no acquisition must fail wf"
+        );
     }
 
     #[test]

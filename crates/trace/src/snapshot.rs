@@ -82,6 +82,12 @@ pub struct Snapshot {
     /// Distribution of ledger entries folded per incremental audit (the
     /// touched-set size each O(touched) audit actually paid for).
     pub audit_touched_hist: LatencyHist,
+    /// Distribution of modeled cycles syscalls waited to acquire the pm
+    /// domain lock (meter catch-up to the lock's model time).
+    pub lock_wait_pm_hist: LatencyHist,
+    /// Distribution of modeled cycles syscalls waited to acquire the
+    /// mem domain lock.
+    pub lock_wait_mem_hist: LatencyHist,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -162,6 +168,28 @@ impl Snapshot {
                         format!("{}", l.acquisitions),
                         format!("{}", l.contended),
                         format!("{}", l.hold_max_cycles),
+                    ]
+                })
+                .collect(),
+        ));
+        out.push_str("\n== Trace snapshot: lock wait (modeled cycles) ==\n");
+        let waits = [
+            ("lock.wait_cycles.pm", &self.lock_wait_pm_hist),
+            ("lock.wait_cycles.mem", &self.lock_wait_mem_hist),
+        ];
+        out.push_str(&table(
+            &["Domain", "Waits", "Mean", "p50", "p90", "p99", "Max"],
+            waits
+                .iter()
+                .map(|(name, h)| {
+                    vec![
+                        name.to_string(),
+                        format!("{}", h.count()),
+                        format!("{}", h.mean()),
+                        format!("{}", h.p50()),
+                        format!("{}", h.p90()),
+                        format!("{}", h.p99()),
+                        format!("{}", h.max()),
                     ]
                 })
                 .collect(),

@@ -368,4 +368,68 @@ fn main() {
         "every full audit folds the pending ledger first"
     );
     println!("incremental ledger folds agree with the flat rescan bit-for-bit.");
+
+    // Node replication: per-CPU replicas over a flat-combining op log.
+    // The reads below route through CPU-local replicas — no pm/mem
+    // lock, no domain model clock — while the writes in between append
+    // to the op logs for the readers to replay. The epoch audit then
+    // checks replica linearization, the bit-for-bit replica-vs-locked
+    // cross-check and the NrAppended ledger balance.
+    smp.enable_nr();
+    let _ = smp.syscall(0, SyscallArgs::NewEndpoint { slot: 0 });
+    for r in 0..6usize {
+        let _ = smp.syscall(0, SyscallArgs::Getpid);
+        let _ = smp.syscall(0, SyscallArgs::DescriptorResolve { slot: 0 });
+        let _ = smp.syscall(
+            0,
+            SyscallArgs::VmResolve {
+                va: 0x6000_0000 + r * 0x2000,
+            },
+        );
+        let _ = smp.syscall(1, SyscallArgs::Getpid);
+        let _ = smp.syscall(
+            0,
+            SyscallArgs::Mmap {
+                va_base: 0x7000_0000 + r * 0x1000,
+                len: 1,
+                writable: false,
+            },
+        );
+    }
+    let audit = smp.audit_total_wf();
+    assert!(audit.is_ok(), "{audit:?}");
+
+    println!("\n== Node-replicated read path ==");
+    let snap = smp.trace_snapshot();
+    let nr = snap.counters.nr;
+    println!(
+        "nr.read_local            {} reads served from per-CPU replicas",
+        nr.read_local
+    );
+    println!(
+        "nr.fallback_locked       {} reads via the locked fallback (replication off)",
+        nr.fallback_locked
+    );
+    println!(
+        "nr.appended              {} ops appended in {} combiner batches",
+        nr.appended, nr.combine_batches
+    );
+    println!(
+        "nr.replayed              {} ops replayed onto replicas",
+        nr.replayed
+    );
+    println!(
+        "lock.wait_cycles         pm {} waits (max {}cy), mem {} waits (max {}cy)",
+        snap.lock_wait_pm_hist.count(),
+        snap.lock_wait_pm_hist.max(),
+        snap.lock_wait_mem_hist.count(),
+        snap.lock_wait_mem_hist.max(),
+    );
+    assert!(nr.read_local >= 24, "the reads above are replica-served");
+    assert_eq!(nr.fallback_locked, 0, "replication stayed on");
+    assert!(nr.combine_batches <= nr.appended, "trace_wf's nr bound");
+    println!(
+        "replica linearization, the bit-for-bit epoch cross-check and the \
+         NrAppended ledger balance hold."
+    );
 }

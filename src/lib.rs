@@ -12,6 +12,8 @@
 //! * [`mem`] — the page allocator (page array, free lists, superpages,
 //!   `page_closure` accounting);
 //! * [`ptable`] — the flat-permission 4-level page table and the IOMMU;
+//! * [`nr`] — node replication: per-CPU replicas kept consistent by a
+//!   flat-combining operation log, checked by replica linearization;
 //! * [`pm`] — the process manager (containers, processes, threads,
 //!   endpoints, scheduler);
 //! * [`kernel`] — the microkernel: syscalls, abstract specifications,
@@ -46,6 +48,7 @@ pub use atmo_drivers as drivers;
 pub use atmo_hw as hw;
 pub use atmo_kernel as kernel;
 pub use atmo_mem as mem;
+pub use atmo_nr as nr;
 pub use atmo_pm as pm;
 pub use atmo_ptable as ptable;
 pub use atmo_spec as spec;

@@ -100,6 +100,10 @@ fn format_op(op: &Op) -> String {
         SyscallArgs::BlkReapBatch { queue, max, wait } => {
             format!("{c} blkreap {queue} {max} {}", u8::from(*wait))
         }
+        SyscallArgs::Getpid => format!("{c} getpid"),
+        SyscallArgs::ThreadLookup { thread } => format!("{c} thread_lookup {thread:#x}"),
+        SyscallArgs::DescriptorResolve { slot } => format!("{c} descriptor_resolve {slot}"),
+        SyscallArgs::VmResolve { va } => format!("{c} vm_resolve {va:#x}"),
         SyscallArgs::Yield => format!("{c} yield"),
         SyscallArgs::TraceSnapshot => format!("{c} snapshot"),
         other => unreachable!("fuzzer never generates {other:?}"),
@@ -211,6 +215,10 @@ fn parse_op(line: &str) -> Option<Op> {
             max: num(),
             wait: num() != 0,
         },
+        "getpid" => SyscallArgs::Getpid,
+        "thread_lookup" => SyscallArgs::ThreadLookup { thread: num() },
+        "descriptor_resolve" => SyscallArgs::DescriptorResolve { slot: num() },
+        "vm_resolve" => SyscallArgs::VmResolve { va: num() },
         "yield" => SyscallArgs::Yield,
         "snapshot" => SyscallArgs::TraceSnapshot,
         other => panic!("unknown corpus op {other:?}"),
@@ -238,7 +246,7 @@ fn random_ptr(rng: &mut XorShift64Star) -> usize {
 
 fn random_op(rng: &mut XorShift64Star, ncpus: usize) -> Op {
     let cpu = rng.below(ncpus);
-    let args = match rng.below(24) {
+    let args = match rng.below(28) {
         0 | 1 => SyscallArgs::Mmap {
             va_base: random_va(rng),
             len: rng.range(1, 9),
@@ -319,6 +327,18 @@ fn random_op(rng: &mut XorShift64Star, ncpus: usize) -> Op {
             max: rng.below(4),
             wait: false,
         },
+        // Replicated reads: served from the per-CPU replicas when the
+        // fuzzed CPU has a current thread, `WrongState` coverage when
+        // it does not. Either way the `NrAppended` ledger balance and
+        // the epoch replica cross-check run over them.
+        23 => SyscallArgs::Getpid,
+        24 => SyscallArgs::ThreadLookup {
+            thread: random_ptr(rng),
+        },
+        25 => SyscallArgs::DescriptorResolve {
+            slot: rng.below(18),
+        },
+        26 => SyscallArgs::VmResolve { va: random_va(rng) },
         _ => SyscallArgs::Yield,
     };
     Op { cpu, args }
@@ -391,6 +411,10 @@ fn boot_smp(ncpus: usize) -> SmpKernel {
             },
         );
     }
+    // Node replication on: replicated reads route through the per-CPU
+    // replicas, and both audit oracles additionally check replica
+    // linearization and the `NrAppended` ledger balance.
+    k.enable_nr();
     k.enable_incremental_audit();
     k
 }
@@ -455,6 +479,14 @@ fn corpus_schedules() -> Vec<(&'static str, Schedule)> {
         (
             "audit_smp_mixed.txt",
             parse_schedule(include_str!("corpus/audit_smp_mixed.txt")),
+        ),
+        (
+            "audit_nr_readers.txt",
+            parse_schedule(include_str!("corpus/audit_nr_readers.txt")),
+        ),
+        (
+            "audit_nr_mixed.txt",
+            parse_schedule(include_str!("corpus/audit_nr_mixed.txt")),
         ),
     ]
 }
@@ -573,7 +605,12 @@ fn coverage_guided_differential_fuzz() {
         // 8–16 CPUs, rotating so schedules migrate across widths.
         let ncpus = 8 + (round as usize % 3) * 4;
         let parent = rng.below(population.len());
-        let child = mutate(&mut rng, &population[parent], ncpus);
+        let mut child = mutate(&mut rng, &population[parent], ncpus);
+        // Parents bred at a wider round carry CPU ids past this
+        // round's width; fold them in rather than trap on dispatch.
+        for op in &mut child {
+            op.cpu %= ncpus;
+        }
         let k = boot_smp(ncpus);
         let cov = run_differential(&k, &child, 16, &format!("round {round} ncpus={ncpus}"));
         let novel = cov.iter().any(|p| !coverage.contains(p));
