@@ -28,41 +28,153 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
 }
 
+/// Largest request line (method + path + version) the parser accepts;
+/// a longer line without a CRLF is rejected as
+/// [`MalformedKind::OversizedRequestLine`] instead of buffering
+/// without bound (slowloris defense shared with the event core's
+/// incremental parser).
+pub const MAX_REQUEST_LINE: usize = 1024;
+
+/// The upper bound of any response head this server emits
+/// (`HTTP/1.1 NNN <reason>\r\nContent-Length: <u32>\r\nConnection:
+/// keep-alive\r\n\r\n`): a stack scratch of this size always fits.
+pub const MAX_HEAD_LEN: usize = 96;
+
 impl HttpResponse {
-    /// Serializes the response.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let reason = match self.status {
+    /// The status line's reason phrase.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
             200 => "OK",
             404 => "Not Found",
             400 => "Bad Request",
             _ => "Error",
-        };
-        let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
-            self.status,
-            reason,
-            self.body.len()
-        )
-        .into_bytes();
+        }
+    }
+
+    /// Serializes a response head for `status` with `body_len` content
+    /// bytes directly into `out` (an outgoing `PktBuf` slot or a
+    /// reusable scratch), returning the bytes written. No allocation,
+    /// no formatting machinery — this is the event loop's steady-state
+    /// path, and [`MAX_HEAD_LEN`] bounds the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is shorter than the head being written.
+    pub fn write_head(status: u16, body_len: usize, out: &mut [u8]) -> usize {
+        fn put(out: &mut [u8], at: &mut usize, bytes: &[u8]) {
+            out[*at..*at + bytes.len()].copy_from_slice(bytes);
+            *at += bytes.len();
+        }
+        let mut at = 0usize;
+        put(out, &mut at, b"HTTP/1.1 ");
+        at += write_decimal(status as u64, &mut out[at..]);
+        put(out, &mut at, b" ");
+        put(out, &mut at, HttpResponse::reason(status).as_bytes());
+        put(out, &mut at, b"\r\nContent-Length: ");
+        at += write_decimal(body_len as u64, &mut out[at..]);
+        put(out, &mut at, b"\r\nConnection: keep-alive\r\n\r\n");
+        at
+    }
+
+    /// Serializes the response (head + body) into one owned buffer.
+    /// Allocates exactly once, sized up front; the head goes through
+    /// the same [`write_head`](Self::write_head) path the zero-copy
+    /// event loop uses.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = [0u8; MAX_HEAD_LEN];
+        let n = HttpResponse::write_head(self.status, self.body.len(), &mut head);
+        let mut out = Vec::with_capacity(n + self.body.len());
+        out.extend_from_slice(&head[..n]);
         out.extend_from_slice(&self.body);
         out
     }
 }
 
-/// Parses one HTTP request from `buf`; returns the request and the bytes
-/// consumed, or `None` when the request is incomplete.
-pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
-    let text = std::str::from_utf8(buf).ok()?;
-    let end = text.find("\r\n\r\n")?;
-    let head = &text[..end];
+/// Writes `v` in decimal at the start of `out`, returning the digit
+/// count (the no-`format!` serializer behind [`HttpResponse::write_head`]).
+fn write_decimal(v: u64, out: &mut [u8]) -> usize {
+    let mut digits = [0u8; 20];
+    let mut v = v;
+    let mut n = 0;
+    loop {
+        digits[n] = b'0' + (v % 10) as u8;
+        v /= 10;
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    for i in 0..n {
+        out[i] = digits[n - 1 - i];
+    }
+    n
+}
+
+/// Why a request was rejected outright (as opposed to merely not being
+/// complete yet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MalformedKind {
+    /// The request line exceeded [`MAX_REQUEST_LINE`] bytes without a
+    /// CRLF.
+    OversizedRequestLine,
+    /// The request line did not have `method path version` shape.
+    BadRequestLine,
+    /// The version token was not `HTTP/1.x`.
+    BadVersion,
+    /// The header block was not valid UTF-8 text.
+    NotText,
+}
+
+/// The typed result of [`parse_request_ex`]: a complete request, a
+/// prefix that may still grow into one, or bytes that can never parse.
+/// The distinction matters operationally — `Partial` keeps the
+/// connection (and its read-header timer) alive, `Malformed` closes it
+/// immediately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A full request and the bytes it consumed.
+    Complete {
+        /// The parsed request.
+        req: HttpRequest,
+        /// Header bytes consumed (including the blank line).
+        consumed: usize,
+    },
+    /// A valid prefix; more bytes may complete it.
+    Partial,
+    /// Bytes that can never become a valid request.
+    Malformed(MalformedKind),
+}
+
+/// Parses one HTTP request from `buf` with a typed
+/// incomplete/invalid distinction. See [`ParseOutcome`].
+pub fn parse_request_ex(buf: &[u8]) -> ParseOutcome {
+    let Some(end) = find_header_end(buf) else {
+        // No blank line yet: still partial, unless the request line has
+        // already overrun its bound without terminating.
+        let line_done = buf.windows(2).any(|w| w == b"\r\n");
+        if !line_done && buf.len() > MAX_REQUEST_LINE {
+            return ParseOutcome::Malformed(MalformedKind::OversizedRequestLine);
+        }
+        return ParseOutcome::Partial;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..end]) else {
+        return ParseOutcome::Malformed(MalformedKind::NotText);
+    };
     let mut lines = head.split("\r\n");
-    let request_line = lines.next()?;
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return ParseOutcome::Malformed(MalformedKind::OversizedRequestLine);
+    }
     let mut parts = request_line.split(' ');
-    let method = parts.next()?.to_string();
-    let path = parts.next()?.to_string();
-    let version = parts.next()?;
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Malformed(MalformedKind::BadRequestLine);
+    };
+    if method.is_empty() || path.is_empty() {
+        return ParseOutcome::Malformed(MalformedKind::BadRequestLine);
+    }
     if !version.starts_with("HTTP/1.") {
-        return None;
+        return ParseOutcome::Malformed(MalformedKind::BadVersion);
     }
     // HTTP/1.1 defaults to keep-alive unless told otherwise.
     let mut keep_alive = true;
@@ -72,14 +184,30 @@ pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
             keep_alive = false;
         }
     }
-    Some((
-        HttpRequest {
-            method,
-            path,
+    ParseOutcome::Complete {
+        req: HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
             keep_alive,
         },
-        end + 4,
-    ))
+        consumed: end + 4,
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` header terminator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses one HTTP request from `buf`; returns the request and the bytes
+/// consumed, or `None` when the request is incomplete or malformed.
+/// Compatibility shim over [`parse_request_ex`] for callers that only
+/// care whether a request is servable.
+pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
+    match parse_request_ex(buf) {
+        ParseOutcome::Complete { req, consumed } => Some((req, consumed)),
+        ParseOutcome::Partial | ParseOutcome::Malformed(_) => None,
+    }
 }
 
 /// One client connection: request bytes in, response bytes out.
@@ -295,6 +423,104 @@ mod tests {
         // Further polls serve nothing on the closed connection.
         srv.client_send(c, GET);
         assert_eq!(srv.poll_step(), 0);
+    }
+
+    #[test]
+    fn write_head_matches_format_reference() {
+        for (status, len) in [
+            (200u16, 0usize),
+            (200, 51),
+            (404, 9),
+            (400, 11),
+            (200, 262_144),
+        ] {
+            let mut buf = [0u8; MAX_HEAD_LEN];
+            let n = HttpResponse::write_head(status, len, &mut buf);
+            let want = format!(
+                "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                status,
+                HttpResponse::reason(status),
+                len
+            );
+            assert_eq!(std::str::from_utf8(&buf[..n]).unwrap(), want);
+            assert!(n <= MAX_HEAD_LEN);
+        }
+    }
+
+    #[test]
+    fn to_bytes_rides_write_head() {
+        let resp = HttpResponse {
+            status: 404,
+            body: b"not found".to_vec(),
+        };
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\nContent-Length: 9\r\n"));
+        assert!(text.ends_with("\r\n\r\nnot found"));
+    }
+
+    #[test]
+    fn partial_and_malformed_are_distinguished() {
+        // Truncated requests are Partial: the connection stays open.
+        assert_eq!(parse_request_ex(b""), ParseOutcome::Partial);
+        assert_eq!(
+            parse_request_ex(b"GET / HTTP/1.1\r\nHost"),
+            ParseOutcome::Partial
+        );
+        // Missing CRLF before the blank line: still Partial (the bytes
+        // could yet grow a terminator).
+        assert_eq!(parse_request_ex(b"GET / HTTP/1.1"), ParseOutcome::Partial);
+        // A bad version is Malformed: no suffix can repair it.
+        assert_eq!(
+            parse_request_ex(b"GET / SPDY/9\r\n\r\n"),
+            ParseOutcome::Malformed(MalformedKind::BadVersion)
+        );
+        // A request line without three tokens is Malformed.
+        assert_eq!(
+            parse_request_ex(b"GET /\r\n\r\n"),
+            ParseOutcome::Malformed(MalformedKind::BadRequestLine)
+        );
+    }
+
+    #[test]
+    fn oversized_request_line_is_malformed_not_partial() {
+        // An attacker streaming an endless method line must be rejected
+        // once the bound passes, even though no CRLF ever arrived.
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 8));
+        assert_eq!(
+            parse_request_ex(&raw),
+            ParseOutcome::Malformed(MalformedKind::OversizedRequestLine)
+        );
+        // And a complete-but-oversized line is equally rejected.
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            parse_request_ex(&raw),
+            ParseOutcome::Malformed(MalformedKind::OversizedRequestLine)
+        );
+    }
+
+    #[test]
+    fn split_across_buffers_completes_once_joined() {
+        // The batch parser is fed accumulated bytes; a header split in
+        // two arbitrary places is Partial at each prefix and Complete
+        // on the joined buffer.
+        let raw = b"GET /idx HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        for cut in 1..raw.len() - 1 {
+            assert_eq!(
+                parse_request_ex(&raw[..cut]),
+                ParseOutcome::Partial,
+                "prefix of {cut} bytes"
+            );
+        }
+        match parse_request_ex(raw) {
+            ParseOutcome::Complete { req, consumed } => {
+                assert_eq!(req.path, "/idx");
+                assert!(!req.keep_alive);
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("joined buffer must complete, got {other:?}"),
+        }
     }
 
     #[test]

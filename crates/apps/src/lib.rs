@@ -13,13 +13,19 @@
 //! * [`httpd`] — a tiny static-content web server that polls open
 //!   connections round-robin and parses HTTP/1.1 requests.
 
+pub mod conn;
+pub mod event;
 pub mod httpd;
 pub mod kvstore;
 pub mod maglev;
+pub mod timer;
 
-pub use httpd::{HttpRequest, HttpResponse, Httpd};
+pub use conn::{Conn, ConnId, ConnTable, CONN_SLOTS_PER_PAGE, CONN_SLOT_SIZE};
+pub use event::{EventCoreConfig, EventHttpd};
+pub use httpd::{HttpRequest, HttpResponse, Httpd, MalformedKind, ParseOutcome};
 pub use kvstore::{KvRequest, KvResponse, KvStore, LogKv, MAX_KV_LEN};
 pub use maglev::MaglevTable;
+pub use timer::{TimerWheel, WHEEL_LEVELS, WHEEL_SLOTS};
 
 /// FNV-1a 64-bit offset basis (the hash of the empty string).
 pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

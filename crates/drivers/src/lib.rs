@@ -37,10 +37,10 @@ pub use blkpool::{BlkBuf, BlkPool, BLK_SLOT_SIZE};
 pub use deploy::{run_nvme_scenario, run_rx_tx_scenario, Deployment, NetScenarioReport};
 pub use ixgbe::{IxgbeDevice, IxgbeDriver, IXGBE_LINE_RATE_64B_PPS};
 pub use nvme::{IoKind, NvmeDevice, NvmeDriver, NvmeSpec, NvmeZcQueue};
-pub use pkt::{Packet, PktGen};
+pub use pkt::{flow_key_for_seq, seq_of, write_udp64, Packet, PktGen, UDP64_LEN};
 pub use pool::{PktBuf, PktPool, PKT_SLOT_SIZE, SLOTS_PER_PAGE};
 pub use ring::SpscRing;
-pub use steer::{RssSteer, RSS_FLOW_PERIOD};
+pub use steer::{queue_for_key, queue_for_seq, RssSteer, RSS_FLOW_PERIOD};
 
 /// Per-operation driver costs (cycles on the c220g5), calibrated so the
 /// measured configurations land on the paper's Figure 4/5 numbers.

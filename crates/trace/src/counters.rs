@@ -283,6 +283,58 @@ impl AuditCounters {
     }
 }
 
+/// Event-driven httpd counters (per-CPU connection shards, timer
+/// wheels, readiness rings). Counter-only — like [`NetCounters`] they
+/// annotate app-level datapath work and never enter the per-kind event
+/// reconciliation. `trace_wf` checks `closes <= accepts` (the live
+/// gauge `accepts - closes` never goes negative), that timeout-driven
+/// closes never exceed total closes, that `unparked <= parked`
+/// (backpressure parks resolve at most once), and that the sink's
+/// ready-batch histogram holds exactly `polls` samples — every
+/// event-loop iteration records its ready-set size, including empty
+/// ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HttpdCounters {
+    /// Connections opened (table slots handed out).
+    pub accepts: u64,
+    /// Connections closed (slot recycled under a new generation).
+    pub closes: u64,
+    /// Requests fully served (response streamed to TX).
+    pub served: u64,
+    /// Closes forced by the keepalive timer (idle connections).
+    pub timeouts_keepalive: u64,
+    /// Closes forced by the read-header timer (slowloris).
+    pub timeouts_header: u64,
+    /// Closes forced by the write-drain timer (stuck TX).
+    pub timeouts_drain: u64,
+    /// Timer-wheel nodes moved (or fired) by level-boundary cascades.
+    pub wheel_cascades: u64,
+    /// Connections parked on packet-pool exhaustion (backpressure).
+    pub parked: u64,
+    /// Parked connections resumed after TX freed pool slots.
+    pub unparked: u64,
+    /// Requests rejected as malformed by the incremental parser.
+    pub malformed: u64,
+    /// Event-loop iterations (ready-ring drains, including empty ones).
+    pub polls: u64,
+}
+
+impl HttpdCounters {
+    fn merge(&mut self, other: &HttpdCounters) {
+        self.accepts += other.accepts;
+        self.closes += other.closes;
+        self.served += other.served;
+        self.timeouts_keepalive += other.timeouts_keepalive;
+        self.timeouts_header += other.timeouts_header;
+        self.timeouts_drain += other.timeouts_drain;
+        self.wheel_cascades += other.wheel_cascades;
+        self.parked += other.parked;
+        self.unparked += other.unparked;
+        self.malformed += other.malformed;
+        self.polls += other.polls;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -346,6 +398,8 @@ pub struct Counters {
     pub blk: BlkCounters,
     /// Node-replicated read paths.
     pub nr: NrCounters,
+    /// Event-driven httpd (connection shards, wheels, readiness).
+    pub httpd: HttpdCounters,
     /// Well-formedness audits.
     pub audit: AuditCounters,
     /// Domain locks.
@@ -434,6 +488,17 @@ impl Counters {
             ("nr.replay", self.nr.replayed),
             ("nr.read_local", self.nr.read_local),
             ("nr.fallback_locked", self.nr.fallback_locked),
+            ("httpd.accepts", self.httpd.accepts),
+            ("httpd.closes", self.httpd.closes),
+            ("httpd.served", self.httpd.served),
+            ("httpd.timeouts_keepalive", self.httpd.timeouts_keepalive),
+            ("httpd.timeouts_header", self.httpd.timeouts_header),
+            ("httpd.timeouts_drain", self.httpd.timeouts_drain),
+            ("httpd.wheel_cascades", self.httpd.wheel_cascades),
+            ("httpd.parked", self.httpd.parked),
+            ("httpd.unparked", self.httpd.unparked),
+            ("httpd.malformed", self.httpd.malformed),
+            ("httpd.polls", self.httpd.polls),
             ("audit.incremental", self.audit.incremental),
             ("audit.full", self.audit.full),
             ("audit.touched_entries", self.audit.touched_entries),
@@ -477,6 +542,7 @@ impl Counters {
         self.net.merge(&other.net);
         self.blk.merge(&other.blk);
         self.nr.merge(&other.nr);
+        self.httpd.merge(&other.httpd);
         self.audit.merge(&other.audit);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
@@ -522,6 +588,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("net.")));
         assert!(names.iter().any(|n| n.starts_with("blk.")));
         assert!(names.iter().any(|n| n.starts_with("nr.")));
+        assert!(names.iter().any(|n| n.starts_with("httpd.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }
 

@@ -22,7 +22,7 @@ use atmo_spec::lock_recovering;
 
 use crate::audit::AuditDelta;
 use crate::counters::{
-    BlkCounters, Counters, FastpathCounters, NetCounters, NrCounters, VmCounters,
+    BlkCounters, Counters, FastpathCounters, HttpdCounters, NetCounters, NrCounters, VmCounters,
 };
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
@@ -222,6 +222,61 @@ impl BlkOutcome {
     }
 }
 
+/// One event-driven-httpd observation. Like [`NetOutcome`] these are
+/// counter-only annotations: the connection shards, timer wheels and
+/// ready rings are app-level structures whose datapath work already
+/// rides the driver's `DriverRx`/`DriverTx` ring events, so an extra
+/// ring entry would break the exact per-kind reconciliation.
+/// `ReadyBatch` additionally lands the ready-set size in the sink's
+/// ready-batch histogram — with `n == 0` allowed, because an empty
+/// event-loop iteration is itself a sample (it is what makes idle cost
+/// O(ready), and `trace_wf` balances the histogram's sample count
+/// against `httpd.polls`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpdOutcome {
+    /// Connections opened (count = connections).
+    Accept,
+    /// Connections closed (count = connections).
+    Close,
+    /// Requests fully served (count = requests).
+    Served,
+    /// Keepalive-timer closes (count = connections).
+    TimeoutKeepalive,
+    /// Read-header-timer closes — slowloris (count = connections).
+    TimeoutHeader,
+    /// Write-drain-timer closes (count = connections).
+    TimeoutDrain,
+    /// Timer-wheel nodes moved or fired by cascades (count = nodes).
+    WheelCascade,
+    /// Connections parked on pool exhaustion (count = connections).
+    Parked,
+    /// Parked connections resumed (count = connections).
+    Unparked,
+    /// Requests rejected by the parser (count = requests).
+    Malformed,
+    /// One event-loop iteration (count = ready entries drained; zero
+    /// is meaningful and recorded).
+    ReadyBatch,
+}
+
+impl HttpdOutcome {
+    fn count_into(self, httpd: &mut HttpdCounters, n: u64) {
+        match self {
+            HttpdOutcome::Accept => httpd.accepts += n,
+            HttpdOutcome::Close => httpd.closes += n,
+            HttpdOutcome::Served => httpd.served += n,
+            HttpdOutcome::TimeoutKeepalive => httpd.timeouts_keepalive += n,
+            HttpdOutcome::TimeoutHeader => httpd.timeouts_header += n,
+            HttpdOutcome::TimeoutDrain => httpd.timeouts_drain += n,
+            HttpdOutcome::WheelCascade => httpd.wheel_cascades += n,
+            HttpdOutcome::Parked => httpd.parked += n,
+            HttpdOutcome::Unparked => httpd.unparked += n,
+            HttpdOutcome::Malformed => httpd.malformed += n,
+            HttpdOutcome::ReadyBatch => httpd.polls += 1,
+        }
+    }
+}
+
 /// One node-replication observation. Like [`VmOutcome`] these are
 /// counter-only annotations: replica reads and log appends decorate
 /// syscalls that already emit their own enter/exit ring events, so an
@@ -365,6 +420,11 @@ pub struct TraceSink {
     audit_recording: AtomicBool,
     /// Audit latency and touched-set histograms.
     audit_hists: Mutex<AuditHists>,
+    /// Ready-set sizes per httpd event-loop iteration. Sink-global like
+    /// the audit histograms: each shard's event loop records its own
+    /// ticks, and the merged `httpd.polls` counter balances the sample
+    /// count exactly.
+    httpd_ready_hist: Mutex<LatencyHist>,
     /// Per-domain lock acquisition-wait histograms.
     lock_wait_hists: Mutex<LockWaitHists>,
 }
@@ -385,6 +445,7 @@ impl TraceSink {
             blk_in_flight: Mutex::new(0),
             audit_recording: AtomicBool::new(false),
             audit_hists: Mutex::new(AuditHists::default()),
+            httpd_ready_hist: Mutex::new(LatencyHist::default()),
             lock_wait_hists: Mutex::new(LockWaitHists::default()),
         })
     }
@@ -672,6 +733,24 @@ impl TraceSink {
         *lock_recovering(&self.blk_in_flight)
     }
 
+    /// Counts `n` event-driven-httpd observations on the CPU attributed
+    /// to this OS thread. Counter-only, no ring event (see
+    /// [`HttpdOutcome`]). Unlike the other subsystem events,
+    /// `ReadyBatch` is recorded even for `n == 0`: an empty event-loop
+    /// iteration is a sample of the O(ready) claim, and its size lands
+    /// in the sink's ready-batch histogram.
+    pub fn httpd_event(&self, outcome: HttpdOutcome, n: u64) {
+        if n == 0 && outcome != HttpdOutcome::ReadyBatch {
+            return;
+        }
+        if outcome == HttpdOutcome::ReadyBatch {
+            lock_recovering(&self.httpd_ready_hist).record(n);
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.httpd, n)
+        });
+    }
+
     /// Builds the merged snapshot: per-CPU ring summaries, merged
     /// per-kind syscall statistics and the merged subsystem counters.
     ///
@@ -732,6 +811,8 @@ impl TraceSink {
             .collect();
         let hists = lock_recovering(&self.audit_hists);
         let waits = lock_recovering(&self.lock_wait_hists);
+        let ready = lock_recovering(&self.httpd_ready_hist);
+        let httpd_conns_live = counters.httpd.accepts as i64 - counters.httpd.closes as i64;
         Snapshot {
             per_cpu,
             syscalls,
@@ -744,6 +825,8 @@ impl TraceSink {
             audit_touched_hist: hists.touched.clone(),
             lock_wait_pm_hist: waits.pm.clone(),
             lock_wait_mem_hist: waits.mem.clone(),
+            httpd_conns_live,
+            httpd_ready_hist: ready.clone(),
             total_events,
             total_dropped,
         }
@@ -1036,6 +1119,54 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             ),
         )?;
     }
+    // Event-driven httpd accounting: the live gauge (accepts − closes)
+    // never goes negative, timeout-driven closes are a subset of all
+    // closes, parked connections resume at most once, and the ready-
+    // batch histogram holds exactly one sample per event-loop poll —
+    // every iteration records its ready-set size, empty ones included.
+    check(
+        merged.httpd.closes <= merged.httpd.accepts,
+        "trace",
+        format!(
+            "httpd ledger: {} closes exceed {} accepts",
+            merged.httpd.closes, merged.httpd.accepts
+        ),
+    )?;
+    check(
+        merged.httpd.timeouts_keepalive
+            + merged.httpd.timeouts_header
+            + merged.httpd.timeouts_drain
+            <= merged.httpd.closes,
+        "trace",
+        format!(
+            "httpd timeouts {}+{}+{} exceed {} closes",
+            merged.httpd.timeouts_keepalive,
+            merged.httpd.timeouts_header,
+            merged.httpd.timeouts_drain,
+            merged.httpd.closes
+        ),
+    )?;
+    check(
+        merged.httpd.unparked <= merged.httpd.parked,
+        "trace",
+        format!(
+            "httpd backpressure: {} unparked but only {} parked",
+            merged.httpd.unparked, merged.httpd.parked
+        ),
+    )?;
+    {
+        let ready = lock_recovering(&sink.httpd_ready_hist);
+        ready.wf()?;
+        check(
+            ready.count() == merged.httpd.polls,
+            "trace",
+            format!(
+                "ready-batch histogram holds {} samples for {} polls",
+                ready.count(),
+                merged.httpd.polls
+            ),
+        )?;
+    }
     // Every full audit folds the pending ledger first (that fold is
     // counted as an incremental audit), so incremental audits can never
     // trail full ones.
@@ -1161,6 +1292,14 @@ impl TraceShare {
     pub fn nr(&self, outcome: NrOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.nr_event(outcome, n);
+        }
+    }
+
+    /// Counts `n` event-driven-httpd observations (no-op when
+    /// detached).
+    pub fn httpd(&self, outcome: HttpdOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.httpd_event(outcome, n);
         }
     }
 

@@ -88,6 +88,14 @@ pub struct Snapshot {
     /// Distribution of modeled cycles syscalls waited to acquire the
     /// mem domain lock.
     pub lock_wait_mem_hist: LatencyHist,
+    /// Live httpd connections (accepts − closes) at snapshot time — a
+    /// gauge derived from the merged counters, kept apart from the
+    /// monotone blocks like the pool in-flight gauges.
+    pub httpd_conns_live: i64,
+    /// Distribution of ready-set sizes per httpd event-loop iteration
+    /// (one sample per poll, empty iterations included — the measured
+    /// form of the O(ready) event-loop claim).
+    pub httpd_ready_hist: LatencyHist,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -217,6 +225,22 @@ impl Snapshot {
                 })
                 .collect(),
         ));
+        if self.httpd_ready_hist.count() > 0 || self.counters.httpd.accepts > 0 {
+            out.push_str("\n== Trace snapshot: httpd event core ==\n");
+            let h = &self.httpd_ready_hist;
+            out.push_str(&table(
+                &["Metric", "Count", "Mean", "p50", "p90", "p99", "Max"],
+                vec![vec![
+                    "httpd.ready_batch".to_string(),
+                    format!("{}", h.count()),
+                    format!("{}", h.mean()),
+                    format!("{}", h.p50()),
+                    format!("{}", h.p90()),
+                    format!("{}", h.p99()),
+                    format!("{}", h.max()),
+                ]],
+            ));
+        }
         out.push_str("\n== Trace snapshot: events and subsystem counters ==\n");
         let mut rows: Vec<Vec<String>> = EventKind::ALL
             .iter()
@@ -237,6 +261,10 @@ impl Snapshot {
         rows.push(vec![
             "blk.in_flight (gauge)".to_string(),
             format!("{}", self.blk_in_flight),
+        ]);
+        rows.push(vec![
+            "httpd.conns_live (gauge)".to_string(),
+            format!("{}", self.httpd_conns_live),
         ]);
         out.push_str(&table(&["Counter", "Value"], rows));
         out.push_str(&format!(

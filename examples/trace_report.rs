@@ -432,4 +432,92 @@ fn main() {
         "replica linearization, the bit-for-bit epoch cross-check and the \
          NrAppended ledger balance hold."
     );
+
+    // Event-driven httpd: a small shard attached to the same sink —
+    // accepts, serves, one slowloris reap — then the httpd.* counters,
+    // the ready-batch histogram and the conns_live gauge (trace_wf
+    // enforces the monotone bounds: closes <= accepts, conns_live ==
+    // accepts - closes).
+    {
+        use atmosphere::apps::event::{HTTP_PAYLOAD_OFFSET, TICK_SHIFT};
+        use atmosphere::apps::{ConnTable, EventCoreConfig, EventHttpd};
+        use atmosphere::drivers::{
+            queue_for_seq, write_udp64, DriverCosts, IxgbeDevice, IxgbeDriver, PktPool,
+        };
+        use atmosphere::hw::cycles::CycleMeter;
+        let cfg = EventCoreConfig::new(0, 2);
+        let header_ticks = cfg.header_ticks;
+        let mut ev = EventHttpd::new(cfg, ConnTable::anonymous(64, 0, 2));
+        ev.attach_trace(smp.trace().clone());
+        ev.add_page("/index.html", b"traced event core");
+        let mut drv = IxgbeDriver::new(
+            IxgbeDevice::steered(2_200_000_000, 2, 0),
+            DriverCosts::atmosphere(),
+        );
+        let mut pool = PktPool::anonymous(16);
+        let mut meter = CycleMeter::new();
+        let flows: Vec<u64> = (0..)
+            .filter(|&r| queue_for_seq(r, 2) == 0)
+            .take(9)
+            .collect();
+        let send =
+            |ev: &mut EventHttpd, meter: &mut CycleMeter, pool: &mut PktPool, flow, http: &[u8]| {
+                let mut buf = pool.try_acquire().expect("pool has slots");
+                let frame = pool.slot_mut(&buf);
+                write_udp64(frame, flow);
+                frame[HTTP_PAYLOAD_OFFSET..HTTP_PAYLOAD_OFFSET + http.len()].copy_from_slice(http);
+                buf.set_len(HTTP_PAYLOAD_OFFSET + http.len());
+                let mut bufs = vec![buf];
+                ev.ingest(meter, pool, &mut bufs);
+            };
+        for &flow in &flows[..8] {
+            send(
+                &mut ev,
+                &mut meter,
+                &mut pool,
+                flow,
+                b"GET /index.html HTTP/1.1\r\nHost: r\r\n\r\n",
+            );
+        }
+        while ev.served() < 8 {
+            ev.tick(&mut meter, &mut drv, &mut pool);
+        }
+        // One trickled header dies to the read-header timer.
+        send(&mut ev, &mut meter, &mut pool, flows[8], b"GET /index.ht");
+        meter.charge((header_ticks + 2) << TICK_SHIFT);
+        ev.tick(&mut meter, &mut drv, &mut pool);
+        assert_eq!(ev.live(), 8, "slowloris reaped, keep-alive conns kept");
+
+        println!("\n== Event-driven httpd ==");
+        let snap = smp.trace_snapshot();
+        let h = snap.counters.httpd;
+        println!(
+            "conns                    {} accepts, {} closes, {} live (gauge)",
+            h.accepts, h.closes, snap.httpd_conns_live
+        );
+        println!(
+            "requests                 {} served, timeouts {} keepalive / {} header / {} drain",
+            h.served, h.timeouts_keepalive, h.timeouts_header, h.timeouts_drain
+        );
+        println!(
+            "event loop               {} ready batches (p50 {}, max {}), {} wheel cascades, \
+             {} parked / {} unparked",
+            snap.httpd_ready_hist.count(),
+            snap.httpd_ready_hist.p50(),
+            snap.httpd_ready_hist.max(),
+            h.wheel_cascades,
+            h.parked,
+            h.unparked,
+        );
+        assert_eq!(h.accepts, 9);
+        assert_eq!(h.served, 8);
+        assert!(h.timeouts_header >= 1, "slowloris reap recorded");
+        assert!(h.closes <= h.accepts, "trace_wf monotone bound");
+        assert_eq!(
+            snap.httpd_conns_live,
+            (h.accepts - h.closes) as i64,
+            "conns_live gauge balances"
+        );
+        println!("the httpd ledger (closes <= accepts, live == accepts - closes) balances.");
+    }
 }

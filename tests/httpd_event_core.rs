@@ -1,0 +1,198 @@
+//! The event-driven httpd core end to end over kernel-backed memory:
+//! per-CPU connection shards whose arenas are carved from `Mapped`
+//! frames (inside `page_closure()`, covered by the leak-freedom audits
+//! for the whole run), RSS-steered request flows, timer-wheel reaping,
+//! and park/unpark backpressure — all while the incremental audit and
+//! the epoch `total_wf` stay green.
+
+use atmosphere::apps::event::HTTP_PAYLOAD_OFFSET;
+use atmosphere::apps::{ConnTable, EventCoreConfig, EventHttpd, CONN_SLOTS_PER_PAGE};
+use atmosphere::drivers::{
+    queue_for_seq, write_udp64, DriverCosts, IxgbeDevice, IxgbeDriver, PktPool, RSS_FLOW_PERIOD,
+};
+use atmosphere::hw::cycles::CycleMeter;
+use atmosphere::kernel::smp::SmpKernel;
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+use atmosphere::mem::PagePtr;
+use atmosphere::spec::harness::Invariant;
+use atmosphere::trace::{TraceSink, DEFAULT_RING_CAPACITY};
+
+const FREQ: u64 = 2_200_000_000;
+const NQ: usize = 4;
+const VA: usize = 0x4000_0000;
+const PAGE_4K: usize = 0x1000;
+const PAGES_PER_SHARD: usize = 4;
+
+/// Boots a sharded kernel, maps `NQ * PAGES_PER_SHARD` arena pages and
+/// returns the kernel plus each shard's frame slice.
+fn arena() -> (SmpKernel, Vec<Vec<PagePtr>>) {
+    let total = NQ * PAGES_PER_SHARD;
+    let k = SmpKernel::new(Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: NQ,
+        root_quota: 2048,
+    }));
+    let r = k.syscall(
+        0,
+        SyscallArgs::Mmap {
+            va_base: VA,
+            len: total,
+            writable: true,
+        },
+    );
+    assert!(r.is_ok(), "arena mmap: {r:?}");
+    let frames: Vec<PagePtr> = k.with_kernel(|k| {
+        let as_id = k.pm.proc(k.init_proc).addr_space;
+        let table = k.mem.vm.table(as_id).unwrap();
+        (0..total)
+            .map(|i| table.map_4k.index(&(VA + i * PAGE_4K)).unwrap().frame)
+            .collect()
+    });
+    k.enable_incremental_audit();
+    let per_shard = frames.chunks(PAGES_PER_SHARD).map(|c| c.to_vec()).collect();
+    (k, per_shard)
+}
+
+/// Unmaps the arena and audits that nothing leaked.
+fn teardown(k: &SmpKernel) {
+    let r = k.syscall(
+        0,
+        SyscallArgs::Munmap {
+            va_base: VA,
+            len: NQ * PAGES_PER_SHARD,
+        },
+    );
+    assert!(r.is_ok(), "arena munmap: {r:?}");
+    k.audit_total_wf()
+        .unwrap_or_else(|e| panic!("teardown audit: {e}"));
+    k.with_kernel(|uk| assert!(uk.mem.alloc.mapped_pages().is_empty(), "frames leaked"));
+}
+
+/// The `k`-th flow that RSS-steers to `queue`.
+fn flow_for(queue: usize, k: usize) -> u64 {
+    let residues: Vec<u64> = (0..RSS_FLOW_PERIOD)
+        .filter(|&r| queue_for_seq(r, NQ) == queue)
+        .collect();
+    residues[k % residues.len()] + (k / residues.len()) as u64 * RSS_FLOW_PERIOD
+}
+
+/// Sends one request frame for `flow` into the shard.
+fn send(ev: &mut EventHttpd, meter: &mut CycleMeter, pool: &mut PktPool, flow: u64, http: &[u8]) {
+    let mut buf = pool.try_acquire().expect("pool has slots");
+    let frame = pool.slot_mut(&buf);
+    write_udp64(frame, flow);
+    frame[HTTP_PAYLOAD_OFFSET..HTTP_PAYLOAD_OFFSET + http.len()].copy_from_slice(http);
+    buf.set_len(HTTP_PAYLOAD_OFFSET + http.len());
+    let mut bufs = vec![buf];
+    ev.ingest(meter, pool, &mut bufs);
+}
+
+#[test]
+fn four_shards_over_kernel_arena_serve_steered_flows() {
+    let (k, shard_frames) = arena();
+    let mut total_served = 0u64;
+    for (q, frames) in shard_frames.into_iter().enumerate() {
+        let table = ConnTable::from_frames(frames, q, NQ);
+        assert_eq!(table.capacity(), PAGES_PER_SHARD * CONN_SLOTS_PER_PAGE);
+        let mut ev = EventHttpd::new(EventCoreConfig::new(q, NQ), table);
+        ev.add_page("/index.html", b"hello from the event core");
+        let mut drv =
+            IxgbeDriver::new(IxgbeDevice::steered(FREQ, NQ, q), DriverCosts::atmosphere());
+        let mut pool = PktPool::anonymous(64);
+        let mut meter = CycleMeter::new();
+        for i in 0..32 {
+            send(
+                &mut ev,
+                &mut meter,
+                &mut pool,
+                flow_for(q, i),
+                b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n",
+            );
+        }
+        while ev.served() < 32 {
+            ev.tick(&mut meter, &mut drv, &mut pool);
+        }
+        assert_eq!(ev.live(), 32, "keep-alive conns stay live");
+        assert_eq!(pool.in_flight(), 0, "pool ledger balanced");
+        ev.wf().unwrap_or_else(|e| panic!("shard {q} wf: {e}"));
+        // The connection state lives in kernel-audited frames: the
+        // incremental audit must hold with the shard mid-flight.
+        k.audit_incremental()
+            .unwrap_or_else(|e| panic!("shard {q} mid-flight audit: {e}"));
+        total_served += ev.served();
+    }
+    assert_eq!(total_served, 32 * NQ as u64);
+    teardown(&k);
+}
+
+#[test]
+fn steered_rx_feeds_only_the_owning_shard() {
+    // Line-rate RX through the steered NIC queues auto-accepts flows;
+    // every connection a shard holds must steer to that shard's queue
+    // (the cross-CPU-sharing ban, checked from the outside).
+    let (k, shard_frames) = arena();
+    for (q, frames) in shard_frames.into_iter().enumerate() {
+        let table = ConnTable::from_frames(frames, q, NQ);
+        let mut ev = EventHttpd::new(EventCoreConfig::new(q, NQ), table);
+        let mut drv =
+            IxgbeDriver::new(IxgbeDevice::steered(FREQ, NQ, q), DriverCosts::atmosphere());
+        let mut pool = PktPool::anonymous(64);
+        let mut meter = CycleMeter::new();
+        meter.charge(1_000_000); // wire-side backlog
+        let n = ev.ingest_rx(&mut meter, &mut drv, &mut pool, 32);
+        assert!(n > 0, "steered RX delivered frames");
+        assert!(ev.live() > 0, "unknown flows auto-accepted");
+        for i in 0..ev.live() {
+            let flow = flow_for(q, i);
+            assert!(
+                ev.table().lookup(flow).is_some(),
+                "shard {q} owns its steered flows in arrival order"
+            );
+        }
+        ev.wf().unwrap_or_else(|e| panic!("shard {q} wf: {e}"));
+    }
+    k.audit_incremental()
+        .unwrap_or_else(|e| panic!("post-rx audit: {e}"));
+    teardown(&k);
+}
+
+#[test]
+fn backpressure_parks_and_resumes_under_the_audit() {
+    // A starved pool against a large response: the connection parks,
+    // TX completions resume it, the response completes exactly once —
+    // with the arena frames audited throughout.
+    let (k, mut shard_frames) = arena();
+    let table = ConnTable::from_frames(shard_frames.remove(0), 0, NQ);
+    let mut ev = EventHttpd::new(EventCoreConfig::new(0, NQ), table);
+    ev.add_page("/big", &vec![b'x'; 9 * 1024]);
+    let mut drv = IxgbeDriver::new(IxgbeDevice::steered(FREQ, NQ, 0), DriverCosts::atmosphere());
+    let mut pool = PktPool::anonymous(2);
+    let mut meter = CycleMeter::new();
+    let sink = TraceSink::new(NQ, DEFAULT_RING_CAPACITY);
+    ev.attach_trace(sink.clone());
+    send(
+        &mut ev,
+        &mut meter,
+        &mut pool,
+        flow_for(0, 0),
+        b"GET /big HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    while ev.served() < 1 {
+        ev.tick(&mut meter, &mut drv, &mut pool);
+        k.audit_incremental()
+            .unwrap_or_else(|e| panic!("mid-park audit: {e}"));
+    }
+    // A park and its resume can complete inside a single tick (the TX
+    // flush frees the slots that serve just exhausted), so observe them
+    // through the trace counters rather than the queue length.
+    let snap = sink.snapshot();
+    assert!(snap.counters.httpd.parked > 0, "2-slot pool forced a park");
+    assert_eq!(
+        snap.counters.httpd.parked, snap.counters.httpd.unparked,
+        "every park resumed"
+    );
+    assert_eq!(ev.parked_len(), 0, "nothing left parked");
+    assert_eq!(pool.in_flight(), 0, "pool ledger balanced");
+    ev.wf().unwrap_or_else(|e| panic!("wf: {e}"));
+    teardown(&k);
+}
