@@ -29,6 +29,11 @@
 //!   heads.
 //! * **handle-ledger** — folded net/blk pool-handle deltas equal the
 //!   sink's in-flight gauges (and never go negative).
+//! * **budget-conservation** — scheduler CPU budget is a linear
+//!   resource: `granted == consumed + refunded + remaining` and
+//!   `remaining >= 0`, folded from the grant/charge/refund deltas the
+//!   multi-tenant scheduler emits and cross-checked against the
+//!   scheduler's lifetime totals (live plus retired accounts).
 //!
 //! Soundness: folds compare in O(1) but are fingerprints, so equality
 //! is probabilistic (see [`atmo_spec::fold`]). The epoch-boundary flat
@@ -82,6 +87,16 @@ pub struct AuditState {
     /// [`cross_check`](AuditState::cross_check) does not compare it —
     /// the replica audit in `audit_total_wf` owns that equation.
     pub nr_appended: u64,
+    /// Lifetime scheduler budget units granted by refills (monotone).
+    pub budget_granted: u64,
+    /// Lifetime budget units consumed by running threads (monotone).
+    pub budget_consumed: u64,
+    /// Lifetime budget units refunded at account teardown (monotone).
+    pub budget_refunded: u64,
+    /// Budget units currently spendable. Signed so a double charge
+    /// drives it negative and the conservation check names it instead
+    /// of wrapping.
+    pub budget_remaining: i64,
 }
 
 impl AuditState {
@@ -115,6 +130,18 @@ impl AuditState {
             AuditDelta::HandleNet(n) => self.net_handles += n,
             AuditDelta::HandleBlk(n) => self.blk_handles += n,
             AuditDelta::NrAppended(n) => self.nr_appended += n,
+            AuditDelta::BudgetGrant(n) => {
+                self.budget_granted += n;
+                self.budget_remaining += n as i64;
+            }
+            AuditDelta::BudgetCharge(n) => {
+                self.budget_consumed += n;
+                self.budget_remaining -= n as i64;
+            }
+            AuditDelta::BudgetRefund(n) => {
+                self.budget_refunded += n;
+                self.budget_remaining -= n as i64;
+            }
         }
     }
 
@@ -187,6 +214,23 @@ impl AuditState {
                     self.blk_handles
                 )
             },
+        )?;
+        check_eqn(
+            self.budget_remaining >= 0
+                && self.budget_granted
+                    == self.budget_consumed + self.budget_refunded + self.budget_remaining as u64,
+            "audit_ledger",
+            "scheduler",
+            "budget-conservation",
+            || {
+                format!(
+                    "budget not conserved: {} granted != {} consumed + {} refunded + {} remaining",
+                    self.budget_granted,
+                    self.budget_consumed,
+                    self.budget_refunded,
+                    self.budget_remaining
+                )
+            },
         )
     }
 
@@ -241,6 +285,11 @@ impl AuditState {
         }
         s.net_handles = k.trace.net_in_flight();
         s.blk_handles = k.trace.blk_in_flight();
+        let (granted, consumed, refunded, remaining) = k.pm.sched.budget_totals();
+        s.budget_granted = granted;
+        s.budget_consumed = consumed;
+        s.budget_refunded = refunded;
+        s.budget_remaining = remaining as i64;
         s
     }
 
@@ -307,6 +356,28 @@ impl AuditState {
                 format!(
                     "incremental handle gauges (net {}, blk {}) != sink gauges (net {}, blk {})",
                     self.net_handles, self.blk_handles, flat.net_handles, flat.blk_handles
+                )
+            },
+        )?;
+        check_eqn(
+            self.budget_granted == flat.budget_granted
+                && self.budget_consumed == flat.budget_consumed
+                && self.budget_refunded == flat.budget_refunded
+                && self.budget_remaining == flat.budget_remaining,
+            "audit_ledger",
+            "scheduler",
+            "budget-conservation",
+            || {
+                format!(
+                    "incremental budget ledger ({}/{}/{}/{}) != scheduler totals ({}/{}/{}/{})",
+                    self.budget_granted,
+                    self.budget_consumed,
+                    self.budget_refunded,
+                    self.budget_remaining,
+                    flat.budget_granted,
+                    flat.budget_consumed,
+                    flat.budget_refunded,
+                    flat.budget_remaining
                 )
             },
         )

@@ -262,6 +262,11 @@ pub fn pm_update_class(args: &SyscallArgs) -> PmUpdateClass {
         | SyscallArgs::ThreadLookup { .. }
         | SyscallArgs::DescriptorResolve { .. }
         | SyscallArgs::VmResolve { .. } => PmUpdateClass::None,
+        // Scheduler-control calls mutate only the scheduler's budget
+        // side tables, which the pm view does not project.
+        SyscallArgs::SchedSetWeight { .. } | SyscallArgs::SchedThrottle { .. } => {
+            PmUpdateClass::None
+        }
         SyscallArgs::Yield | SyscallArgs::Call { .. } | SyscallArgs::Reply { .. } => {
             PmUpdateClass::Current
         }

@@ -270,6 +270,13 @@ pub fn audited_syscall(
             | SyscallArgs::ThreadLookup { .. }
             | SyscallArgs::DescriptorResolve { .. }
             | SyscallArgs::VmResolve { .. } => spec::syscall_noop_spec(&pre, &post),
+            // Scheduler-control calls touch only the budget side
+            // tables, which Ψ does not project: parked threads stay
+            // Ready and no thread changes state, so success and failure
+            // alike must leave Ψ untouched.
+            SyscallArgs::SchedSetWeight { .. } | SyscallArgs::SchedThrottle { .. } => {
+                spec::syscall_noop_spec(&pre, &post)
+            }
             // The remaining calls are audited against well-formedness and
             // the no-op-on-error rule; their positive frame conditions are
             // exercised by dedicated tests.

@@ -234,6 +234,24 @@ pub enum SyscallArgs {
         /// The virtual address to translate.
         va: usize,
     },
+    /// Set the scheduling weight of a container in the caller's subtree
+    /// (or the caller's own). Weight 0 tears the budget account down
+    /// and refunds its remaining budget; a positive weight creates or
+    /// resizes the account the container's CPU ticks are charged to.
+    SchedSetWeight {
+        /// Target container.
+        cntr: CtnrPtr,
+        /// Units granted per refill period (0 = unmetered).
+        weight: u32,
+    },
+    /// Administratively throttle (park off the run queues) or
+    /// unthrottle a weighted container in the caller's subtree.
+    SchedThrottle {
+        /// Target container.
+        cntr: CtnrPtr,
+        /// `true` parks, `false` re-enqueues.
+        throttle: bool,
+    },
 }
 
 impl SyscallArgs {
@@ -276,6 +294,8 @@ impl SyscallArgs {
             SyscallArgs::ThreadLookup { .. } => K::ThreadLookup,
             SyscallArgs::DescriptorResolve { .. } => K::DescriptorResolve,
             SyscallArgs::VmResolve { .. } => K::VmResolve,
+            SyscallArgs::SchedSetWeight { .. } => K::SchedSetWeight,
+            SyscallArgs::SchedThrottle { .. } => K::SchedThrottle,
         }
     }
 
@@ -664,6 +684,12 @@ impl ExecCtx<'_> {
             SyscallArgs::ThreadLookup { thread } => self.sys_thread_lookup(thread),
             SyscallArgs::DescriptorResolve { slot } => self.sys_descriptor_resolve(t, slot),
             SyscallArgs::VmResolve { va } => self.sys_vm_resolve(t, va),
+            SyscallArgs::SchedSetWeight { cntr, weight } => {
+                self.sys_sched_set_weight(t, cntr, weight)
+            }
+            SyscallArgs::SchedThrottle { cntr, throttle } => {
+                self.sys_sched_throttle(t, cntr, throttle)
+            }
         }
     }
 
@@ -886,6 +912,44 @@ impl ExecCtx<'_> {
                 }
                 SyscallReturn::ok([0, 0, 0, 0])
             }
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    /// Authority shared by the scheduler-control calls: the target is
+    /// the caller's own container or a member of its subtree (the
+    /// terminate-container rule, §3).
+    fn check_sched_authority(&self, t: ThrdPtr, cntr: CtnrPtr) -> Result<(), SyscallError> {
+        if !self.pm.cntr_perms.contains(cntr) {
+            return Err(SyscallError::NotFound);
+        }
+        let caller_cntr = self.pm.thrd(t).owning_cntr;
+        if cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
+            return Err(SyscallError::Denied);
+        }
+        Ok(())
+    }
+
+    fn sys_sched_set_weight(&mut self, t: ThrdPtr, cntr: CtnrPtr, weight: u32) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.quota_account);
+        if let Err(e) = self.check_sched_authority(t, cntr) {
+            return SyscallReturn::err(e);
+        }
+        match self.pm.sched_set_weight(cntr, weight) {
+            Ok(()) => SyscallReturn::ok([0, 0, 0, 0]),
+            Err(e) => SyscallReturn::err(e.into()),
+        }
+    }
+
+    fn sys_sched_throttle(&mut self, t: ThrdPtr, cntr: CtnrPtr, throttle: bool) -> SyscallReturn {
+        let costs = self.costs;
+        self.charge(costs.syscall_validate + costs.quota_account);
+        if let Err(e) = self.check_sched_authority(t, cntr) {
+            return SyscallReturn::err(e);
+        }
+        match self.pm.sched_throttle(cntr, throttle) {
+            Ok(()) => SyscallReturn::ok([0, 0, 0, 0]),
             Err(e) => SyscallReturn::err(e.into()),
         }
     }

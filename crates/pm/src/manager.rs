@@ -9,7 +9,7 @@ use atmo_trace::{AuditDelta, FastpathOutcome, KernelEvent, TraceHandle, TraceSha
 use crate::container::{container_tree_wf, cpu_partition_wf, quota_wf, Container};
 use crate::endpoint::{endpoints_wf, Endpoint, QueueSide};
 use crate::process::{process_forest_wf, Process};
-use crate::sched::{sched_wf, Scheduler};
+use crate::sched::{sched_wf, ChargeOutcome, Scheduler};
 use crate::thread::{threads_wf, Thread};
 use crate::types::{
     CpuId, CtnrPtr, EdptIdx, EdptPtr, IpcPayload, PmError, ProcPtr, ThrdPtr, ThreadState,
@@ -365,8 +365,17 @@ impl ProcessManager {
             }
         }
 
-        // Remove the dead containers and free their pages.
+        // Remove the dead containers and free their pages. Budget
+        // accounts retire with them: remaining budget is refunded to
+        // the conservation ledger, lifetime totals fold into the
+        // scheduler's retired sums. Every thread of the subtree was
+        // terminated above, so no parked threads can come back.
         for &dc in &dead {
+            let parked = self.sched.remove_account(dc);
+            debug_assert!(
+                parked.is_empty(),
+                "terminated container still parks threads"
+            );
             let perm = self.cntr_perms.tracked_remove(dc);
             let (page, _) = PagePermission::from_object(PPtr::<Container>::from_usize(dc), perm);
             self.trace.audit(AuditDelta::PmRelease(dc));
@@ -538,10 +547,12 @@ impl ProcessManager {
         let c = self.cntr_mut(cntr);
         c.owned_thrds.assign(c.owned_thrds.insert(t_ptr));
         self.home_cpu.insert(t_ptr, cpu);
-        if !self.sched.enqueue(cpu, t_ptr) {
-            // Queue full: roll back.
-            self.remove_thread_object(alloc, t_ptr);
-            return Err(PmError::CapacityExceeded);
+        // Enqueue cannot overflow (intrusive slab lists); a thread born
+        // into a throttled container parks until the next refill.
+        if self.sched.throttled(cntr) {
+            self.sched.park(t_ptr, cpu, cntr);
+        } else {
+            self.sched.enqueue(cpu, t_ptr);
         }
         Ok(t_ptr)
     }
@@ -799,8 +810,15 @@ impl ProcessManager {
     fn make_ready(&mut self, t: ThrdPtr) {
         self.thrd_mut(t).state = ThreadState::Ready;
         let cpu = *self.home_cpu.get(&t).expect("thread without home CPU");
-        let ok = self.sched.enqueue(cpu, t);
-        debug_assert!(ok, "ready queue overflow");
+        let cntr = self.thrd(t).owning_cntr;
+        // A thread of a throttled container parks off the run queues
+        // until the refill wheel unthrottles it; enqueue itself cannot
+        // overflow (intrusive slab lists).
+        if self.sched.throttled(cntr) {
+            self.sched.park(t, cpu, cntr);
+            return;
+        }
+        self.sched.enqueue(cpu, t);
         // An idle CPU picks up the newly runnable thread immediately (the
         // hardware would take the reschedule IPI).
         if self.sched.current(cpu).is_none() {
@@ -815,6 +833,8 @@ impl ProcessManager {
     fn block_current(&mut self, cpu: CpuId, t: ThrdPtr, state: ThreadState) {
         debug_assert_eq!(self.sched.current(cpu), Some(t));
         self.thrd_mut(t).state = state;
+        // Going through the ready queue ends any IPC billing handoff.
+        self.sched.clear_inherit(t);
         self.sched.clear_current(cpu);
         if let Some(next) = self.sched.dispatch(cpu) {
             self.thrd_mut(next).state = ThreadState::Running(cpu);
@@ -1147,6 +1167,13 @@ impl ProcessManager {
         self.thrd_mut(t).state = ThreadState::BlockedReply(e);
         self.sched.switch_current(cpu, t, r);
         self.thrd_mut(r).state = ThreadState::Running(cpu);
+        // Budget inheritance: the server runs on the client's account
+        // (resolving nested handoffs to the originating client), so a
+        // shared service is never drained by any one tenant.
+        let billed = self.sched.billed(t, self.thrd(t).owning_cntr);
+        if billed != self.thrd(r).owning_cntr {
+            self.sched.inherit(r, billed);
+        }
         self.handoff_streak[cpu] += 1;
         self.trace.fastpath(FastpathOutcome::Hit);
         // Same event pair as the slow rendezvous arm: the trace audit
@@ -1238,6 +1265,9 @@ impl ProcessManager {
         self.thrd_mut(t).state = ThreadState::BlockedRecv(e);
         self.sched.switch_current(cpu, t, caller);
         self.thrd_mut(caller).state = ThreadState::Running(cpu);
+        // The handoff unwound: the replier stops billing to the
+        // client's account.
+        self.sched.clear_inherit(t);
         self.handoff_streak[cpu] += 1;
         self.trace.fastpath(FastpathOutcome::Hit);
         // Same event pair as the slow `reply`.
@@ -1252,16 +1282,97 @@ impl ProcessManager {
         Ok((ReplyRecvOutcome::Handoff(caller), true))
     }
 
-    /// Timer tick / `yield` on `cpu`: round-robin rotation with state
-    /// bookkeeping.
+    /// Timer tick / `yield` on `cpu`: charges the tick to the running
+    /// thread's billed account (the client's under an IPC inheritance
+    /// handoff), advances the budget refill wheel, throttles exhausted
+    /// containers — parking their Ready threads off the run queues —
+    /// and round-robin rotates with state bookkeeping.
     pub fn timer_tick(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
         self.handoff_streak[cpu] = 0;
+        // One global wheel tick; refilled accounts unthrottle and their
+        // parked threads re-enqueue (still Ready) to their home CPUs.
+        self.sched.advance_wheel();
         if let Some(cur) = self.sched.current(cpu) {
+            let owner = self.thrd(cur).owning_cntr;
+            let billed = self.sched.billed(cur, owner);
+            let exhausted = self.sched.charge_tick(billed) == ChargeOutcome::Exhausted;
+            // Going through the ready queue ends any billing handoff.
+            self.sched.clear_inherit(cur);
+            if exhausted {
+                self.sched.throttle(billed);
+                // `cur` is still Running here, so the Ready filter
+                // leaves it to the explicit handling below.
+                self.park_ready_threads(billed);
+                if self.sched.throttled(owner) {
+                    // The thread's own container is out of budget: park
+                    // it instead of requeueing, and run someone else.
+                    self.thrd_mut(cur).state = ThreadState::Ready;
+                    self.sched.clear_current(cpu);
+                    let home = *self.home_cpu.get(&cur).expect("thread without home CPU");
+                    self.sched.park(cur, home, owner);
+                    let next = self.sched.dispatch(cpu)?;
+                    self.thrd_mut(next).state = ThreadState::Running(cpu);
+                    return Some(next);
+                }
+            }
             self.thrd_mut(cur).state = ThreadState::Ready;
         }
         let next = self.sched.rotate(cpu)?;
         self.thrd_mut(next).state = ThreadState::Running(cpu);
         Some(next)
+    }
+
+    /// Parks every Ready thread of `cntr` off the run queues into its
+    /// (throttled) budget account.
+    fn park_ready_threads(&mut self, cntr: CtnrPtr) {
+        if !self.cntr_perms.contains(cntr) || !self.sched.throttled(cntr) {
+            return;
+        }
+        let ready: Vec<ThrdPtr> = self
+            .cntr(cntr)
+            .owned_thrds
+            .iter()
+            .copied()
+            .filter(|&t| self.thrd(t).state == ThreadState::Ready)
+            .collect();
+        for t in ready {
+            self.sched.remove(t);
+            let home = *self.home_cpu.get(&t).expect("thread without home CPU");
+            self.sched.park(t, home, cntr);
+        }
+    }
+
+    /// Sets `cntr`'s scheduling weight (0 tears the account down and
+    /// refunds its budget). Threads parked in a torn-down account
+    /// return to their run queues.
+    pub fn sched_set_weight(&mut self, cntr: CtnrPtr, weight: u32) -> Result<(), PmError> {
+        if !self.cntr_perms.contains(cntr) {
+            return Err(PmError::NotFound);
+        }
+        for (t, cpu) in self.sched.set_weight(cntr, weight) {
+            self.sched.enqueue(cpu, t);
+        }
+        Ok(())
+    }
+
+    /// Administratively throttles or unthrottles `cntr`. Throttling
+    /// parks its Ready threads (running ones park at their next tick);
+    /// unthrottling re-enqueues them. Requires a budget account.
+    pub fn sched_throttle(&mut self, cntr: CtnrPtr, throttle: bool) -> Result<(), PmError> {
+        if !self.cntr_perms.contains(cntr) {
+            return Err(PmError::NotFound);
+        }
+        if self.sched.weight(cntr) == 0 {
+            return Err(PmError::InvalidArgument);
+        }
+        if throttle {
+            self.sched.throttle(cntr);
+            self.park_ready_threads(cntr);
+        } else {
+            // Re-enqueue happens inside unthrottle; threads stay Ready.
+            self.sched.unthrottle(cntr);
+        }
+        Ok(())
     }
 
     /// Takes the delivered message out of `t`'s buffer.

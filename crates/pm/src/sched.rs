@@ -1,62 +1,245 @@
-//! The per-CPU round-robin scheduler.
+//! The O(1) multi-tenant scheduler: bitmap-indexed MLFQ run queues with
+//! per-container CPU-budget accounts and IPC budget inheritance.
 //!
 //! Atmosphere partitions CPU cores among containers (a container's
-//! reservation, §3); each core runs a round-robin queue of threads whose
-//! containers own that core. Strict core partitioning is part of what
-//! makes the non-interference argument go through: a thread of container A
-//! can never occupy a core reserved for container B.
+//! reservation, §3); each core runs a queue of threads whose containers
+//! own that core (directly or through an ancestor — the rule that lets
+//! thousands of zero-core tenants share an ancestor's cores). Three
+//! mechanisms generalize the paper's fixed 3-container configuration to
+//! N tenants:
+//!
+//! * **Bitmap-indexed MLFQ run queues.** Each CPU holds
+//!   [`MLFQ_LEVELS`] intrusive doubly-linked lists over a shared slab
+//!   of nodes, plus a one-word occupancy bitmap. Enqueue links at a
+//!   tail, pick is `trailing_zeros` + unlink-head, and a per-thread
+//!   location index makes [`remove`](Scheduler::remove) O(1) from
+//!   anywhere — no 64-entry cap, no linear scans, pick cost flat in
+//!   both queue depth and tenant count. With MLFQ demotion off (the
+//!   default) every thread lives at level 0 and the pick order is
+//!   bit-for-bit the old round-robin FIFO.
+//! * **Per-container budget accounts.** A weighted container holds a
+//!   [`BudgetAccount`]; its threads' timer ticks consume units and a
+//!   hierarchical timer wheel grants `weight` units per refill period,
+//!   so long-run CPU shares are weight-proportional. An exhausted
+//!   account is *throttled*: its Ready threads are parked off the run
+//!   queues entirely, so an idle or throttled tenant costs the pick
+//!   path nothing.
+//! * **Budget inheritance.** A client's direct IPC handoff into a
+//!   shared server marks the server thread as billed to the client's
+//!   account, so one verified service can multiplex thousands of
+//!   clients without its own account being drained by any one of them.
+//!
+//! The budget ledger is a linear resource: every account satisfies
+//! `granted = consumed + refunded + remaining`, checked per account by
+//! [`sched_wf`] and globally by the kernel's budget-conservation audit
+//! (grants, charges and refunds emit [`AuditDelta`]s into the
+//! incremental audit ledger; retired accounts fold into running totals
+//! so the stop-the-world cross-check stays bit-for-bit).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 use atmo_spec::harness::{check, VerifResult};
 use atmo_spec::PermMap;
-use atmo_trace::{KernelEvent, TraceHandle, TraceShare};
+use atmo_trace::{ns_to_cycles, AuditDelta, KernelEvent, SchedOutcome, TraceHandle, TraceShare};
 
 use crate::container::Container;
-use crate::staticlist::StaticList;
 use crate::thread::Thread;
-use crate::types::{CpuId, ThrdPtr, ThreadState};
+use crate::types::{CpuId, CtnrPtr, ThrdPtr, ThreadState};
 
-/// Ready-queue capacity per CPU.
-pub const MAX_READY_QUEUE: usize = 64;
+/// MLFQ priority levels per CPU (level 0 is highest; all threads live
+/// at level 0 while demotion is disabled, reproducing the old FIFO).
+pub const MLFQ_LEVELS: usize = 4;
 
-/// Per-CPU scheduling state.
+/// Timer ticks between budget refills of one account.
+pub const REFILL_PERIOD: u64 = 16;
+
+/// An account's `remaining` budget is capped at `weight` times this
+/// (the burst a tenant can accumulate while idle).
+pub const BURST_MULTIPLIER: u64 = 4;
+
+/// Slots per timer-wheel level (PR 9 idiom: 64-slot levels, one tick
+/// per low-level slot, 64 ticks per high-level slot).
+const WHEEL_SLOTS: usize = 64;
+
+/// Null link in the intrusive slab.
+const NIL: usize = usize::MAX;
+
+/// One slab node: a queued thread and its intrusive list links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SlabNode {
+    thread: ThrdPtr,
+    prev: usize,
+    next: usize,
+}
+
+/// Where a thread known to the scheduler currently lives — the O(1)
+/// location index behind [`Scheduler::remove`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    /// Linked into `cpu`'s level-`level` run queue at slab slot `slot`.
+    Queued {
+        cpu: CpuId,
+        level: usize,
+        slot: usize,
+    },
+    /// Parked off the run queues in its container's throttled account,
+    /// at index `idx` of that account's parked list.
+    Parked { cntr: CtnrPtr, idx: usize },
+    /// Currently running on `cpu`.
+    Running { cpu: CpuId },
+}
+
+/// Per-CPU scheduling state: the running thread plus [`MLFQ_LEVELS`]
+/// intrusive lists indexed by an occupancy bitmap.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CpuSched {
+struct CpuSched {
     /// The thread currently executing on this CPU.
-    pub current: Option<ThrdPtr>,
-    /// Runnable threads, FIFO.
-    pub ready: StaticList<ThrdPtr, MAX_READY_QUEUE>,
+    current: Option<ThrdPtr>,
+    /// The level `current` was picked from (demotion target on rotate).
+    current_level: usize,
+    /// Head slab slot per level (`NIL` = empty).
+    head: [usize; MLFQ_LEVELS],
+    /// Tail slab slot per level.
+    tail: [usize; MLFQ_LEVELS],
+    /// Queued threads per level.
+    len: [u64; MLFQ_LEVELS],
+    /// Bit `l` set iff level `l` is non-empty (`trailing_zeros` pick).
+    occupancy: u64,
 }
 
 impl CpuSched {
     fn new() -> Self {
         CpuSched {
             current: None,
-            ready: StaticList::new(),
+            current_level: 0,
+            head: [NIL; MLFQ_LEVELS],
+            tail: [NIL; MLFQ_LEVELS],
+            len: [0; MLFQ_LEVELS],
+            occupancy: 0,
         }
     }
 }
 
-/// The scheduler: one queue per CPU.
+/// One container's CPU-budget account (a linear resource: the
+/// conservation equation `granted = consumed + refunded + remaining`
+/// holds at every step and is audited by [`sched_wf`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BudgetAccount {
+    /// Scheduling weight (units granted per refill period; never 0 for
+    /// a live account — weight 0 means "no account", the unmetered
+    /// strict-partition degenerate case).
+    pub weight: u32,
+    /// Units currently available to spend.
+    pub remaining: u64,
+    /// Lifetime units granted by refills (monotone).
+    pub granted: u64,
+    /// Lifetime units consumed by running threads (monotone).
+    pub consumed: u64,
+    /// Lifetime units refunded at teardown (monotone).
+    pub refunded: u64,
+    /// Exhausted: the container's Ready threads are parked here instead
+    /// of occupying run-queue slots.
+    pub throttled: bool,
+    /// Parked threads and the home CPU each re-enqueues to on refill.
+    parked: Vec<(ThrdPtr, CpuId)>,
+}
+
+impl BudgetAccount {
+    /// Threads currently parked in this account.
+    pub fn parked(&self) -> &[(ThrdPtr, CpuId)] {
+        &self.parked
+    }
+}
+
+/// Outcome of charging one timer tick to a container's account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChargeOutcome {
+    /// The billed container has no account (weight 0): the unmetered
+    /// strict-partition degenerate case.
+    Unmetered,
+    /// One unit consumed; budget remains.
+    Charged,
+    /// The charge consumed the last unit (or none remained): the
+    /// container should be throttled until the wheel refills it.
+    Exhausted,
+}
+
+/// The scheduler: per-CPU bitmap-indexed MLFQ run queues over a shared
+/// intrusive slab, per-container budget accounts driven by a
+/// hierarchical refill wheel, and the per-thread location index.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Scheduler {
     cpus: Vec<CpuSched>,
-    /// Context-switch event sink (always-equal share: tracing does not
-    /// change scheduler state).
+    /// Shared node slab for every CPU's intrusive lists.
+    slab: Vec<SlabNode>,
+    /// Free slab slots (stack).
+    free: Vec<usize>,
+    /// Thread → current location. Never iterated (iteration order would
+    /// be nondeterministic); every lookup is point-wise.
+    index: HashMap<ThrdPtr, Loc>,
+    /// Container budget accounts, keyed by container page (`BTreeMap`
+    /// so [`budget_totals`](Self::budget_totals) folds
+    /// deterministically).
+    budgets: BTreeMap<CtnrPtr, BudgetAccount>,
+    /// Budget totals of accounts already torn down, so lifetime sums
+    /// survive container churn and the stop-the-world audit can
+    /// cross-check the incremental ledger bit-for-bit:
+    /// `(granted, consumed, refunded)`.
+    retired: (u64, u64, u64),
+    /// Thread → container whose account its CPU time bills to (set on
+    /// an inheriting IPC handoff, cleared when the handoff unwinds).
+    /// Never iterated.
+    inherited: HashMap<ThrdPtr, CtnrPtr>,
+    /// Accounts with a pending refill-wheel entry (guards against
+    /// double-arming across teardown/re-create churn).
+    armed: BTreeSet<CtnrPtr>,
+    /// Low wheel level: one slot per tick.
+    wheel_lo: Vec<Vec<CtnrPtr>>,
+    /// High wheel level: one slot per [`WHEEL_SLOTS`] ticks; entries
+    /// carry their due tick for the boundary cascade.
+    wheel_hi: Vec<Vec<(CtnrPtr, u64)>>,
+    /// Global tick count (advanced once per [`timer_tick`] on any CPU).
+    ///
+    /// [`timer_tick`]: crate::ProcessManager::timer_tick
+    wheel_now: u64,
+    /// MLFQ demotion switch. Off by default: every thread stays at
+    /// level 0 and the scheduler is bit-identical to the old FIFO.
+    mlfq_enabled: bool,
+    /// Context-switch / scheduler-counter sink (always-equal share:
+    /// tracing does not change scheduler state).
     trace: TraceShare,
 }
 
 impl Scheduler {
-    /// A scheduler for `ncpus` cores, all idle.
+    /// A scheduler for `ncpus` cores, all idle, no accounts.
     pub fn new(ncpus: usize) -> Self {
         Scheduler {
             cpus: (0..ncpus).map(|_| CpuSched::new()).collect(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            budgets: BTreeMap::new(),
+            retired: (0, 0, 0),
+            inherited: HashMap::new(),
+            armed: BTreeSet::new(),
+            wheel_lo: vec![Vec::new(); WHEEL_SLOTS],
+            wheel_hi: vec![Vec::new(); WHEEL_SLOTS],
+            wheel_now: 0,
+            mlfq_enabled: false,
             trace: TraceShare::detached(),
         }
     }
 
-    /// Routes context-switch events into `sink`.
+    /// Routes context-switch events and scheduler counters into `sink`.
     pub fn attach_trace(&mut self, sink: TraceHandle) {
         self.trace.attach(sink);
+    }
+
+    /// Enables or disables MLFQ demotion on rotate. Disabled (the
+    /// default) reproduces the old round-robin FIFO bit-for-bit.
+    pub fn set_mlfq(&mut self, on: bool) {
+        self.mlfq_enabled = on;
     }
 
     /// Emits a context-switch event when the running thread actually
@@ -78,159 +261,729 @@ impl Scheduler {
         self.cpus.get(cpu).and_then(|c| c.current)
     }
 
-    /// Read-only view of `cpu`'s ready queue. Borrows the queue's
-    /// backing storage — no per-call allocation (the `sched_wf` audit
-    /// walks every queue on every syscall, so a `Vec` clone here was a
-    /// hot allocation).
-    pub fn ready_queue(&self, cpu: CpuId) -> &[ThrdPtr] {
-        self.cpus
-            .get(cpu)
-            .map(|c| c.ready.as_slice())
-            .unwrap_or(&[])
-    }
+    // ----- intrusive slab plumbing -----------------------------------------
 
-    /// Enqueues a runnable thread on `cpu`. Returns `false` when the queue
-    /// is full or the CPU does not exist.
-    pub fn enqueue(&mut self, cpu: CpuId, t: ThrdPtr) -> bool {
-        match self.cpus.get_mut(cpu) {
-            Some(c) => c.ready.push(t),
-            None => false,
+    fn alloc_node(&mut self, t: ThrdPtr) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = SlabNode {
+                    thread: t,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(SlabNode {
+                    thread: t,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
         }
     }
 
-    /// Removes `t` from wherever it is queued or running. Returns `true`
-    /// when it was found.
+    /// Links `t` at the tail of `cpu`'s level-`level` list and indexes
+    /// it. O(1).
+    fn push_level(&mut self, cpu: CpuId, t: ThrdPtr, level: usize) {
+        debug_assert!(
+            !self.index.contains_key(&t),
+            "thread {t:#x} enqueued while already scheduled"
+        );
+        let slot = self.alloc_node(t);
+        let c = &mut self.cpus[cpu];
+        let old_tail = c.tail[level];
+        self.slab[slot].prev = old_tail;
+        if old_tail == NIL {
+            c.head[level] = slot;
+        } else {
+            self.slab[old_tail].next = slot;
+        }
+        c.tail[level] = slot;
+        c.len[level] += 1;
+        c.occupancy |= 1 << level;
+        self.index.insert(t, Loc::Queued { cpu, level, slot });
+        self.trace.sched(SchedOutcome::Enqueue, 1);
+    }
+
+    /// Unlinks slab `slot` from `cpu`'s level-`level` list (index entry
+    /// is the caller's responsibility). O(1).
+    fn unlink(&mut self, cpu: CpuId, level: usize, slot: usize) {
+        let (prev, next) = {
+            let n = &self.slab[slot];
+            (n.prev, n.next)
+        };
+        let c = &mut self.cpus[cpu];
+        if prev == NIL {
+            c.head[level] = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            c.tail[level] = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        c.len[level] -= 1;
+        if c.len[level] == 0 {
+            c.occupancy &= !(1 << level);
+        }
+        self.free.push(slot);
+    }
+
+    /// Finds-first-set on the occupancy bitmap and dequeues the head of
+    /// that level. O(1).
+    fn pop_first(&mut self, cpu: CpuId) -> Option<(ThrdPtr, usize)> {
+        let occ = self.cpus[cpu].occupancy;
+        if occ == 0 {
+            return None;
+        }
+        let level = occ.trailing_zeros() as usize;
+        let slot = self.cpus[cpu].head[level];
+        let t = self.slab[slot].thread;
+        self.unlink(cpu, level, slot);
+        self.index.remove(&t);
+        Some((t, level))
+    }
+
+    /// Linear presence scan — the old O(ncpus·queue) path, kept only to
+    /// cross-validate the O(1) location index in debug builds.
+    #[cfg(debug_assertions)]
+    fn scan_presence(&self, t: ThrdPtr) -> bool {
+        for c in &self.cpus {
+            if c.current == Some(t) {
+                return true;
+            }
+            for level in 0..MLFQ_LEVELS {
+                let mut slot = c.head[level];
+                while slot != NIL {
+                    if self.slab[slot].thread == t {
+                        return true;
+                    }
+                    slot = self.slab[slot].next;
+                }
+            }
+        }
+        self.budgets
+            .values()
+            .any(|a| a.parked.iter().any(|&(p, _)| p == t))
+    }
+
+    // ----- run-queue operations --------------------------------------------
+
+    /// Read-only view of `cpu`'s ready queue in pick order (level 0
+    /// first, FIFO within a level). Builds a `Vec` on demand — external
+    /// callers only inspect it; the hot `sched_wf` walk iterates the
+    /// intrusive lists directly via [`queued`](Self::queued).
+    pub fn ready_queue(&self, cpu: CpuId) -> Vec<ThrdPtr> {
+        self.queued(cpu).collect()
+    }
+
+    /// Iterates `cpu`'s queued threads in pick order without
+    /// allocating.
+    pub fn queued(&self, cpu: CpuId) -> QueuedIter<'_> {
+        QueuedIter {
+            sched: self,
+            cpu,
+            level: 0,
+            slot: self.cpus.get(cpu).map(|c| c.head[0]).unwrap_or(NIL),
+        }
+    }
+
+    /// Enqueues a runnable thread on `cpu` at the top MLFQ level.
+    /// Overflow is impossible: the intrusive slab grows as needed, so —
+    /// unlike the old fixed 64-slot queue — a runnable thread is never
+    /// silently dropped.
+    pub fn enqueue(&mut self, cpu: CpuId, t: ThrdPtr) {
+        if cpu >= self.cpus.len() {
+            debug_assert!(false, "enqueue on nonexistent CPU {cpu}");
+            return;
+        }
+        self.push_level(cpu, t, 0);
+    }
+
+    /// Removes `t` from wherever it is queued, parked or running, in
+    /// O(1) via the location index. Returns `true` when it was found.
     pub fn remove(&mut self, t: ThrdPtr) -> bool {
-        for cpu in 0..self.cpus.len() {
-            if self.cpus[cpu].current == Some(t) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.index.contains_key(&t),
+            self.scan_presence(t),
+            "location index disagrees with linear scan for thread {t:#x}"
+        );
+        let loc = match self.index.remove(&t) {
+            Some(loc) => loc,
+            None => return false,
+        };
+        match loc {
+            Loc::Queued { cpu, level, slot } => {
+                debug_assert_eq!(self.slab[slot].thread, t, "stale location index entry");
+                self.unlink(cpu, level, slot);
+            }
+            Loc::Parked { cntr, idx } => {
+                let acct = self
+                    .budgets
+                    .get_mut(&cntr)
+                    .expect("parked thread without an account");
+                debug_assert_eq!(acct.parked[idx].0, t, "stale parked index entry");
+                acct.parked.swap_remove(idx);
+                // The swapped-in entry (if any) moved to `idx`.
+                if let Some(&(moved, _)) = acct.parked.get(idx) {
+                    self.index.insert(moved, Loc::Parked { cntr, idx });
+                }
+            }
+            Loc::Running { cpu } => {
+                debug_assert_eq!(self.cpus[cpu].current, Some(t));
                 self.cpus[cpu].current = None;
                 self.note_switch(cpu, Some(t), None);
-                return true;
-            }
-            if self.cpus[cpu].ready.remove(&t) {
-                return true;
             }
         }
-        false
+        self.inherited.remove(&t);
+        self.trace.sched(SchedOutcome::Remove, 1);
+        true
     }
 
-    /// Round-robin step on `cpu`: the current thread (if any) goes to the
-    /// back of the queue, the front becomes current. Returns the new
-    /// current thread.
+    /// Round-robin step on `cpu`: the current thread (if any) goes to
+    /// the back of a queue — its own level with MLFQ off, one level
+    /// down with MLFQ on — and the bitmap's first occupied level yields
+    /// the new current thread.
     pub fn rotate(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
-        let c = self.cpus.get_mut(cpu)?;
-        let prev = c.current;
-        if let Some(cur) = c.current.take() {
-            let pushed = c.ready.push(cur);
-            debug_assert!(pushed, "ready queue overflow on rotate");
+        if cpu >= self.cpus.len() {
+            return None;
         }
-        c.current = c.ready.pop_front();
-        let next = c.current;
+        let start = Instant::now();
+        let prev = self.cpus[cpu].current;
+        if let Some(cur) = self.cpus[cpu].current.take() {
+            self.index.remove(&cur);
+            let picked = self.cpus[cpu].current_level;
+            let level = if self.mlfq_enabled {
+                let demoted = (picked + 1).min(MLFQ_LEVELS - 1);
+                if demoted > picked {
+                    self.trace.sched(SchedOutcome::Demote, 1);
+                }
+                demoted
+            } else {
+                0
+            };
+            self.push_level(cpu, cur, level);
+        }
+        let next = self.take_next(cpu);
         self.note_switch(cpu, prev, next);
+        self.trace
+            .sched_pick(ns_to_cycles(start.elapsed().as_nanos() as u64));
         next
     }
 
-    /// Makes the front of `cpu`'s queue current without requeueing the
-    /// previous thread (used when the previous thread blocked).
+    /// Makes the bitmap's first queued thread current without
+    /// requeueing the previous thread (used when the previous thread
+    /// blocked).
     pub fn dispatch(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
-        let c = self.cpus.get_mut(cpu)?;
-        debug_assert!(c.current.is_none(), "dispatch over a running thread");
-        c.current = c.ready.pop_front();
-        let next = c.current;
+        if cpu >= self.cpus.len() {
+            return None;
+        }
+        let start = Instant::now();
+        debug_assert!(
+            self.cpus[cpu].current.is_none(),
+            "dispatch over a running thread"
+        );
+        let next = self.take_next(cpu);
         self.note_switch(cpu, None, next);
+        self.trace
+            .sched_pick(ns_to_cycles(start.elapsed().as_nanos() as u64));
         next
     }
 
-    /// Marks `t` as the thread currently running on `cpu` (boot/init path).
+    /// Pops the first queued thread and installs it as current.
+    fn take_next(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
+        match self.pop_first(cpu) {
+            Some((t, level)) => {
+                let c = &mut self.cpus[cpu];
+                c.current = Some(t);
+                c.current_level = level;
+                self.index.insert(t, Loc::Running { cpu });
+                Some(t)
+            }
+            None => None,
+        }
+    }
+
+    /// Marks `t` as the thread currently running on `cpu` (boot/init
+    /// path).
     pub fn set_current(&mut self, cpu: CpuId, t: ThrdPtr) {
+        debug_assert!(
+            self.cpus[cpu].current.is_none(),
+            "CPU already running a thread"
+        );
+        debug_assert!(
+            !self.index.contains_key(&t),
+            "set_current on an already-scheduled thread"
+        );
         let c = &mut self.cpus[cpu];
-        debug_assert!(c.current.is_none(), "CPU already running a thread");
         c.current = Some(t);
+        c.current_level = 0;
+        self.index.insert(t, Loc::Running { cpu });
         self.note_switch(cpu, None, Some(t));
     }
 
     /// Direct handoff: replaces `cpu`'s current thread `from` with `to`
     /// without touching the ready queue — the fastpath IPC switch. The
-    /// displaced thread is the caller's responsibility (it blocks on the
-    /// endpoint or its reply slot, never lands in the ready queue).
+    /// displaced thread is the caller's responsibility (it blocks on
+    /// the endpoint or its reply slot, never lands in the ready queue).
+    /// `to` keeps `from`'s MLFQ level: a handoff is the same scheduling
+    /// turn continuing in the server.
     pub fn switch_current(&mut self, cpu: CpuId, from: ThrdPtr, to: ThrdPtr) {
-        let c = &mut self.cpus[cpu];
-        debug_assert_eq!(c.current, Some(from), "handoff from a non-running thread");
-        debug_assert!(
-            !c.ready.contains(&to),
-            "handoff target must come from an endpoint, not the ready queue"
+        debug_assert_eq!(
+            self.cpus[cpu].current,
+            Some(from),
+            "handoff from a non-running thread"
         );
-        c.current = Some(to);
+        debug_assert!(
+            !self.index.contains_key(&to),
+            "handoff target must come from an endpoint, not the run queues"
+        );
+        self.index.remove(&from);
+        self.cpus[cpu].current = Some(to);
+        self.index.insert(to, Loc::Running { cpu });
         self.note_switch(cpu, Some(from), Some(to));
     }
 
     /// Takes the current thread off `cpu` (it blocked or exited).
     pub fn clear_current(&mut self, cpu: CpuId) -> Option<ThrdPtr> {
-        let prev = self.cpus.get_mut(cpu).and_then(|c| c.current.take());
+        let prev = match self.cpus.get_mut(cpu) {
+            Some(c) => c.current.take(),
+            None => None,
+        };
+        if let Some(t) = prev {
+            self.index.remove(&t);
+        }
         self.note_switch(cpu, prev, None);
         prev
     }
+
+    // ----- budget accounts -------------------------------------------------
+
+    /// Sets `cntr`'s scheduling weight. A fresh account starts with a
+    /// full burst of budget and one armed refill-wheel entry. Weight 0
+    /// tears the account down (see
+    /// [`remove_account`](Self::remove_account)) and returns the
+    /// formerly parked threads exactly like it.
+    pub fn set_weight(&mut self, cntr: CtnrPtr, weight: u32) -> Vec<(ThrdPtr, CpuId)> {
+        if weight == 0 {
+            return self.remove_account(cntr);
+        }
+        match self.budgets.get_mut(&cntr) {
+            Some(acct) => {
+                acct.weight = weight;
+            }
+            None => {
+                let grant = weight as u64 * BURST_MULTIPLIER;
+                self.budgets.insert(
+                    cntr,
+                    BudgetAccount {
+                        weight,
+                        remaining: grant,
+                        granted: grant,
+                        ..BudgetAccount::default()
+                    },
+                );
+                self.trace.audit(AuditDelta::BudgetGrant(grant));
+            }
+        }
+        self.arm_refill(cntr, self.wheel_now + REFILL_PERIOD);
+        Vec::new()
+    }
+
+    /// `cntr`'s scheduling weight (0 = no account).
+    pub fn weight(&self, cntr: CtnrPtr) -> u32 {
+        self.budgets.get(&cntr).map(|a| a.weight).unwrap_or(0)
+    }
+
+    /// `true` when `cntr`'s account is currently throttled.
+    pub fn throttled(&self, cntr: CtnrPtr) -> bool {
+        self.budgets
+            .get(&cntr)
+            .map(|a| a.throttled)
+            .unwrap_or(false)
+    }
+
+    /// `cntr`'s account, when it has one (diagnostics and tests).
+    pub fn account(&self, cntr: CtnrPtr) -> Option<&BudgetAccount> {
+        self.budgets.get(&cntr)
+    }
+
+    /// Tears down `cntr`'s account: the remaining budget is refunded
+    /// (the linear resource is returned, never dropped), lifetime
+    /// totals fold into the retired sums, and any parked threads are
+    /// unindexed and returned so the caller can re-enqueue or terminate
+    /// them.
+    pub fn remove_account(&mut self, cntr: CtnrPtr) -> Vec<(ThrdPtr, CpuId)> {
+        let mut acct = match self.budgets.remove(&cntr) {
+            Some(a) => a,
+            None => return Vec::new(),
+        };
+        if acct.remaining > 0 {
+            let refund = acct.remaining;
+            acct.refunded += refund;
+            acct.remaining = 0;
+            self.trace.audit(AuditDelta::BudgetRefund(refund));
+        }
+        self.retired.0 += acct.granted;
+        self.retired.1 += acct.consumed;
+        self.retired.2 += acct.refunded;
+        // A stale wheel entry (if armed) is dropped lazily on drain.
+        for &(t, _) in &acct.parked {
+            self.index.remove(&t);
+        }
+        acct.parked
+    }
+
+    /// Parks Ready thread `t` (homed on `cpu`) in its throttled
+    /// container's account, off the run queues.
+    pub fn park(&mut self, t: ThrdPtr, cpu: CpuId, cntr: CtnrPtr) {
+        debug_assert!(
+            !self.index.contains_key(&t),
+            "park of a thread still scheduled"
+        );
+        let acct = self
+            .budgets
+            .get_mut(&cntr)
+            .expect("park into a container without an account");
+        debug_assert!(acct.throttled, "park into an unthrottled account");
+        let idx = acct.parked.len();
+        acct.parked.push((t, cpu));
+        self.index.insert(t, Loc::Parked { cntr, idx });
+        self.trace.sched(SchedOutcome::Park, 1);
+    }
+
+    /// Charges one timer tick of CPU time to `cntr`'s account.
+    /// [`ChargeOutcome::Exhausted`] tells the caller to throttle the
+    /// container (which [`throttle`](Self::throttle) records).
+    pub fn charge_tick(&mut self, cntr: CtnrPtr) -> ChargeOutcome {
+        let acct = match self.budgets.get_mut(&cntr) {
+            Some(a) => a,
+            None => return ChargeOutcome::Unmetered,
+        };
+        if acct.remaining == 0 {
+            return ChargeOutcome::Exhausted;
+        }
+        acct.remaining -= 1;
+        acct.consumed += 1;
+        let out = if acct.remaining == 0 {
+            ChargeOutcome::Exhausted
+        } else {
+            ChargeOutcome::Charged
+        };
+        self.trace.audit(AuditDelta::BudgetCharge(1));
+        out
+    }
+
+    /// Marks `cntr`'s account throttled (its Ready threads are then
+    /// parked by the caller). Idempotent.
+    pub fn throttle(&mut self, cntr: CtnrPtr) {
+        if let Some(acct) = self.budgets.get_mut(&cntr) {
+            if !acct.throttled {
+                acct.throttled = true;
+                self.trace.sched(SchedOutcome::Throttle, 1);
+            }
+        }
+    }
+
+    /// Arms a refill for `cntr` at absolute tick `due` (one pending
+    /// entry per account; re-arming while armed is a no-op, which keeps
+    /// teardown/re-create churn from double-scheduling).
+    fn arm_refill(&mut self, cntr: CtnrPtr, due: u64) {
+        if !self.armed.insert(cntr) {
+            return;
+        }
+        self.schedule_at(cntr, due);
+    }
+
+    /// Inserts a wheel entry for `cntr` at tick `due`: the low level
+    /// resolves single ticks within the next [`WHEEL_SLOTS`]; anything
+    /// further lands in the high level and cascades down when its
+    /// 64-tick slot opens.
+    fn schedule_at(&mut self, cntr: CtnrPtr, due: u64) {
+        debug_assert!(due > self.wheel_now, "refill scheduled in the past");
+        if due - self.wheel_now < WHEEL_SLOTS as u64 {
+            self.wheel_lo[(due % WHEEL_SLOTS as u64) as usize].push(cntr);
+        } else {
+            let hi_slot = ((due / WHEEL_SLOTS as u64) % WHEEL_SLOTS as u64) as usize;
+            self.wheel_hi[hi_slot].push((cntr, due));
+        }
+    }
+
+    /// Advances the refill wheel one tick: cascades the high level at
+    /// 64-tick boundaries, refills every due account, unthrottles
+    /// accounts that regained budget and re-enqueues their parked
+    /// threads. Returns the re-enqueued `(thread, cpu)` pairs (state
+    /// unchanged — an idle CPU picks them up at its next tick or
+    /// dispatch, so unparking is a Ψ-noop). O(1) + O(due) per tick.
+    pub fn advance_wheel(&mut self) -> Vec<(ThrdPtr, CpuId)> {
+        self.wheel_now += 1;
+        let now = self.wheel_now;
+        if now.is_multiple_of(WHEEL_SLOTS as u64) {
+            // The next 64-tick window opened: cascade its high-level
+            // slot down into per-tick resolution.
+            let hi_slot = ((now / WHEEL_SLOTS as u64) % WHEEL_SLOTS as u64) as usize;
+            let entries = std::mem::take(&mut self.wheel_hi[hi_slot]);
+            for (cntr, due) in entries {
+                if due <= now {
+                    // Due exactly at the boundary: fold into this tick.
+                    self.wheel_lo[(now % WHEEL_SLOTS as u64) as usize].push(cntr);
+                } else {
+                    self.wheel_lo[(due % WHEEL_SLOTS as u64) as usize].push(cntr);
+                }
+            }
+        }
+        let due = std::mem::take(&mut self.wheel_lo[(now % WHEEL_SLOTS as u64) as usize]);
+        let mut unparked = Vec::new();
+        for cntr in due {
+            self.armed.remove(&cntr);
+            let (grant, regained) = match self.budgets.get_mut(&cntr) {
+                Some(acct) if acct.weight > 0 => {
+                    let cap = acct.weight as u64 * BURST_MULTIPLIER;
+                    let grant = (acct.weight as u64).min(cap.saturating_sub(acct.remaining));
+                    acct.remaining += grant;
+                    acct.granted += grant;
+                    (grant, acct.throttled && acct.remaining > 0)
+                }
+                // Torn down (or re-created with weight 0) since it was
+                // armed: drop the stale entry.
+                _ => continue,
+            };
+            if grant > 0 {
+                self.trace.audit(AuditDelta::BudgetGrant(grant));
+            }
+            self.trace.sched(SchedOutcome::Refill, 1);
+            if regained {
+                unparked.extend(self.unthrottle(cntr));
+            }
+            self.arm_refill(cntr, now + REFILL_PERIOD);
+        }
+        unparked
+    }
+
+    /// Clears `cntr`'s throttle and re-enqueues its parked threads on
+    /// their home CPUs (state unchanged — Ψ-noop; an idle CPU picks
+    /// them up at its next tick or dispatch). Returns the re-enqueued
+    /// pairs. No-op on an unthrottled or absent account.
+    pub fn unthrottle(&mut self, cntr: CtnrPtr) -> Vec<(ThrdPtr, CpuId)> {
+        let parked = match self.budgets.get_mut(&cntr) {
+            Some(acct) if acct.throttled => {
+                acct.throttled = false;
+                std::mem::take(&mut acct.parked)
+            }
+            _ => return Vec::new(),
+        };
+        self.trace.sched(SchedOutcome::Unthrottle, 1);
+        for &(t, cpu) in &parked {
+            self.index.remove(&t);
+            self.push_level(cpu, t, 0);
+            self.trace.sched(SchedOutcome::Unpark, 1);
+        }
+        parked
+    }
+
+    // ----- budget inheritance ----------------------------------------------
+
+    /// Marks `t`'s CPU time as billed to `cntr`'s account (the client's
+    /// account on an IPC direct handoff into a shared server). The
+    /// caller resolves nested inheritance before calling, so chains
+    /// collapse to the originating client.
+    pub fn inherit(&mut self, t: ThrdPtr, cntr: CtnrPtr) {
+        self.inherited.insert(t, cntr);
+        self.trace.sched(SchedOutcome::InheritHandoff, 1);
+    }
+
+    /// Clears `t`'s inherited billing (the handoff unwound).
+    pub fn clear_inherit(&mut self, t: ThrdPtr) {
+        self.inherited.remove(&t);
+    }
+
+    /// The container `t`'s CPU time bills to: its inherited account
+    /// when a handoff is outstanding, otherwise `owner`.
+    pub fn billed(&self, t: ThrdPtr, owner: CtnrPtr) -> CtnrPtr {
+        self.inherited.get(&t).copied().unwrap_or(owner)
+    }
+
+    /// Lifetime budget totals across live and retired accounts:
+    /// `(granted, consumed, refunded, remaining)`. The stop-the-world
+    /// audit reconstructs its budget components from this, so the
+    /// incremental ledger cross-checks bit-for-bit even across
+    /// container churn.
+    pub fn budget_totals(&self) -> (u64, u64, u64, u64) {
+        let mut totals = (self.retired.0, self.retired.1, self.retired.2, 0);
+        for acct in self.budgets.values() {
+            totals.0 += acct.granted;
+            totals.1 += acct.consumed;
+            totals.2 += acct.refunded;
+            totals.3 += acct.remaining;
+        }
+        totals
+    }
 }
 
-/// Scheduler well-formedness: every queued/running thread is live and in
-/// the matching state, appears on at most one CPU, and runs only on a core
-/// its container (or one of its ancestors) owns.
+/// Non-allocating iterator over one CPU's queued threads in pick order.
+pub struct QueuedIter<'a> {
+    sched: &'a Scheduler,
+    cpu: CpuId,
+    level: usize,
+    slot: usize,
+}
+
+impl Iterator for QueuedIter<'_> {
+    type Item = ThrdPtr;
+
+    fn next(&mut self) -> Option<ThrdPtr> {
+        let c = self.sched.cpus.get(self.cpu)?;
+        while self.slot == NIL {
+            self.level += 1;
+            if self.level >= MLFQ_LEVELS {
+                return None;
+            }
+            self.slot = c.head[self.level];
+        }
+        let node = &self.sched.slab[self.slot];
+        self.slot = node.next;
+        Some(node.thread)
+    }
+}
+
+/// Scheduler well-formedness: every queued/parked/running thread is
+/// live and in the matching state, appears in exactly one place (with a
+/// coherent location-index entry), runs only on a core its container
+/// (or one of its ancestors) owns, and every budget account conserves
+/// its linear resource (`granted = consumed + refunded + remaining`).
 pub fn sched_wf(
     sched: &Scheduler,
     cntrs: &PermMap<Container>,
     thrds: &PermMap<Thread>,
 ) -> VerifResult {
     let mut seen: Vec<ThrdPtr> = Vec::new();
+    let check_scheduled = |t: ThrdPtr, cpu: CpuId, running: bool, seen: &mut Vec<ThrdPtr>| {
+        check(
+            thrds.contains(t),
+            "scheduler",
+            format!("dead thread {t:#x} scheduled on CPU {cpu}"),
+        )?;
+        check(
+            !seen.contains(&t),
+            "scheduler",
+            format!("thread {t:#x} scheduled twice"),
+        )?;
+        seen.push(t);
+
+        let thread = thrds.value(t);
+        let expected = if running {
+            matches!(thread.state, ThreadState::Running(c) if c == cpu)
+        } else {
+            thread.state == ThreadState::Ready
+        };
+        check(
+            expected,
+            "scheduler",
+            format!(
+                "thread {t:#x} state {:?} inconsistent with CPU {cpu}",
+                thread.state
+            ),
+        )?;
+
+        // CPU ownership: the owning container or an ancestor owns the
+        // core.
+        let c = thread.owning_cntr;
+        check(
+            cntrs.contains(c),
+            "scheduler",
+            format!("scheduled thread {t:#x} of unknown container"),
+        )?;
+        let cntr = cntrs.value(c);
+        let owns = cntr.owned_cpus.contains(&cpu)
+            || cntr
+                .path
+                .iter()
+                .any(|anc| cntrs.contains(*anc) && cntrs.value(*anc).owned_cpus.contains(&cpu));
+        check(
+            owns,
+            "scheduler",
+            format!("thread {t:#x} runs on CPU {cpu} its container does not own"),
+        )
+    };
+
     for cpu in 0..sched.ncpus() {
-        let queued = sched.ready_queue(cpu).iter().copied();
-        for t in queued.chain(sched.current(cpu)) {
+        // Per-level list/bitmap coherence.
+        let c = &sched.cpus[cpu];
+        for level in 0..MLFQ_LEVELS {
             check(
-                thrds.contains(t),
+                (c.len[level] > 0) == (c.occupancy & (1 << level) != 0)
+                    && (c.len[level] > 0) == (c.head[level] != NIL),
                 "scheduler",
-                format!("dead thread {t:#x} scheduled on CPU {cpu}"),
+                format!("CPU {cpu} level {level}: occupancy bitmap out of sync"),
             )?;
+        }
+        for t in sched.queued(cpu) {
+            check_scheduled(t, cpu, false, &mut seen)?;
             check(
-                !seen.contains(&t),
+                matches!(sched.index.get(&t), Some(Loc::Queued { cpu: c2, .. }) if *c2 == cpu),
                 "scheduler",
-                format!("thread {t:#x} scheduled twice"),
+                format!("queued thread {t:#x} has no matching index entry"),
             )?;
-            seen.push(t);
-
-            let thread = thrds.value(t);
-            let expected = if sched.current(cpu) == Some(t) {
-                matches!(thread.state, ThreadState::Running(c) if c == cpu)
-            } else {
-                thread.state == ThreadState::Ready
-            };
+        }
+        if let Some(t) = sched.current(cpu) {
+            check_scheduled(t, cpu, true, &mut seen)?;
             check(
-                expected,
+                matches!(sched.index.get(&t), Some(Loc::Running { cpu: c2 }) if *c2 == cpu),
                 "scheduler",
-                format!(
-                    "thread {t:#x} state {:?} inconsistent with CPU {cpu}",
-                    thread.state
-                ),
-            )?;
-
-            // CPU ownership: the owning container or an ancestor owns the core.
-            let c = thread.owning_cntr;
-            check(
-                cntrs.contains(c),
-                "scheduler",
-                format!("scheduled thread {t:#x} of unknown container"),
-            )?;
-            let cntr = cntrs.value(c);
-            let owns = cntr.owned_cpus.contains(&cpu)
-                || cntr
-                    .path
-                    .iter()
-                    .any(|anc| cntrs.contains(*anc) && cntrs.value(*anc).owned_cpus.contains(&cpu));
-            check(
-                owns,
-                "scheduler",
-                format!("thread {t:#x} runs on CPU {cpu} its container does not own"),
+                format!("running thread {t:#x} has no matching index entry"),
             )?;
         }
     }
+
+    // Parked threads: live, Ready, owned cores, indexed — and only in
+    // throttled accounts (an unthrottled account never holds threads
+    // back).
+    for (cntr_ptr, acct) in sched.budgets.iter() {
+        check(
+            acct.weight > 0,
+            "scheduler",
+            format!("container {cntr_ptr:#x} holds a zero-weight account"),
+        )?;
+        check(
+            acct.granted == acct.consumed + acct.refunded + acct.remaining,
+            "scheduler",
+            format!(
+                "container {cntr_ptr:#x} budget not conserved: {} granted != {} consumed + {} refunded + {} remaining",
+                acct.granted, acct.consumed, acct.refunded, acct.remaining
+            ),
+        )?;
+        check(
+            acct.parked.is_empty() || acct.throttled,
+            "scheduler",
+            format!("container {cntr_ptr:#x} parks threads while unthrottled"),
+        )?;
+        for (idx, &(t, cpu)) in acct.parked.iter().enumerate() {
+            check_scheduled(t, cpu, false, &mut seen)?;
+            check(
+                sched.index.get(&t)
+                    == Some(&Loc::Parked {
+                        cntr: *cntr_ptr,
+                        idx,
+                    }),
+                "scheduler",
+                format!("parked thread {t:#x} has no matching index entry"),
+            )?;
+        }
+    }
+
+    check(
+        sched.index.len() == seen.len(),
+        "scheduler",
+        format!(
+            "location index holds {} entries for {} scheduled threads",
+            sched.index.len(),
+            seen.len()
+        ),
+    )?;
 
     // Conversely, every Ready/Running thread is scheduled somewhere.
     for (t_ptr, perm) in thrds.iter() {
@@ -320,5 +1073,184 @@ mod tests {
         s.enqueue(0, 0xa);
         assert!(s.ready_queue(1).is_empty());
         assert_eq!(s.ready_queue(0), &[0xa]);
+    }
+
+    /// Regression for the old 64-slot cap: `enqueue` used to return
+    /// `false` — and callers that ignored it silently lost runnable
+    /// threads — past `MAX_READY_QUEUE = 64`. The intrusive slab has no
+    /// cap: a thousand threads enqueue, stay FIFO, and every one is
+    /// individually removable.
+    #[test]
+    fn enqueue_never_overflows() {
+        let mut s = Scheduler::new(1);
+        for t in 0..1000usize {
+            s.enqueue(0, 0x1000 + t);
+        }
+        let q = s.ready_queue(0);
+        assert_eq!(q.len(), 1000, "no 64-entry cap, nothing dropped");
+        assert_eq!(q[0], 0x1000);
+        assert_eq!(q[999], 0x1000 + 999);
+        assert!(s.remove(0x1000 + 500), "O(1) removal from the middle");
+        assert_eq!(s.ready_queue(0).len(), 999);
+    }
+
+    #[test]
+    fn remove_is_indexed_from_queue_park_and_current() {
+        let mut s = Scheduler::new(2);
+        for t in 0..100usize {
+            s.enqueue(0, 0x2000 + t);
+        }
+        // Middle, head, tail removals keep FIFO order of the rest.
+        assert!(s.remove(0x2000 + 50));
+        assert!(s.remove(0x2000));
+        assert!(s.remove(0x2000 + 99));
+        let q = s.ready_queue(0);
+        assert_eq!(q.len(), 97);
+        assert_eq!(q[0], 0x2001);
+        assert_eq!(q[96], 0x2000 + 98);
+        // Parked removal fixes the swapped entry's index.
+        s.set_weight(0x9000, 1);
+        s.throttle(0x9000);
+        s.park(0xaa, 1, 0x9000);
+        s.park(0xbb, 1, 0x9000);
+        s.park(0xcc, 1, 0x9000);
+        assert!(s.remove(0xaa));
+        assert!(s.remove(0xcc), "swap_remove moved 0xcc's index");
+        assert!(s.remove(0xbb));
+        assert!(!s.remove(0xbb), "second removal finds nothing");
+    }
+
+    #[test]
+    fn mlfq_demotes_on_rotate_and_bitmap_picks_lowest_level() {
+        let mut s = Scheduler::new(1);
+        s.set_mlfq(true);
+        s.enqueue(0, 0xa);
+        s.enqueue(0, 0xb);
+        assert_eq!(s.rotate(0), Some(0xa), "picked from level 0");
+        // 0xa was picked from level 0: rotating demotes it to level 1,
+        // so 0xb (still level 0) runs before 0xa comes around again.
+        assert_eq!(s.rotate(0), Some(0xb));
+        assert_eq!(s.rotate(0), Some(0xa), "level-1 thread runs when 0 empty");
+        // Pick order lists level-0 entries first.
+        s.enqueue(0, 0xc);
+        let q = s.ready_queue(0);
+        assert_eq!(q[0], 0xc, "fresh level-0 thread ahead of demoted ones");
+    }
+
+    #[test]
+    fn budget_accounts_conserve_and_throttle_round_trips() {
+        let mut s = Scheduler::new(1);
+        s.set_weight(0x9000, 2);
+        let initial = 2 * BURST_MULTIPLIER;
+        assert_eq!(s.account(0x9000).unwrap().remaining, initial);
+        // Drain the account one tick at a time.
+        for i in 0..initial {
+            let out = s.charge_tick(0x9000);
+            if i == initial - 1 {
+                assert_eq!(out, ChargeOutcome::Exhausted);
+            } else {
+                assert_eq!(out, ChargeOutcome::Charged);
+            }
+        }
+        assert_eq!(s.charge_tick(0x9000), ChargeOutcome::Exhausted);
+        s.throttle(0x9000);
+        s.park(0xaa, 0, 0x9000);
+        assert!(s.throttled(0x9000));
+        // The refill wheel unthrottles at the next period boundary.
+        let mut unparked = Vec::new();
+        for _ in 0..REFILL_PERIOD {
+            unparked.extend(s.advance_wheel());
+        }
+        assert_eq!(unparked, vec![(0xaa, 0)]);
+        assert!(!s.throttled(0x9000));
+        assert_eq!(s.ready_queue(0), &[0xaa], "unparked threads re-enqueue");
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(
+            acct.granted,
+            acct.consumed + acct.refunded + acct.remaining,
+            "conservation"
+        );
+        // Teardown refunds the remainder; totals survive retirement.
+        let before = s.budget_totals();
+        s.remove_account(0x9000);
+        let after = s.budget_totals();
+        assert_eq!(after.0, before.0, "granted survives retirement");
+        assert_eq!(after.3, 0, "remaining refunded on teardown");
+        assert_eq!(after.0, after.1 + after.2 + after.3);
+    }
+
+    #[test]
+    fn unmetered_containers_charge_nothing() {
+        let mut s = Scheduler::new(1);
+        assert_eq!(s.charge_tick(0x9000), ChargeOutcome::Unmetered);
+        assert_eq!(s.budget_totals(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn refill_wheel_caps_bursts_and_survives_churn() {
+        let mut s = Scheduler::new(1);
+        s.set_weight(0x9000, 4);
+        // Fully charged at creation: refills grant nothing until spent.
+        for _ in 0..REFILL_PERIOD {
+            s.advance_wheel();
+        }
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(acct.remaining, 4 * BURST_MULTIPLIER, "burst cap holds");
+        // Tear down and re-create while a wheel entry is still armed:
+        // the stale entry must not double-arm the new account.
+        s.remove_account(0x9000);
+        s.set_weight(0x9000, 1);
+        for _ in 0..4 * REFILL_PERIOD {
+            s.charge_tick(0x9000);
+            s.advance_wheel();
+        }
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(
+            acct.granted,
+            acct.consumed + acct.refunded + acct.remaining,
+            "conservation across churn"
+        );
+    }
+
+    #[test]
+    fn wheel_cascades_entries_beyond_one_revolution() {
+        let mut s = Scheduler::new(1);
+        // Place an entry 100 ticks out: it lands in the high level and
+        // must cascade down at the 64-tick boundary, firing exactly at
+        // its due tick.
+        s.budgets.insert(
+            0x9000,
+            BudgetAccount {
+                weight: 1,
+                ..BudgetAccount::default()
+            },
+        );
+        s.armed.insert(0x9000);
+        s.schedule_at(0x9000, 100);
+        for tick in 1..=99 {
+            s.advance_wheel();
+            assert_eq!(
+                s.account(0x9000).unwrap().granted,
+                0,
+                "no refill before the due tick (tick {tick})"
+            );
+        }
+        s.advance_wheel();
+        assert_eq!(s.account(0x9000).unwrap().granted, 1, "fires at tick 100");
+    }
+
+    #[test]
+    fn inheritance_bills_the_client_until_cleared() {
+        let mut s = Scheduler::new(1);
+        assert_eq!(s.billed(0xaa, 0x1111), 0x1111, "defaults to the owner");
+        s.inherit(0xaa, 0x2222);
+        assert_eq!(s.billed(0xaa, 0x1111), 0x2222, "handoff bills the client");
+        s.clear_inherit(0xaa);
+        assert_eq!(s.billed(0xaa, 0x1111), 0x1111);
+        // Removal clears any outstanding inheritance.
+        s.enqueue(0, 0xaa);
+        s.inherit(0xaa, 0x2222);
+        s.remove(0xaa);
+        assert_eq!(s.billed(0xaa, 0x1111), 0x1111);
     }
 }

@@ -68,4 +68,15 @@ pub enum AuditDelta {
     /// mutation that bypassed the log (or an append that bypassed the
     /// serializing domain lock) shows up as a ledger imbalance.
     NrAppended(u64),
+    /// CPU-budget units granted to a container account (weight refill).
+    /// Conservation: `granted = consumed + refunded + remaining`, so a
+    /// grant raises both `granted` and `remaining`.
+    BudgetGrant(u64),
+    /// CPU-budget units consumed by a container's threads running
+    /// (raises `consumed`, lowers `remaining`).
+    BudgetCharge(u64),
+    /// CPU-budget units refunded when an account is torn down (raises
+    /// `refunded`, lowers `remaining` — the linear resource is returned,
+    /// never dropped).
+    BudgetRefund(u64),
 }

@@ -335,6 +335,54 @@ impl HttpdCounters {
     }
 }
 
+/// Multi-tenant scheduler counters (bitmap-indexed MLFQ, per-container
+/// budget accounts, IPC budget inheritance). Counter-only — like
+/// [`FastpathCounters`], they annotate scheduling work whose ring
+/// events (context switches) are already emitted, so they never enter
+/// the per-kind event reconciliation. `trace_wf` checks that the sink's
+/// pick-latency histogram holds exactly `picks` samples, that
+/// `unparked <= parked` (a parked thread resumes at most once per
+/// park), and `unthrottles <= throttles` on the merged view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Run-queue picks (dispatch/rotate decisions that scanned the
+    /// priority bitmap). Each records one pick-latency sample.
+    pub picks: u64,
+    /// Threads enqueued onto a run-queue level.
+    pub enqueues: u64,
+    /// Threads removed from the run queues (dequeue or teardown).
+    pub removes: u64,
+    /// Threads parked off the run queues (container throttled).
+    pub parked: u64,
+    /// Parked threads re-enqueued after a budget refill.
+    pub unparked: u64,
+    /// Container accounts throttled on budget exhaustion.
+    pub throttles: u64,
+    /// Container accounts unthrottled by the refill wheel.
+    pub unthrottles: u64,
+    /// Budget refills performed by the hierarchical timer wheel.
+    pub refills: u64,
+    /// IPC direct handoffs that inherited the client's budget account.
+    pub inherited_handoffs: u64,
+    /// MLFQ level demotions (a thread exhausted its slice).
+    pub demotions: u64,
+}
+
+impl SchedCounters {
+    fn merge(&mut self, other: &SchedCounters) {
+        self.picks += other.picks;
+        self.enqueues += other.enqueues;
+        self.removes += other.removes;
+        self.parked += other.parked;
+        self.unparked += other.unparked;
+        self.throttles += other.throttles;
+        self.unthrottles += other.unthrottles;
+        self.refills += other.refills;
+        self.inherited_handoffs += other.inherited_handoffs;
+        self.demotions += other.demotions;
+    }
+}
+
 /// Driver counters (ixgbe + NVMe).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriverCounters {
@@ -400,6 +448,8 @@ pub struct Counters {
     pub nr: NrCounters,
     /// Event-driven httpd (connection shards, wheels, readiness).
     pub httpd: HttpdCounters,
+    /// Multi-tenant scheduler (MLFQ picks, budgets, inheritance).
+    pub sched: SchedCounters,
     /// Well-formedness audits.
     pub audit: AuditCounters,
     /// Domain locks.
@@ -499,6 +549,16 @@ impl Counters {
             ("httpd.unparked", self.httpd.unparked),
             ("httpd.malformed", self.httpd.malformed),
             ("httpd.polls", self.httpd.polls),
+            ("sched.picks", self.sched.picks),
+            ("sched.enqueues", self.sched.enqueues),
+            ("sched.removes", self.sched.removes),
+            ("sched.parked", self.sched.parked),
+            ("sched.unparked", self.sched.unparked),
+            ("sched.throttles", self.sched.throttles),
+            ("sched.unthrottles", self.sched.unthrottles),
+            ("sched.refills", self.sched.refills),
+            ("sched.inherited_handoffs", self.sched.inherited_handoffs),
+            ("sched.demotions", self.sched.demotions),
             ("audit.incremental", self.audit.incremental),
             ("audit.full", self.audit.full),
             ("audit.touched_entries", self.audit.touched_entries),
@@ -543,6 +603,7 @@ impl Counters {
         self.blk.merge(&other.blk);
         self.nr.merge(&other.nr);
         self.httpd.merge(&other.httpd);
+        self.sched.merge(&other.sched);
         self.audit.merge(&other.audit);
         self.locks.pm.merge(&other.locks.pm);
         self.locks.mem.merge(&other.locks.mem);
@@ -589,6 +650,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("blk.")));
         assert!(names.iter().any(|n| n.starts_with("nr.")));
         assert!(names.iter().any(|n| n.starts_with("httpd.")));
+        assert!(names.iter().any(|n| n.starts_with("sched.")));
         assert!(names.iter().any(|n| n.starts_with("locks.")));
     }
 

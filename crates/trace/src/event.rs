@@ -42,10 +42,12 @@ pub enum SyscallKind {
     ThreadLookup,
     DescriptorResolve,
     VmResolve,
+    SchedSetWeight,
+    SchedThrottle,
 }
 
 /// Number of syscall kinds (array dimension for per-kind state).
-pub const NUM_SYSCALL_KINDS: usize = 34;
+pub const NUM_SYSCALL_KINDS: usize = 36;
 
 impl SyscallKind {
     /// All kinds, in discriminant order.
@@ -84,6 +86,8 @@ impl SyscallKind {
         SyscallKind::ThreadLookup,
         SyscallKind::DescriptorResolve,
         SyscallKind::VmResolve,
+        SyscallKind::SchedSetWeight,
+        SyscallKind::SchedThrottle,
     ];
 
     /// Dense index for per-kind arrays.
@@ -128,6 +132,8 @@ impl SyscallKind {
             SyscallKind::ThreadLookup => "thread_lookup",
             SyscallKind::DescriptorResolve => "descriptor_resolve",
             SyscallKind::VmResolve => "vm_resolve",
+            SyscallKind::SchedSetWeight => "sched_set_weight",
+            SyscallKind::SchedThrottle => "sched_throttle",
         }
     }
 }

@@ -47,14 +47,14 @@ pub use audit::AuditDelta;
 pub use counters::{
     AuditCounters, BlkCounters, Counters, DriverCounters, FastpathCounters, HttpdCounters,
     LockCounters, LocksCounters, MemCounters, NetCounters, NrCounters, PmCounters, PtableCounters,
-    VmCounters,
+    SchedCounters, VmCounters,
 };
 pub use event::{DeviceKind, EventKind, KernelEvent, ReturnClass, SyscallKind};
 pub use hist::LatencyHist;
 pub use ring::EventRing;
 pub use sink::{
     ns_to_cycles, trace_wf, BlkOutcome, FastpathOutcome, HttpdOutcome, LockDomain, NetOutcome,
-    NrOutcome, SyscallStats, TraceHandle, TraceShare, TraceSink, VmOutcome,
+    NrOutcome, SchedOutcome, SyscallStats, TraceHandle, TraceShare, TraceSink, VmOutcome,
 };
 pub use snapshot::{CpuSummary, Snapshot, SyscallSummary};
 

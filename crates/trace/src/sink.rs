@@ -22,7 +22,8 @@ use atmo_spec::lock_recovering;
 
 use crate::audit::AuditDelta;
 use crate::counters::{
-    BlkCounters, Counters, FastpathCounters, HttpdCounters, NetCounters, NrCounters, VmCounters,
+    BlkCounters, Counters, FastpathCounters, HttpdCounters, NetCounters, NrCounters, SchedCounters,
+    VmCounters,
 };
 use crate::event::{
     EventKind, KernelEvent, ReturnClass, SyscallKind, NUM_EVENT_KINDS, NUM_SYSCALL_KINDS,
@@ -277,6 +278,56 @@ impl HttpdOutcome {
     }
 }
 
+/// One multi-tenant-scheduler observation. Like [`FastpathOutcome`]
+/// these are counter-only annotations: run-queue picks already emit
+/// their own `ContextSwitch` ring events when `current` changes, so an
+/// extra ring entry would break the exact per-kind reconciliation.
+/// Picks themselves go through
+/// [`TraceSink::sched_pick`], which additionally lands the pick's
+/// wall-clock cost (converted to modeled cycles, like lock hold times)
+/// in the sink's pick-latency histogram — the measured O(1) claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedOutcome {
+    /// Threads enqueued onto a run-queue level (count = threads).
+    Enqueue,
+    /// Threads removed from the run queues (count = threads).
+    Remove,
+    /// Threads parked off the run queues — container throttled
+    /// (count = threads).
+    Park,
+    /// Parked threads re-enqueued after a refill (count = threads).
+    Unpark,
+    /// Container accounts throttled on budget exhaustion (count =
+    /// accounts).
+    Throttle,
+    /// Container accounts unthrottled by the refill wheel (count =
+    /// accounts).
+    Unthrottle,
+    /// Budget refills performed by the timer wheel (count = refills).
+    Refill,
+    /// IPC direct handoffs that inherited the client's budget account
+    /// (count = handoffs).
+    InheritHandoff,
+    /// MLFQ level demotions (count = threads).
+    Demote,
+}
+
+impl SchedOutcome {
+    fn count_into(self, sched: &mut SchedCounters, n: u64) {
+        match self {
+            SchedOutcome::Enqueue => sched.enqueues += n,
+            SchedOutcome::Remove => sched.removes += n,
+            SchedOutcome::Park => sched.parked += n,
+            SchedOutcome::Unpark => sched.unparked += n,
+            SchedOutcome::Throttle => sched.throttles += n,
+            SchedOutcome::Unthrottle => sched.unthrottles += n,
+            SchedOutcome::Refill => sched.refills += n,
+            SchedOutcome::InheritHandoff => sched.inherited_handoffs += n,
+            SchedOutcome::Demote => sched.demotions += n,
+        }
+    }
+}
+
 /// One node-replication observation. Like [`VmOutcome`] these are
 /// counter-only annotations: replica reads and log appends decorate
 /// syscalls that already emit their own enter/exit ring events, so an
@@ -427,6 +478,11 @@ pub struct TraceSink {
     httpd_ready_hist: Mutex<LatencyHist>,
     /// Per-domain lock acquisition-wait histograms.
     lock_wait_hists: Mutex<LockWaitHists>,
+    /// Run-queue pick costs (wall-clock nanoseconds converted to
+    /// modeled cycles, like lock hold times). Sink-global like the
+    /// audit histograms; the merged `sched.picks` counter balances the
+    /// sample count exactly.
+    sched_pick_hist: Mutex<LatencyHist>,
 }
 
 /// A shared reference to a kernel's trace sink.
@@ -447,6 +503,7 @@ impl TraceSink {
             audit_hists: Mutex::new(AuditHists::default()),
             httpd_ready_hist: Mutex::new(LatencyHist::default()),
             lock_wait_hists: Mutex::new(LockWaitHists::default()),
+            sched_pick_hist: Mutex::new(LatencyHist::default()),
         })
     }
 
@@ -697,6 +754,32 @@ impl TraceSink {
         }
     }
 
+    /// Records one run-queue pick on the CPU attributed to this OS
+    /// thread: the shard's `sched.picks` counter advances and the
+    /// pick's cost (wall-clock nanoseconds converted to modeled cycles,
+    /// like lock hold times) lands in the sink's pick-latency
+    /// histogram. One method for both so the histogram's sample count
+    /// balances `sched.picks` exactly under `trace_wf`.
+    pub fn sched_pick(&self, cycles: u64) {
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            shard.counters.sched.picks += 1;
+        });
+        lock_recovering(&self.sched_pick_hist).record(cycles);
+    }
+
+    /// Counts `n` multi-tenant-scheduler observations on the CPU
+    /// attributed to this OS thread. Counter-only, no ring event (see
+    /// [`SchedOutcome`]); budget grant/charge/refund movements emit
+    /// their own [`AuditDelta`]s at the account sites, not here.
+    pub fn sched_event(&self, outcome: SchedOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.with_shard(CURRENT_CPU.get(), |shard| {
+            outcome.count_into(&mut shard.counters.sched, n)
+        });
+    }
+
     /// Counts `n` zero-copy-block-datapath observations on the CPU
     /// attributed to this OS thread. Counter-only, no ring event (see
     /// [`BlkOutcome`]); pool acquire/release additionally move the blk
@@ -812,6 +895,7 @@ impl TraceSink {
         let hists = lock_recovering(&self.audit_hists);
         let waits = lock_recovering(&self.lock_wait_hists);
         let ready = lock_recovering(&self.httpd_ready_hist);
+        let picks = lock_recovering(&self.sched_pick_hist);
         let httpd_conns_live = counters.httpd.accepts as i64 - counters.httpd.closes as i64;
         Snapshot {
             per_cpu,
@@ -827,6 +911,7 @@ impl TraceSink {
             lock_wait_mem_hist: waits.mem.clone(),
             httpd_conns_live,
             httpd_ready_hist: ready.clone(),
+            sched_pick_hist: picks.clone(),
             total_events,
             total_dropped,
         }
@@ -1167,6 +1252,40 @@ pub fn trace_wf(sink: &TraceSink) -> VerifResult {
             ),
         )?;
     }
+    // Multi-tenant-scheduler accounting: a parked thread resumes at
+    // most once per park, an account unthrottles at most once per
+    // throttle, and the pick-latency histogram holds exactly one
+    // sample per run-queue pick — `sched_pick` moves both under the
+    // same call, so a drifted pair means a lost or forged sample.
+    check(
+        merged.sched.unparked <= merged.sched.parked,
+        "trace",
+        format!(
+            "sched parking: {} unparked but only {} parked",
+            merged.sched.unparked, merged.sched.parked
+        ),
+    )?;
+    check(
+        merged.sched.unthrottles <= merged.sched.throttles,
+        "trace",
+        format!(
+            "sched budgets: {} unthrottles but only {} throttles",
+            merged.sched.unthrottles, merged.sched.throttles
+        ),
+    )?;
+    {
+        let picks = lock_recovering(&sink.sched_pick_hist);
+        picks.wf()?;
+        check(
+            picks.count() == merged.sched.picks,
+            "trace",
+            format!(
+                "pick-latency histogram holds {} samples for {} picks",
+                picks.count(),
+                merged.sched.picks
+            ),
+        )?;
+    }
     // Every full audit folds the pending ledger first (that fold is
     // counted as an incremental audit), so incremental audits can never
     // trail full ones.
@@ -1300,6 +1419,22 @@ impl TraceShare {
     pub fn httpd(&self, outcome: HttpdOutcome, n: u64) {
         if let Some(sink) = &self.0 {
             sink.httpd_event(outcome, n);
+        }
+    }
+
+    /// Records one run-queue pick costing `cycles` (no-op when
+    /// detached).
+    pub fn sched_pick(&self, cycles: u64) {
+        if let Some(sink) = &self.0 {
+            sink.sched_pick(cycles);
+        }
+    }
+
+    /// Counts `n` multi-tenant-scheduler observations (no-op when
+    /// detached).
+    pub fn sched(&self, outcome: SchedOutcome, n: u64) {
+        if let Some(sink) = &self.0 {
+            sink.sched_event(outcome, n);
         }
     }
 
@@ -1533,6 +1668,48 @@ mod tests {
         let mut drained = Vec::new();
         sink.drain_audit_ledgers(&mut drained);
         assert_eq!(drained, vec![AuditDelta::NrAppended(2)]);
+    }
+
+    #[test]
+    fn sched_events_accumulate_and_picks_balance_the_histogram() {
+        let sink = TraceSink::new(2, 8);
+        sink.set_cpu(0);
+        sink.sched_event(SchedOutcome::Enqueue, 3);
+        sink.sched_pick(120);
+        sink.sched_event(SchedOutcome::Park, 2);
+        sink.sched_event(SchedOutcome::Throttle, 1);
+        sink.set_cpu(1);
+        sink.sched_pick(80);
+        sink.sched_event(SchedOutcome::Unpark, 2);
+        sink.sched_event(SchedOutcome::Unthrottle, 1);
+        sink.sched_event(SchedOutcome::Refill, 1);
+        sink.sched_event(SchedOutcome::InheritHandoff, 4);
+        assert!(trace_wf(&sink).is_ok(), "{:?}", trace_wf(&sink));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.sched.picks, 2);
+        assert_eq!(snap.counters.sched.enqueues, 3);
+        assert_eq!(snap.counters.sched.parked, 2);
+        assert_eq!(snap.counters.sched.unparked, 2);
+        assert_eq!(snap.counters.sched.inherited_handoffs, 4);
+        assert_eq!(snap.sched_pick_hist.count(), 2);
+        assert_eq!(snap.total_events, 0, "outcomes never enter the ring");
+    }
+
+    #[test]
+    fn wf_rejects_unpark_without_park_and_forged_pick_samples() {
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.sched_event(SchedOutcome::Unpark, 1);
+        assert!(trace_wf(&sink).is_err(), "unpark without a park must fail");
+        let sink = TraceSink::new(1, 8);
+        sink.set_cpu(0);
+        sink.sched_pick(50);
+        assert!(trace_wf(&sink).is_ok());
+        lock_recovering(&sink.shards[0]).counters.sched.picks += 1;
+        assert!(
+            trace_wf(&sink).is_err(),
+            "a pick without a histogram sample must fail wf"
+        );
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct Snapshot {
     /// (one sample per poll, empty iterations included — the measured
     /// form of the O(ready) event-loop claim).
     pub httpd_ready_hist: LatencyHist,
+    /// Distribution of run-queue pick costs in modeled cycles (one
+    /// sample per pick — the measured form of the O(1)-in-tenants
+    /// scheduler claim).
+    pub sched_pick_hist: LatencyHist,
     /// Events ever pushed across all CPUs.
     pub total_events: u64,
     /// Events overwritten across all CPUs.
@@ -232,6 +236,22 @@ impl Snapshot {
                 &["Metric", "Count", "Mean", "p50", "p90", "p99", "Max"],
                 vec![vec![
                     "httpd.ready_batch".to_string(),
+                    format!("{}", h.count()),
+                    format!("{}", h.mean()),
+                    format!("{}", h.p50()),
+                    format!("{}", h.p90()),
+                    format!("{}", h.p99()),
+                    format!("{}", h.max()),
+                ]],
+            ));
+        }
+        if self.sched_pick_hist.count() > 0 {
+            out.push_str("\n== Trace snapshot: scheduler picks ==\n");
+            let h = &self.sched_pick_hist;
+            out.push_str(&table(
+                &["Metric", "Count", "Mean", "p50", "p90", "p99", "Max"],
+                vec![vec![
+                    "sched.pick_cycles".to_string(),
                     format!("{}", h.count()),
                     format!("{}", h.mean()),
                     format!("{}", h.p50()),

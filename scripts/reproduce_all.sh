@@ -9,7 +9,7 @@ mkdir -p results
 
 cargo build --release -p atmo-bench
 
-for target in table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation smp-scaling ipc-fastpath vm-batch net-zerocopy blk-zerocopy audit-scaling nr-scaling httpd-mconn; do
+for target in table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation smp-scaling ipc-fastpath vm-batch net-zerocopy blk-zerocopy audit-scaling nr-scaling httpd-mconn multitenant; do
     bin="./target/release/repro-$target"
     if [ ! -x "$bin" ]; then
         echo "error: $bin is missing (did the atmo-bench build produce it?)" >&2

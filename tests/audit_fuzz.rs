@@ -104,6 +104,12 @@ fn format_op(op: &Op) -> String {
         SyscallArgs::ThreadLookup { thread } => format!("{c} thread_lookup {thread:#x}"),
         SyscallArgs::DescriptorResolve { slot } => format!("{c} descriptor_resolve {slot}"),
         SyscallArgs::VmResolve { va } => format!("{c} vm_resolve {va:#x}"),
+        SyscallArgs::SchedSetWeight { cntr, weight } => {
+            format!("{c} setweight {cntr:#x} {weight}")
+        }
+        SyscallArgs::SchedThrottle { cntr, throttle } => {
+            format!("{c} throttle {cntr:#x} {}", u8::from(*throttle))
+        }
         SyscallArgs::Yield => format!("{c} yield"),
         SyscallArgs::TraceSnapshot => format!("{c} snapshot"),
         other => unreachable!("fuzzer never generates {other:?}"),
@@ -219,6 +225,14 @@ fn parse_op(line: &str) -> Option<Op> {
         "thread_lookup" => SyscallArgs::ThreadLookup { thread: num() },
         "descriptor_resolve" => SyscallArgs::DescriptorResolve { slot: num() },
         "vm_resolve" => SyscallArgs::VmResolve { va: num() },
+        "setweight" => SyscallArgs::SchedSetWeight {
+            cntr: num(),
+            weight: num() as u32,
+        },
+        "throttle" => SyscallArgs::SchedThrottle {
+            cntr: num(),
+            throttle: num() != 0,
+        },
         "yield" => SyscallArgs::Yield,
         "snapshot" => SyscallArgs::TraceSnapshot,
         other => panic!("unknown corpus op {other:?}"),
@@ -244,9 +258,20 @@ fn random_ptr(rng: &mut XorShift64Star) -> usize {
     }
 }
 
+/// A container pointer for the scheduler-control ops: half the time the
+/// root container (always live, so weights/throttles take effect for
+/// real), otherwise a guess that exercises the error paths.
+fn sched_target(rng: &mut XorShift64Star) -> usize {
+    if rng.chance(1, 2) {
+        0x20_0000
+    } else {
+        random_ptr(rng)
+    }
+}
+
 fn random_op(rng: &mut XorShift64Star, ncpus: usize) -> Op {
     let cpu = rng.below(ncpus);
-    let args = match rng.below(28) {
+    let args = match rng.below(31) {
         0 | 1 => SyscallArgs::Mmap {
             va_base: random_va(rng),
             len: rng.range(1, 9),
@@ -339,6 +364,22 @@ fn random_op(rng: &mut XorShift64Star, ncpus: usize) -> Op {
             slot: rng.below(18),
         },
         26 => SyscallArgs::VmResolve { va: random_va(rng) },
+        // Multi-tenant scheduler control: weight changes (0 tears the
+        // account down), throttle/unthrottle, and extra container
+        // spawn churn so accounts retire under teardown. The budget
+        // ledger must stay conserved through all of it.
+        27 => SyscallArgs::SchedSetWeight {
+            cntr: sched_target(rng),
+            weight: rng.below(5) as u32,
+        },
+        28 => SyscallArgs::SchedThrottle {
+            cntr: sched_target(rng),
+            throttle: rng.chance(1, 2),
+        },
+        29 => SyscallArgs::NewContainer {
+            quota: rng.below(16),
+            cpus: vec![],
+        },
         _ => SyscallArgs::Yield,
     };
     Op { cpu, args }
@@ -487,6 +528,14 @@ fn corpus_schedules() -> Vec<(&'static str, Schedule)> {
         (
             "audit_nr_mixed.txt",
             parse_schedule(include_str!("corpus/audit_nr_mixed.txt")),
+        ),
+        (
+            "audit_mt_churn.txt",
+            parse_schedule(include_str!("corpus/audit_mt_churn.txt")),
+        ),
+        (
+            "audit_mt_throttle.txt",
+            parse_schedule(include_str!("corpus/audit_mt_throttle.txt")),
         ),
     ]
 }

@@ -1,0 +1,259 @@
+//! Multi-tenant scheduling end-to-end: weighted CPU budgets must track
+//! the weight-proportional oracle across CPU counts, and IPC budget
+//! inheritance must bill server time to the calling client's account
+//! without disabling the handoff-streak starvation guard.
+
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+use atmosphere::spec::harness::Invariant;
+
+/// Boots `ncpus` and gives each of the three tenant containers one
+/// thread per CPU plus a budget weight; returns the container pointers.
+/// Tenants own zero CPUs (CPUs are strictly partitioned on creation):
+/// their threads share the root-owned CPUs through the ancestor rule,
+/// which is exactly the contended multi-tenant regime.
+fn boot_tenants(ncpus: usize, weights: [u32; 3]) -> (Kernel, [usize; 3]) {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus,
+        root_quota: 4096,
+    });
+    let mut cntrs = [0usize; 3];
+    for (i, &w) in weights.iter().enumerate() {
+        let c = k
+            .syscall(
+                0,
+                SyscallArgs::NewContainer {
+                    quota: 256,
+                    cpus: vec![],
+                },
+            )
+            .val0() as usize;
+        let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+        for cpu in 0..ncpus {
+            let r = k.syscall(0, SyscallArgs::NewThread { proc: p, cpu });
+            assert!(r.is_ok(), "tenant {i} cpu {cpu}: {r:?}");
+        }
+        let r = k.syscall(0, SyscallArgs::SchedSetWeight { cntr: c, weight: w });
+        assert!(r.is_ok(), "setweight tenant {i}: {r:?}");
+        cntrs[i] = c;
+    }
+    (k, cntrs)
+}
+
+#[test]
+fn weighted_fairness_tracks_weight_proportional_oracle() {
+    // Weights 1:2:4 with refills well under tick capacity, so every
+    // tenant is refill-bound: long-run consumption must be proportional
+    // to weight regardless of how many CPUs the threads spread over.
+    let weights = [1u32, 2, 4];
+    for ncpus in [1usize, 4, 8] {
+        let (mut k, cntrs) = boot_tenants(ncpus, weights);
+        const ROUNDS: usize = 4000;
+        for round in 0..ROUNDS {
+            for cpu in 0..ncpus {
+                k.pm.timer_tick(cpu);
+            }
+            if round % 512 == 0 {
+                assert!(k.wf().is_ok(), "ncpus {ncpus} round {round}: {:?}", k.wf());
+            }
+        }
+        // Budget conservation straight from the live ledger.
+        let (granted, consumed, refunded, remaining) = k.pm.sched.budget_totals();
+        assert_eq!(
+            granted,
+            consumed + refunded + remaining,
+            "ncpus {ncpus}: budget ledger out of balance"
+        );
+
+        // Oracle: consumed_i / weight_i equal across tenants. Burst
+        // grants and in-flight remainders are both weight-proportional,
+        // so the normalized consumption should agree within a few
+        // percent after ~250 refill periods.
+        let per_weight: Vec<f64> = cntrs
+            .iter()
+            .zip(weights)
+            .map(|(&c, w)| {
+                let acct = k.pm.sched.account(c).expect("tenant keeps its account");
+                assert!(acct.consumed > 0, "ncpus {ncpus}: tenant {c:#x} starved");
+                acct.consumed as f64 / w as f64
+            })
+            .collect();
+        let mean = per_weight.iter().sum::<f64>() / per_weight.len() as f64;
+        for (i, pw) in per_weight.iter().enumerate() {
+            let dev = (pw - mean).abs() / mean;
+            assert!(
+                dev < 0.10,
+                "ncpus {ncpus}: tenant {i} consumed/weight {pw:.1} deviates \
+                 {:.1}% from mean {mean:.1} (oracle: weight-proportional)",
+                dev * 100.0
+            );
+        }
+        assert!(k.wf().is_ok(), "{:?}", k.wf());
+    }
+}
+
+/// Client in container A, server in container B, both weighted, both
+/// homed on CPU 0, connected through one endpoint. Returns the kernel,
+/// the two containers, and the two threads (client, server) with the
+/// server already parked in `recv`.
+fn boot_client_server() -> (Kernel, [usize; 2], [usize; 2]) {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 4096,
+    });
+    let mut cntrs = [0usize; 2];
+    let mut thrds = [0usize; 2];
+    for (i, slot) in cntrs.iter_mut().enumerate() {
+        let c = k
+            .syscall(
+                0,
+                SyscallArgs::NewContainer {
+                    quota: 256,
+                    cpus: vec![],
+                },
+            )
+            .val0() as usize;
+        let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+        thrds[i] = k
+            .syscall(0, SyscallArgs::NewThread { proc: p, cpu: 0 })
+            .val0() as usize;
+        // Generous burst so neither side throttles mid-test.
+        let r = k.syscall(0, SyscallArgs::SchedSetWeight { cntr: c, weight: 8 });
+        assert!(r.is_ok(), "{r:?}");
+        *slot = c;
+    }
+    let e = k.syscall(0, SyscallArgs::NewEndpoint { slot: 0 }).val0() as usize;
+    k.pm.install_descriptor(thrds[0], 0, e).unwrap();
+    k.pm.install_descriptor(thrds[1], 0, e).unwrap();
+    // Rotate the server in and park it as the endpoint's receiver.
+    run_until_current(&mut k, thrds[1]);
+    assert!(k.syscall(0, SyscallArgs::Recv { slot: 0 }).is_ok());
+    run_until_current(&mut k, thrds[0]);
+    (k, cntrs, thrds)
+}
+
+/// Round-robin ticks CPU 0 until `t` is current (bounded).
+fn run_until_current(k: &mut Kernel, t: usize) {
+    for _ in 0..64 {
+        if k.pm.sched.current(0) == Some(t) {
+            return;
+        }
+        k.pm.timer_tick(0);
+    }
+    panic!("thread {t:#x} never became current");
+}
+
+#[test]
+fn ipc_fast_path_bills_server_time_to_the_client() {
+    let (mut k, [a, b], [t_client, t_server]) = boot_client_server();
+
+    // Call takes the direct handoff: the server now runs on the
+    // client's account.
+    let hits0 = k.trace_snapshot().counters.pm.fastpath.hits;
+    let r = k.syscall(
+        0,
+        SyscallArgs::Call {
+            slot: 0,
+            scalars: [7, 0, 0, 0],
+        },
+    );
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(k.pm.sched.current(0), Some(t_server));
+    assert_eq!(k.trace_snapshot().counters.pm.fastpath.hits, hits0 + 1);
+    assert_eq!(
+        k.pm.sched.billed(t_server, b),
+        a,
+        "handoff must inherit the client's billing account"
+    );
+
+    // The tick while the server runs is charged to the client.
+    let a0 = k.pm.sched.account(a).unwrap().consumed;
+    let b0 = k.pm.sched.account(b).unwrap().consumed;
+    k.pm.timer_tick(0);
+    assert_eq!(k.pm.sched.account(a).unwrap().consumed, a0 + 1);
+    assert_eq!(k.pm.sched.account(b).unwrap().consumed, b0);
+    // Going through the ready queue ended the handoff: the server is
+    // back on its own account.
+    assert_eq!(k.pm.sched.billed(t_server, b), b);
+
+    // Reply and re-receive; the caller resumes and is billed to its own
+    // account as usual.
+    run_until_current(&mut k, t_server);
+    let r = k.syscall(
+        0,
+        SyscallArgs::ReplyRecv {
+            slot: 0,
+            scalars: [9, 0, 0, 0],
+        },
+    );
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(k.pm.sched.current(0), Some(t_client));
+    assert_eq!(k.pm.sched.billed(t_server, b), b);
+    let a1 = k.pm.sched.account(a).unwrap().consumed;
+    let b1 = k.pm.sched.account(b).unwrap().consumed;
+    k.pm.timer_tick(0);
+    assert_eq!(k.pm.sched.account(a).unwrap().consumed, a1 + 1);
+    assert_eq!(k.pm.sched.account(b).unwrap().consumed, b1);
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+#[test]
+fn inherited_billing_does_not_disable_the_handoff_guard() {
+    let (mut k, [_a, _b], [t_client, t_server]) = boot_client_server();
+
+    // Ping-pong call/reply_recv round trips without a timer tick: each
+    // direct handoff grows the streak, and once it reaches the budget
+    // the fast path must yield to the run queue even though billing
+    // inheritance is active.
+    let snap0 = k.trace_snapshot();
+    let mut hits = 0u64;
+    for round in 0..6 {
+        let r = k.syscall(
+            0,
+            SyscallArgs::Call {
+                slot: 0,
+                scalars: [round, 0, 0, 0],
+            },
+        );
+        assert!(r.is_ok(), "{r:?}");
+        let snap = k.trace_snapshot();
+        if snap.counters.pm.fastpath.fallback_budget > snap0.counters.pm.fastpath.fallback_budget {
+            // The guard fired on the call: the request went through the
+            // slow rendezvous instead of a ninth consecutive handoff.
+            assert_eq!(
+                snap.counters.pm.fastpath.hits - snap0.counters.pm.fastpath.hits,
+                atmosphere::pm::manager::HANDOFF_BUDGET as u64,
+                "guard must fire exactly at the handoff budget"
+            );
+            assert!(k.wf().is_ok(), "{:?}", k.wf());
+            // A tick resets the streak; the fast path resumes.
+            run_until_current(&mut k, t_server);
+            let before = k.trace_snapshot().counters.pm.fastpath.hits;
+            let r = k.syscall(
+                0,
+                SyscallArgs::ReplyRecv {
+                    slot: 0,
+                    scalars: [0, 0, 0, 0],
+                },
+            );
+            assert!(r.is_ok(), "{r:?}");
+            assert_eq!(k.trace_snapshot().counters.pm.fastpath.hits, before + 1);
+            assert_eq!(k.pm.sched.current(0), Some(t_client));
+            return;
+        }
+        assert_eq!(k.pm.sched.current(0), Some(t_server));
+        hits += 1;
+        let r = k.syscall(
+            0,
+            SyscallArgs::ReplyRecv {
+                slot: 0,
+                scalars: [0, 0, 0, 0],
+            },
+        );
+        assert!(r.is_ok(), "{r:?}");
+        hits += 1;
+        let _ = hits;
+    }
+    panic!("handoff guard never fired within 12 handoffs (budget is 8)");
+}
