@@ -234,8 +234,9 @@ pub enum SyscallArgs {
         /// The virtual address to translate.
         va: usize,
     },
-    /// Set the scheduling weight of a container in the caller's subtree
-    /// (or the caller's own). Weight 0 tears the budget account down
+    /// Set the scheduling weight of a container strictly below the
+    /// caller in the hierarchy (never the caller's own — budgets are
+    /// imposed from above). Weight 0 tears the budget account down
     /// and refunds its remaining budget; a positive weight creates or
     /// resizes the account the container's CPU ticks are charged to.
     SchedSetWeight {
@@ -245,7 +246,8 @@ pub enum SyscallArgs {
         weight: u32,
     },
     /// Administratively throttle (park off the run queues) or
-    /// unthrottle a weighted container in the caller's subtree.
+    /// unthrottle a weighted container strictly below the caller in
+    /// the hierarchy (never the caller's own).
     SchedThrottle {
         /// Target container.
         cntr: CtnrPtr,
@@ -916,15 +918,19 @@ impl ExecCtx<'_> {
         }
     }
 
-    /// Authority shared by the scheduler-control calls: the target is
-    /// the caller's own container or a member of its subtree (the
-    /// terminate-container rule, §3).
+    /// Authority shared by the scheduler-control calls: the target must
+    /// be a strict member of the caller's subtree — the
+    /// terminate-container rule (§3), which deliberately excludes the
+    /// caller's own container. Budgets are imposed from above; a
+    /// container that could retarget its own account would simply tear
+    /// it down (`weight 0`), raise its weight, or lift a throttle, and
+    /// run unmetered past whatever its parent granted.
     fn check_sched_authority(&self, t: ThrdPtr, cntr: CtnrPtr) -> Result<(), SyscallError> {
         if !self.pm.cntr_perms.contains(cntr) {
             return Err(SyscallError::NotFound);
         }
         let caller_cntr = self.pm.thrd(t).owning_cntr;
-        if cntr != caller_cntr && !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
+        if !self.pm.cntr(caller_cntr).subtree.contains(&cntr) {
             return Err(SyscallError::Denied);
         }
         Ok(())

@@ -1303,17 +1303,19 @@ impl ProcessManager {
                 // `cur` is still Running here, so the Ready filter
                 // leaves it to the explicit handling below.
                 self.park_ready_threads(billed);
-                if self.sched.throttled(owner) {
-                    // The thread's own container is out of budget: park
-                    // it instead of requeueing, and run someone else.
-                    self.thrd_mut(cur).state = ThreadState::Ready;
-                    self.sched.clear_current(cpu);
-                    let home = *self.home_cpu.get(&cur).expect("thread without home CPU");
-                    self.sched.park(cur, home, owner);
-                    let next = self.sched.dispatch(cpu)?;
-                    self.thrd_mut(next).state = ThreadState::Running(cpu);
-                    return Some(next);
-                }
+            }
+            if self.sched.throttled(owner) {
+                // The thread's own container is throttled — it just
+                // exhausted its budget, exhausted it from another CPU,
+                // or was administratively throttled mid-run: park it
+                // instead of requeueing, and run someone else.
+                self.thrd_mut(cur).state = ThreadState::Ready;
+                self.sched.clear_current(cpu);
+                let home = *self.home_cpu.get(&cur).expect("thread without home CPU");
+                self.sched.park(cur, home, owner);
+                let next = self.sched.dispatch(cpu)?;
+                self.thrd_mut(next).state = ThreadState::Running(cpu);
+                return Some(next);
             }
             self.thrd_mut(cur).state = ThreadState::Ready;
         }
@@ -1356,8 +1358,11 @@ impl ProcessManager {
     }
 
     /// Administratively throttles or unthrottles `cntr`. Throttling
-    /// parks its Ready threads (running ones park at their next tick);
-    /// unthrottling re-enqueues them. Requires a budget account.
+    /// parks its Ready threads (running ones park at their next tick)
+    /// and holds across refills until the matching unthrottle;
+    /// unthrottling re-enqueues them — unless the account is also
+    /// budget-exhausted, in which case the threads stay parked until
+    /// the wheel refills it. Requires a budget account.
     pub fn sched_throttle(&mut self, cntr: CtnrPtr, throttle: bool) -> Result<(), PmError> {
         if !self.cntr_perms.contains(cntr) {
             return Err(PmError::NotFound);
@@ -1366,11 +1371,11 @@ impl ProcessManager {
             return Err(PmError::InvalidArgument);
         }
         if throttle {
-            self.sched.throttle(cntr);
+            self.sched.throttle_admin(cntr);
             self.park_ready_threads(cntr);
         } else {
             // Re-enqueue happens inside unthrottle; threads stay Ready.
-            self.sched.unthrottle(cntr);
+            self.sched.unthrottle_admin(cntr);
         }
         Ok(())
     }

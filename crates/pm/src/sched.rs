@@ -138,9 +138,22 @@ pub struct BudgetAccount {
     pub consumed: u64,
     /// Lifetime units refunded at teardown (monotone).
     pub refunded: u64,
-    /// Exhausted: the container's Ready threads are parked here instead
-    /// of occupying run-queue slots.
+    /// Ticks that ran on this account while `remaining` was already 0
+    /// (a thread current on another CPU when the budget hit zero, or
+    /// one last tick before the throttle lands). Settled out of the
+    /// next refill grant — `consumed` grows instead of `remaining` —
+    /// so the time is billed late rather than never. Outside the
+    /// conservation equation until settled; dropped at teardown.
+    pub debt: u64,
+    /// Throttled — by exhaustion or administratively: the container's
+    /// Ready threads are parked here instead of occupying run-queue
+    /// slots.
     pub throttled: bool,
+    /// Administratively throttled via `SchedThrottle`. Refills never
+    /// clear this — only an explicit administrative unthrottle does —
+    /// whereas a pure exhaustion throttle lifts as soon as a refill
+    /// restores budget.
+    pub admin_throttled: bool,
     /// Parked threads and the home CPU each re-enqueues to on refill.
     parked: Vec<(ThrdPtr, CpuId)>,
 }
@@ -658,13 +671,18 @@ impl Scheduler {
 
     /// Charges one timer tick of CPU time to `cntr`'s account.
     /// [`ChargeOutcome::Exhausted`] tells the caller to throttle the
-    /// container (which [`throttle`](Self::throttle) records).
+    /// container (which [`throttle`](Self::throttle) records). A tick
+    /// that lands on an already-empty account (a thread still running
+    /// on another CPU when the budget hit zero) accrues as `debt` and
+    /// is billed out of the next refill grant instead of going
+    /// unmetered.
     pub fn charge_tick(&mut self, cntr: CtnrPtr) -> ChargeOutcome {
         let acct = match self.budgets.get_mut(&cntr) {
             Some(a) => a,
             None => return ChargeOutcome::Unmetered,
         };
         if acct.remaining == 0 {
+            acct.debt += 1;
             return ChargeOutcome::Exhausted;
         }
         acct.remaining -= 1;
@@ -678,8 +696,9 @@ impl Scheduler {
         out
     }
 
-    /// Marks `cntr`'s account throttled (its Ready threads are then
-    /// parked by the caller). Idempotent.
+    /// Marks `cntr`'s account throttled by exhaustion (its Ready
+    /// threads are then parked by the caller); the next refill that
+    /// restores budget lifts it. Idempotent.
     pub fn throttle(&mut self, cntr: CtnrPtr) {
         if let Some(acct) = self.budgets.get_mut(&cntr) {
             if !acct.throttled {
@@ -687,6 +706,39 @@ impl Scheduler {
                 self.trace.sched(SchedOutcome::Throttle, 1);
             }
         }
+    }
+
+    /// Marks `cntr`'s account administratively throttled: it stays
+    /// throttled across refills until
+    /// [`unthrottle_admin`](Self::unthrottle_admin) clears it.
+    /// Idempotent; composes with an exhaustion throttle already in
+    /// force.
+    pub fn throttle_admin(&mut self, cntr: CtnrPtr) {
+        if let Some(acct) = self.budgets.get_mut(&cntr) {
+            acct.admin_throttled = true;
+            if !acct.throttled {
+                acct.throttled = true;
+                self.trace.sched(SchedOutcome::Throttle, 1);
+            }
+        }
+    }
+
+    /// Clears `cntr`'s administrative throttle. When budget remains the
+    /// account unthrottles fully (parked threads re-enqueue, as
+    /// [`unthrottle`](Self::unthrottle)); an exhausted account stays
+    /// throttled-by-exhaustion until the wheel refills it. Returns the
+    /// re-enqueued `(thread, cpu)` pairs.
+    pub fn unthrottle_admin(&mut self, cntr: CtnrPtr) -> Vec<(ThrdPtr, CpuId)> {
+        match self.budgets.get_mut(&cntr) {
+            Some(acct) if acct.admin_throttled => {
+                acct.admin_throttled = false;
+                if acct.remaining == 0 {
+                    return Vec::new();
+                }
+            }
+            _ => return Vec::new(),
+        }
+        self.unthrottle(cntr)
     }
 
     /// Arms a refill for `cntr` at absolute tick `due` (one pending
@@ -740,13 +792,25 @@ impl Scheduler {
         let mut unparked = Vec::new();
         for cntr in due {
             self.armed.remove(&cntr);
-            let (grant, regained) = match self.budgets.get_mut(&cntr) {
+            let (grant, settled, regained) = match self.budgets.get_mut(&cntr) {
                 Some(acct) if acct.weight > 0 => {
                     let cap = acct.weight as u64 * BURST_MULTIPLIER;
                     let grant = (acct.weight as u64).min(cap.saturating_sub(acct.remaining));
-                    acct.remaining += grant;
+                    // Ticks that ran while the account was already
+                    // empty settle out of the grant first: they were
+                    // consumed, just billed late.
+                    let settled = grant.min(acct.debt);
+                    acct.debt -= settled;
+                    acct.consumed += settled;
+                    acct.remaining += grant - settled;
                     acct.granted += grant;
-                    (grant, acct.throttled && acct.remaining > 0)
+                    // An administrative throttle never lifts on refill
+                    // — only the exhaustion case auto-unthrottles.
+                    (
+                        grant,
+                        settled,
+                        acct.throttled && !acct.admin_throttled && acct.remaining > 0,
+                    )
                 }
                 // Torn down (or re-created with weight 0) since it was
                 // armed: drop the stale entry.
@@ -754,6 +818,9 @@ impl Scheduler {
             };
             if grant > 0 {
                 self.trace.audit(AuditDelta::BudgetGrant(grant));
+            }
+            if settled > 0 {
+                self.trace.audit(AuditDelta::BudgetCharge(settled));
             }
             self.trace.sched(SchedOutcome::Refill, 1);
             if regained {
@@ -960,6 +1027,11 @@ pub fn sched_wf(
             acct.parked.is_empty() || acct.throttled,
             "scheduler",
             format!("container {cntr_ptr:#x} parks threads while unthrottled"),
+        )?;
+        check(
+            !acct.admin_throttled || acct.throttled,
+            "scheduler",
+            format!("container {cntr_ptr:#x} admin-throttled but not throttled"),
         )?;
         for (idx, &(t, cpu)) in acct.parked.iter().enumerate() {
             check_scheduled(t, cpu, false, &mut seen)?;
@@ -1177,6 +1249,82 @@ mod tests {
         assert_eq!(after.0, before.0, "granted survives retirement");
         assert_eq!(after.3, 0, "remaining refunded on teardown");
         assert_eq!(after.0, after.1 + after.2 + after.3);
+    }
+
+    #[test]
+    fn admin_throttle_survives_refills_until_cleared() {
+        let mut s = Scheduler::new(1);
+        s.set_weight(0x9000, 2);
+        assert!(s.account(0x9000).unwrap().remaining > 0);
+        s.throttle_admin(0x9000);
+        s.park(0xaa, 0, 0x9000);
+        // Several full refill periods: the account keeps its budget
+        // (burst-capped, grant 0) yet must stay throttled — a refill
+        // never lifts an administrative throttle.
+        for _ in 0..4 * REFILL_PERIOD {
+            assert!(s.advance_wheel().is_empty(), "refill lifted admin throttle");
+        }
+        assert!(s.throttled(0x9000));
+        // Explicit unthrottle with budget remaining: full round trip.
+        assert_eq!(s.unthrottle_admin(0x9000), vec![(0xaa, 0)]);
+        assert!(!s.throttled(0x9000));
+        assert_eq!(s.ready_queue(0), &[0xaa]);
+    }
+
+    #[test]
+    fn admin_unthrottle_of_exhausted_account_waits_for_refill() {
+        let mut s = Scheduler::new(1);
+        s.set_weight(0x9000, 1);
+        while s.charge_tick(0x9000) == ChargeOutcome::Charged {}
+        s.throttle(0x9000); // exhaustion throttle first
+        s.throttle_admin(0x9000); // then the admin one on top
+        s.park(0xaa, 0, 0x9000);
+        // Clearing the admin throttle alone must not release the
+        // threads: the account is still out of budget.
+        assert!(s.unthrottle_admin(0x9000).is_empty());
+        assert!(s.throttled(0x9000), "still exhaustion-throttled");
+        // The next refill restores budget and lifts the rest.
+        let mut unparked = Vec::new();
+        for _ in 0..REFILL_PERIOD {
+            unparked.extend(s.advance_wheel());
+        }
+        assert_eq!(unparked, vec![(0xaa, 0)]);
+        assert!(!s.throttled(0x9000));
+    }
+
+    #[test]
+    fn exhausted_ticks_accrue_debt_settled_by_the_next_grant() {
+        let mut s = Scheduler::new(1);
+        s.set_weight(0x9000, 2);
+        while s.charge_tick(0x9000) == ChargeOutcome::Charged {}
+        let consumed_spent = s.account(0x9000).unwrap().consumed;
+        // Three more ticks land on the empty account (threads still
+        // running elsewhere): unbilled for now, recorded as debt.
+        for _ in 0..3 {
+            assert_eq!(s.charge_tick(0x9000), ChargeOutcome::Exhausted);
+        }
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(acct.debt, 3);
+        assert_eq!(acct.consumed, consumed_spent, "not yet billed");
+        // The refill grant (weight 2) pays debt first: 2 of 3 units go
+        // straight to `consumed`, none to `remaining`, debt 1 carries.
+        for _ in 0..REFILL_PERIOD {
+            s.advance_wheel();
+        }
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(acct.debt, 1);
+        assert_eq!(acct.consumed, consumed_spent + 2);
+        assert_eq!(acct.remaining, 0);
+        // Next refill clears the rest and budget starts accruing again.
+        for _ in 0..REFILL_PERIOD {
+            s.advance_wheel();
+        }
+        let acct = s.account(0x9000).unwrap();
+        assert_eq!(acct.debt, 0);
+        assert_eq!(acct.consumed, consumed_spent + 3);
+        assert_eq!(acct.remaining, 1);
+        // Conservation holds throughout — debt lives outside it.
+        assert_eq!(acct.granted, acct.consumed + acct.refunded + acct.remaining);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! inheritance must bill server time to the calling client's account
 //! without disabling the handoff-streak starvation guard.
 
-use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs};
+use atmosphere::kernel::{Kernel, KernelConfig, SyscallArgs, SyscallError};
 use atmosphere::spec::harness::Invariant;
 
 /// Boots `ncpus` and gives each of the three tenant containers one
@@ -142,6 +142,126 @@ fn run_until_current(k: &mut Kernel, t: usize) {
         k.pm.timer_tick(0);
     }
     panic!("thread {t:#x} never became current");
+}
+
+/// Scheduler-control authority is the strict terminate-container rule:
+/// a tenant can never retarget its *own* budget account — otherwise
+/// `SchedSetWeight{self, 0}` tears the account down (unmetered),
+/// a huge self-weight inflates it, and `SchedThrottle{self, false}`
+/// lifts a parent-imposed throttle.
+#[test]
+fn sched_authority_excludes_the_callers_own_container() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 4096,
+    });
+    let c = k
+        .syscall(
+            0,
+            SyscallArgs::NewContainer {
+                quota: 256,
+                cpus: vec![],
+            },
+        )
+        .val0() as usize;
+    let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+    let t = k
+        .syscall(0, SyscallArgs::NewThread { proc: p, cpu: 0 })
+        .val0() as usize;
+    // The parent (root) meters the tenant: in-subtree, allowed.
+    let r = k.syscall(0, SyscallArgs::SchedSetWeight { cntr: c, weight: 4 });
+    assert!(r.is_ok(), "{r:?}");
+
+    // Now the tenant's own thread tries to escape its budget.
+    run_until_current(&mut k, t);
+    for args in [
+        SyscallArgs::SchedSetWeight { cntr: c, weight: 0 },
+        SyscallArgs::SchedSetWeight {
+            cntr: c,
+            weight: u32::MAX,
+        },
+        SyscallArgs::SchedThrottle {
+            cntr: c,
+            throttle: false,
+        },
+    ] {
+        let r = k.syscall(0, args.clone());
+        assert_eq!(
+            r.result,
+            Err(SyscallError::Denied),
+            "self-targeted {args:?} must be denied"
+        );
+    }
+    assert_eq!(k.pm.sched.weight(c), 4, "account untouched");
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+}
+
+/// An administrative throttle parks the container's running thread at
+/// its next tick, holds across arbitrarily many refill periods (a
+/// refill lifts only exhaustion throttles), and releases the threads
+/// on the explicit unthrottle.
+#[test]
+fn admin_throttle_parks_runners_and_holds_across_refills() {
+    let mut k = Kernel::boot(KernelConfig {
+        mem_mib: 64,
+        ncpus: 1,
+        root_quota: 4096,
+    });
+    let c = k
+        .syscall(
+            0,
+            SyscallArgs::NewContainer {
+                quota: 256,
+                cpus: vec![],
+            },
+        )
+        .val0() as usize;
+    let p = k.syscall(0, SyscallArgs::NewProcess { cntr: c }).val0() as usize;
+    let t = k
+        .syscall(0, SyscallArgs::NewThread { proc: p, cpu: 0 })
+        .val0() as usize;
+    // Generous weight: the account keeps budget the whole test, so any
+    // unthrottle we observe would be the (wrong) refill path.
+    let r = k.syscall(0, SyscallArgs::SchedSetWeight { cntr: c, weight: 8 });
+    assert!(r.is_ok(), "{r:?}");
+
+    run_until_current(&mut k, t);
+    k.pm.sched_throttle(c, true).unwrap();
+    // Still Running: it parks at its next tick, per the documented
+    // contract — and must NOT come back via rotate().
+    k.pm.timer_tick(0);
+    assert_ne!(k.pm.sched.current(0), Some(t), "runner parked at its tick");
+    assert!(
+        k.pm.sched
+            .account(c)
+            .unwrap()
+            .parked()
+            .iter()
+            .any(|&(pt, _)| pt == t),
+        "thread parked in its account, not on the run queue"
+    );
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
+
+    let consumed0 = k.pm.sched.account(c).unwrap().consumed;
+    // Many refill periods with remaining budget: the admin throttle
+    // must hold and the tenant must burn zero CPU.
+    for _ in 0..128 {
+        k.pm.timer_tick(0);
+        assert!(k.pm.sched.throttled(c), "refill lifted an admin throttle");
+    }
+    assert_eq!(
+        k.pm.sched.account(c).unwrap().consumed,
+        consumed0,
+        "throttled tenant consumed CPU"
+    );
+    assert!(k.pm.sched.account(c).unwrap().remaining > 0);
+
+    // Explicit unthrottle: the thread re-enqueues and runs again.
+    k.pm.sched_throttle(c, false).unwrap();
+    assert!(!k.pm.sched.throttled(c));
+    run_until_current(&mut k, t);
+    assert!(k.wf().is_ok(), "{:?}", k.wf());
 }
 
 #[test]
